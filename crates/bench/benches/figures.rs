@@ -1,0 +1,35 @@
+//! Figure-generation benchmarks: one Criterion group per reproduced table or
+//! figure, timing the full data-series generation (simulation sweeps plus
+//! model evaluation). These are the `cargo bench` entry points matching the
+//! experiment index in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mp_bench::figures;
+
+fn bench_figures(c: &mut Criterion) {
+    c.bench_function("figures/table1", |b| b.iter(figures::table1_machine_config));
+    c.bench_function("figures/fig2a", |b| b.iter(figures::fig2a_scalability));
+    c.bench_function("figures/fig2b", |b| b.iter(figures::fig2b_serial_growth));
+    c.bench_function("figures/fig2d", |b| b.iter(figures::fig2d_model_accuracy));
+    c.bench_function("figures/table2", |b| b.iter(figures::table2_extracted_parameters));
+    c.bench_function("figures/fig3", |b| b.iter(figures::fig3_scalability_prediction));
+    c.bench_function("figures/table3", |b| b.iter(figures::table3_application_classes));
+    c.bench_function("figures/fig4", |b| b.iter(figures::fig4_symmetric_design_space));
+    c.bench_function("figures/fig5", |b| b.iter(figures::fig5_asymmetric_design_space));
+    c.bench_function("figures/fig6", |b| b.iter(figures::fig6_reduction_split));
+    c.bench_function("figures/fig7", |b| b.iter(figures::fig7_communication_model));
+    c.bench_function("figures/table4", |b| b.iter(figures::table4_dataset_sensitivity));
+
+    // Figure 2(c) runs the real workloads; benchmark the reduced-size variant
+    // at two thread counts only so `cargo bench` stays tractable.
+    let mut group = c.benchmark_group("figures/fig2c");
+    group.sample_size(10);
+    group.bench_function("reduced", |b| {
+        b.iter(|| figures::fig2c_real_serial_growth(&[1, 2], true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Analytical-model benchmarks: cost of evaluating the speedup expressions and
+//! of the full design-space sweeps that generate Figures 3–5 and 7.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mp_model::prelude::*;
+use mp_model::explore;
+
+fn bench_model_eval(c: &mut Criterion) {
+    let budget = ChipBudget::paper_default();
+    let params = AppParams::table2_kmeans();
+    let model = ExtendedModel::new(params.clone(), GrowthFunction::Linear, PerfModel::Pollack);
+    let design = SymmetricDesign::new(budget, 4.0).unwrap();
+    let comm = CommModel::paper_figure7(params).unwrap();
+
+    c.bench_function("model/extended-symmetric-point", |b| {
+        b.iter(|| model.speedup_symmetric(std::hint::black_box(&design)).unwrap())
+    });
+
+    c.bench_function("model/comm-symmetric-point", |b| {
+        b.iter(|| comm.speedup_symmetric(std::hint::black_box(&design)).unwrap())
+    });
+
+    c.bench_function("model/best-symmetric-sweep", |b| {
+        b.iter(|| explore::best_symmetric(&model, budget).unwrap())
+    });
+
+    c.bench_function("model/best-asymmetric-sweep", |b| {
+        b.iter(|| explore::best_asymmetric(&model, budget).unwrap())
+    });
+
+    c.bench_function("model/unit-core-curve-256", |b| {
+        b.iter(|| explore::unit_core_curve(&model, 256).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_model_eval);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Merging-phase microbenchmarks: the three reduction strategies versus the
+//! number of partials (threads) and the number of reduction elements.
+//!
+//! This quantifies the paper's Section II-B/V-E discussion directly: the
+//! serial linear merge grows with the thread count, the tree merge grows
+//! logarithmically, and the privatised parallel merge keeps the computation
+//! flat at the cost of touching every partial from every thread.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mp_par::reduce::{reduce_elementwise, ReductionStrategy};
+
+fn make_partials(threads: usize, elements: usize) -> Vec<Vec<f64>> {
+    (0..threads)
+        .map(|t| (0..elements).map(|e| (t * elements + e) as f64 * 0.25).collect())
+        .collect()
+}
+
+fn bench_reduction_strategies(c: &mut Criterion) {
+    // The kmeans merge has C·D + C ≈ 80 elements; hop's group table is larger.
+    for elements in [80usize, 2048] {
+        let mut group = c.benchmark_group(format!("reduction/x={elements}"));
+        for threads in [2usize, 4, 8, 16, 32] {
+            let partials = make_partials(threads, elements);
+            for strategy in ReductionStrategy::all() {
+                group.bench_with_input(
+                    BenchmarkId::new(strategy.name(), threads),
+                    &threads,
+                    |b, &t| {
+                        b.iter(|| reduce_elementwise(std::hint::black_box(&partials), strategy, t));
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_reduction_strategies);
+criterion_main!(benches);

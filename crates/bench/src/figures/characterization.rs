@@ -1,0 +1,232 @@
+//! Figure 2 and Table II: workload characterisation.
+//!
+//! The paper obtains these from SESC simulations of the MineBench applications
+//! (plus a validation run on real hardware for Figure 2(c)). Here the
+//! simulated side comes from `mp-cmpsim` phase programs derived from the
+//! algorithm structure, and the "real hardware" side from actually running the
+//! instrumented Rust workloads on the host machine.
+
+use mp_cmpsim::{fuzzy_program, hop_program, kmeans_program, simulate_profile, Machine, WorkloadShape};
+use mp_cmpsim::program::ReductionKind;
+use mp_model::growth::GrowthFunction;
+use mp_model::params::AppParams;
+use mp_model::serial_time::serial_growth_factor;
+use mp_profile::{extract_params, serial_growth, speedup_series, RunProfile, TableRow};
+use mp_workloads::data::DatasetSpec;
+use mp_workloads::runner::{run_sweep, ClusteringWorkload};
+
+use super::CHARACTERIZATION_CORES;
+
+/// The three applications of the characterisation study, in paper order.
+pub const APPLICATIONS: [&str; 3] = ["kmeans", "fuzzy", "hop"];
+
+/// Simulated profiles of one application across the characterisation core
+/// counts (the paper's 1–16-core SESC runs).
+pub fn simulated_profiles(app: &str) -> Vec<RunProfile> {
+    CHARACTERIZATION_CORES
+        .iter()
+        .map(|&cores| {
+            let machine = Machine::table1(cores);
+            let program = match app {
+                "kmeans" => kmeans_program(&WorkloadShape::kmeans_base(), ReductionKind::SerialLinear),
+                "fuzzy" => fuzzy_program(&WorkloadShape::kmeans_base(), ReductionKind::SerialLinear),
+                "hop" => hop_program(&WorkloadShape::hop_default(), ReductionKind::SerialLinear, 4),
+                other => panic!("unknown application {other}"),
+            };
+            simulate_profile(&program, &machine)
+        })
+        .collect()
+}
+
+/// Figure 2(a): application speedup at 1–16 cores (simulation).
+pub fn fig2a_scalability() -> Vec<TableRow> {
+    APPLICATIONS
+        .iter()
+        .map(|app| {
+            let profiles = simulated_profiles(app);
+            let mut row = TableRow::new(*app);
+            for (cores, speedup) in speedup_series(&profiles) {
+                row = row.with(format!("p={cores}"), speedup);
+            }
+            row
+        })
+        .collect()
+}
+
+/// Figure 2(b): serial-section time normalised to one core (simulation).
+pub fn fig2b_serial_growth() -> Vec<TableRow> {
+    APPLICATIONS
+        .iter()
+        .map(|app| {
+            let profiles = simulated_profiles(app);
+            let mut row = TableRow::new(*app);
+            for (cores, growth) in serial_growth(&profiles) {
+                row = row.with(format!("p={cores}"), growth);
+            }
+            row
+        })
+        .collect()
+}
+
+/// Figure 2(c): serial-section growth measured on the host machine by running
+/// the instrumented Rust workloads.
+///
+/// `thread_counts` selects the sweep (the paper uses 1–8 on a two-socket Xeon);
+/// `reduced_size` shrinks the data sets so tests and CI stay fast while the
+/// full-size run is available to the `repro` binary.
+pub fn fig2c_real_serial_growth(thread_counts: &[usize], reduced_size: bool) -> Vec<TableRow> {
+    let (cluster_spec, hop_spec) = if reduced_size {
+        (DatasetSpec::new(4000, 9, 8, 0x5EED), DatasetSpec::new(6000, 3, 16, 0x401))
+    } else {
+        (DatasetSpec::base(), DatasetSpec::hop_default())
+    };
+    let jobs = [
+        ClusteringWorkload::kmeans(cluster_spec.generate()),
+        ClusteringWorkload::fuzzy(cluster_spec.generate()),
+        ClusteringWorkload::hop(hop_spec.generate()),
+    ];
+    jobs.iter()
+        .map(|job| {
+            let profiles = run_sweep(job, thread_counts);
+            let mut row = TableRow::new(job.kind().name());
+            for (threads, growth) in serial_growth(&profiles) {
+                row = row.with(format!("p={threads}"), growth);
+            }
+            row
+        })
+        .collect()
+}
+
+/// Figure 2(d): model accuracy — the serial-section growth predicted by the
+/// extended model (using the parameters extracted from the single-run data)
+/// divided by the growth observed in the simulation. Values near 1.0 mean the
+/// model tracks the simulation.
+pub fn fig2d_model_accuracy() -> Vec<TableRow> {
+    APPLICATIONS
+        .iter()
+        .map(|app| {
+            let profiles = simulated_profiles(app);
+            let extracted = extract_params(&profiles, &GrowthFunction::Linear)
+                .expect("characterisation sweep includes a single-core run");
+            let params = extracted.to_app_params();
+            let mut row = TableRow::new(*app);
+            for (cores, observed) in serial_growth(&profiles) {
+                if cores == 1 {
+                    continue;
+                }
+                let predicted =
+                    serial_growth_factor(&params, &GrowthFunction::Linear, cores as f64);
+                row = row.with(format!("p={cores}"), predicted / observed);
+            }
+            row
+        })
+        .collect()
+}
+
+/// Table II: application parameters extracted from the simulated runs, next to
+/// the values the paper reports.
+pub fn table2_extracted_parameters() -> Vec<TableRow> {
+    let paper: Vec<AppParams> = AppParams::table2_all();
+    APPLICATIONS
+        .iter()
+        .zip(paper.iter())
+        .map(|(app, reference)| {
+            let profiles = simulated_profiles(app);
+            let extracted = extract_params(&profiles, &GrowthFunction::Linear)
+                .expect("characterisation sweep includes a single-core run");
+            TableRow::new(*app)
+                .with("serial_pct", extracted.serial_fraction * 100.0)
+                .with("f", extracted.f)
+                .with("fcon_pct", extracted.fcon * 100.0)
+                .with("fred_pct", extracted.fred * 100.0)
+                .with("fored_pct", extracted.fored * 100.0)
+                .with("paper_serial_pct", reference.serial_fraction() * 100.0)
+                .with("paper_fcon_pct", reference.split.fcon * 100.0)
+                .with("paper_fred_pct", reference.split.fred * 100.0)
+                .with("paper_fored_pct", reference.fored * 100.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2a_kmeans_and_fuzzy_scale_nearly_linearly() {
+        let rows = fig2a_scalability();
+        assert_eq!(rows.len(), 3);
+        for row in rows.iter().filter(|r| r.label != "hop") {
+            let s16 = row.get("p=16").unwrap();
+            assert!(s16 > 14.0, "{} 16-core speedup {s16}", row.label);
+        }
+        let hop16 = rows.iter().find(|r| r.label == "hop").unwrap().get("p=16").unwrap();
+        assert!(hop16 > 11.0 && hop16 < 15.5, "hop speedup {hop16}");
+    }
+
+    #[test]
+    fn fig2b_serial_sections_grow() {
+        for row in fig2b_serial_growth() {
+            let g1 = row.get("p=1").unwrap();
+            let g16 = row.get("p=16").unwrap();
+            assert!((g1 - 1.0).abs() < 1e-9);
+            assert!(g16 > 2.0, "{}: serial growth {g16}", row.label);
+        }
+    }
+
+    #[test]
+    fn fig2c_real_runs_show_growth_too() {
+        // Small data sets and few threads keep the test fast; the qualitative
+        // claim (the serial section grows with threads) must still hold.
+        let rows = fig2c_real_serial_growth(&[1, 2, 4], true);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            let g1 = row.get("p=1").unwrap();
+            let g4 = row.get("p=4").unwrap();
+            assert!((g1 - 1.0).abs() < 1e-9);
+            assert!(g4 > 1.0, "{}: expected growth, got {g4}", row.label);
+        }
+    }
+
+    #[test]
+    fn fig2d_model_tracks_simulation_within_tolerance() {
+        // kmeans and fuzzy follow an almost exactly linear growth, so the
+        // linear-growth model tracks them closely. hop's merge is super-linear
+        // in the simulation (as in the paper), so a linear fit over- and
+        // under-shoots more at the ends of the range.
+        for row in fig2d_model_accuracy() {
+            // Our simulated hop merge is more strongly super-linear than the
+            // paper's measurement (the partial group tables fall out of the L1
+            // between 8 and 16 cores), so the linear-growth prediction deviates
+            // further for hop; see EXPERIMENTS.md.
+            let tolerance = if row.label == "hop" { 1.6 } else { 0.35 };
+            for (col, ratio) in &row.values {
+                assert!(
+                    (*ratio - 1.0).abs() < tolerance,
+                    "{} {col}: accuracy ratio {ratio} too far from 1",
+                    row.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table2_parameters_have_paper_magnitudes() {
+        let rows = table2_extracted_parameters();
+        for row in &rows {
+            let serial = row.get("serial_pct").unwrap();
+            assert!(serial < 0.5, "{}: serial fraction should be far below 1 %", row.label);
+            let f = row.get("f").unwrap();
+            assert!(f > 0.99, "{}: parallel fraction {f}", row.label);
+            let fcon = row.get("fcon_pct").unwrap();
+            let fred = row.get("fred_pct").unwrap();
+            assert!((fcon + fred - 100.0).abs() < 1.0);
+        }
+        // hop has the largest serial fraction of the three, as in the paper.
+        let serial = |label: &str| {
+            rows.iter().find(|r| r.label == label).unwrap().get("serial_pct").unwrap()
+        };
+        assert!(serial("hop") > serial("kmeans"));
+        assert!(serial("kmeans") > serial("fuzzy"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Two-level cache cost model.
+//!
+//! The timing engine does not simulate individual accesses; instead each phase
+//! declares how many memory references it performs, how large its working set
+//! is and whether the data it touches was last written by other cores. The
+//! cache model converts that into an *average latency per reference*:
+//!
+//! * working set fits in L1 → L1 latency,
+//! * fits in L2 → a mix of L1 and L2 latency proportional to the overflow,
+//! * exceeds L2 → a mix including main-memory latency,
+//! * shared (producer–consumer) data additionally pays the MESI ownership
+//!   transfer penalty on the fraction of references that miss in L1.
+//!
+//! This is deliberately simple, but it captures the effect the paper points to
+//! for hop: when the merging phase's working set grows with the number of
+//! per-thread partial tables it stops fitting in the private cache and the
+//! per-element merge cost rises — producing super-linear growth of the merging
+//! phase.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::MachineConfig;
+
+/// Average-latency cache model derived from a [`MachineConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheModel {
+    config: MachineConfig,
+}
+
+impl CacheModel {
+    /// Build the cache model for a machine configuration.
+    pub fn new(config: MachineConfig) -> Self {
+        CacheModel { config }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Fraction of references that miss a cache of `capacity` bytes for a
+    /// working set of `working_set` bytes, assuming uniform reuse. 0 when the
+    /// working set fits, approaching 1 as the working set grows far beyond the
+    /// capacity.
+    fn miss_fraction(capacity: usize, working_set: usize) -> f64 {
+        if working_set <= capacity || working_set == 0 {
+            0.0
+        } else {
+            1.0 - capacity as f64 / working_set as f64
+        }
+    }
+
+    /// Average latency (cycles) of one data reference for a phase with the
+    /// given working-set size. `shared` marks references to data produced by
+    /// other cores (coherence misses on first touch).
+    pub fn avg_access_latency(&self, working_set_bytes: usize, shared: bool) -> f64 {
+        let c = &self.config;
+        let l1_miss = Self::miss_fraction(c.l1_bytes, working_set_bytes);
+        let l2_miss = Self::miss_fraction(c.l2_bytes, working_set_bytes);
+        // L1 hits cost l1_latency; L1 misses that hit L2 cost l2_latency; L2
+        // misses cost memory latency.
+        let mut latency = c.l1_latency
+            + l1_miss * (c.l2_latency - c.l1_latency)
+            + l2_miss * (c.mem_latency - c.l2_latency);
+        if shared {
+            // Data written by another core must be fetched from its cache (or
+            // L2 after write-back); charge the coherence penalty on the
+            // references that cannot be satisfied from the local L1. (Capacity
+            // misses are used as the proxy for remote fetches; small shared
+            // working sets that fit in L1 are assumed to be forwarded cheaply,
+            // which keeps the merging-phase growth close to the near-linear
+            // behaviour the paper measures for kmeans/fuzzy while still making
+            // large shared merges — hop's group tables — markedly more
+            // expensive.)
+            latency += l1_miss * c.coherence_latency;
+        }
+        latency
+    }
+
+    /// Total memory cycles for `references` accesses over a working set.
+    pub fn memory_cycles(&self, references: f64, working_set_bytes: usize, shared: bool) -> f64 {
+        if references <= 0.0 {
+            return 0.0;
+        }
+        references * self.avg_access_latency(working_set_bytes, shared)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CacheModel {
+        CacheModel::new(MachineConfig::table1_baseline())
+    }
+
+    #[test]
+    fn small_working_sets_hit_l1() {
+        let m = model();
+        let lat = m.avg_access_latency(16 * 1024, false);
+        assert!((lat - m.config().l1_latency).abs() < 1e-12);
+    }
+
+    #[test]
+    fn medium_working_sets_pay_l2_latency() {
+        let m = model();
+        let lat = m.avg_access_latency(1024 * 1024, false);
+        assert!(lat > m.config().l1_latency);
+        assert!(lat < m.config().mem_latency);
+    }
+
+    #[test]
+    fn huge_working_sets_approach_memory_latency() {
+        let m = model();
+        let lat = m.avg_access_latency(1 << 30, false);
+        assert!(lat > 0.9 * m.config().mem_latency);
+    }
+
+    #[test]
+    fn latency_is_monotone_in_working_set() {
+        let m = model();
+        let mut prev = 0.0;
+        for ws in [1usize << 10, 1 << 14, 1 << 17, 1 << 20, 1 << 23, 1 << 26, 1 << 29] {
+            let lat = m.avg_access_latency(ws, false);
+            assert!(lat >= prev);
+            prev = lat;
+        }
+    }
+
+    #[test]
+    fn shared_data_costs_more_once_it_spills_the_l1() {
+        let m = model();
+        for ws in [1usize << 18, 1 << 21, 1 << 24] {
+            assert!(m.avg_access_latency(ws, true) > m.avg_access_latency(ws, false));
+        }
+        // Small shared working sets are forwarded cheaply (no penalty).
+        let small = 1usize << 12;
+        assert_eq!(m.avg_access_latency(small, true), m.avg_access_latency(small, false));
+    }
+
+    #[test]
+    fn memory_cycles_scale_with_references() {
+        let m = model();
+        let one = m.memory_cycles(1.0, 1 << 20, false);
+        let thousand = m.memory_cycles(1000.0, 1 << 20, false);
+        assert!((thousand - 1000.0 * one).abs() < 1e-6);
+        assert_eq!(m.memory_cycles(0.0, 1 << 20, false), 0.0);
+    }
+
+    #[test]
+    fn miss_fraction_boundaries() {
+        assert_eq!(CacheModel::miss_fraction(1024, 0), 0.0);
+        assert_eq!(CacheModel::miss_fraction(1024, 1024), 0.0);
+        assert!(CacheModel::miss_fraction(1024, 2048) > 0.49);
+        assert!(CacheModel::miss_fraction(1024, 1 << 30) > 0.99);
+    }
+}

@@ -1,0 +1,92 @@
+//! Core timing model.
+//!
+//! A core is characterised by its area in base-core equivalents (BCE) and a
+//! performance model mapping area to single-thread performance relative to a
+//! 1-BCE core. The default follows the paper's assumption (`perf(r) = sqrt(r)`,
+//! Pollack's rule). The core executes abstract *operations*; at `perf(r)` and
+//! `ops_per_cycle` the time to run `ops` operations is
+//! `ops / (ops_per_cycle · perf(r))` cycles, plus whatever memory time the
+//! cache model charges on top.
+
+use serde::{Deserialize, Serialize};
+
+use mp_model::perf::PerfModel;
+
+use crate::config::MachineConfig;
+
+/// A core with an area budget and a performance model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreModel {
+    /// Core area in base-core equivalents.
+    pub area_bce: f64,
+    /// Area → performance mapping.
+    pub perf_model: PerfModel,
+}
+
+impl CoreModel {
+    /// A 1-BCE baseline core under Pollack's rule.
+    pub fn baseline() -> Self {
+        CoreModel { area_bce: 1.0, perf_model: PerfModel::Pollack }
+    }
+
+    /// A core of `area_bce` BCE under Pollack's rule.
+    pub fn with_area(area_bce: f64) -> Self {
+        CoreModel { area_bce, perf_model: PerfModel::Pollack }
+    }
+
+    /// Relative performance of this core versus the 1-BCE baseline.
+    pub fn perf(&self) -> f64 {
+        self.perf_model
+            .perf(self.area_bce)
+            .expect("core area must be positive")
+    }
+
+    /// Cycles to execute `ops` compute operations on this core (no memory
+    /// component).
+    pub fn compute_cycles(&self, ops: f64, config: &MachineConfig) -> f64 {
+        if ops <= 0.0 {
+            return 0.0;
+        }
+        ops / (config.ops_per_cycle * self.perf())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_core_runs_at_unit_perf() {
+        let c = CoreModel::baseline();
+        assert!((c.perf() - 1.0).abs() < 1e-12);
+        let cfg = MachineConfig::table1_baseline();
+        assert!((c.compute_cycles(1000.0, &cfg) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn four_bce_core_is_twice_as_fast() {
+        let cfg = MachineConfig::table1_baseline();
+        let big = CoreModel::with_area(4.0);
+        assert!((big.perf() - 2.0).abs() < 1e-12);
+        assert!((big.compute_cycles(1000.0, &cfg) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_ops_take_zero_cycles() {
+        let cfg = MachineConfig::table1_baseline();
+        assert_eq!(CoreModel::baseline().compute_cycles(0.0, &cfg), 0.0);
+        assert_eq!(CoreModel::baseline().compute_cycles(-5.0, &cfg), 0.0);
+    }
+
+    #[test]
+    fn linear_perf_model_is_supported() {
+        let c = CoreModel { area_bce: 4.0, perf_model: PerfModel::Linear };
+        assert!((c.perf() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_area_panics_on_use() {
+        CoreModel { area_bce: 0.0, perf_model: PerfModel::Pollack }.perf();
+    }
+}

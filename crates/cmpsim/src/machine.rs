@@ -1,0 +1,205 @@
+//! Machine assembly: symmetric CMPs and asymmetric CMPs under a BCE budget.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::MachineConfig;
+use crate::corem::CoreModel;
+use crate::noc::NocModel;
+
+/// The core organisation of a simulated chip.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MachineKind {
+    /// `cores` identical cores of `core_bce` BCE each.
+    Symmetric {
+        /// Number of cores.
+        cores: usize,
+        /// Area of each core in BCE.
+        core_bce: f64,
+    },
+    /// One large core of `large_bce` BCE plus `small_cores` cores of
+    /// `small_bce` BCE each. Serial phases run on the large core; parallel
+    /// phases use all cores.
+    Asymmetric {
+        /// Number of small cores.
+        small_cores: usize,
+        /// Area of each small core in BCE.
+        small_bce: f64,
+        /// Area of the large core in BCE.
+        large_bce: f64,
+    },
+}
+
+/// A simulated chip multiprocessor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    kind: MachineKind,
+    config: MachineConfig,
+}
+
+impl Machine {
+    /// A symmetric machine of `cores` cores, each `core_bce` BCE.
+    pub fn symmetric(cores: usize, core_bce: f64, config: MachineConfig) -> Self {
+        assert!(cores > 0, "machine needs at least one core");
+        assert!(core_bce > 0.0, "core area must be positive");
+        Machine { kind: MachineKind::Symmetric { cores, core_bce }, config }
+    }
+
+    /// An asymmetric machine: one `large_bce` core plus `small_cores` cores of
+    /// `small_bce` BCE.
+    pub fn asymmetric(
+        small_cores: usize,
+        small_bce: f64,
+        large_bce: f64,
+        config: MachineConfig,
+    ) -> Self {
+        assert!(small_bce > 0.0 && large_bce > 0.0, "core areas must be positive");
+        assert!(large_bce >= small_bce, "the large core must not be smaller than the small cores");
+        Machine { kind: MachineKind::Asymmetric { small_cores, small_bce, large_bce }, config }
+    }
+
+    /// The paper's simulation setup: `cores` baseline 1-BCE cores with the
+    /// Table I configuration (used for the 1–16-core characterisation runs).
+    pub fn table1(cores: usize) -> Self {
+        Machine::symmetric(cores, 1.0, MachineConfig::table1_baseline())
+    }
+
+    /// The machine's organisation.
+    pub fn kind(&self) -> MachineKind {
+        self.kind
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Total number of cores (and therefore merging threads).
+    pub fn threads(&self) -> usize {
+        match self.kind {
+            MachineKind::Symmetric { cores, .. } => cores,
+            MachineKind::Asymmetric { small_cores, .. } => small_cores + 1,
+        }
+    }
+
+    /// Total chip area in BCE.
+    pub fn total_bce(&self) -> f64 {
+        match self.kind {
+            MachineKind::Symmetric { cores, core_bce } => cores as f64 * core_bce,
+            MachineKind::Asymmetric { small_cores, small_bce, large_bce } => {
+                small_cores as f64 * small_bce + large_bce
+            }
+        }
+    }
+
+    /// The core that executes serial phases (the large core of an ACMP, any
+    /// core of a CMP).
+    pub fn serial_core(&self) -> CoreModel {
+        match self.kind {
+            MachineKind::Symmetric { core_bce, .. } => CoreModel::with_area(core_bce),
+            MachineKind::Asymmetric { large_bce, .. } => CoreModel::with_area(large_bce),
+        }
+    }
+
+    /// A representative parallel-section core (a small core of an ACMP).
+    pub fn parallel_core(&self) -> CoreModel {
+        match self.kind {
+            MachineKind::Symmetric { core_bce, .. } => CoreModel::with_area(core_bce),
+            MachineKind::Asymmetric { small_bce, .. } => CoreModel::with_area(small_bce),
+        }
+    }
+
+    /// Aggregate compute throughput available to a parallel phase, in
+    /// baseline-core equivalents (sum of `perf(r)` over the participating
+    /// cores). `max_parallelism` caps how many cores can contribute.
+    pub fn parallel_throughput(&self, max_parallelism: Option<usize>) -> f64 {
+        let cap = max_parallelism.unwrap_or(usize::MAX).max(1);
+        match self.kind {
+            MachineKind::Symmetric { cores, core_bce } => {
+                let used = cores.min(cap);
+                used as f64 * CoreModel::with_area(core_bce).perf()
+            }
+            MachineKind::Asymmetric { small_cores, small_bce, large_bce } => {
+                // The large core always contributes (it is the fastest), then
+                // small cores up to the cap.
+                let large = CoreModel::with_area(large_bce).perf();
+                let used_small = small_cores.min(cap.saturating_sub(1));
+                large + used_small as f64 * CoreModel::with_area(small_bce).perf()
+            }
+        }
+    }
+
+    /// The NoC connecting the cores.
+    pub fn noc(&self) -> NocModel {
+        NocModel::new(self.threads(), &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_machine_shape() {
+        let m = Machine::table1(16);
+        assert_eq!(m.threads(), 16);
+        assert_eq!(m.total_bce(), 16.0);
+        assert!((m.serial_core().perf() - 1.0).abs() < 1e-12);
+        assert!((m.parallel_throughput(None) - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_throughput_scales_with_perf_and_count() {
+        let m = Machine::symmetric(64, 4.0, MachineConfig::table1_baseline());
+        // 64 cores of perf 2 each.
+        assert!((m.parallel_throughput(None) - 128.0).abs() < 1e-12);
+        assert_eq!(m.total_bce(), 256.0);
+    }
+
+    #[test]
+    fn max_parallelism_caps_the_throughput() {
+        let m = Machine::table1(16);
+        assert!((m.parallel_throughput(Some(4)) - 4.0).abs() < 1e-12);
+        assert!((m.parallel_throughput(Some(100)) - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_serial_core_is_the_large_one() {
+        let m = Machine::asymmetric(252, 1.0, 4.0, MachineConfig::table1_baseline());
+        assert!((m.serial_core().perf() - 2.0).abs() < 1e-12);
+        assert!((m.parallel_core().perf() - 1.0).abs() < 1e-12);
+        assert_eq!(m.threads(), 253);
+        assert_eq!(m.total_bce(), 256.0);
+        // Throughput: large core (2) + 252 small cores (1 each).
+        assert!((m.parallel_throughput(None) - 254.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_cap_prefers_the_large_core() {
+        let m = Machine::asymmetric(252, 1.0, 16.0, MachineConfig::table1_baseline());
+        // Cap of 1 → only the large core contributes.
+        assert!((m.parallel_throughput(Some(1)) - 4.0).abs() < 1e-12);
+        // Cap of 3 → large + 2 small.
+        assert!((m.parallel_throughput(Some(3)) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noc_size_matches_thread_count() {
+        assert_eq!(Machine::table1(16).noc().cores(), 16);
+        assert_eq!(
+            Machine::asymmetric(15, 1.0, 4.0, MachineConfig::table1_baseline()).noc().cores(),
+            16
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_core_machine_rejected() {
+        Machine::symmetric(0, 1.0, MachineConfig::table1_baseline());
+    }
+
+    #[test]
+    #[should_panic]
+    fn large_core_smaller_than_small_rejected() {
+        Machine::asymmetric(4, 4.0, 1.0, MachineConfig::table1_baseline());
+    }
+}

@@ -1,0 +1,144 @@
+//! 2-D mesh network-on-chip cost model.
+//!
+//! Communication phases (exchanging partial reduction results, broadcasting
+//! merged centres) are charged according to the paper's Section V-E
+//! assumptions: the cores are arranged in a `√nc × √nc` mesh with XY routing;
+//! a message travels `√nc − 1` hops on average; the mesh offers
+//! `4·√nc·(√nc − 1)` simultaneous link operations (bidirectional links). The
+//! time to move `m` element-messages is therefore
+//!
+//! ```text
+//! cycles ≈ hop_latency · m · avg_hops / concurrent_ops          (bandwidth bound)
+//!        + hop_latency · avg_hops                               (pipeline fill)
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::MachineConfig;
+
+/// A 2-D mesh NoC connecting `cores` cores.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NocModel {
+    cores: usize,
+    hop_latency: f64,
+}
+
+impl NocModel {
+    /// Build a mesh for `cores` cores using the hop latency of `config`.
+    pub fn new(cores: usize, config: &MachineConfig) -> Self {
+        NocModel { cores: cores.max(1), hop_latency: config.noc_hop_latency }
+    }
+
+    /// Number of cores attached to the mesh.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Side length of the (square) mesh.
+    pub fn side(&self) -> f64 {
+        (self.cores as f64).sqrt()
+    }
+
+    /// Average hop count of a message under uniform traffic, `√nc − 1`.
+    pub fn avg_hops(&self) -> f64 {
+        if self.cores <= 1 {
+            0.0
+        } else {
+            (self.side() - 1.0).max(0.0)
+        }
+    }
+
+    /// Link-operations the mesh can perform concurrently,
+    /// `4·√nc·(√nc − 1)` (bidirectional links), at least 1.
+    pub fn concurrent_ops(&self) -> f64 {
+        if self.cores <= 1 {
+            1.0
+        } else {
+            (4.0 * self.side() * (self.side() - 1.0)).max(1.0)
+        }
+    }
+
+    /// Cycles to deliver `messages` single-element messages under uniform
+    /// all-to-one / one-to-all traffic.
+    pub fn transfer_cycles(&self, messages: f64) -> f64 {
+        if messages <= 0.0 || self.cores <= 1 {
+            return 0.0;
+        }
+        let serialisation = messages * self.avg_hops() / self.concurrent_ops();
+        let pipeline_fill = self.avg_hops();
+        self.hop_latency * (serialisation + pipeline_fill)
+    }
+
+    /// Cycles for the privatised-reduction exchange of `elements` reduction
+    /// elements among `participants` cores: each core sends and receives its
+    /// share to/from every other core, `2·(participants − 1)·elements`
+    /// element-messages in total (paper Section V-E).
+    pub fn reduction_exchange_cycles(&self, elements: f64, participants: usize) -> f64 {
+        if participants <= 1 {
+            return 0.0;
+        }
+        let messages = 2.0 * (participants as f64 - 1.0) * elements;
+        self.transfer_cycles(messages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::table1_baseline()
+    }
+
+    #[test]
+    fn single_core_mesh_has_no_communication_cost() {
+        let noc = NocModel::new(1, &cfg());
+        assert_eq!(noc.transfer_cycles(1000.0), 0.0);
+        assert_eq!(noc.reduction_exchange_cycles(100.0, 1), 0.0);
+        assert_eq!(noc.avg_hops(), 0.0);
+    }
+
+    #[test]
+    fn two_core_mesh_has_sub_unit_average_distance() {
+        let noc = NocModel::new(2, &cfg());
+        assert!(noc.avg_hops() > 0.0 && noc.avg_hops() < 1.0);
+    }
+
+    #[test]
+    fn sixteen_core_mesh_geometry() {
+        let noc = NocModel::new(16, &cfg());
+        assert!((noc.side() - 4.0).abs() < 1e-12);
+        assert!((noc.avg_hops() - 3.0).abs() < 1e-12);
+        assert!((noc.concurrent_ops() - 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_cycles_scale_with_message_count() {
+        let noc = NocModel::new(64, &cfg());
+        let small = noc.transfer_cycles(100.0);
+        let large = noc.transfer_cycles(10_000.0);
+        assert!(large > small);
+        assert!(large / small > 20.0, "bandwidth term should dominate for large transfers");
+    }
+
+    #[test]
+    fn larger_meshes_cost_more_per_all_to_one_exchange() {
+        // For a fixed number of reduction elements the exchange gets more
+        // expensive as the participant count grows (more messages, more hops).
+        let elements = 80.0;
+        let mut prev = 0.0;
+        for cores in [2usize, 4, 16, 64, 256] {
+            let noc = NocModel::new(cores, &cfg());
+            let cycles = noc.reduction_exchange_cycles(elements, cores);
+            assert!(cycles > prev, "cores={cores}");
+            prev = cycles;
+        }
+    }
+
+    #[test]
+    fn zero_messages_cost_nothing() {
+        let noc = NocModel::new(16, &cfg());
+        assert_eq!(noc.transfer_cycles(0.0), 0.0);
+        assert_eq!(noc.transfer_cycles(-5.0), 0.0);
+    }
+}

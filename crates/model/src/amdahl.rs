@@ -1,0 +1,161 @@
+//! Classic Amdahl's Law (paper Eq. 1).
+//!
+//! `speedup(p) = 1 / (s + f/p)` where `s` is the serial fraction, `f = 1 - s`
+//! the parallel fraction and `p` the number of processors. In the limit the
+//! speedup approaches `1 / s`.
+
+use crate::error::{check_finite, check_fraction, check_positive, ModelError};
+
+/// Speedup of an application with parallel fraction `f` on `p` identical
+/// processors (paper Eq. 1).
+///
+/// # Errors
+/// Returns an error if `f` is not a fraction or `p` is not strictly positive.
+pub fn amdahl_speedup(f: f64, p: f64) -> Result<f64, ModelError> {
+    let f = check_fraction("f", f)?;
+    let p = check_positive("p", p)?;
+    let s = 1.0 - f;
+    check_finite("amdahl speedup", 1.0 / (s + f / p))
+}
+
+/// The asymptotic speedup limit `1 / s` as the processor count goes to
+/// infinity. Returns `f64::INFINITY` for a fully parallel application.
+///
+/// # Errors
+/// Returns an error if `f` is not a fraction.
+pub fn amdahl_speedup_limit(f: f64) -> Result<f64, ModelError> {
+    let f = check_fraction("f", f)?;
+    let s = 1.0 - f;
+    if s == 0.0 {
+        Ok(f64::INFINITY)
+    } else {
+        Ok(1.0 / s)
+    }
+}
+
+/// Parallel efficiency, `speedup / p`, of an application with parallel fraction
+/// `f` on `p` processors.
+///
+/// # Errors
+/// Propagates the validation errors of [`amdahl_speedup`].
+pub fn amdahl_efficiency(f: f64, p: f64) -> Result<f64, ModelError> {
+    Ok(amdahl_speedup(f, p)? / p)
+}
+
+/// The smallest processor count at which Amdahl speedup reaches `target`,
+/// or `None` if the target exceeds the asymptotic limit `1 / s`.
+///
+/// Solves `1 / (s + f/p) = target` for `p`.
+///
+/// # Errors
+/// Returns an error if `f` is not a fraction or `target < 1`.
+pub fn processors_for_speedup(f: f64, target: f64) -> Result<Option<f64>, ModelError> {
+    let f = check_fraction("f", f)?;
+    if !(target.is_finite() && target >= 1.0) {
+        return Err(ModelError::NonPositive { name: "target speedup", value: target });
+    }
+    let s = 1.0 - f;
+    let limit = if s == 0.0 { f64::INFINITY } else { 1.0 / s };
+    if target > limit {
+        return Ok(None);
+    }
+    if target == 1.0 {
+        return Ok(Some(1.0));
+    }
+    // 1/target = s + f/p  =>  p = f / (1/target - s)
+    let denom = 1.0 / target - s;
+    if denom <= 0.0 {
+        return Ok(None);
+    }
+    Ok(Some(f / denom))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_processor_gives_unit_speedup() {
+        for f in [0.0, 0.5, 0.99, 1.0] {
+            assert!((amdahl_speedup(f, 1.0).unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fully_parallel_scales_linearly() {
+        for p in [1.0, 2.0, 64.0, 1024.0] {
+            assert!((amdahl_speedup(1.0, p).unwrap() - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fully_serial_never_speeds_up() {
+        for p in [1.0, 16.0, 4096.0] {
+            assert!((amdahl_speedup(0.0, p).unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn one_percent_serial_limits_to_one_hundred() {
+        // The introduction's example: a 1 % serial section caps speedup ~100.
+        assert!((amdahl_speedup_limit(0.99).unwrap() - 100.0).abs() < 1e-9);
+        let s1024 = amdahl_speedup(0.99, 1024.0).unwrap();
+        assert!(s1024 < 100.0 && s1024 > 90.0);
+    }
+
+    #[test]
+    fn speedup_is_monotone_in_processors() {
+        let mut prev = 0.0;
+        for p in 1..=512 {
+            let s = amdahl_speedup(0.999, p as f64).unwrap();
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn speedup_is_monotone_in_parallel_fraction() {
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let f = i as f64 / 100.0;
+            let s = amdahl_speedup(f, 64.0).unwrap();
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn efficiency_decreases_with_processors() {
+        let e4 = amdahl_efficiency(0.99, 4.0).unwrap();
+        let e64 = amdahl_efficiency(0.99, 64.0).unwrap();
+        assert!(e4 > e64);
+        assert!(e4 <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn processors_for_speedup_inverts_the_law() {
+        let f = 0.99;
+        let p = processors_for_speedup(f, 50.0).unwrap().unwrap();
+        let s = amdahl_speedup(f, p).unwrap();
+        assert!((s - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn processors_for_unreachable_speedup_is_none() {
+        assert_eq!(processors_for_speedup(0.99, 150.0).unwrap(), None);
+        assert!(processors_for_speedup(1.0, 1e9).unwrap().is_some());
+    }
+
+    #[test]
+    fn processors_for_unit_speedup_is_one() {
+        assert_eq!(processors_for_speedup(0.5, 1.0).unwrap(), Some(1.0));
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(amdahl_speedup(1.5, 4.0).is_err());
+        assert!(amdahl_speedup(0.5, 0.0).is_err());
+        assert!(amdahl_speedup_limit(-0.1).is_err());
+        assert!(processors_for_speedup(0.5, 0.5).is_err());
+    }
+}

@@ -1,0 +1,273 @@
+//! Chip-area budgets and CMP/ACMP design points.
+//!
+//! Following Hill & Marty (and the paper's Section II-A), a chip is described
+//! by a budget of `n` base-core equivalents (BCE). A *symmetric* design spends
+//! the budget on `n / r` identical cores of `r` BCE each; an *asymmetric*
+//! design spends `rl` BCE on one large core and builds the rest of the chip
+//! from cores of `r` BCE each. The paper uses `n = 256` throughout its
+//! design-space study.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{check_positive, ModelError};
+
+/// Total chip area available, in base-core equivalents.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChipBudget {
+    total_bce: f64,
+}
+
+impl ChipBudget {
+    /// The paper's default budget of 256 BCE.
+    pub const PAPER_DEFAULT_BCE: f64 = 256.0;
+
+    /// Create a budget of `total_bce` base-core equivalents (must be positive).
+    pub fn new(total_bce: f64) -> Self {
+        assert!(
+            total_bce.is_finite() && total_bce > 0.0,
+            "chip budget must be positive, got {total_bce}"
+        );
+        ChipBudget { total_bce }
+    }
+
+    /// The paper's 256-BCE budget.
+    pub fn paper_default() -> Self {
+        ChipBudget::new(Self::PAPER_DEFAULT_BCE)
+    }
+
+    /// Total area in BCE.
+    pub fn total_bce(&self) -> f64 {
+        self.total_bce
+    }
+
+    /// The per-core areas `r` that divide the budget exactly into a power-of-two
+    /// number of cores: 1, 2, 4, …, `total`. This is the x-axis of Figures 4, 5
+    /// and 7.
+    pub fn power_of_two_core_sizes(&self) -> Vec<f64> {
+        let mut sizes = Vec::new();
+        let mut r = 1.0;
+        while r <= self.total_bce {
+            sizes.push(r);
+            r *= 2.0;
+        }
+        sizes
+    }
+}
+
+impl Default for ChipBudget {
+    fn default() -> Self {
+        ChipBudget::paper_default()
+    }
+}
+
+/// A symmetric CMP: the whole budget is spent on identical cores of `r` BCE.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SymmetricDesign {
+    budget: ChipBudget,
+    r: f64,
+}
+
+impl SymmetricDesign {
+    /// Create a symmetric design with per-core area `r`.
+    ///
+    /// # Errors
+    /// Rejects non-positive `r` and `r` larger than the budget.
+    pub fn new(budget: ChipBudget, r: f64) -> Result<Self, ModelError> {
+        let r = check_positive("r", r)?;
+        if r > budget.total_bce() {
+            return Err(ModelError::BudgetExceeded {
+                what: "symmetric per-core area r",
+                requested: r,
+                available: budget.total_bce(),
+            });
+        }
+        Ok(SymmetricDesign { budget, r })
+    }
+
+    /// The chip budget this design was built against.
+    pub fn budget(&self) -> ChipBudget {
+        self.budget
+    }
+
+    /// Per-core area `r`, in BCE.
+    pub fn r(&self) -> f64 {
+        self.r
+    }
+
+    /// Number of cores, `n / r` (may be fractional for analytical sweeps).
+    pub fn cores(&self) -> f64 {
+        self.budget.total_bce() / self.r
+    }
+
+    /// Number of threads participating in the merging phase — one per core.
+    pub fn threads(&self) -> f64 {
+        self.cores()
+    }
+}
+
+/// An asymmetric CMP (ACMP): one large core of `rl` BCE for serial sections
+/// plus `(n - rl) / r` smaller cores of `r` BCE for the parallel section.
+///
+/// Following paper Eq. 3/5 the large core also contributes to the parallel
+/// section, so the number of merging threads is `(n - rl) / r + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AsymmetricDesign {
+    budget: ChipBudget,
+    r: f64,
+    rl: f64,
+}
+
+impl AsymmetricDesign {
+    /// Create an asymmetric design with small-core area `r` and large-core area
+    /// `rl`.
+    ///
+    /// # Errors
+    /// Rejects non-positive areas, `rl` larger than the budget, and `rl < r`
+    /// (the "large" core must be at least as big as the small ones).
+    pub fn new(budget: ChipBudget, r: f64, rl: f64) -> Result<Self, ModelError> {
+        let r = check_positive("r", r)?;
+        let rl = check_positive("rl", rl)?;
+        if rl > budget.total_bce() {
+            return Err(ModelError::BudgetExceeded {
+                what: "asymmetric large-core area rl",
+                requested: rl,
+                available: budget.total_bce(),
+            });
+        }
+        if rl + r > budget.total_bce() && (rl - budget.total_bce()).abs() > f64::EPSILON {
+            // Allow the degenerate single-core chip (rl == n), otherwise require
+            // room for at least one small core.
+            return Err(ModelError::BudgetExceeded {
+                what: "asymmetric design (rl plus at least one small core)",
+                requested: rl + r,
+                available: budget.total_bce(),
+            });
+        }
+        if rl < r {
+            return Err(ModelError::NonPositive {
+                name: "rl - r (large core must not be smaller than small cores)",
+                value: rl - r,
+            });
+        }
+        Ok(AsymmetricDesign { budget, r, rl })
+    }
+
+    /// The chip budget this design was built against.
+    pub fn budget(&self) -> ChipBudget {
+        self.budget
+    }
+
+    /// Small-core area `r`, in BCE.
+    pub fn r(&self) -> f64 {
+        self.r
+    }
+
+    /// Large-core area `rl`, in BCE.
+    pub fn rl(&self) -> f64 {
+        self.rl
+    }
+
+    /// Number of small cores, `(n - rl) / r`.
+    pub fn small_cores(&self) -> f64 {
+        ((self.budget.total_bce() - self.rl) / self.r).max(0.0)
+    }
+
+    /// Total number of cores including the large one.
+    pub fn cores(&self) -> f64 {
+        self.small_cores() + 1.0
+    }
+
+    /// Number of threads participating in the parallel section and thus
+    /// producing partial results for the merging phase (small cores plus the
+    /// large core).
+    pub fn threads(&self) -> f64 {
+        self.small_cores() + 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_budget_is_256() {
+        assert_eq!(ChipBudget::paper_default().total_bce(), 256.0);
+        assert_eq!(ChipBudget::default().total_bce(), 256.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_budget_panics() {
+        ChipBudget::new(0.0);
+    }
+
+    #[test]
+    fn power_of_two_core_sizes_span_the_budget() {
+        let sizes = ChipBudget::paper_default().power_of_two_core_sizes();
+        assert_eq!(sizes.first().copied(), Some(1.0));
+        assert_eq!(sizes.last().copied(), Some(256.0));
+        assert_eq!(sizes.len(), 9); // 1,2,4,...,256
+    }
+
+    #[test]
+    fn symmetric_core_counts_match_paper_examples() {
+        let b = ChipBudget::paper_default();
+        // "a value of 1 implies a design with 256 cores of 1 BCE each and a
+        //  value of 4 implies 64 cores of 4 BCEs each"
+        assert_eq!(SymmetricDesign::new(b, 1.0).unwrap().cores(), 256.0);
+        assert_eq!(SymmetricDesign::new(b, 4.0).unwrap().cores(), 64.0);
+        assert_eq!(SymmetricDesign::new(b, 256.0).unwrap().cores(), 1.0);
+    }
+
+    #[test]
+    fn symmetric_rejects_oversized_cores() {
+        let b = ChipBudget::paper_default();
+        assert!(SymmetricDesign::new(b, 512.0).is_err());
+        assert!(SymmetricDesign::new(b, 0.0).is_err());
+        assert!(SymmetricDesign::new(b, -1.0).is_err());
+    }
+
+    #[test]
+    fn asymmetric_counts_small_cores() {
+        let b = ChipBudget::paper_default();
+        let d = AsymmetricDesign::new(b, 1.0, 4.0).unwrap();
+        assert_eq!(d.small_cores(), 252.0);
+        assert_eq!(d.cores(), 253.0);
+        assert_eq!(d.threads(), 253.0);
+
+        let d = AsymmetricDesign::new(b, 4.0, 64.0).unwrap();
+        assert_eq!(d.small_cores(), 48.0);
+        assert_eq!(d.threads(), 49.0);
+    }
+
+    #[test]
+    fn asymmetric_allows_single_core_chip() {
+        let b = ChipBudget::paper_default();
+        let d = AsymmetricDesign::new(b, 1.0, 256.0).unwrap();
+        assert_eq!(d.small_cores(), 0.0);
+        assert_eq!(d.cores(), 1.0);
+    }
+
+    #[test]
+    fn asymmetric_rejects_large_core_smaller_than_small() {
+        let b = ChipBudget::paper_default();
+        assert!(AsymmetricDesign::new(b, 16.0, 4.0).is_err());
+    }
+
+    #[test]
+    fn asymmetric_rejects_over_budget() {
+        let b = ChipBudget::paper_default();
+        assert!(AsymmetricDesign::new(b, 1.0, 300.0).is_err());
+        // rl = 255.5 leaves no room for a 1-BCE small core.
+        assert!(AsymmetricDesign::new(b, 1.0, 255.5).is_err());
+    }
+
+    #[test]
+    fn designs_serialize_roundtrip() {
+        let b = ChipBudget::paper_default();
+        let d = AsymmetricDesign::new(b, 4.0, 64.0).unwrap();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: AsymmetricDesign = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

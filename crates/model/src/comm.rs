@@ -1,0 +1,342 @@
+//! Communication-aware extension of the merging-phase model
+//! (paper Section V-E, Eq. 6 and Eq. 7).
+//!
+//! Instead of splitting the reduction fraction into a constant part and an
+//! overhead part, this model splits it into a **computation** fraction `fcomp`
+//! and a **communication** fraction `fcomm` (both fractions of the serial
+//! time). The computation grows according to the chosen reduction
+//! implementation (linear / logarithmic / parallel-privatised → constant) and
+//! is accelerated by the core executing it; the communication grows according
+//! to the interconnect topology (Eq. 8 for the 2-D mesh) and is *not*
+//! accelerated by core performance.
+//!
+//! The paper assumes the ideal split `fcomp == fcomm == fred / 2` ("for
+//! reductions to happen the number of communication and computation operations
+//! remains the same assuming a single thread").
+
+use serde::{Deserialize, Serialize};
+
+use crate::chip::{AsymmetricDesign, SymmetricDesign};
+use crate::error::{check_finite, check_fraction, ModelError};
+use crate::growth::GrowthFunction;
+use crate::params::AppParams;
+use crate::perf::PerfModel;
+use crate::topology::Topology;
+
+/// Split of the reduction fraction into computation and communication parts
+/// (fractions of the serial time), paper Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommSplit {
+    /// Fraction of serial time spent computing the reduction (`fcomp`).
+    pub fcomp: f64,
+    /// Fraction of serial time spent communicating reduction elements (`fcomm`).
+    pub fcomm: f64,
+}
+
+impl CommSplit {
+    /// The paper's ideal split: computation and communication each take half of
+    /// the reduction fraction.
+    pub fn ideal(fred: f64) -> Result<Self, ModelError> {
+        let fred = check_fraction("fred", fred)?;
+        Ok(CommSplit { fcomp: fred / 2.0, fcomm: fred / 2.0 })
+    }
+
+    /// An explicit split; the two parts must sum to the reduction fraction the
+    /// caller intends (this is not checked here because the reduction fraction
+    /// is owned by [`AppParams`]).
+    pub fn new(fcomp: f64, fcomm: f64) -> Result<Self, ModelError> {
+        Ok(CommSplit {
+            fcomp: check_fraction("fcomp", fcomp)?,
+            fcomm: check_fraction("fcomm", fcomm)?,
+        })
+    }
+
+    /// Total reduction fraction represented by the split.
+    pub fn fred(&self) -> f64 {
+        self.fcomp + self.fcomm
+    }
+}
+
+/// The communication-aware speedup model of paper Eq. 6/7.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommModel {
+    params: AppParams,
+    split: CommSplit,
+    /// Growth of the reduction *computation* (depends on the merge
+    /// implementation: serial → linear, tree → logarithmic, privatised
+    /// parallel → constant).
+    comp_growth: GrowthFunction,
+    topology: Topology,
+    perf: PerfModel,
+}
+
+impl CommModel {
+    /// Build a communication-aware model.
+    ///
+    /// `comp_growth` describes the growth of the reduction computation;
+    /// the communication growth is determined by `topology`.
+    pub fn new(
+        params: AppParams,
+        split: CommSplit,
+        comp_growth: GrowthFunction,
+        topology: Topology,
+        perf: PerfModel,
+    ) -> Self {
+        CommModel { params, split, comp_growth, topology, perf }
+    }
+
+    /// The paper's Figure 7 configuration for a given application: ideal
+    /// computation/communication split, *parallel* (privatised) merge so the
+    /// computation does not grow, 2-D mesh communication, Pollack cores.
+    pub fn paper_figure7(params: AppParams) -> Result<Self, ModelError> {
+        let split = CommSplit::ideal(params.split.fred)?;
+        Ok(CommModel::new(
+            params,
+            split,
+            GrowthFunction::Constant,
+            Topology::Mesh2D,
+            PerfModel::Pollack,
+        ))
+    }
+
+    /// Application parameters.
+    pub fn params(&self) -> &AppParams {
+        &self.params
+    }
+
+    /// Computation/communication split in use.
+    pub fn split(&self) -> CommSplit {
+        self.split
+    }
+
+    /// Interconnect topology in use.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Replace the topology (builder-style), e.g. for topology ablations.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Replace the computation growth function (builder-style).
+    pub fn with_comp_growth(mut self, growth: GrowthFunction) -> Self {
+        self.comp_growth = growth;
+        self
+    }
+
+    /// The serial part of the execution-time expression (paper Eq. 6) for a
+    /// machine whose serial-executing core has performance `perf_serial` and
+    /// whose merging phase involves `nc` cores, expressed as a fraction of the
+    /// single-core total execution time.
+    fn serial_time(&self, perf_serial: f64, nc: f64) -> f64 {
+        let s = self.params.serial_fraction();
+        let fcon = self.params.split.fcon;
+        let comp = self.split.fcomp * (1.0 + self.comp_growth.eval(nc));
+        let comm = self.split.fcomm * (1.0 + self.topology.comm_growth(nc));
+        s * ((fcon + comp) / perf_serial + comm)
+    }
+
+    /// Speedup of a symmetric CMP under the communication-aware model
+    /// (paper Eq. 6 substituted into Eq. 4's structure).
+    ///
+    /// # Errors
+    /// Propagates performance-model validation errors.
+    pub fn speedup_symmetric(&self, design: &SymmetricDesign) -> Result<f64, ModelError> {
+        let r = design.r();
+        let n = design.budget().total_bce();
+        let perf_r = self.perf.perf(r)?;
+        let nc = design.cores();
+        let serial = self.serial_time(perf_r, nc);
+        let parallel = self.params.f * r / (perf_r * n);
+        check_finite("communication-aware symmetric speedup", 1.0 / (serial + parallel))
+    }
+
+    /// Speedup of an asymmetric CMP under the communication-aware model
+    /// (paper Eq. 7).
+    ///
+    /// # Errors
+    /// Propagates performance-model validation errors.
+    pub fn speedup_asymmetric(&self, design: &AsymmetricDesign) -> Result<f64, ModelError> {
+        let perf_l = self.perf.perf(design.rl())?;
+        let perf_r = self.perf.perf(design.r())?;
+        let nc = design.threads();
+        let serial = self.serial_time(perf_l, nc);
+        let parallel_throughput = perf_r * design.small_cores() + perf_l;
+        let parallel = self.params.f / parallel_throughput;
+        check_finite("communication-aware asymmetric speedup", 1.0 / (serial + parallel))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::ChipBudget;
+    use crate::params::AppClass;
+
+    fn budget() -> ChipBudget {
+        ChipBudget::paper_default()
+    }
+
+    /// Figure 7 uses the non-embarrassingly-parallel, moderate-constant class.
+    fn fig7_params() -> AppParams {
+        AppClass {
+            embarrassingly_parallel: false,
+            high_constant: false,
+            high_reduction_overhead: true,
+        }
+        .params()
+    }
+
+    #[test]
+    fn ideal_split_halves_the_reduction_fraction() {
+        let s = CommSplit::ideal(0.4).unwrap();
+        assert!((s.fcomp - 0.2).abs() < 1e-12);
+        assert!((s.fcomm - 0.2).abs() < 1e-12);
+        assert!((s.fred() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure7a_peak_matches_paper() {
+        // Paper: symmetric CMP peak speedup 46.6 at r = 8.
+        let m = CommModel::paper_figure7(fig7_params()).unwrap();
+        let (best_r, best_s) = budget()
+            .power_of_two_core_sizes()
+            .into_iter()
+            .map(|r| {
+                (
+                    r,
+                    m.speedup_symmetric(&SymmetricDesign::new(budget(), r).unwrap())
+                        .unwrap(),
+                )
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert_eq!(best_r, 8.0, "peak should be at r = 8");
+        assert!((best_s - 46.6).abs() < 1.5, "got {best_s}");
+    }
+
+    #[test]
+    fn figure7b_peak_matches_paper() {
+        // Paper: asymmetric CMP peak speedup 51.6, with r = 4 slightly better
+        // than r = 1.
+        let m = CommModel::paper_figure7(fig7_params()).unwrap();
+        let best_for = |r: f64| -> f64 {
+            budget()
+                .power_of_two_core_sizes()
+                .into_iter()
+                .filter(|&rl| rl >= r && rl < 256.0)
+                .map(|rl| {
+                    m.speedup_asymmetric(&AsymmetricDesign::new(budget(), r, rl).unwrap())
+                        .unwrap()
+                })
+                .fold(f64::MIN, f64::max)
+        };
+        let best_r1 = best_for(1.0);
+        let best_r4 = best_for(4.0);
+        assert!(best_r4 > best_r1, "r=4 should beat r=1 ({best_r4} vs {best_r1})");
+        assert!((best_r4 - 51.6).abs() < 1.5, "got {best_r4}");
+    }
+
+    #[test]
+    fn communication_model_is_more_pessimistic_than_amdahl() {
+        // Paper: 46.6 vs 79.7 (symmetric), 51.6 vs 162.3 (asymmetric).
+        let params = fig7_params();
+        let m = CommModel::paper_figure7(params.clone()).unwrap();
+        let best_sym_comm = budget()
+            .power_of_two_core_sizes()
+            .into_iter()
+            .map(|r| {
+                m.speedup_symmetric(&SymmetricDesign::new(budget(), r).unwrap())
+                    .unwrap()
+            })
+            .fold(f64::MIN, f64::max);
+        let best_sym_amdahl = budget()
+            .power_of_two_core_sizes()
+            .into_iter()
+            .map(|r| {
+                crate::hill_marty::symmetric_speedup(
+                    params.f,
+                    &SymmetricDesign::new(budget(), r).unwrap(),
+                    &PerfModel::Pollack,
+                )
+                .unwrap()
+            })
+            .fold(f64::MIN, f64::max);
+        assert!(best_sym_comm < best_sym_amdahl);
+        assert!(best_sym_amdahl / best_sym_comm > 1.5);
+    }
+
+    #[test]
+    fn acmp_advantage_is_diminished_by_communication() {
+        // Under plain Amdahl the ACMP wins by ~2x; under the communication model
+        // the margin shrinks dramatically (51.6 vs 46.6 ≈ 1.1x).
+        let params = fig7_params();
+        let m = CommModel::paper_figure7(params).unwrap();
+        let best_sym = budget()
+            .power_of_two_core_sizes()
+            .into_iter()
+            .map(|r| {
+                m.speedup_symmetric(&SymmetricDesign::new(budget(), r).unwrap())
+                    .unwrap()
+            })
+            .fold(f64::MIN, f64::max);
+        let best_asym = budget()
+            .power_of_two_core_sizes()
+            .into_iter()
+            .flat_map(|r| {
+                budget()
+                    .power_of_two_core_sizes()
+                    .into_iter()
+                    .filter(move |&rl| rl >= r && rl < 256.0)
+                    .map(move |rl| (r, rl))
+            })
+            .map(|(r, rl)| {
+                m.speedup_asymmetric(&AsymmetricDesign::new(budget(), r, rl).unwrap())
+                    .unwrap()
+            })
+            .fold(f64::MIN, f64::max);
+        let margin = best_asym / best_sym;
+        assert!(margin > 1.0);
+        assert!(margin < 1.3, "ACMP margin should be small, got {margin}");
+    }
+
+    #[test]
+    fn better_topologies_yield_higher_speedup() {
+        let params = fig7_params();
+        let d = SymmetricDesign::new(budget(), 4.0).unwrap();
+        let base = CommModel::paper_figure7(params).unwrap();
+        let mesh = base.clone().with_topology(Topology::Mesh2D).speedup_symmetric(&d).unwrap();
+        let torus = base.clone().with_topology(Topology::Torus2D).speedup_symmetric(&d).unwrap();
+        let xbar = base.clone().with_topology(Topology::Crossbar).speedup_symmetric(&d).unwrap();
+        let ideal = base.with_topology(Topology::Ideal).speedup_symmetric(&d).unwrap();
+        assert!(torus > mesh);
+        assert!(xbar > mesh);
+        assert!(ideal > xbar);
+        assert!(ideal > torus);
+    }
+
+    #[test]
+    fn serial_computation_growth_lowers_speedup() {
+        let params = fig7_params();
+        let d = SymmetricDesign::new(budget(), 4.0).unwrap();
+        let parallel_merge = CommModel::paper_figure7(params.clone())
+            .unwrap()
+            .speedup_symmetric(&d)
+            .unwrap();
+        let serial_merge = CommModel::paper_figure7(params)
+            .unwrap()
+            .with_comp_growth(GrowthFunction::Linear)
+            .speedup_symmetric(&d)
+            .unwrap();
+        assert!(serial_merge < parallel_merge);
+    }
+
+    #[test]
+    fn split_validation() {
+        assert!(CommSplit::ideal(1.5).is_err());
+        assert!(CommSplit::new(0.2, 0.3).is_ok());
+        assert!(CommSplit::new(-0.1, 0.3).is_err());
+    }
+}

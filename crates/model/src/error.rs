@@ -1,0 +1,150 @@
+//! Error type shared by all model constructors and evaluators.
+
+use std::fmt;
+
+/// Errors produced when constructing or evaluating the analytical models.
+///
+/// The models are purely numerical, so every error is a parameter-validation
+/// failure: a fraction outside `[0, 1]`, a design that does not fit the chip
+/// budget, or a core count that is not positive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A fraction-valued parameter was outside the closed interval `[0, 1]`.
+    FractionOutOfRange {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A set of fractions that must sum to (at most) one did not.
+    FractionSumInvalid {
+        /// Description of the constraint that was violated.
+        what: &'static str,
+        /// The observed sum.
+        sum: f64,
+    },
+    /// A BCE area or core-count parameter was not strictly positive.
+    NonPositive {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A design does not fit within the chip budget (e.g. `r > n` or `rl > n`).
+    BudgetExceeded {
+        /// Description of the design that was rejected.
+        what: &'static str,
+        /// Area requested by the design, in BCE.
+        requested: f64,
+        /// Area available on the chip, in BCE.
+        available: f64,
+    },
+    /// A numeric evaluation produced a non-finite value.
+    NonFinite {
+        /// Name of the quantity that became non-finite.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::FractionOutOfRange { name, value } => {
+                write!(fm, "parameter `{name}` must lie in [0, 1], got {value}")
+            }
+            ModelError::FractionSumInvalid { what, sum } => {
+                write!(fm, "invalid fraction sum for {what}: {sum}")
+            }
+            ModelError::NonPositive { name, value } => {
+                write!(fm, "parameter `{name}` must be strictly positive, got {value}")
+            }
+            ModelError::BudgetExceeded {
+                what,
+                requested,
+                available,
+            } => write!(
+                fm,
+                "{what} requires {requested} BCE but only {available} BCE are available"
+            ),
+            ModelError::NonFinite { what } => {
+                write!(fm, "evaluation of {what} produced a non-finite value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Validate that `value` is a fraction in `[0, 1]`.
+pub(crate) fn check_fraction(name: &'static str, value: f64) -> Result<f64, ModelError> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(ModelError::FractionOutOfRange { name, value })
+    }
+}
+
+/// Validate that `value` is strictly positive and finite.
+pub(crate) fn check_positive(name: &'static str, value: f64) -> Result<f64, ModelError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(ModelError::NonPositive { name, value })
+    }
+}
+
+/// Validate that a computed speedup (or similar quantity) is finite.
+pub(crate) fn check_finite(what: &'static str, value: f64) -> Result<f64, ModelError> {
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        Err(ModelError::NonFinite { what })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_accepts_bounds() {
+        assert_eq!(check_fraction("x", 0.0).unwrap(), 0.0);
+        assert_eq!(check_fraction("x", 1.0).unwrap(), 1.0);
+        assert_eq!(check_fraction("x", 0.5).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn fraction_rejects_out_of_range() {
+        assert!(check_fraction("x", -0.01).is_err());
+        assert!(check_fraction("x", 1.01).is_err());
+        assert!(check_fraction("x", f64::NAN).is_err());
+        assert!(check_fraction("x", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn positive_rejects_zero_and_negative() {
+        assert!(check_positive("n", 0.0).is_err());
+        assert!(check_positive("n", -1.0).is_err());
+        assert!(check_positive("n", f64::NAN).is_err());
+        assert_eq!(check_positive("n", 2.5).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn display_messages_mention_parameter_names() {
+        let e = ModelError::FractionOutOfRange { name: "f", value: 2.0 };
+        assert!(e.to_string().contains('f'));
+        let e = ModelError::BudgetExceeded {
+            what: "large core",
+            requested: 512.0,
+            available: 256.0,
+        };
+        assert!(e.to_string().contains("512"));
+        assert!(e.to_string().contains("256"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_error<T: std::error::Error>() {}
+        assert_error::<ModelError>();
+    }
+}

@@ -1,0 +1,200 @@
+//! Hill–Marty multicore speedup models (paper Eq. 2 and Eq. 3).
+//!
+//! These are the baselines the paper extends: they assume the serial fraction
+//! is *constant*, independent of scaling, which is exactly the optimistic
+//! assumption the merging-phase study corrects.
+//!
+//! * Symmetric CMP (Eq. 2): `n` BCE split into `n/r` cores of `r` BCE each.
+//!   The serial section runs on one core at `perf(r)`; the parallel section
+//!   runs on all `n/r` cores at `perf(r)` each.
+//! * Asymmetric CMP (Eq. 3): one large core of `r` BCE plus `n - r` 1-BCE
+//!   cores. The serial section runs on the large core; the parallel section
+//!   uses the large core *and* the small cores (`perf(r) + n - r`).
+//!
+//! This module also provides a generalised asymmetric expression in which the
+//! small cores may themselves be larger than 1 BCE (matching the designs of
+//! paper Figure 5, where the parallel cores have `r ∈ {1, 4, 16}` BCE and the
+//! large core `rl` BCE); the constant-serial-fraction assumption is kept.
+
+use crate::chip::{AsymmetricDesign, SymmetricDesign};
+use crate::error::{check_finite, check_fraction, ModelError};
+use crate::perf::PerfModel;
+
+/// Speedup of a symmetric CMP under Hill–Marty's constant-serial-fraction
+/// assumption (paper Eq. 2).
+///
+/// # Errors
+/// Returns an error if `f` is not a fraction or the design/perf model rejects
+/// its inputs.
+pub fn symmetric_speedup(
+    f: f64,
+    design: &SymmetricDesign,
+    perf: &PerfModel,
+) -> Result<f64, ModelError> {
+    let f = check_fraction("f", f)?;
+    let r = design.r();
+    let n = design.budget().total_bce();
+    let perf_r = perf.perf(r)?;
+    let serial = (1.0 - f) / perf_r;
+    let parallel = f * r / (perf_r * n);
+    check_finite("hill-marty symmetric speedup", 1.0 / (serial + parallel))
+}
+
+/// Speedup of the classic Hill–Marty asymmetric CMP: one large core of
+/// `r_large` BCE plus `n - r_large` cores of 1 BCE (paper Eq. 3).
+///
+/// # Errors
+/// Returns an error if `f` is not a fraction, `r_large` is invalid, or the
+/// evaluation is non-finite.
+pub fn asymmetric_speedup_unit_small(
+    f: f64,
+    n: f64,
+    r_large: f64,
+    perf: &PerfModel,
+) -> Result<f64, ModelError> {
+    let f = check_fraction("f", f)?;
+    if !(r_large.is_finite() && r_large > 0.0 && r_large <= n) {
+        return Err(ModelError::BudgetExceeded {
+            what: "Hill-Marty large core",
+            requested: r_large,
+            available: n,
+        });
+    }
+    let perf_l = perf.perf(r_large)?;
+    let serial = (1.0 - f) / perf_l;
+    let parallel = f / (perf_l + (n - r_large));
+    check_finite("hill-marty asymmetric speedup", 1.0 / (serial + parallel))
+}
+
+/// Generalised Hill–Marty asymmetric speedup for a design whose parallel cores
+/// have `r` BCE each (paper Figure 5 designs), still assuming a constant serial
+/// fraction. The parallel section is executed by the small cores plus the large
+/// core: throughput `perf(r)·(n - rl)/r + perf(rl)`.
+///
+/// # Errors
+/// Returns an error if `f` is not a fraction or the evaluation is non-finite.
+pub fn asymmetric_speedup(
+    f: f64,
+    design: &AsymmetricDesign,
+    perf: &PerfModel,
+) -> Result<f64, ModelError> {
+    let f = check_fraction("f", f)?;
+    let perf_l = perf.perf(design.rl())?;
+    let perf_r = perf.perf(design.r())?;
+    let serial = (1.0 - f) / perf_l;
+    let parallel_throughput = perf_r * design.small_cores() + perf_l;
+    let parallel = f / parallel_throughput;
+    check_finite("hill-marty asymmetric speedup", 1.0 / (serial + parallel))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::ChipBudget;
+
+    fn budget() -> ChipBudget {
+        ChipBudget::paper_default()
+    }
+
+    #[test]
+    fn fully_parallel_symmetric_uses_all_cores() {
+        // f = 1: speedup = perf(r) * n / r = sqrt(r) * 256 / r.
+        let d = SymmetricDesign::new(budget(), 1.0).unwrap();
+        let s = symmetric_speedup(1.0, &d, &PerfModel::Pollack).unwrap();
+        assert!((s - 256.0).abs() < 1e-9);
+
+        let d = SymmetricDesign::new(budget(), 4.0).unwrap();
+        let s = symmetric_speedup(1.0, &d, &PerfModel::Pollack).unwrap();
+        assert!((s - 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_serial_symmetric_equals_core_perf() {
+        let d = SymmetricDesign::new(budget(), 16.0).unwrap();
+        let s = symmetric_speedup(0.0, &d, &PerfModel::Pollack).unwrap();
+        assert!((s - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_bce_cores_reduce_to_amdahl() {
+        // r = 1 => perf = 1, n cores of 1 BCE: Eq. 2 degenerates to Eq. 1.
+        let d = SymmetricDesign::new(budget(), 1.0).unwrap();
+        for f in [0.9, 0.99, 0.999] {
+            let hm = symmetric_speedup(f, &d, &PerfModel::Pollack).unwrap();
+            let am = crate::amdahl::amdahl_speedup(f, 256.0).unwrap();
+            assert!((hm - am).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn higher_serial_fraction_favours_larger_cores() {
+        // Hill & Marty's qualitative finding: as the serial fraction grows the
+        // optimum moves toward fewer, more capable cores.
+        let perf = PerfModel::Pollack;
+        let best_r = |f: f64| -> f64 {
+            budget()
+                .power_of_two_core_sizes()
+                .into_iter()
+                .max_by(|&a, &b| {
+                    let sa = symmetric_speedup(f, &SymmetricDesign::new(budget(), a).unwrap(), &perf)
+                        .unwrap();
+                    let sb = symmetric_speedup(f, &SymmetricDesign::new(budget(), b).unwrap(), &perf)
+                        .unwrap();
+                    sa.partial_cmp(&sb).unwrap()
+                })
+                .unwrap()
+        };
+        assert!(best_r(0.999) <= best_r(0.99));
+        assert!(best_r(0.99) <= best_r(0.9));
+    }
+
+    #[test]
+    fn classic_asymmetric_matches_hand_computation() {
+        // f = 0.99, n = 256, r_large = 64, Pollack: serial = 0.01/8,
+        // parallel = 0.99/(8+192) = 0.99/200.
+        let s = asymmetric_speedup_unit_small(0.99, 256.0, 64.0, &PerfModel::Pollack).unwrap();
+        let expect = 1.0 / (0.01 / 8.0 + 0.99 / 200.0);
+        assert!((s - expect).abs() < 1e-9);
+        assert!(s > 150.0 && s < 170.0);
+    }
+
+    #[test]
+    fn acmp_beats_cmp_under_constant_serial_fraction() {
+        // The paper quotes Amdahl-model speedups of 162.3 (asymmetric) vs 79.7
+        // (symmetric) for f = 0.99; verify the ordering and rough magnitudes.
+        let perf = PerfModel::Pollack;
+        let best_sym = budget()
+            .power_of_two_core_sizes()
+            .into_iter()
+            .map(|r| {
+                symmetric_speedup(0.99, &SymmetricDesign::new(budget(), r).unwrap(), &perf).unwrap()
+            })
+            .fold(f64::MIN, f64::max);
+        let best_asym = budget()
+            .power_of_two_core_sizes()
+            .into_iter()
+            .map(|rl| asymmetric_speedup_unit_small(0.99, 256.0, rl, &perf).unwrap())
+            .fold(f64::MIN, f64::max);
+        assert!(best_asym > best_sym);
+        assert!((best_sym - 79.7).abs() / 79.7 < 0.05, "got {best_sym}");
+        assert!((best_asym - 162.3).abs() / 162.3 < 0.05, "got {best_asym}");
+    }
+
+    #[test]
+    fn generalised_asymmetric_with_unit_small_cores_matches_classic() {
+        let perf = PerfModel::Pollack;
+        for rl in [4.0, 16.0, 64.0] {
+            let d = AsymmetricDesign::new(budget(), 1.0, rl).unwrap();
+            let a = asymmetric_speedup(0.99, &d, &perf).unwrap();
+            let b = asymmetric_speedup_unit_small(0.99, 256.0, rl, &perf).unwrap();
+            assert!((a - b).abs() < 1e-9, "rl={rl}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let d = SymmetricDesign::new(budget(), 4.0).unwrap();
+        assert!(symmetric_speedup(1.5, &d, &PerfModel::Pollack).is_err());
+        assert!(asymmetric_speedup_unit_small(0.9, 256.0, 300.0, &PerfModel::Pollack).is_err());
+    }
+}

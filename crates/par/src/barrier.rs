@@ -1,0 +1,128 @@
+//! A sense-reversing spin barrier.
+//!
+//! Iterative kernels (kmeans, fuzzy c-means) alternate between a parallel
+//! assignment phase and a merging phase. When they are run on a fixed set of
+//! worker threads the phases are separated by barriers; a sense-reversing
+//! barrier is the classic low-latency choice for that pattern because it needs
+//! only one atomic counter and one flag, and it is reusable without
+//! re-initialisation.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A reusable spin barrier for a fixed number of participants.
+///
+/// Each call to [`SpinBarrier::wait`] blocks (spinning, with `yield_now`)
+/// until all `participants` threads have called it; the call returns `true`
+/// on exactly one thread per generation (the "leader", the last to arrive),
+/// mirroring [`std::sync::Barrier`]'s `is_leader`.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    participants: usize,
+    arrived: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl SpinBarrier {
+    /// Create a barrier for `participants` threads (must be at least 1).
+    pub fn new(participants: usize) -> Self {
+        assert!(participants > 0, "barrier needs at least one participant");
+        SpinBarrier {
+            participants,
+            arrived: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn participants(&self) -> usize {
+        self.participants
+    }
+
+    /// Wait until all participants have reached the barrier.
+    ///
+    /// Returns `true` on the last thread to arrive (the one that releases the
+    /// others), `false` on every other thread.
+    pub fn wait(&self) -> bool {
+        let local_sense = !self.sense.load(Ordering::Relaxed);
+        let position = self.arrived.fetch_add(1, Ordering::AcqRel) + 1;
+        if position == self.participants {
+            // Last arrival: reset the counter and flip the sense, releasing all.
+            self.arrived.store(0, Ordering::Relaxed);
+            self.sense.store(local_sense, Ordering::Release);
+            true
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != local_sense {
+                spins += 1;
+                if spins > 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::run_scoped;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_participant_is_always_leader() {
+        let b = SpinBarrier::new(1);
+        assert!(b.wait());
+        assert!(b.wait());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_participants_rejected() {
+        SpinBarrier::new(0);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_generation() {
+        let threads = 8;
+        let generations = 50;
+        let barrier = SpinBarrier::new(threads);
+        let leaders = AtomicUsize::new(0);
+        run_scoped(threads, |_ctx| {
+            for _ in 0..generations {
+                if barrier.wait() {
+                    leaders.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        assert_eq!(leaders.into_inner(), generations);
+    }
+
+    #[test]
+    fn barrier_separates_phases() {
+        // Every thread increments a counter before the barrier; after the
+        // barrier all threads must observe the full count.
+        let threads = 6;
+        let barrier = SpinBarrier::new(threads);
+        let counter = AtomicUsize::new(0);
+        let violations = AtomicUsize::new(0);
+        run_scoped(threads, |_ctx| {
+            for round in 1..=20usize {
+                counter.fetch_add(1, Ordering::SeqCst);
+                barrier.wait();
+                if counter.load(Ordering::SeqCst) < round * threads {
+                    violations.fetch_add(1, Ordering::Relaxed);
+                }
+                barrier.wait();
+            }
+        });
+        assert_eq!(violations.into_inner(), 0);
+    }
+
+    #[test]
+    fn participants_accessor() {
+        assert_eq!(SpinBarrier::new(5).participants(), 5);
+    }
+}

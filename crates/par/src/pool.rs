@@ -1,0 +1,408 @@
+//! Fork-join execution primitives.
+//!
+//! Two flavours are provided:
+//!
+//! * **Scoped fork-join** ([`run_scoped`], [`parallel_for`],
+//!   [`parallel_partials`]) built on [`std::thread::scope`]. Each call spawns
+//!   its worker threads, runs the closure on every thread and joins before
+//!   returning, so the closures may borrow from the caller's stack. This is
+//!   the primitive the clustering workloads use for their parallel phases;
+//!   per-thread *partial results* returned by [`parallel_partials`] are the
+//!   inputs of the merging phase.
+//! * A persistent [`ThreadPool`] for `'static` jobs, used where repeated
+//!   fork-join over the same worker set matters more than borrowing (the
+//!   benchmark harness and the simulator's batch runs).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+
+/// Identity of one worker inside a fork-join region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadCtx {
+    /// Thread index in `0..num_threads`.
+    pub tid: usize,
+    /// Total number of threads in the region.
+    pub num_threads: usize,
+}
+
+impl ThreadCtx {
+    /// The half-open sub-range of `0..len` statically assigned to this thread
+    /// when `len` items are divided as evenly as possible among all threads.
+    ///
+    /// Threads with `tid < len % num_threads` receive one extra item, so the
+    /// ranges cover `0..len` exactly and differ in length by at most one.
+    pub fn chunk(&self, len: usize) -> std::ops::Range<usize> {
+        chunk_range(self.tid, self.num_threads, len)
+    }
+}
+
+/// The half-open range of items assigned to thread `tid` of `num_threads` when
+/// `len` items are divided contiguously and as evenly as possible.
+pub fn chunk_range(tid: usize, num_threads: usize, len: usize) -> std::ops::Range<usize> {
+    assert!(num_threads > 0, "num_threads must be positive");
+    assert!(tid < num_threads, "tid {tid} out of range for {num_threads} threads");
+    let base = len / num_threads;
+    let extra = len % num_threads;
+    let start = tid * base + tid.min(extra);
+    let size = base + usize::from(tid < extra);
+    start..(start + size).min(len)
+}
+
+/// Run `f` on `num_threads` scoped threads (thread 0 runs on the calling
+/// thread), passing each its [`ThreadCtx`]. Returns when every thread has
+/// finished. Panics from any worker are propagated.
+///
+/// With `num_threads == 1` the closure runs inline with no thread spawned,
+/// so single-threaded baselines are free of forking overhead.
+pub fn run_scoped<F>(num_threads: usize, f: F)
+where
+    F: Fn(ThreadCtx) + Sync,
+{
+    assert!(num_threads > 0, "num_threads must be positive");
+    if num_threads == 1 {
+        f(ThreadCtx { tid: 0, num_threads: 1 });
+        return;
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::with_capacity(num_threads - 1);
+        for tid in 1..num_threads {
+            handles.push(scope.spawn(move || f(ThreadCtx { tid, num_threads })));
+        }
+        f(ThreadCtx { tid: 0, num_threads });
+        for h in handles {
+            if let Err(panic) = h.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    });
+}
+
+/// Statically-chunked parallel loop over `0..len`: each thread receives one
+/// contiguous chunk and calls `f(ctx, range)` once.
+///
+/// The chunking is deterministic (identical to [`ThreadCtx::chunk`]), which
+/// keeps per-thread partial results reproducible across runs — important for
+/// the instrumentation experiments.
+pub fn parallel_for<F>(num_threads: usize, len: usize, f: F)
+where
+    F: Fn(ThreadCtx, std::ops::Range<usize>) + Sync,
+{
+    run_scoped(num_threads, |ctx| {
+        let range = ctx.chunk(len);
+        if !range.is_empty() || len == 0 {
+            f(ctx, range);
+        }
+    });
+}
+
+/// Fork-join map producing one *partial result* per thread: thread `tid`
+/// computes `f(ctx, range)` over its chunk of `0..len` and the results are
+/// returned in thread order.
+///
+/// This is exactly the structure whose merge cost the paper studies: after a
+/// call to `parallel_partials` the caller owns `num_threads` partial results
+/// that must be combined by a reduction strategy (see [`crate::reduce`]).
+pub fn parallel_partials<T, F>(num_threads: usize, len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(ThreadCtx, std::ops::Range<usize>) -> T + Sync,
+{
+    let mut slots: Vec<Option<T>> = (0..num_threads).map(|_| None).collect();
+    {
+        let slots_ptr = SlotWriter::new(&mut slots);
+        run_scoped(num_threads, |ctx| {
+            let value = f(ctx, ctx.chunk(len));
+            // Safety: each thread writes exactly one distinct slot (its tid).
+            unsafe { slots_ptr.write(ctx.tid, value) };
+        });
+    }
+    slots.into_iter().map(|s| s.expect("worker did not produce a partial")).collect()
+}
+
+/// Helper granting each worker exclusive access to its own slot of a shared
+/// output vector. The indices are distinct by construction (one slot per tid),
+/// so the writes never alias.
+struct SlotWriter<T> {
+    ptr: *mut Option<T>,
+    len: usize,
+}
+
+// Safety: access is partitioned by slot index; each index is written by at most
+// one thread and only read after the scope has joined all threads.
+unsafe impl<T: Send> Sync for SlotWriter<T> {}
+unsafe impl<T: Send> Send for SlotWriter<T> {}
+
+impl<T> SlotWriter<T> {
+    fn new(slots: &mut [Option<T>]) -> Self {
+        SlotWriter { ptr: slots.as_mut_ptr(), len: slots.len() }
+    }
+
+    /// Write `value` into slot `idx`.
+    ///
+    /// # Safety
+    /// `idx` must be unique per thread and in bounds; the underlying vector
+    /// must outlive every call (guaranteed by the enclosing scope).
+    unsafe fn write(&self, idx: usize, value: T) {
+        assert!(idx < self.len);
+        // SAFETY: by contract each idx is written by exactly one thread while
+        // the parent scope keeps the slot vector alive.
+        unsafe { *self.ptr.add(idx) = Some(value) };
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent worker pool for `'static` jobs.
+///
+/// Jobs are executed in FIFO order by whichever worker is free.
+/// [`ThreadPool::execute_batch_and_wait`] submits a batch and blocks until all
+/// of its jobs have completed, providing a coarse fork-join on top of the
+/// persistent workers.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    size: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("size", &self.size).finish()
+    }
+}
+
+impl ThreadPool {
+    /// Create a pool with `size` worker threads (`size >= 1`).
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "thread pool needs at least one worker");
+        let (sender, receiver) = unbounded::<Job>();
+        let mut workers = Vec::with_capacity(size);
+        for i in 0..size {
+            let rx = receiver.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("mp-par-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn pool worker"),
+            );
+        }
+        ThreadPool { sender: Some(sender), workers, size }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Submit a single fire-and-forget job.
+    pub fn execute<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.sender
+            .as_ref()
+            .expect("pool already shut down")
+            .send(Box::new(job))
+            .expect("pool workers have exited");
+    }
+
+    /// Submit `jobs` and block until every one of them has run.
+    pub fn execute_batch_and_wait<F>(&self, jobs: Vec<F>)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let pending = Arc::new(AtomicUsize::new(jobs.len()));
+        for job in jobs {
+            let pending = Arc::clone(&pending);
+            self.execute(move || {
+                job();
+                pending.fetch_sub(1, Ordering::Release);
+            });
+        }
+        while pending.load(Ordering::Acquire) != 0 {
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel lets the workers drain outstanding jobs and exit.
+        drop(self.sender.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        for len in [0usize, 1, 7, 16, 1000, 1001] {
+            for nt in [1usize, 2, 3, 7, 16] {
+                let mut covered = vec![0u8; len];
+                for tid in 0..nt {
+                    for i in chunk_range(tid, nt, len) {
+                        covered[i] += 1;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c == 1), "len={len} nt={nt}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_differ_by_at_most_one() {
+        for len in [10usize, 17, 255, 1024] {
+            for nt in [2usize, 3, 5, 16] {
+                let sizes: Vec<usize> = (0..nt).map(|t| chunk_range(t, nt, len).len()).collect();
+                let max = *sizes.iter().max().unwrap();
+                let min = *sizes.iter().min().unwrap();
+                assert!(max - min <= 1, "len={len} nt={nt} sizes={sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn chunk_range_rejects_bad_tid() {
+        chunk_range(4, 4, 10);
+    }
+
+    #[test]
+    fn run_scoped_uses_all_threads() {
+        let seen = Mutex::new(Vec::new());
+        run_scoped(8, |ctx| {
+            assert_eq!(ctx.num_threads, 8);
+            seen.lock().unwrap().push(ctx.tid);
+        });
+        let mut tids = seen.into_inner().unwrap();
+        tids.sort_unstable();
+        assert_eq!(tids, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_scoped_single_thread_runs_inline() {
+        let caller = std::thread::current().id();
+        run_scoped(1, |ctx| {
+            assert_eq!(ctx.tid, 0);
+            assert_eq!(std::thread::current().id(), caller);
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn run_scoped_rejects_zero_threads() {
+        run_scoped(0, |_| {});
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            run_scoped(4, |ctx| {
+                if ctx.tid == 2 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn parallel_for_sums_correctly() {
+        let n = 100_000usize;
+        let total = AtomicU64::new(0);
+        parallel_for(7, n, |_ctx, range| {
+            let local: u64 = range.map(|i| i as u64).sum();
+            total.fetch_add(local, Ordering::Relaxed);
+        });
+        let expect: u64 = (0..n as u64).sum();
+        assert_eq!(total.into_inner(), expect);
+    }
+
+    #[test]
+    fn parallel_for_handles_more_threads_than_items() {
+        let count = AtomicUsize::new(0);
+        parallel_for(16, 3, |_ctx, range| {
+            count.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.into_inner(), 3);
+    }
+
+    #[test]
+    fn parallel_partials_preserves_thread_order() {
+        let partials = parallel_partials(6, 60, |ctx, range| (ctx.tid, range.len()));
+        assert_eq!(partials.len(), 6);
+        for (i, (tid, len)) in partials.iter().enumerate() {
+            assert_eq!(*tid, i);
+            assert_eq!(*len, 10);
+        }
+    }
+
+    #[test]
+    fn parallel_partials_equal_sequential_fold() {
+        let data: Vec<u64> = (0..10_000).map(|i| i * 3 + 1).collect();
+        let partials = parallel_partials(5, data.len(), |_ctx, range| {
+            data[range].iter().sum::<u64>()
+        });
+        let parallel_sum: u64 = partials.iter().sum();
+        let sequential: u64 = data.iter().sum();
+        assert_eq!(parallel_sum, sequential);
+    }
+
+    #[test]
+    fn parallel_partials_with_empty_input() {
+        let partials = parallel_partials(4, 0, |_ctx, range| range.len());
+        assert_eq!(partials, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn thread_pool_runs_jobs() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.size(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<_> = (0..64)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .collect();
+        pool.execute_batch_and_wait(jobs);
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn thread_pool_drop_waits_for_outstanding_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..32 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        } // drop joins workers after the queue drains
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn thread_pool_rejects_zero_workers() {
+        ThreadPool::new(0);
+    }
+}

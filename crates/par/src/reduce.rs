@@ -1,0 +1,457 @@
+//! Reduction (merging-phase) strategies.
+//!
+//! After a parallel phase each thread owns a *partial result*; the merging
+//! phase combines them into one final result. The paper analyses three
+//! implementations, which differ in how their cost grows with the thread
+//! count `p` (for `x` reduction elements):
+//!
+//! | strategy              | total element ops | critical path      | communication      |
+//! |-----------------------|-------------------|--------------------|--------------------|
+//! | serial linear         | `(p − 1)·x`       | `(p − 1)·x`        | `(p − 1)·x`        |
+//! | logarithmic tree      | `(p − 1)·x`       | `ceil(log2 p)·x`   | `(p − 1)·x`        |
+//! | parallel (privatised) | `(p − 1)·x`       | `(p − 1)·x / p`    | `2·(p − 1)·x`      |
+//!
+//! The linear strategy is the kmeans merging loop of paper Algorithm 1; the
+//! tree strategy gives the logarithmic growth function; the privatised
+//! strategy removes the computational growth but pays for it in communication
+//! (paper Section V-E). [`ReduceStats`] records these counts so the timing
+//! simulator and the analytical model can be cross-validated against the same
+//! run.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pool::{chunk_range, parallel_partials, run_scoped};
+
+/// How the per-thread partial results are merged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReductionStrategy {
+    /// Serially accumulate every partial into the first one (linear growth).
+    SerialLinear,
+    /// Pairwise combining tree (logarithmic number of dependent rounds).
+    TreeLog,
+    /// Element-partitioned parallel merge: every thread reduces a slice of the
+    /// element space across all partials (constant computational growth,
+    /// all-to-all communication).
+    ParallelPrivatized,
+}
+
+impl ReductionStrategy {
+    /// Short name for reports and benchmark IDs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReductionStrategy::SerialLinear => "serial-linear",
+            ReductionStrategy::TreeLog => "tree-log",
+            ReductionStrategy::ParallelPrivatized => "parallel-privatized",
+        }
+    }
+
+    /// All strategies, for sweeps.
+    pub fn all() -> [ReductionStrategy; 3] {
+        [
+            ReductionStrategy::SerialLinear,
+            ReductionStrategy::TreeLog,
+            ReductionStrategy::ParallelPrivatized,
+        ]
+    }
+}
+
+/// A binary combine operation over partial results of type `T`.
+pub trait ReduceOp<T>: Sync {
+    /// Combine `other` into `acc`.
+    fn combine(&self, acc: &mut T, other: &T);
+    /// Number of reduction *elements* in one partial (used for bookkeeping).
+    fn elements(&self, value: &T) -> usize;
+}
+
+/// Element-wise sum over `Vec<f64>` partials — the shape of the kmeans /
+/// fuzzy c-means merging phase (per-cluster, per-dimension accumulators).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SumOp;
+
+impl ReduceOp<Vec<f64>> for SumOp {
+    fn combine(&self, acc: &mut Vec<f64>, other: &Vec<f64>) {
+        assert_eq!(acc.len(), other.len(), "partials must have equal length");
+        for (a, b) in acc.iter_mut().zip(other.iter()) {
+            *a += *b;
+        }
+    }
+
+    fn elements(&self, value: &Vec<f64>) -> usize {
+        value.len()
+    }
+}
+
+/// Operation counts recorded while executing a reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReduceStats {
+    /// Number of partial results that were merged.
+    pub partials: usize,
+    /// Number of reduction elements per partial.
+    pub elements: usize,
+    /// Total element-level combine operations performed (all threads).
+    pub total_ops: usize,
+    /// Element-level operations on the critical path (longest dependent chain).
+    pub critical_path_ops: usize,
+    /// Reduction elements logically transferred between threads.
+    pub comm_elements: usize,
+    /// Number of dependent combining rounds.
+    pub rounds: usize,
+}
+
+impl ReduceStats {
+    fn for_strategy(strategy: ReductionStrategy, partials: usize, elements: usize) -> Self {
+        let p = partials.max(1);
+        let x = elements;
+        let total_ops = (p - 1) * x;
+        let (critical_path_ops, comm_elements, rounds) = match strategy {
+            ReductionStrategy::SerialLinear => ((p - 1) * x, (p - 1) * x, p.saturating_sub(1)),
+            ReductionStrategy::TreeLog => {
+                let rounds = (p as f64).log2().ceil() as usize;
+                (rounds * x, (p - 1) * x, rounds)
+            }
+            ReductionStrategy::ParallelPrivatized => {
+                let per_thread = ((p - 1) * x).div_ceil(p);
+                (per_thread, 2 * (p - 1) * x, 1)
+            }
+        };
+        ReduceStats { partials, elements, total_ops, critical_path_ops, comm_elements, rounds }
+    }
+}
+
+/// Merge `partials` with the given strategy and combine operation, using up to
+/// `num_threads` threads for the strategies that can exploit them.
+///
+/// Returns the merged result together with the operation counts of the chosen
+/// strategy. For the generic entry point the `ParallelPrivatized` strategy
+/// falls back to the tree implementation (element-partitioning requires the
+/// element-wise representation of [`reduce_elementwise`]); its stats still
+/// reflect the privatised cost model.
+///
+/// # Panics
+/// Panics if `partials` is empty.
+pub fn reduce_partials<T, Op>(
+    mut partials: Vec<T>,
+    op: &Op,
+    strategy: ReductionStrategy,
+    num_threads: usize,
+) -> (T, ReduceStats)
+where
+    T: Send,
+    Op: ReduceOp<T>,
+{
+    assert!(!partials.is_empty(), "cannot reduce zero partials");
+    let elements = op.elements(&partials[0]);
+    let stats = ReduceStats::for_strategy(strategy, partials.len(), elements);
+    let result = match strategy {
+        ReductionStrategy::SerialLinear => {
+            let mut iter = partials.into_iter();
+            let mut acc = iter.next().expect("non-empty");
+            for p in iter {
+                op.combine(&mut acc, &p);
+            }
+            acc
+        }
+        ReductionStrategy::TreeLog | ReductionStrategy::ParallelPrivatized => {
+            let mut slots: Vec<Option<T>> = partials.drain(..).map(Some).collect();
+            tree_reduce(&mut slots, op, num_threads.max(1));
+            slots[0].take().expect("tree reduce leaves the result in slot 0")
+        }
+    };
+    (result, stats)
+}
+
+/// Recursive pairwise tree reduction over `slots`, combining the right half
+/// into the left half; the final result ends up in `slots[0]`. When more than
+/// one thread is available the two halves are reduced concurrently.
+fn tree_reduce<T, Op>(slots: &mut [Option<T>], op: &Op, threads: usize)
+where
+    T: Send,
+    Op: ReduceOp<T>,
+{
+    let len = slots.len();
+    if len <= 1 {
+        return;
+    }
+    let mid = len.div_ceil(2);
+    let (left, right) = slots.split_at_mut(mid);
+    if threads > 1 && right.len() > 1 {
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| tree_reduce(right, op, threads / 2));
+            tree_reduce(left, op, threads - threads / 2);
+            handle.join().expect("tree reduce worker panicked");
+        });
+    } else {
+        tree_reduce(left, op, 1);
+        tree_reduce(right, op, 1);
+    }
+    let rhs = right[0].take().expect("right half reduced");
+    let lhs = left[0].as_mut().expect("left half reduced");
+    op.combine(lhs, &rhs);
+}
+
+/// Merge element-wise `Vec<f64>` partials (the kmeans/fuzzy accumulator shape)
+/// with the given strategy.
+///
+/// Unlike [`reduce_partials`] this entry point implements the privatised
+/// parallel strategy faithfully: the element space is split among
+/// `num_threads` threads and each thread sums its slice across *all* partials,
+/// which is exactly the access pattern whose communication cost the paper's
+/// Section V-E models.
+///
+/// # Panics
+/// Panics if `partials` is empty or the partials have differing lengths.
+pub fn reduce_elementwise(
+    partials: &[Vec<f64>],
+    strategy: ReductionStrategy,
+    num_threads: usize,
+) -> (Vec<f64>, ReduceStats) {
+    assert!(!partials.is_empty(), "cannot reduce zero partials");
+    let elements = partials[0].len();
+    assert!(
+        partials.iter().all(|p| p.len() == elements),
+        "all partials must have the same number of elements"
+    );
+    let stats = ReduceStats::for_strategy(strategy, partials.len(), elements);
+    let result = match strategy {
+        ReductionStrategy::SerialLinear => {
+            let mut acc = partials[0].clone();
+            for p in &partials[1..] {
+                for (a, b) in acc.iter_mut().zip(p.iter()) {
+                    *a += *b;
+                }
+            }
+            acc
+        }
+        ReductionStrategy::TreeLog => {
+            let owned: Vec<Vec<f64>> = partials.to_vec();
+            let (r, _) = reduce_partials(owned, &SumOp, ReductionStrategy::TreeLog, num_threads);
+            r
+        }
+        ReductionStrategy::ParallelPrivatized => {
+            let threads = num_threads.max(1).min(elements.max(1));
+            let chunks = parallel_partials(threads, elements, |ctx, range| {
+                let mut out = vec![0.0f64; range.len()];
+                for p in partials {
+                    for (o, v) in out.iter_mut().zip(p[range.clone()].iter()) {
+                        *o += *v;
+                    }
+                }
+                (ctx.tid, out)
+            });
+            let mut result = vec![0.0f64; elements];
+            for (tid, chunk) in chunks {
+                let range = chunk_range(tid, threads, elements);
+                result[range].copy_from_slice(&chunk);
+            }
+            result
+        }
+    };
+    (result, stats)
+}
+
+/// Convenience: run a full "parallel phase + merging phase" fork-join where
+/// each thread produces an element-wise partial over its chunk of `0..len`
+/// and the partials are merged with `strategy`. Returns the merged vector and
+/// the reduction stats. Used by tests and microbenchmarks.
+pub fn map_reduce_elementwise<F>(
+    num_threads: usize,
+    len: usize,
+    elements: usize,
+    strategy: ReductionStrategy,
+    per_thread: F,
+) -> (Vec<f64>, ReduceStats)
+where
+    F: Fn(usize, std::ops::Range<usize>) -> Vec<f64> + Sync,
+{
+    let partials = parallel_partials(num_threads, len, |ctx, range| {
+        let p = per_thread(ctx.tid, range);
+        assert_eq!(p.len(), elements, "per-thread partial has wrong element count");
+        p
+    });
+    reduce_elementwise(&partials, strategy, num_threads)
+}
+
+/// Run a closure on every thread and merge per-thread `Vec<f64>` partials,
+/// but keep the merging phase on the calling thread (serial linear), the
+/// common pattern in the original MineBench code. Provided for parity tests.
+pub fn fork_join_serial_merge<F>(num_threads: usize, len: usize, per_thread: F) -> Vec<f64>
+where
+    F: Fn(usize, std::ops::Range<usize>) -> Vec<f64> + Sync,
+{
+    let mut result: Option<Vec<f64>> = None;
+    let partials = parallel_partials(num_threads, len, |ctx, range| per_thread(ctx.tid, range));
+    run_scoped(1, |_| {});
+    for p in partials {
+        match &mut result {
+            None => result = Some(p),
+            Some(acc) => {
+                for (a, b) in acc.iter_mut().zip(p.iter()) {
+                    *a += *b;
+                }
+            }
+        }
+    }
+    result.expect("at least one partial")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_partials(p: usize, x: usize) -> Vec<Vec<f64>> {
+        (0..p)
+            .map(|t| (0..x).map(|e| (t * x + e) as f64 * 0.5 + 1.0).collect())
+            .collect()
+    }
+
+    fn expected_sum(partials: &[Vec<f64>]) -> Vec<f64> {
+        let x = partials[0].len();
+        let mut out = vec![0.0; x];
+        for p in partials {
+            for (o, v) in out.iter_mut().zip(p.iter()) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn all_strategies_agree_with_sequential_sum() {
+        for p in [1usize, 2, 3, 7, 16] {
+            for x in [1usize, 8, 73] {
+                let partials = make_partials(p, x);
+                let expect = expected_sum(&partials);
+                for strategy in ReductionStrategy::all() {
+                    let (got, _) = reduce_elementwise(&partials, strategy, 4);
+                    for (g, e) in got.iter().zip(expect.iter()) {
+                        assert!((g - e).abs() < 1e-9, "{strategy:?} p={p} x={x}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generic_reduce_matches_elementwise() {
+        let partials = make_partials(9, 40);
+        let expect = expected_sum(&partials);
+        for strategy in [ReductionStrategy::SerialLinear, ReductionStrategy::TreeLog] {
+            let (got, _) = reduce_partials(partials.clone(), &SumOp, strategy, 4);
+            for (g, e) in got.iter().zip(expect.iter()) {
+                assert!((g - e).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn single_partial_is_identity() {
+        let partials = make_partials(1, 10);
+        for strategy in ReductionStrategy::all() {
+            let (got, stats) = reduce_elementwise(&partials, strategy, 4);
+            assert_eq!(got, partials[0]);
+            assert_eq!(stats.total_ops, 0);
+            assert_eq!(stats.critical_path_ops, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_partials_panic() {
+        reduce_elementwise(&[], ReductionStrategy::SerialLinear, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        reduce_elementwise(
+            &[vec![1.0, 2.0], vec![1.0]],
+            ReductionStrategy::SerialLinear,
+            2,
+        );
+    }
+
+    #[test]
+    fn stats_linear_growth() {
+        let s = ReduceStats::for_strategy(ReductionStrategy::SerialLinear, 16, 72);
+        assert_eq!(s.total_ops, 15 * 72);
+        assert_eq!(s.critical_path_ops, 15 * 72);
+        assert_eq!(s.comm_elements, 15 * 72);
+        assert_eq!(s.rounds, 15);
+    }
+
+    #[test]
+    fn stats_tree_growth() {
+        let s = ReduceStats::for_strategy(ReductionStrategy::TreeLog, 16, 72);
+        assert_eq!(s.total_ops, 15 * 72);
+        assert_eq!(s.critical_path_ops, 4 * 72);
+        assert_eq!(s.rounds, 4);
+    }
+
+    #[test]
+    fn stats_privatized_growth() {
+        let s = ReduceStats::for_strategy(ReductionStrategy::ParallelPrivatized, 16, 72);
+        assert_eq!(s.total_ops, 15 * 72);
+        // Critical path is the per-thread share of the work.
+        assert_eq!(s.critical_path_ops, (15 * 72usize).div_ceil(16));
+        // Paper: communication grows by 2·(n−1)·x (gather + broadcast).
+        assert_eq!(s.comm_elements, 2 * 15 * 72);
+        assert_eq!(s.rounds, 1);
+    }
+
+    #[test]
+    fn stats_critical_path_ordering() {
+        // For any p > 2 the critical paths order: privatized < tree < linear.
+        for p in [4usize, 8, 64] {
+            let x = 100;
+            let lin = ReduceStats::for_strategy(ReductionStrategy::SerialLinear, p, x);
+            let tree = ReduceStats::for_strategy(ReductionStrategy::TreeLog, p, x);
+            let par = ReduceStats::for_strategy(ReductionStrategy::ParallelPrivatized, p, x);
+            assert!(par.critical_path_ops < tree.critical_path_ops);
+            assert!(tree.critical_path_ops < lin.critical_path_ops);
+        }
+    }
+
+    #[test]
+    fn map_reduce_elementwise_counts_items() {
+        // Each thread contributes a histogram of its chunk size; the merged
+        // vector must contain the total item count in slot 0.
+        let (merged, stats) = map_reduce_elementwise(
+            6,
+            600,
+            4,
+            ReductionStrategy::ParallelPrivatized,
+            |_tid, range| vec![range.len() as f64, 0.0, 0.0, 0.0],
+        );
+        assert_eq!(merged[0], 600.0);
+        assert_eq!(stats.partials, 6);
+        assert_eq!(stats.elements, 4);
+    }
+
+    #[test]
+    fn fork_join_serial_merge_matches_strategies() {
+        let per_thread =
+            |_tid: usize, range: std::ops::Range<usize>| vec![range.len() as f64, range.start as f64];
+        let serial = fork_join_serial_merge(5, 50, per_thread);
+        let (via_reduce, _) =
+            map_reduce_elementwise(5, 50, 2, ReductionStrategy::TreeLog, per_thread);
+        assert_eq!(serial[0], via_reduce[0]);
+    }
+
+    #[test]
+    fn strategy_names_are_distinct() {
+        let names: Vec<_> = ReductionStrategy::all().iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 3);
+        assert_ne!(names[0], names[1]);
+        assert_ne!(names[1], names[2]);
+    }
+
+    #[test]
+    fn privatized_respects_thread_cap_by_elements() {
+        // More threads than elements must still work.
+        let partials = make_partials(4, 2);
+        let (got, _) = reduce_elementwise(&partials, ReductionStrategy::ParallelPrivatized, 16);
+        assert_eq!(got.len(), 2);
+        let expect = expected_sum(&partials);
+        assert!((got[0] - expect[0]).abs() < 1e-9);
+    }
+}

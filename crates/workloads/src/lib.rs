@@ -1,0 +1,42 @@
+//! # mp-workloads — MineBench-style clustering workloads with merging phases
+//!
+//! From-scratch Rust implementations of the three clustering applications the
+//! paper studies (MineBench's `kmeans`, `fuzzy` c-means and `hop`), structured
+//! so that the phases the paper times are explicit and instrumented:
+//!
+//! * a **parallel phase** in which every thread processes a chunk of the data
+//!   set and produces a *partial result*,
+//! * a **merging (reduction) phase** that combines the per-thread partials —
+//!   the phase whose growth with the thread count is the subject of the paper,
+//! * a **constant serial phase** (convergence checks, centre recomputation)
+//!   whose cost does not depend on the thread count.
+//!
+//! The crate also contains:
+//!
+//! * [`data`] — a synthetic Gaussian-mixture data generator reproducing the
+//!   data-set shapes of Table IV (N points, D dimensions, C centres),
+//! * [`kdtree`] — the k-d tree substrate used by HOP's neighbour searches,
+//! * [`runner`] — a uniform driver that runs any workload across thread
+//!   counts and produces `mp-profile` run profiles ready for parameter
+//!   extraction.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod data;
+pub mod fuzzy;
+pub mod hop;
+pub mod kdtree;
+pub mod kmeans;
+pub mod runner;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::data::{Dataset, DatasetSpec};
+    pub use crate::fuzzy::{FuzzyCMeans, FuzzyConfig, FuzzyResult};
+    pub use crate::hop::{Hop, HopConfig, HopResult};
+    pub use crate::kmeans::{KMeans, KMeansConfig, KMeansResult};
+    pub use crate::runner::{run_sweep, ClusteringWorkload, WorkloadKind};
+}
+
+pub use prelude::*;

@@ -1,0 +1,67 @@
+//! Run instrumented parallel k-means on synthetic data, extract the paper's
+//! model parameters from the measured phase profile, and feed them back into
+//! the analytical model — the full pipeline the paper's characterisation
+//! section describes, on real threads.
+//!
+//! ```text
+//! cargo run --release --example clustering_profile -- [points] [dims] [clusters]
+//! cargo run --release --example clustering_profile -- 17695 9 8
+//! ```
+
+use merging_phases::model::explore::best_symmetric;
+use merging_phases::prelude::*;
+use merging_phases::profile::extract_params;
+use merging_phases::workloads::runner::{default_thread_sweep, run_sweep};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let points: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(17_695);
+    let dims: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(9);
+    let clusters: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    let spec = DatasetSpec::new(points, dims, clusters, 0x5EED);
+    println!("generating data set: N = {points}, D = {dims}, C = {clusters}");
+    let data = spec.generate();
+
+    let max_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let sweep = default_thread_sweep(max_threads.min(16));
+    println!("running instrumented kmeans at thread counts {sweep:?}\n");
+
+    let job = ClusteringWorkload::kmeans(data);
+    let profiles = run_sweep(&job, &sweep);
+
+    println!("{:>8} {:>12} {:>12} {:>14} {:>14}", "threads", "total (ms)", "speedup", "serial (us)", "serial growth");
+    let base_total = profiles[0].total_time();
+    let base_serial = profiles[0].serial_time();
+    for p in &profiles {
+        println!(
+            "{:>8} {:>12.2} {:>12.2} {:>14.1} {:>14.2}",
+            p.threads,
+            p.total_time() * 1e3,
+            base_total / p.total_time(),
+            p.serial_time() * 1e6,
+            p.serial_time() / base_serial,
+        );
+    }
+
+    let extracted = extract_params(&profiles, &GrowthFunction::Linear)
+        .expect("sweep contains a single-thread run");
+    println!("\nextracted parameters (paper Table II format):");
+    println!("  f      = {:.6}", extracted.f);
+    println!("  serial = {:.4} %", extracted.serial_fraction * 100.0);
+    println!("  fcon   = {:.1} % of serial", extracted.fcon * 100.0);
+    println!("  fred   = {:.1} % of serial", extracted.fred * 100.0);
+    println!("  fored  = {:.1} %", extracted.fored * 100.0);
+
+    let params = extracted.to_app_params();
+    let model = ExtendedModel::new(params.clone(), GrowthFunction::Linear, PerfModel::Pollack);
+    let budget = ChipBudget::paper_default();
+    let best = best_symmetric(&model, budget).unwrap();
+    let amdahl = amdahl_speedup(params.f, 256.0).unwrap();
+    println!("\nmodel projection to a 256-BCE chip:");
+    println!("  Amdahl's Law @ 256 unit cores : {amdahl:8.1}");
+    println!(
+        "  extended model, best design   : {:8.1}  (r = {} BCE, {} cores)",
+        best.speedup, best.area, best.cores
+    );
+}

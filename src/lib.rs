@@ -1,0 +1,51 @@
+//! # merging-phases — reproduction of the ICPP 2011 merging-phases study
+//!
+//! This facade crate re-exports the whole workspace so applications can depend
+//! on a single crate:
+//!
+//! * [`model`] — the extended Amdahl/Hill–Marty speedup models (the paper's
+//!   primary contribution): classic Amdahl, symmetric/asymmetric Hill–Marty,
+//!   the merging-phase extension (Eq. 4/5), and the communication-aware model
+//!   (Eq. 6–8).
+//! * [`par`] — the fork-join runtime and the three reduction strategies
+//!   (serial linear, logarithmic tree, privatised parallel).
+//! * [`profile`] — phase instrumentation and extraction of the model
+//!   parameters (`f`, `fcon`, `fred`, `fored`) from instrumented runs.
+//! * [`workloads`] — MineBench-style clustering workloads (kmeans, fuzzy
+//!   c-means, HOP) with explicit, instrumented merging phases and a synthetic
+//!   data generator.
+//! * [`cmpsim`] — an abstract CMP/ACMP timing simulator (cores with
+//!   area-dependent performance, two-level cache cost model, 2-D-mesh NoC)
+//!   standing in for the SESC simulator used by the paper.
+//!
+//! See the repository `README.md` for a quickstart and `EXPERIMENTS.md` for
+//! the paper-vs-measured record of every table and figure.
+//!
+//! ```
+//! use merging_phases::prelude::*;
+//!
+//! let app = AppParams::table2_kmeans();
+//! let model = ExtendedModel::new(app, GrowthFunction::Linear, PerfModel::Pollack);
+//! let chip = ChipBudget::paper_default();
+//! let best = best_symmetric(&model, chip).unwrap();
+//! assert!(best.speedup > 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mp_cmpsim as cmpsim;
+pub use mp_model as model;
+pub use mp_par as par;
+pub use mp_profile as profile;
+pub use mp_workloads as workloads;
+
+/// Convenience prelude re-exporting the most commonly used items from every
+/// workspace crate.
+pub mod prelude {
+    pub use mp_model::prelude::*;
+    pub use mp_par::{ReductionStrategy, ThreadPool};
+    pub use mp_profile::{PhaseKind, Profiler, RunProfile};
+    pub use mp_workloads::prelude::*;
+
+    pub use mp_cmpsim::prelude::*;
+}
