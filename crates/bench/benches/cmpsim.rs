@@ -14,14 +14,10 @@ fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("cmpsim/simulate");
     for (name, program) in [("kmeans", &kmeans), ("fuzzy", &fuzzy), ("hop", &hop)] {
         for cores in [1usize, 16, 256] {
-            group.bench_with_input(
-                BenchmarkId::new(name, cores),
-                &cores,
-                |b, &cores| {
-                    let machine = Machine::table1(cores);
-                    b.iter(|| simulate(std::hint::black_box(program), &machine));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, cores), &cores, |b, &cores| {
+                let machine = Machine::table1(cores);
+                b.iter(|| simulate(std::hint::black_box(program), &machine));
+            });
         }
     }
     group.finish();

@@ -1,0 +1,59 @@
+//! Design-space-exploration engine benchmarks: sweep throughput per backend,
+//! and the effect of the memoisation cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mp_dse::prelude::*;
+use mp_model::growth::GrowthFunction;
+use mp_model::params::AppParams;
+
+fn space() -> ScenarioSpace {
+    ScenarioSpace::new()
+        .with_apps(AppParams::paper_catalog())
+        .with_budgets(vec![256.0])
+        .with_growths(vec![GrowthFunction::Linear, GrowthFunction::Logarithmic])
+        .clear_designs()
+        .add_symmetric_grid((0..128).map(|i| 1.0 + i as f64 * 2.0))
+        .add_asymmetric_grid([1.0, 4.0], [4.0, 16.0, 64.0])
+}
+
+fn bench_dse(c: &mut Criterion) {
+    let space = space();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+
+    let mut group = c.benchmark_group(format!("dse/sweep-{}-scenarios", space.len()));
+    for backend_name in ["analytic", "comm"] {
+        group.bench_with_input(
+            BenchmarkId::new("uncached", backend_name),
+            &backend_name,
+            |b, &name| {
+                let engine = Engine::new(threads);
+                let config = SweepConfig { batch_size: 1024, use_cache: false };
+                b.iter(|| match name {
+                    "analytic" => engine.sweep(&space, &AnalyticBackend, &config),
+                    _ => engine.sweep(&space, &CommBackend::new(), &config),
+                });
+            },
+        );
+    }
+    group.bench_function("cached-resweep", |b| {
+        let engine = Engine::new(threads);
+        let config = SweepConfig { batch_size: 1024, use_cache: true };
+        engine.sweep(&space, &AnalyticBackend, &config); // warm
+        b.iter(|| engine.sweep(&space, &AnalyticBackend, &config));
+    });
+    group.finish();
+
+    c.bench_function("dse/pareto-frontier", |b| {
+        let engine = Engine::new(threads);
+        let result = engine.sweep(
+            &space,
+            &AnalyticBackend,
+            &SweepConfig { batch_size: 1024, use_cache: false },
+        );
+        b.iter(|| pareto_frontier(&result.records, CostAxis::Cores));
+    });
+}
+
+criterion_group!(benches, bench_dse);
+criterion_main!(benches);

@@ -25,9 +25,8 @@ fn bench_figures(c: &mut Criterion) {
     // at two thread counts only so `cargo bench` stays tractable.
     let mut group = c.benchmark_group("figures/fig2c");
     group.sample_size(10);
-    group.bench_function("reduced", |b| {
-        b.iter(|| figures::fig2c_real_serial_growth(&[1, 2], true))
-    });
+    group
+        .bench_function("reduced", |b| b.iter(|| figures::fig2c_real_serial_growth(&[1, 2], true)));
     group.finish();
 }
 

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use mp_model::prelude::*;
 use mp_model::explore;
+use mp_model::prelude::*;
 
 fn bench_model_eval(c: &mut Criterion) {
     let budget = ChipBudget::paper_default();

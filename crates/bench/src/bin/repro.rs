@@ -24,20 +24,68 @@ struct Experiment {
 }
 
 const EXPERIMENTS: &[Experiment] = &[
-    Experiment { name: "table1", title: "Table I — baseline machine configuration", precision: 2 },
-    Experiment { name: "fig2a", title: "Figure 2(a) — application scalability (simulation, 1-16 cores)", precision: 2 },
-    Experiment { name: "fig2b", title: "Figure 2(b) — serial-section growth (simulation, normalised to 1 core)", precision: 2 },
-    Experiment { name: "fig2c", title: "Figure 2(c) — serial-section growth (real threads on this host)", precision: 2 },
-    Experiment { name: "fig2d", title: "Figure 2(d) — model accuracy (predicted / simulated serial growth)", precision: 3 },
-    Experiment { name: "table2", title: "Table II — extracted application parameters (vs paper)", precision: 4 },
-    Experiment { name: "fig3", title: "Figure 3 — scalability prediction to 256 cores", precision: 1 },
+    Experiment {
+        name: "table1", title: "Table I — baseline machine configuration", precision: 2
+    },
+    Experiment {
+        name: "fig2a",
+        title: "Figure 2(a) — application scalability (simulation, 1-16 cores)",
+        precision: 2,
+    },
+    Experiment {
+        name: "fig2b",
+        title: "Figure 2(b) — serial-section growth (simulation, normalised to 1 core)",
+        precision: 2,
+    },
+    Experiment {
+        name: "fig2c",
+        title: "Figure 2(c) — serial-section growth (real threads on this host)",
+        precision: 2,
+    },
+    Experiment {
+        name: "fig2d",
+        title: "Figure 2(d) — model accuracy (predicted / simulated serial growth)",
+        precision: 3,
+    },
+    Experiment {
+        name: "table2",
+        title: "Table II — extracted application parameters (vs paper)",
+        precision: 4,
+    },
+    Experiment {
+        name: "fig3",
+        title: "Figure 3 — scalability prediction to 256 cores",
+        precision: 1,
+    },
     Experiment { name: "table3", title: "Table III — application classes", precision: 3 },
-    Experiment { name: "fig4", title: "Figure 4 — symmetric CMP design space (256 BCE)", precision: 1 },
-    Experiment { name: "fig5", title: "Figure 5 — asymmetric CMP design space (256 BCE)", precision: 1 },
-    Experiment { name: "fig6", title: "Figure 6 — serial/reduction fraction split", precision: 1 },
-    Experiment { name: "fig7", title: "Figure 7 — communication-aware model (2-D mesh)", precision: 1 },
-    Experiment { name: "table4", title: "Table IV — data-set sensitivity (vs paper)", precision: 4 },
-    Experiment { name: "summary", title: "ACMP-vs-CMP advantage summary (extended model)", precision: 2 },
+    Experiment {
+        name: "fig4",
+        title: "Figure 4 — symmetric CMP design space (256 BCE)",
+        precision: 1,
+    },
+    Experiment {
+        name: "fig5",
+        title: "Figure 5 — asymmetric CMP design space (256 BCE)",
+        precision: 1,
+    },
+    Experiment {
+        name: "fig6", title: "Figure 6 — serial/reduction fraction split", precision: 1
+    },
+    Experiment {
+        name: "fig7",
+        title: "Figure 7 — communication-aware model (2-D mesh)",
+        precision: 1,
+    },
+    Experiment {
+        name: "table4",
+        title: "Table IV — data-set sensitivity (vs paper)",
+        precision: 4,
+    },
+    Experiment {
+        name: "summary",
+        title: "ACMP-vs-CMP advantage summary (extended model)",
+        precision: 2,
+    },
 ];
 
 fn generate(name: &str, quick: bool) -> Vec<TableRow> {
@@ -72,14 +120,39 @@ fn generate(name: &str, quick: bool) -> Vec<TableRow> {
 
 fn usage() {
     eprintln!("usage: repro [--json] [--quick] <experiment>... | all");
+    eprintln!(
+        "       repro dse [--backend analytic|comm|sim] [--out DIR] [--top K] [--quick] [--json]"
+    );
     eprintln!("experiments:");
     for e in EXPERIMENTS {
         eprintln!("  {:<8} {}", e.name, e.title);
     }
+    eprintln!("  dse      large-scale design-space exploration (mp-dse engine)");
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `repro dse [...]` is a subcommand with its own flags: a large-scale
+    // design-space exploration through the mp-dse engine. Flags may precede
+    // the subcommand name (`repro --json dse`, `repro --backend sim dse`),
+    // matching the main command's own usage shape, so find the subcommand
+    // token by scanning past flags — skipping the values of the dse flags
+    // that take one, so `--out dse` is never mistaken for the subcommand.
+    let mut cursor = 0usize;
+    while cursor < args.len() {
+        match args[cursor].as_str() {
+            "dse" => {
+                let mut rest = args;
+                rest.remove(cursor);
+                return mp_bench::dse_cmd::run(&rest);
+            }
+            flag if mp_bench::dse_cmd::VALUE_FLAGS.contains(&flag) => cursor += 2,
+            flag if flag.starts_with("--") => cursor += 1,
+            _ => break,
+        }
+    }
+
     let json = args.iter().any(|a| a == "--json");
     let quick = args.iter().any(|a| a == "--quick");
     let selected: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();

@@ -1,0 +1,361 @@
+//! The `repro dse` subcommand: a large-scale design-space exploration.
+//!
+//! Sweeps every Table II application and Table III class over fine-grained
+//! symmetric and asymmetric core grids, three chip budgets, four
+//! reduction-overhead growth laws and three core performance models —
+//! ≥ 200 000 scenarios — through the `mp-dse` engine on all available cores,
+//! then reports the top designs, per-axis optima and the Pareto frontier of
+//! speedup against core count, and exports the full sweep as JSON and CSV.
+//!
+//! The sweep runs twice: the second pass is answered entirely from the
+//! memoisation cache and must reproduce the first pass bit-for-bit, which the
+//! command verifies and reports. The cache is also persisted to the output
+//! directory, so a repeated *process* run warm-starts from disk and hits the
+//! cache immediately.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use mp_dse::prelude::*;
+use mp_model::growth::GrowthFunction;
+use mp_model::params::AppParams;
+use mp_model::perf::PerfModel;
+use mp_model::topology::Topology;
+use mp_profile::{render_table, TableRow};
+
+/// The `dse` flags that consume a value token. The `repro` binary's
+/// subcommand scanner uses this to step over flag values when the flags
+/// precede the subcommand name, so the list lives here next to `parse`.
+pub const VALUE_FLAGS: &[&str] = &["--backend", "--out", "--top"];
+
+/// Options of one `dse` invocation.
+struct Options {
+    backend: String,
+    out_dir: PathBuf,
+    quick: bool,
+    json: bool,
+    top_k: usize,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        backend: "analytic".to_string(),
+        out_dir: PathBuf::from("target/dse"),
+        quick: false,
+        json: false,
+        top_k: 10,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let arg = arg.as_str();
+        if VALUE_FLAGS.contains(&arg) {
+            // Value-taking flags are routed through VALUE_FLAGS so the
+            // `repro` subcommand scanner (which must step over their values)
+            // cannot drift out of sync: a flag handled here but missing from
+            // the list would never reach this branch.
+            let value = iter.next().ok_or_else(|| format!("{arg} needs a value"))?.clone();
+            match arg {
+                "--backend" => options.backend = value,
+                "--out" => options.out_dir = PathBuf::from(value),
+                "--top" => {
+                    options.top_k =
+                        value.parse().map_err(|_| "--top needs an integer".to_string())?;
+                }
+                other => unreachable!("{other} is listed in VALUE_FLAGS but unhandled"),
+            }
+        } else {
+            match arg {
+                "--json" => options.json = true,
+                "--quick" => options.quick = true,
+                other => return Err(format!("unknown dse option `{other}`")),
+            }
+        }
+    }
+    Ok(options)
+}
+
+/// The sweep's application axis: Table III's eight synthetic classes plus the
+/// three measured Table II applications.
+fn applications() -> Vec<AppParams> {
+    AppParams::paper_catalog()
+}
+
+/// Build the exploration space. The full grid is ≥ 200 000 scenarios; the
+/// quick grid (used by tests) is a few thousand.
+fn build_space(options: &Options) -> ScenarioSpace {
+    let (sym_points, budgets) =
+        if options.quick { (48usize, vec![256.0]) } else { (512usize, vec![128.0, 256.0, 512.0]) };
+    // Log-spaced per-core areas in [1, 128] BCE — valid under every budget.
+    let max_r: f64 = 128.0;
+    let sym = (0..sym_points)
+        .map(move |i| max_r.powf(i as f64 / (sym_points.saturating_sub(1).max(1)) as f64));
+    let pow2 = |limit: f64| {
+        std::iter::successors(Some(1.0f64), move |r| (r * 2.0 <= limit).then_some(r * 2.0))
+    };
+    let mut space = ScenarioSpace::new()
+        .with_apps(applications())
+        .with_budgets(budgets)
+        .clear_designs()
+        .add_symmetric_grid(sym)
+        .add_asymmetric_grid([1.0, 2.0, 4.0, 8.0, 16.0], pow2(128.0).skip(1))
+        .with_growths(vec![
+            GrowthFunction::Constant,
+            GrowthFunction::Linear,
+            GrowthFunction::Logarithmic,
+            GrowthFunction::Superlinear(1.55),
+        ])
+        .with_perfs(vec![PerfModel::Pollack, PerfModel::Power(0.75), PerfModel::Linear]);
+    if options.backend == "comm" {
+        // The comm backend reads the growth axis as the reduction-computation
+        // growth and explores the interconnect on the topology axis.
+        space = space.with_topologies(vec![
+            Topology::Mesh2D,
+            Topology::Torus2D,
+            Topology::Crossbar,
+            Topology::Ideal,
+        ]);
+    }
+    if options.backend == "sim" {
+        // The simulator derives its own overhead growth and core performance,
+        // so sweeping those axes would just repeat every (expensive)
+        // simulation; its meaningful strategy axis is the merge
+        // implementation. Its machines are also discrete (floor(budget / r)
+        // cores), so the fractional log-spaced grid would simulate duplicate
+        // machines under different labels — sweep integer core sizes instead.
+        let sym_limit = if options.quick { 48usize } else { 128 };
+        space = space
+            .clear_designs()
+            .add_symmetric_grid((1..=sym_limit).map(|r| r as f64))
+            .add_asymmetric_grid([1.0, 2.0, 4.0, 8.0, 16.0], pow2(128.0).skip(1))
+            .with_growths(vec![GrowthFunction::Linear])
+            .with_perfs(vec![PerfModel::Pollack])
+            .with_reductions(mp_par::ReductionStrategy::all().to_vec());
+    }
+    space
+}
+
+fn scenario_label(space: &ScenarioSpace, record: &EvalRecord) -> String {
+    let s = space.scenario(record.index);
+    let design = match s.design {
+        ChipSpec::Symmetric { r } => format!("sym r={r:.2}"),
+        ChipSpec::Asymmetric { r, rl } => format!("asym r={r:.0} rl={rl:.0}"),
+    };
+    let mut label = format!(
+        "{} | {} | b={} | {} | {}",
+        s.app.name,
+        design,
+        s.budget.total_bce(),
+        s.growth.label(),
+        s.perf.label(),
+    );
+    // The strategy axes only appear when they are actually swept, so rows
+    // stay compact for the analytic backend but remain unambiguous for the
+    // sim (reduction) and comm (topology) sweeps.
+    if space.reductions().len() > 1 {
+        label.push_str(&format!(" | {}", s.reduction.name()));
+    }
+    if space.topologies().len() > 1 {
+        label.push_str(&format!(" | {:?}", s.topology));
+    }
+    label
+}
+
+fn record_row(label: String, record: &EvalRecord) -> TableRow {
+    TableRow::new(label)
+        .with("speedup", record.speedup)
+        .with("cores", record.cores)
+        .with("area", record.area)
+}
+
+/// Entry point of the `dse` subcommand.
+pub fn run(args: &[String]) -> ExitCode {
+    let options = match parse(args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            eprintln!("usage: repro dse [--backend analytic|comm|sim] [--out DIR] [--top K] [--quick] [--json]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let backend: Box<dyn EvalBackend> = match options.backend.as_str() {
+        "analytic" => Box::new(AnalyticBackend),
+        "comm" => Box::new(CommBackend::new()),
+        "sim" => Box::new(SimBackend::new()),
+        other => {
+            eprintln!("unknown backend `{other}` (expected analytic, comm or sim)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let space = build_space(&options);
+    let engine = Engine::with_all_cores();
+    let config = SweepConfig::default();
+
+    // Warm-start from a persisted cache if a previous run left one.
+    let cache_path = options.out_dir.join(format!("cache-{}.json", options.backend));
+    let mut warm_entries = 0usize;
+    if let Ok(json) = std::fs::read_to_string(&cache_path) {
+        match engine.cache().load_json(&json) {
+            Ok(loaded) => warm_entries = loaded,
+            Err(e) => eprintln!("ignoring stale cache at {}: {e}", cache_path.display()),
+        }
+    }
+
+    let first = engine.sweep(&space, backend.as_ref(), &config);
+
+    // Second pass: must be answered from the cache and reproduce the first
+    // pass bit-for-bit.
+    let second = engine.sweep(&space, backend.as_ref(), &config);
+    let identical = first
+        .records
+        .iter()
+        .zip(second.records.iter())
+        .all(|(a, b)| a.index == b.index && a.speedup.to_bits() == b.speedup.to_bits());
+
+    let top = top_k(&first.records, options.top_k);
+    let optima = per_axis_optima(&space, &first.records);
+    let frontier = pareto_frontier(&first.records, CostAxis::Cores);
+
+    if let Err(e) = export_sweep(&options.out_dir, &space, &first) {
+        eprintln!("export failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&cache_path, engine.cache().save_json()) {
+        eprintln!("cache persistence failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if options.json {
+        println!(
+            "{{\"experiment\":\"dse\",\"backend\":\"{}\",\"scenarios\":{},\"valid\":{},\"threads\":{},\"elapsed_seconds\":{},\"rescan_hits\":{},\"warm_entries\":{},\"identical\":{},\"frontier_size\":{},\"best_speedup\":{}}}",
+            options.backend,
+            first.stats.scenarios,
+            first.stats.valid,
+            first.stats.threads,
+            first.stats.elapsed_seconds,
+            second.stats.cache_hits,
+            warm_entries,
+            identical,
+            frontier.len(),
+            // JSON has no NaN: an empty top-k list emits null.
+            top.first()
+                .map(|r| r.speedup.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+        );
+        return if identical { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    println!("design-space exploration — backend `{}`", options.backend);
+    println!(
+        "  swept {} scenarios ({} valid) on {} thread(s) in {:.3}s ({:.0} scenarios/s)",
+        first.stats.scenarios,
+        first.stats.valid,
+        first.stats.threads,
+        first.stats.elapsed_seconds,
+        first.stats.scenarios as f64 / first.stats.elapsed_seconds.max(1e-9),
+    );
+    println!(
+        "  first pass: {} cache hits, {} misses{}",
+        first.stats.cache_hits,
+        first.stats.cache_misses,
+        if warm_entries > 0 {
+            format!(" (warm-started from {warm_entries} persisted entries)")
+        } else {
+            String::new()
+        },
+    );
+    println!(
+        "  repeat pass: {} cache hits, {} misses in {:.3}s — outputs bit-identical: {}",
+        second.stats.cache_hits, second.stats.cache_misses, second.stats.elapsed_seconds, identical,
+    );
+    println!(
+        "  exports: {} (JSON), {} (CSV), {} (cache)",
+        options.out_dir.join("sweep.json").display(),
+        options.out_dir.join("sweep.csv").display(),
+        cache_path.display(),
+    );
+    println!();
+
+    let top_rows: Vec<TableRow> = top
+        .iter()
+        .enumerate()
+        .map(|(rank, record)| {
+            record_row(format!("{:>2}. {}", rank + 1, scenario_label(&space, record)), record)
+        })
+        .collect();
+    println!("{}", render_table("top designs by speedup", &top_rows, 2));
+
+    let optima_rows: Vec<TableRow> =
+        optima.iter().map(|o| record_row(format!("{}={}", o.axis, o.value), &o.record)).collect();
+    println!("{}", render_table("per-axis optima", &optima_rows, 2));
+
+    let frontier_rows: Vec<TableRow> =
+        frontier.iter().map(|record| record_row(scenario_label(&space, record), record)).collect();
+    println!(
+        "{}",
+        render_table(
+            &format!("Pareto frontier (speedup vs cores, {} points)", frontier.len()),
+            &frontier_rows,
+            2,
+        )
+    );
+
+    if identical {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("cached re-sweep diverged from the first pass");
+        ExitCode::FAILURE
+    }
+}
+
+/// Export a sweep to `dir/sweep.{json,csv}`.
+pub fn export_sweep(
+    dir: &Path,
+    space: &ScenarioSpace,
+    result: &SweepResult,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut json = std::io::BufWriter::new(std::fs::File::create(dir.join("sweep.json"))?);
+    write_json(&mut json, space, &result.records, &result.stats)?;
+    json.flush()?;
+    let mut csv = std::io::BufWriter::new(std::fs::File::create(dir.join("sweep.csv"))?);
+    write_csv(&mut csv, space, &result.records)?;
+    csv.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_space_exceeds_one_hundred_thousand_scenarios() {
+        let options = parse(&[]).unwrap();
+        let space = build_space(&options);
+        assert!(space.len() >= 100_000, "got {}", space.len());
+    }
+
+    #[test]
+    fn quick_space_is_small_but_complete() {
+        let options = parse(&["--quick".to_string()]).unwrap();
+        let space = build_space(&options);
+        assert!(space.len() < 100_000);
+        assert!(space.len() > 1_000);
+        let engine = Engine::new(1);
+        let result = engine.sweep(&space, &AnalyticBackend, &SweepConfig::default());
+        // Every scenario of the quick grid fits its budget.
+        assert_eq!(result.stats.valid, space.len());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_options() {
+        assert!(parse(&["--bogus".to_string()]).is_err());
+        assert!(parse(&["--backend".to_string()]).is_err());
+        let options =
+            parse(&["--backend".to_string(), "sim".to_string(), "--quick".to_string()]).unwrap();
+        assert_eq!(options.backend, "sim");
+        assert!(options.quick);
+    }
+}

@@ -11,11 +11,11 @@
 //!   the non-embarrassingly-parallel, moderate-constant class, symmetric and
 //!   asymmetric.
 
-use mp_model::chip::ChipBudget;
-use mp_model::comm::CommModel;
-use mp_model::explore::{
+use mp_dse::curves::{
     asymmetric_curve, asymmetric_curve_comm, symmetric_curve, symmetric_curve_comm,
 };
+use mp_model::chip::ChipBudget;
+use mp_model::comm::CommModel;
 use mp_model::extended::ExtendedModel;
 use mp_model::growth::GrowthFunction;
 use mp_model::params::AppClass;
@@ -55,8 +55,7 @@ pub fn fig5_asymmetric_design_space() -> Vec<TableRow> {
     let budget = ChipBudget::paper_default();
     let mut rows = Vec::new();
     for class in AppClass::table3_all() {
-        let model =
-            ExtendedModel::new(class.params(), GrowthFunction::Linear, PerfModel::Pollack);
+        let model = ExtendedModel::new(class.params(), GrowthFunction::Linear, PerfModel::Pollack);
         for r in FIG5_SMALL_CORE_AREAS {
             let curve = asymmetric_curve(&model, budget, r, class_label(&class, &format!("r={r}")))
                 .expect("paper classes are valid");
@@ -112,8 +111,8 @@ pub fn acmp_advantage_summary() -> Vec<TableRow> {
         .map(|class| {
             let model =
                 ExtendedModel::new(class.params(), GrowthFunction::Linear, PerfModel::Pollack);
-            let best_sym = mp_model::explore::best_symmetric(&model, budget).unwrap();
-            let (best_r, best_asym) = mp_model::explore::best_asymmetric(&model, budget).unwrap();
+            let best_sym = mp_dse::curves::best_symmetric(&model, budget).unwrap();
+            let (best_r, best_asym) = mp_dse::curves::best_asymmetric(&model, budget).unwrap();
             TableRow::new(class.name())
                 .with("best_sym_speedup", best_sym.speedup)
                 .with("best_sym_r", best_sym.area)
@@ -158,18 +157,12 @@ mod tests {
     fn fig4_paper_peaks_match() {
         let rows = fig4_symmetric_design_space();
         // (0.999, moderate constant, low overhead, Linear): 104.5 at r=4.
-        let row = rows
-            .iter()
-            .find(|r| r.label == "emb/mod-con/low-ovh[linear]")
-            .unwrap();
+        let row = rows.iter().find(|r| r.label == "emb/mod-con/low-ovh[linear]").unwrap();
         let (col, val) = peak(row);
         assert_eq!(col, "r=4");
         assert!((val - 104.5).abs() < 1.5, "got {val}");
         // (0.999, moderate constant, high overhead, Linear): 67.1 at r=8.
-        let row = rows
-            .iter()
-            .find(|r| r.label == "emb/mod-con/high-ovh[linear]")
-            .unwrap();
+        let row = rows.iter().find(|r| r.label == "emb/mod-con/high-ovh[linear]").unwrap();
         let (col, val) = peak(row);
         assert_eq!(col, "r=8");
         assert!((val - 67.1).abs() < 1.5, "got {val}");
@@ -194,14 +187,15 @@ mod tests {
             let best_per_r: Vec<f64> = FIG5_SMALL_CORE_AREAS
                 .iter()
                 .map(|r| {
-                    let row = rows
-                        .iter()
-                        .find(|row| row.label == format!("{class}[r={r}]"))
-                        .unwrap();
+                    let row =
+                        rows.iter().find(|row| row.label == format!("{class}[r={r}]")).unwrap();
                     peak(row).1
                 })
                 .collect();
-            assert!(best_per_r[0] >= best_per_r[1] && best_per_r[0] >= best_per_r[2], "{class}: {best_per_r:?}");
+            assert!(
+                best_per_r[0] >= best_per_r[1] && best_per_r[0] >= best_per_r[2],
+                "{class}: {best_per_r:?}"
+            );
         }
     }
 

@@ -17,7 +17,10 @@ pub use design_space::{
     fig4_symmetric_design_space, fig5_asymmetric_design_space, fig7_communication_model,
 };
 pub use scalability::fig3_scalability_prediction;
-pub use tables::{fig6_reduction_split, table1_machine_config, table3_application_classes, table4_dataset_sensitivity};
+pub use tables::{
+    fig6_reduction_split, table1_machine_config, table3_application_classes,
+    table4_dataset_sensitivity,
+};
 
 /// The core counts used by the characterisation experiments (the paper's
 /// simulations stop at 16 cores).

@@ -4,8 +4,8 @@
 //! plain Amdahl's Law (constant serial fraction) against the extended model
 //! (reduction overhead growing linearly), scaling out to 256 baseline cores.
 
+use mp_dse::curves::unit_core_curve;
 use mp_model::amdahl::amdahl_speedup;
-use mp_model::explore::unit_core_curve;
 use mp_model::extended::ExtendedModel;
 use mp_model::growth::GrowthFunction;
 use mp_model::params::AppParams;
@@ -23,7 +23,8 @@ pub fn fig3_scalability_prediction() -> Vec<TableRow> {
     for params in AppParams::table2_all() {
         let mut amdahl_row = TableRow::new(format!("{}-amdahl", params.name));
         for &p in &FIG3_CORES {
-            amdahl_row = amdahl_row.with(format!("p={p}"), amdahl_speedup(params.f, p as f64).unwrap());
+            amdahl_row =
+                amdahl_row.with(format!("p={p}"), amdahl_speedup(params.f, p as f64).unwrap());
         }
         rows.push(amdahl_row);
 

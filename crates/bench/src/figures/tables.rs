@@ -1,7 +1,10 @@
 //! Table I, Table III, Table IV and the Figure 6 split.
 
 use mp_cmpsim::program::ReductionKind;
-use mp_cmpsim::{fuzzy_program, hop_program, kmeans_program, simulate_profile, Machine, MachineConfig, WorkloadShape};
+use mp_cmpsim::{
+    fuzzy_program, hop_program, kmeans_program, simulate_profile, Machine, MachineConfig,
+    WorkloadShape,
+};
 use mp_model::growth::GrowthFunction;
 use mp_model::params::{AppClass, AppParams, DatasetVariant};
 use mp_profile::{extract_params, RunProfile, TableRow};

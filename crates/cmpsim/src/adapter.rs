@@ -220,14 +220,9 @@ mod tests {
         // same size, so its serial fraction must be smaller (Table II: 0.002 %
         // vs 0.015 %).
         let shape = WorkloadShape::kmeans_base();
-        let km = simulate(
-            &kmeans_program(&shape, ReductionKind::SerialLinear),
-            &Machine::table1(1),
-        );
-        let fz = simulate(
-            &fuzzy_program(&shape, ReductionKind::SerialLinear),
-            &Machine::table1(1),
-        );
+        let km =
+            simulate(&kmeans_program(&shape, ReductionKind::SerialLinear), &Machine::table1(1));
+        let fz = simulate(&fuzzy_program(&shape, ReductionKind::SerialLinear), &Machine::table1(1));
         let km_s = km.serial_cycles() / km.total_cycles();
         let fz_s = fz.serial_cycles() / fz.total_cycles();
         assert!(fz_s < km_s, "fuzzy {fz_s} vs kmeans {km_s}");
@@ -298,7 +293,8 @@ mod tests {
 
     #[test]
     fn privatized_reduction_produces_communication_phases() {
-        let program = kmeans_program(&WorkloadShape::kmeans_base(), ReductionKind::ParallelPrivatized);
+        let program =
+            kmeans_program(&WorkloadShape::kmeans_base(), ReductionKind::ParallelPrivatized);
         let report = simulate(&program, &Machine::table1(16));
         assert!(report.cycles_in(PhaseKind::Communication) > 0.0);
     }

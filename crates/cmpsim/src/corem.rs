@@ -36,9 +36,7 @@ impl CoreModel {
 
     /// Relative performance of this core versus the 1-BCE baseline.
     pub fn perf(&self) -> f64 {
-        self.perf_model
-            .perf(self.area_bce)
-            .expect("core area must be positive")
+        self.perf_model.perf(self.area_bce).expect("core area must be positive")
     }
 
     /// Cycles to execute `ops` compute operations on this core (no memory

@@ -99,16 +99,19 @@ pub fn simulate(program: &PhaseProgram, machine: &Machine) -> SimReport {
 
     for op in program.unrolled() {
         match op {
-            PhaseOp::ParallelWork { label, ops, memory_refs, working_set_bytes, max_parallelism } => {
+            PhaseOp::ParallelWork {
+                label,
+                ops,
+                memory_refs,
+                working_set_bytes,
+                max_parallelism,
+            } => {
                 let throughput = machine.parallel_throughput(*max_parallelism);
                 let compute = ops / (config.ops_per_cycle * throughput);
                 let effective_workers =
                     (threads.min(max_parallelism.unwrap_or(usize::MAX)).max(1)) as f64;
-                let memory = cache.memory_cycles(
-                    memory_refs / effective_workers,
-                    *working_set_bytes,
-                    false,
-                );
+                let memory =
+                    cache.memory_cycles(memory_refs / effective_workers, *working_set_bytes, false);
                 phases.push(SimPhase {
                     kind: PhaseKind::Parallel,
                     label: label.clone(),
@@ -322,7 +325,8 @@ mod tests {
     #[test]
     fn asymmetric_machine_accelerates_serial_phases() {
         let program = simple_program(ReductionKind::SerialLinear);
-        let sym = simulate(&program, &Machine::symmetric(16, 1.0, MachineConfig::table1_baseline()));
+        let sym =
+            simulate(&program, &Machine::symmetric(16, 1.0, MachineConfig::table1_baseline()));
         let asym = simulate(
             &program,
             &Machine::asymmetric(12, 1.0, 4.0, MachineConfig::table1_baseline()),
@@ -354,6 +358,9 @@ mod tests {
         let at64 = simulate(&program, &Machine::table1(64)).total_cycles();
         let speedup = base / at64;
         assert!(speedup > 10.0);
-        assert!(speedup < 60.0, "reduction overhead should hold speedup below ideal, got {speedup}");
+        assert!(
+            speedup < 60.0,
+            "reduction overhead should hold speedup below ideal, got {speedup}"
+        );
     }
 }

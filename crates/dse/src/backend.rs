@@ -1,0 +1,544 @@
+//! Pluggable evaluation backends.
+//!
+//! A backend turns one [`Scenario`] into a predicted speedup. Three are
+//! provided:
+//!
+//! * [`AnalyticBackend`] — the paper's extended model (Eq. 4/5); consumes the
+//!   application, budget, design, growth and perf axes.
+//! * [`CommBackend`] — the communication-aware model (Eq. 6–8); the
+//!   scenario's growth axis drives the reduction *computation* and the
+//!   topology axis the communication.
+//! * [`SimBackend`] — trace-driven: synthesises an `mp-cmpsim` phase program
+//!   from the application parameters and times it on the scenario's machine;
+//!   the reduction-strategy axis selects the merge implementation, and the
+//!   overhead growth *emerges* from the simulator's core/cache models instead
+//!   of being assumed.
+//!
+//! Backends also expose [`EvalBackend::evaluate_batch`] over a contiguous
+//! index range of a space. The default implementation loops; the analytic
+//! backends override it to hoist model construction out of the inner loop,
+//! exploiting the space's design-innermost decode order (consecutive indices
+//! share every axis but the design).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+use mp_cmpsim::config::MachineConfig;
+use mp_cmpsim::engine::simulate;
+use mp_cmpsim::machine::Machine;
+use mp_cmpsim::program::{PhaseOp, PhaseProgram, ReductionKind};
+use mp_model::chip::{AsymmetricDesign, SymmetricDesign};
+use mp_model::comm::{CommModel, CommSplit};
+use mp_model::error::ModelError;
+use mp_model::extended::ExtendedModel;
+use mp_par::ReductionStrategy;
+
+use crate::scenario::{ChipSpec, Scenario, ScenarioSpace};
+
+/// Error produced by a backend evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DseError {
+    /// The underlying analytical model rejected the scenario.
+    Model(ModelError),
+    /// The design does not fit the scenario's budget.
+    InvalidDesign {
+        /// Swept area of the offending design.
+        area: f64,
+        /// Budget it failed to fit.
+        budget: f64,
+    },
+}
+
+impl std::fmt::Display for DseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DseError::Model(e) => write!(f, "model error: {e}"),
+            DseError::InvalidDesign { area, budget } => {
+                write!(f, "design of area {area} BCE does not fit a {budget}-BCE budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DseError {}
+
+impl From<ModelError> for DseError {
+    fn from(e: ModelError) -> Self {
+        DseError::Model(e)
+    }
+}
+
+/// A design-space evaluation backend.
+pub trait EvalBackend: Sync {
+    /// Stable name, used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Salt mixed into every memoisation-cache key. Must change whenever the
+    /// backend is configured to produce different numbers for the same
+    /// scenario (machine config, operation budgets, split overrides, …), or
+    /// a reconfigured backend would silently read another configuration's
+    /// cached speedups. Defaults to the backend name for stateless backends.
+    fn cache_salt(&self) -> String {
+        self.name().to_string()
+    }
+
+    /// Predicted speedup of one scenario relative to a single 1-BCE core.
+    fn evaluate(&self, scenario: &Scenario<'_>) -> Result<f64, DseError>;
+
+    /// Evaluate the contiguous index range `range` of `space` into `out`
+    /// (which has `range.len()` slots). Invalid or erroring scenarios yield
+    /// `f64::NAN`. Override to exploit the shared-axis structure of
+    /// consecutive indices.
+    fn evaluate_batch(
+        &self,
+        space: &ScenarioSpace,
+        range: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        assert_eq!(out.len(), range.len());
+        for (slot, index) in out.iter_mut().zip(range) {
+            let scenario = space.scenario(index);
+            *slot = if scenario.design.fits(scenario.budget) {
+                self.evaluate(&scenario).unwrap_or(f64::NAN)
+            } else {
+                f64::NAN
+            };
+        }
+    }
+}
+
+fn speedup_extended(model: &ExtendedModel, scenario: &Scenario<'_>) -> Result<f64, DseError> {
+    if !scenario.design.fits(scenario.budget) {
+        return Err(DseError::InvalidDesign {
+            area: scenario.design.area(),
+            budget: scenario.budget.total_bce(),
+        });
+    }
+    let speedup = match scenario.design {
+        ChipSpec::Symmetric { r } => {
+            model.speedup_symmetric(&SymmetricDesign::new(scenario.budget, r)?)?
+        }
+        ChipSpec::Asymmetric { r, rl } => {
+            model.speedup_asymmetric(&AsymmetricDesign::new(scenario.budget, r, rl)?)?
+        }
+    };
+    Ok(speedup)
+}
+
+/// The extended-model backend (paper Eq. 4/5).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalyticBackend;
+
+impl EvalBackend for AnalyticBackend {
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+
+    fn evaluate(&self, scenario: &Scenario<'_>) -> Result<f64, DseError> {
+        let model =
+            ExtendedModel::new(scenario.app.clone(), scenario.growth.clone(), scenario.perf);
+        speedup_extended(&model, scenario)
+    }
+
+    fn evaluate_batch(
+        &self,
+        space: &ScenarioSpace,
+        range: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        assert_eq!(out.len(), range.len());
+        // Consecutive indices share all axes but the design, so one model
+        // serves a whole run of designs; rebuild only when the shared axes
+        // change (at most once per `designs.len()` scenarios).
+        let mut current: Option<(usize, ExtendedModel)> = None;
+        for (slot, index) in out.iter_mut().zip(range) {
+            let shared = index / space.designs().len();
+            let scenario = space.scenario(index);
+            if !matches!(&current, Some((tag, _)) if *tag == shared) {
+                current = Some((
+                    shared,
+                    ExtendedModel::new(
+                        scenario.app.clone(),
+                        scenario.growth.clone(),
+                        scenario.perf,
+                    ),
+                ));
+            }
+            let model = &current.as_ref().expect("model built above").1;
+            *slot = speedup_extended(model, &scenario).unwrap_or(f64::NAN);
+        }
+    }
+}
+
+/// The communication-aware backend (paper Eq. 6–8).
+///
+/// The scenario's growth axis is used as the reduction-*computation* growth
+/// (constant for a privatised parallel merge, linear for a serial one, …) and
+/// the topology axis as the communication growth. The computation /
+/// communication split defaults to the paper's ideal half/half split of the
+/// application's reduction fraction; [`CommBackend::with_split`] overrides it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommBackend {
+    split: Option<CommSplit>,
+}
+
+impl CommBackend {
+    /// Backend with the paper's ideal split.
+    pub fn new() -> Self {
+        CommBackend { split: None }
+    }
+
+    /// Use an explicit computation/communication split instead of the ideal
+    /// one derived from each application's reduction fraction.
+    pub fn with_split(mut self, split: CommSplit) -> Self {
+        self.split = Some(split);
+        self
+    }
+
+    fn model(&self, scenario: &Scenario<'_>) -> Result<CommModel, DseError> {
+        let split = match self.split {
+            Some(split) => split,
+            None => CommSplit::ideal(scenario.app.split.fred)?,
+        };
+        Ok(CommModel::new(
+            scenario.app.clone(),
+            split,
+            scenario.growth.clone(),
+            scenario.topology,
+            scenario.perf,
+        ))
+    }
+}
+
+fn speedup_comm(model: &CommModel, scenario: &Scenario<'_>) -> Result<f64, DseError> {
+    if !scenario.design.fits(scenario.budget) {
+        return Err(DseError::InvalidDesign {
+            area: scenario.design.area(),
+            budget: scenario.budget.total_bce(),
+        });
+    }
+    let speedup = match scenario.design {
+        ChipSpec::Symmetric { r } => {
+            model.speedup_symmetric(&SymmetricDesign::new(scenario.budget, r)?)?
+        }
+        ChipSpec::Asymmetric { r, rl } => {
+            model.speedup_asymmetric(&AsymmetricDesign::new(scenario.budget, r, rl)?)?
+        }
+    };
+    Ok(speedup)
+}
+
+impl EvalBackend for CommBackend {
+    fn name(&self) -> &'static str {
+        "comm"
+    }
+
+    fn cache_salt(&self) -> String {
+        match self.split {
+            None => "comm".to_string(),
+            Some(split) => {
+                format!("comm:{:016x}:{:016x}", split.fcomp.to_bits(), split.fcomm.to_bits())
+            }
+        }
+    }
+
+    fn evaluate(&self, scenario: &Scenario<'_>) -> Result<f64, DseError> {
+        let model = self.model(scenario)?;
+        speedup_comm(&model, scenario)
+    }
+
+    fn evaluate_batch(
+        &self,
+        space: &ScenarioSpace,
+        range: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        assert_eq!(out.len(), range.len());
+        let mut current: Option<(usize, CommModel)> = None;
+        for (slot, index) in out.iter_mut().zip(range) {
+            let shared = index / space.designs().len();
+            let scenario = space.scenario(index);
+            if !matches!(&current, Some((tag, _)) if *tag == shared) {
+                match self.model(&scenario) {
+                    Ok(model) => current = Some((shared, model)),
+                    Err(_) => {
+                        current = None;
+                        *slot = f64::NAN;
+                        continue;
+                    }
+                }
+            }
+            let model = &current.as_ref().expect("model built above").1;
+            *slot = speedup_comm(model, &scenario).unwrap_or(f64::NAN);
+        }
+    }
+}
+
+/// The trace-driven simulation backend.
+///
+/// Synthesises a phase program whose single-core section times reproduce the
+/// application's `f` / `fcon` / `fred` split over a budget of
+/// [`SimBackend::with_total_ops`] operations, then times it with the
+/// `mp-cmpsim` engine on the scenario's machine. The merge implementation
+/// comes from the scenario's reduction-strategy axis; the reduction-overhead
+/// *growth* is whatever the simulator's core, cache and NoC models produce
+/// (linear from a serial merge while the partials stay cache-resident,
+/// super-linear once they spill — the hop effect). Speedups are normalised to
+/// a simulated single 1-BCE core, like the paper's Figure 2 runs.
+///
+/// The core performance model is the simulator's own (Pollack); the
+/// scenario's perf and growth axes are ignored.
+///
+/// Machines are discrete: the simulated core count is `floor(budget / r)`
+/// (the analytic models allow fractional counts, and `EvalRecord::cores`
+/// always reports the design's analytic value). Prefer core sizes that
+/// divide the budget — e.g. integer or power-of-two grids — when sweeping
+/// this backend, so neighbouring grid points do not silently simulate the
+/// same machine under different labels.
+pub struct SimBackend {
+    config: MachineConfig,
+    total_ops: f64,
+    baselines: Mutex<HashMap<(u64, u64, u64, u8), f64>>,
+}
+
+impl Default for SimBackend {
+    fn default() -> Self {
+        SimBackend::new()
+    }
+}
+
+impl SimBackend {
+    /// Backend with the paper's Table I machine configuration and a 10⁷-op
+    /// synthetic program.
+    pub fn new() -> Self {
+        SimBackend {
+            config: MachineConfig::table1_baseline(),
+            total_ops: 1e7,
+            baselines: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Override the machine configuration.
+    pub fn with_config(mut self, config: MachineConfig) -> Self {
+        self.config = config;
+        // Baseline cycles were simulated under the previous configuration;
+        // keeping them would mix two machines in one speedup ratio.
+        self.baselines.lock().clear();
+        self
+    }
+
+    /// Override the synthetic single-core operation budget. Smaller budgets
+    /// shrink the merge working set (keeping it cache-resident — closer to
+    /// the analytic model); larger budgets surface cache-spill effects.
+    pub fn with_total_ops(mut self, total_ops: f64) -> Self {
+        assert!(total_ops.is_finite() && total_ops >= 1e3, "total_ops must be at least 1e3");
+        self.total_ops = total_ops;
+        self
+    }
+
+    fn reduction_kind(strategy: ReductionStrategy) -> ReductionKind {
+        match strategy {
+            ReductionStrategy::SerialLinear => ReductionKind::SerialLinear,
+            ReductionStrategy::TreeLog => ReductionKind::TreeLog,
+            ReductionStrategy::ParallelPrivatized => ReductionKind::ParallelPrivatized,
+        }
+    }
+
+    fn program(&self, scenario: &Scenario<'_>) -> PhaseProgram {
+        let app = scenario.app;
+        let parallel_ops = app.f * self.total_ops;
+        let serial_ops = app.fcon_abs() * self.total_ops;
+        // One element-merge costs ~3 cycles while the partial tables stay
+        // L1-resident (1 compute + 2 cycles L1 latency), so dividing by three
+        // makes the single-core reduction *cycle* fraction equal the
+        // application's `fred`: the simulated and analytic models then start
+        // from the same serial split, and deviations beyond that are real
+        // microarchitectural effects (cache spills, coherence, NoC).
+        let elements = (app.fred_abs() * self.total_ops / 3.0).round().max(1.0) as usize;
+        PhaseProgram::new(app.name.clone())
+            .with_body(PhaseOp::ParallelWork {
+                label: "parallel".into(),
+                ops: parallel_ops,
+                memory_refs: 0.0,
+                working_set_bytes: 64,
+                max_parallelism: None,
+            })
+            .with_body(PhaseOp::Reduction {
+                label: "merge".into(),
+                elements,
+                ops_per_element: 1.0,
+                bytes_per_element: 8,
+                kind: Self::reduction_kind(scenario.reduction),
+            })
+            .with_body(PhaseOp::SerialWork {
+                label: "serial-constant".into(),
+                ops: serial_ops,
+                memory_refs: 0.0,
+                working_set_bytes: 64,
+            })
+    }
+
+    fn machine(&self, scenario: &Scenario<'_>) -> Option<Machine> {
+        if !scenario.design.fits(scenario.budget) {
+            return None;
+        }
+        match scenario.design {
+            ChipSpec::Symmetric { r } => {
+                let cores = (scenario.budget.total_bce() / r).floor().max(1.0) as usize;
+                Some(Machine::symmetric(cores, r, self.config))
+            }
+            ChipSpec::Asymmetric { r, rl } => {
+                let small = ((scenario.budget.total_bce() - rl) / r).floor().max(0.0) as usize;
+                Some(Machine::asymmetric(small, r, rl, self.config))
+            }
+        }
+    }
+
+    fn baseline_cycles(&self, scenario: &Scenario<'_>, program: &PhaseProgram) -> f64 {
+        let app = scenario.app;
+        let key = (
+            app.f.to_bits(),
+            app.split.fcon.to_bits(),
+            self.total_ops.to_bits(),
+            match scenario.reduction {
+                ReductionStrategy::SerialLinear => 0u8,
+                ReductionStrategy::TreeLog => 1,
+                ReductionStrategy::ParallelPrivatized => 2,
+            },
+        );
+        if let Some(&cycles) = self.baselines.lock().get(&key) {
+            return cycles;
+        }
+        let cycles = simulate(program, &Machine::symmetric(1, 1.0, self.config)).total_cycles();
+        self.baselines.lock().insert(key, cycles);
+        cycles
+    }
+}
+
+impl EvalBackend for SimBackend {
+    fn name(&self) -> &'static str {
+        "cmpsim"
+    }
+
+    fn cache_salt(&self) -> String {
+        // The machine configuration and operation budget change every result;
+        // Debug formatting of the config is deterministic and covers all of
+        // its fields.
+        format!("cmpsim:{:016x}:{:?}", self.total_ops.to_bits(), self.config)
+    }
+
+    fn evaluate(&self, scenario: &Scenario<'_>) -> Result<f64, DseError> {
+        let machine = self.machine(scenario).ok_or(DseError::InvalidDesign {
+            area: scenario.design.area(),
+            budget: scenario.budget.total_bce(),
+        })?;
+        let program = self.program(scenario);
+        let baseline = self.baseline_cycles(scenario, &program);
+        let cycles = simulate(&program, &machine).total_cycles();
+        Ok(baseline / cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_model::growth::GrowthFunction;
+    use mp_model::params::AppParams;
+    use mp_model::perf::PerfModel;
+    use mp_model::topology::Topology;
+
+    fn scenario(design: ChipSpec) -> Scenario<'static> {
+        use std::sync::OnceLock;
+        static APP: OnceLock<AppParams> = OnceLock::new();
+        static GROWTH: OnceLock<GrowthFunction> = OnceLock::new();
+        Scenario {
+            app: APP.get_or_init(AppParams::table2_kmeans),
+            budget: mp_model::chip::ChipBudget::paper_default(),
+            design,
+            growth: GROWTH.get_or_init(|| GrowthFunction::Linear),
+            perf: PerfModel::Pollack,
+            reduction: ReductionStrategy::SerialLinear,
+            topology: Topology::Mesh2D,
+        }
+    }
+
+    #[test]
+    fn analytic_matches_direct_model_evaluation() {
+        let s = scenario(ChipSpec::Symmetric { r: 4.0 });
+        let got = AnalyticBackend.evaluate(&s).unwrap();
+        let model = ExtendedModel::new(s.app.clone(), GrowthFunction::Linear, PerfModel::Pollack);
+        let expect =
+            model.speedup_symmetric(&SymmetricDesign::new(s.budget, 4.0).unwrap()).unwrap();
+        assert_eq!(got.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn analytic_rejects_unfit_designs() {
+        let s = scenario(ChipSpec::Symmetric { r: 512.0 });
+        assert!(matches!(AnalyticBackend.evaluate(&s), Err(DseError::InvalidDesign { .. })));
+    }
+
+    #[test]
+    fn comm_is_more_pessimistic_than_analytic_on_mesh() {
+        // Communication overhead only removes speedup relative to the same
+        // model with constant (free) communication growth.
+        let s = Scenario {
+            growth: &GrowthFunction::Constant,
+            ..scenario(ChipSpec::Symmetric { r: 4.0 })
+        };
+        let mesh = CommBackend::new().evaluate(&s).unwrap();
+        let ideal = CommBackend::new()
+            .evaluate(&Scenario { topology: Topology::Ideal, ..s.clone() })
+            .unwrap();
+        assert!(mesh < ideal);
+    }
+
+    #[test]
+    fn sim_speedup_is_one_on_the_baseline_machine() {
+        let s = Scenario {
+            budget: mp_model::chip::ChipBudget::new(1.0),
+            ..scenario(ChipSpec::Symmetric { r: 1.0 })
+        };
+        let backend = SimBackend::new();
+        let speedup = backend.evaluate(&s).unwrap();
+        assert!((speedup - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sim_acmp_beats_cmp_on_serial_heavy_app() {
+        let app = AppParams::new("serial-heavy", 0.9, 0.9, 0.1, 0.0).unwrap();
+        let growth = GrowthFunction::Linear;
+        let base = scenario(ChipSpec::Symmetric { r: 1.0 });
+        let sym = Scenario { app: &app, growth: &growth, ..base.clone() };
+        let asym = Scenario {
+            app: &app,
+            growth: &growth,
+            design: ChipSpec::Asymmetric { r: 1.0, rl: 64.0 },
+            ..base
+        };
+        let backend = SimBackend::new();
+        assert!(backend.evaluate(&asym).unwrap() > backend.evaluate(&sym).unwrap());
+    }
+
+    #[test]
+    fn batch_and_single_evaluation_agree_bitwise() {
+        let space = ScenarioSpace::new()
+            .with_apps(AppParams::table2_all())
+            .clear_designs()
+            .add_symmetric_grid([1.0, 2.0, 4.0, 8.0, 300.0])
+            .with_growths(vec![GrowthFunction::Linear, GrowthFunction::Logarithmic]);
+        for backend in [&AnalyticBackend as &dyn EvalBackend, &CommBackend::new()] {
+            let mut batch = vec![0.0; space.len()];
+            backend.evaluate_batch(&space, 0..space.len(), &mut batch);
+            for (i, &got) in batch.iter().enumerate() {
+                let scenario = space.scenario(i);
+                let expect = if scenario.design.fits(scenario.budget) {
+                    backend.evaluate(&scenario).unwrap_or(f64::NAN)
+                } else {
+                    f64::NAN
+                };
+                assert_eq!(got.to_bits(), expect.to_bits(), "index {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Sharded, memoising evaluation cache.
+//!
+//! Keys are the 128-bit canonical scenario fingerprints of
+//! [`crate::scenario::Scenario::canonical_key`]; values are the raw bit
+//! patterns of the evaluated speedup, so cached and uncached sweeps are
+//! **bit-identical** by construction (`NaN` markers for invalid scenarios
+//! round-trip too). The map is split into shards, each behind its own lock,
+//! so the worker threads of a parallel sweep rarely contend.
+//!
+//! The cache serialises to JSON (hex-encoded keys and value bits) so a sweep
+//! can warm-start from a previous process — see [`EvalCache::save_json`] /
+//! [`EvalCache::load_json`].
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of independently locked shards (power of two).
+const SHARDS: usize = 64;
+
+/// A sharded memoisation cache for scenario evaluations.
+pub struct EvalCache {
+    shards: Vec<Mutex<HashMap<(u64, u64), u64>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        EvalCache::new()
+    }
+}
+
+impl std::fmt::Debug for EvalCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalCache")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        EvalCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: (u64, u64)) -> &Mutex<HashMap<(u64, u64), u64>> {
+        &self.shards[(key.0 as usize) & (SHARDS - 1)]
+    }
+
+    /// Look up a cached speedup, counting the probe as a hit or miss.
+    pub fn get(&self, key: (u64, u64)) -> Option<f64> {
+        let found = self.shard(key).lock().get(&key).copied();
+        match found {
+            Some(bits) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(f64::from_bits(bits))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Look up a cached speedup without touching the hit/miss counters.
+    /// Used for internal re-probes (a batch re-checking its own first-probe
+    /// holes), which would otherwise double-count and skew the statistics.
+    pub fn peek(&self, key: (u64, u64)) -> Option<f64> {
+        self.shard(key).lock().get(&key).copied().map(f64::from_bits)
+    }
+
+    /// Store an evaluated speedup (bit pattern preserved, NaNs included).
+    pub fn insert(&self, key: (u64, u64), speedup: f64) {
+        self.shard(key).lock().insert(key, speedup.to_bits());
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Probes answered from the cache since construction / the last reset.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Probes that missed since construction / the last reset.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Reset the hit/miss counters (entries are kept).
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// The version tag stamped into persisted caches: the mp-dse crate
+    /// version. Bumping the workspace version invalidates every persisted
+    /// cache, so stale files cannot replay results an older build produced.
+    pub fn format_version() -> String {
+        format!("mp-dse-cache/{}", env!("CARGO_PKG_VERSION"))
+    }
+
+    /// Serialise every entry as JSON: a `[version, entries]` pair where the
+    /// entries are `[key_hi, key_lo, value_bits]` hex-string triplets (hex so
+    /// no `f64` precision is lost in transit).
+    pub fn save_json(&self) -> String {
+        let mut entries: Vec<(String, String, String)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            for (&(hi, lo), &bits) in shard.lock().iter() {
+                entries.push((format!("{hi:016x}"), format!("{lo:016x}"), format!("{bits:016x}")));
+            }
+        }
+        // Deterministic order regardless of hash-map iteration.
+        entries.sort();
+        serde_json::to_string(&(Self::format_version(), entries))
+            .expect("cache entries always serialise")
+    }
+
+    /// Load entries previously produced by [`EvalCache::save_json`] into this
+    /// cache (existing entries are kept; duplicates are overwritten).
+    ///
+    /// # Errors
+    /// Returns a message on a version mismatch (a cache persisted by a
+    /// different build lineage must not replay its results) or describing
+    /// the first malformed entry. The whole document is validated before
+    /// anything is inserted, so a partially corrupt file leaves the cache
+    /// untouched instead of half-loaded.
+    pub fn load_json(&self, json: &str) -> Result<usize, String> {
+        let (version, entries): (String, Vec<(String, String, String)>) =
+            serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if version != Self::format_version() {
+            return Err(format!(
+                "cache version `{version}` does not match this build (`{}`)",
+                Self::format_version()
+            ));
+        }
+        let mut parsed = Vec::with_capacity(entries.len());
+        for (hi, lo, bits) in entries {
+            let hi = u64::from_str_radix(&hi, 16).map_err(|e| e.to_string())?;
+            let lo = u64::from_str_radix(&lo, 16).map_err(|e| e.to_string())?;
+            let bits = u64::from_str_radix(&bits, 16).map_err(|e| e.to_string())?;
+            parsed.push(((hi, lo), bits));
+        }
+        let loaded = parsed.len();
+        for (key, bits) in parsed {
+            self.shard(key).lock().insert(key, bits);
+        }
+        Ok(loaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let cache = EvalCache::new();
+        assert_eq!(cache.get((1, 2)), None);
+        cache.insert((1, 2), 3.5);
+        assert_eq!(cache.get((1, 2)), Some(3.5));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn nan_round_trips_bitwise() {
+        let cache = EvalCache::new();
+        cache.insert((9, 9), f64::NAN);
+        let got = cache.get((9, 9)).unwrap();
+        assert_eq!(got.to_bits(), f64::NAN.to_bits());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_bits() {
+        let cache = EvalCache::new();
+        cache.insert((1, 2), 0.1 + 0.2);
+        cache.insert((u64::MAX, 7), f64::NAN);
+        cache.insert((3, 4), -0.0);
+        let json = cache.save_json();
+
+        let restored = EvalCache::new();
+        assert_eq!(restored.load_json(&json).unwrap(), 3);
+        assert_eq!(restored.get((1, 2)).unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(restored.get((u64::MAX, 7)).unwrap().to_bits(), f64::NAN.to_bits());
+        assert_eq!(restored.get((3, 4)).unwrap().to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn partially_malformed_json_loads_nothing() {
+        let cache = EvalCache::new();
+        // First entry valid, second has non-hex value bits.
+        let json = format!(
+            r#"["{}",[["0000000000000001","0000000000000002","3ff0000000000000"],["0000000000000003","0000000000000004","zzzz"]]]"#,
+            EvalCache::format_version()
+        );
+        assert!(cache.load_json(&json).is_err());
+        assert!(cache.is_empty(), "a failed load must not half-populate the cache");
+    }
+
+    #[test]
+    fn mismatched_version_loads_nothing() {
+        let source = EvalCache::new();
+        source.insert((1, 2), 3.5);
+        let stale = source.save_json().replace(&EvalCache::format_version(), "mp-dse-cache/0.0.0");
+        let cache = EvalCache::new();
+        let err = cache.load_json(&stale).unwrap_err();
+        assert!(err.contains("version"), "{err}");
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn save_is_deterministic() {
+        let a = EvalCache::new();
+        let b = EvalCache::new();
+        for i in 0..100u64 {
+            a.insert((i * 31, i), i as f64);
+            b.insert(((99 - i) * 31, 99 - i), (99 - i) as f64);
+        }
+        assert_eq!(a.save_json(), b.save_json());
+    }
+}

@@ -1,0 +1,330 @@
+//! Engine-backed figure sweeps.
+//!
+//! Thin wrappers with the same signatures and return types as
+//! [`mp_model::explore`], but routed through the [`crate::engine::Engine`]
+//! and its backends, so the paper figure harness (`mp-bench` Figures 3, 4,
+//! 5 and 7) and large-scale exploration share one evaluation path. The
+//! `mp_model::explore` loops remain a supported public API and the
+//! independent reference that the property tests compare against
+//! bit-for-bit (some examples demonstrate the model-level API through it
+//! deliberately).
+
+use mp_model::chip::ChipBudget;
+use mp_model::comm::CommModel;
+use mp_model::error::ModelError;
+use mp_model::explore::{Curve, DesignPoint};
+use mp_model::extended::ExtendedModel;
+
+use crate::backend::{AnalyticBackend, CommBackend, EvalBackend};
+use crate::engine::{Engine, SweepConfig};
+use crate::scenario::ScenarioSpace;
+
+fn sweep_designs(
+    space: ScenarioSpace,
+    backend: &dyn EvalBackend,
+    label: String,
+) -> Result<Curve, ModelError> {
+    // Figure curves are a handful of points: a single-threaded engine without
+    // memoisation keeps them allocation-light and deterministic.
+    let engine = Engine::new(1);
+    let result = engine.sweep(&space, backend, &SweepConfig { batch_size: 256, use_cache: false });
+    let points: Vec<DesignPoint> = result
+        .records
+        .iter()
+        .filter(|r| r.is_valid())
+        .map(|r| DesignPoint { area: r.area, cores: r.cores, speedup: r.speedup })
+        .collect();
+    Ok(Curve { label, points })
+}
+
+fn extended_space(model: &ExtendedModel, budget: ChipBudget) -> ScenarioSpace {
+    ScenarioSpace::new()
+        .with_apps(vec![model.params().clone()])
+        .with_budgets(vec![budget.total_bce()])
+        .with_growths(vec![model.growth().clone()])
+        .with_perfs(vec![*model.perf()])
+}
+
+/// Engine-backed equivalent of [`mp_model::explore::symmetric_curve`]:
+/// symmetric-CMP speedups over the budget's power-of-two core sizes.
+pub fn symmetric_curve(
+    model: &ExtendedModel,
+    budget: ChipBudget,
+    label: impl Into<String>,
+) -> Result<Curve, ModelError> {
+    let space = extended_space(model, budget)
+        .clear_designs()
+        .add_symmetric_grid(budget.power_of_two_core_sizes());
+    sweep_designs(space, &AnalyticBackend, label.into())
+}
+
+/// Engine-backed equivalent of [`mp_model::explore::asymmetric_curve`]:
+/// asymmetric-CMP speedups over the power-of-two large-core areas at fixed
+/// small-core area `r` (largest `rl` is half the budget, like the paper).
+pub fn asymmetric_curve(
+    model: &ExtendedModel,
+    budget: ChipBudget,
+    r: f64,
+    label: impl Into<String>,
+) -> Result<Curve, ModelError> {
+    let rls: Vec<f64> = budget
+        .power_of_two_core_sizes()
+        .into_iter()
+        .filter(|&rl| rl >= r && rl < budget.total_bce())
+        .collect();
+    let space = extended_space(model, budget).clear_designs().add_asymmetric_grid([r], rls);
+    sweep_designs(space, &AnalyticBackend, label.into())
+}
+
+fn comm_space(model: &CommModel, budget: ChipBudget) -> ScenarioSpace {
+    // The communication-aware backend rebuilds its model from the scenario
+    // axes, so every one of the wrapped model's components — comp growth,
+    // topology and core performance — must be lifted onto the space.
+    ScenarioSpace::new()
+        .with_apps(vec![model.params().clone()])
+        .with_budgets(vec![budget.total_bce()])
+        .with_growths(vec![model.comp_growth().clone()])
+        .with_perfs(vec![*model.perf()])
+        .with_topologies(vec![model.topology()])
+}
+
+/// Engine-backed equivalent of [`mp_model::explore::symmetric_curve_comm`]:
+/// the model's split, computation growth and topology are all honoured.
+pub fn symmetric_curve_comm(
+    model: &CommModel,
+    budget: ChipBudget,
+    label: impl Into<String>,
+) -> Result<Curve, ModelError> {
+    let space = comm_space(model, budget)
+        .clear_designs()
+        .add_symmetric_grid(budget.power_of_two_core_sizes());
+    let backend = CommBackend::new().with_split(model.split());
+    sweep_designs(space, &backend, label.into())
+}
+
+/// Engine-backed equivalent of [`mp_model::explore::asymmetric_curve_comm`].
+pub fn asymmetric_curve_comm(
+    model: &CommModel,
+    budget: ChipBudget,
+    r: f64,
+    label: impl Into<String>,
+) -> Result<Curve, ModelError> {
+    let rls: Vec<f64> = budget
+        .power_of_two_core_sizes()
+        .into_iter()
+        .filter(|&rl| rl >= r && rl < budget.total_bce())
+        .collect();
+    let space = comm_space(model, budget).clear_designs().add_asymmetric_grid([r], rls);
+    let backend = CommBackend::new().with_split(model.split());
+    sweep_designs(space, &backend, label.into())
+}
+
+/// Engine-backed equivalent of [`mp_model::explore::unit_core_curve`]:
+/// speedup on `p` identical unit cores at power-of-two counts up to
+/// `max_cores` (inclusive). Each count is a 1-BCE symmetric design under a
+/// `p`-BCE budget, which is exactly Eq. 4 with `r = 1`, `n = p`.
+pub fn unit_core_curve(
+    model: &ExtendedModel,
+    max_cores: usize,
+) -> Result<Vec<(usize, f64)>, ModelError> {
+    let mut counts = Vec::new();
+    let mut p = 1usize;
+    while p < max_cores {
+        counts.push(p);
+        p *= 2;
+    }
+    counts.push(max_cores);
+
+    let mut points = Vec::with_capacity(counts.len());
+    for &p in &counts {
+        let space = extended_space(model, ChipBudget::new(p as f64))
+            .clear_designs()
+            .add_symmetric_grid([1.0]);
+        let curve = sweep_designs(space, &AnalyticBackend, String::new())?;
+        let point =
+            curve.points.first().ok_or(ModelError::NonFinite { what: "unit-core sweep" })?;
+        points.push((p, point.speedup));
+    }
+    Ok(points)
+}
+
+/// Engine-backed equivalent of [`mp_model::explore::best_symmetric`].
+pub fn best_symmetric(
+    model: &ExtendedModel,
+    budget: ChipBudget,
+) -> Result<DesignPoint, ModelError> {
+    let curve = symmetric_curve(model, budget, "best")?;
+    curve.peak().ok_or(ModelError::NonFinite { what: "empty symmetric sweep" })
+}
+
+/// Engine-backed equivalent of [`mp_model::explore::best_asymmetric`]: the
+/// best `(small-core area, design point)` over all power-of-two `(r, rl)`
+/// combinations.
+pub fn best_asymmetric(
+    model: &ExtendedModel,
+    budget: ChipBudget,
+) -> Result<(f64, DesignPoint), ModelError> {
+    let mut best: Option<(f64, DesignPoint)> = None;
+    for r in budget.power_of_two_core_sizes() {
+        if r >= budget.total_bce() {
+            continue;
+        }
+        let curve = asymmetric_curve(model, budget, r, format!("r={r}"))?;
+        if let Some(peak) = curve.peak() {
+            let better = match &best {
+                None => true,
+                Some((_, b)) => peak.speedup > b.speedup,
+            };
+            if better {
+                best = Some((r, peak));
+            }
+        }
+    }
+    best.ok_or(ModelError::NonFinite { what: "empty asymmetric sweep" })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_model::growth::GrowthFunction;
+    use mp_model::params::AppParams;
+    use mp_model::perf::PerfModel;
+    use mp_model::topology::Topology;
+    use mp_model::{explore, CommSplit};
+
+    fn model() -> ExtendedModel {
+        ExtendedModel::new(AppParams::table2_kmeans(), GrowthFunction::Linear, PerfModel::Pollack)
+    }
+
+    #[test]
+    fn symmetric_curve_matches_legacy_explore_bitwise() {
+        let budget = ChipBudget::paper_default();
+        let ours = symmetric_curve(&model(), budget, "x").unwrap();
+        let legacy = explore::symmetric_curve(&model(), budget, "x").unwrap();
+        assert_eq!(ours.points.len(), legacy.points.len());
+        for (a, b) in ours.points.iter().zip(legacy.points.iter()) {
+            assert_eq!(a.area, b.area);
+            assert_eq!(a.cores, b.cores);
+            assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+        }
+    }
+
+    #[test]
+    fn asymmetric_curve_matches_legacy_explore_bitwise() {
+        let budget = ChipBudget::paper_default();
+        for r in [1.0, 4.0, 16.0] {
+            let ours = asymmetric_curve(&model(), budget, r, "x").unwrap();
+            let legacy = explore::asymmetric_curve(&model(), budget, r, "x").unwrap();
+            assert_eq!(ours.points.len(), legacy.points.len(), "r={r}");
+            for (a, b) in ours.points.iter().zip(legacy.points.iter()) {
+                assert_eq!(a.speedup.to_bits(), b.speedup.to_bits(), "r={r} rl={}", a.area);
+            }
+        }
+    }
+
+    #[test]
+    fn comm_curves_match_legacy_explore_bitwise() {
+        let budget = ChipBudget::paper_default();
+        let comm = CommModel::paper_figure7(AppParams::table2_kmeans()).unwrap();
+        let ours = symmetric_curve_comm(&comm, budget, "x").unwrap();
+        let legacy = explore::symmetric_curve_comm(&comm, budget, "x").unwrap();
+        for (a, b) in ours.points.iter().zip(legacy.points.iter()) {
+            assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+        }
+        let ours = asymmetric_curve_comm(&comm, budget, 4.0, "x").unwrap();
+        let legacy = explore::asymmetric_curve_comm(&comm, budget, 4.0, "x").unwrap();
+        for (a, b) in ours.points.iter().zip(legacy.points.iter()) {
+            assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+        }
+    }
+
+    #[test]
+    fn comm_curve_honours_the_models_comp_growth() {
+        // A serial (linear-growth) merge configuration must flow through the
+        // wrapper, not be silently replaced by the Figure 7 constant growth.
+        let budget = ChipBudget::paper_default();
+        let constant = CommModel::paper_figure7(AppParams::table2_kmeans()).unwrap();
+        let linear = constant.clone().with_comp_growth(GrowthFunction::Linear);
+        let ours = symmetric_curve_comm(&linear, budget, "x").unwrap();
+        let legacy = explore::symmetric_curve_comm(&linear, budget, "x").unwrap();
+        for (a, b) in ours.points.iter().zip(legacy.points.iter()) {
+            assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+        }
+        // And the two growths genuinely disagree, so the check above bites.
+        let constant_curve = symmetric_curve_comm(&constant, budget, "x").unwrap();
+        assert!(ours
+            .points
+            .iter()
+            .zip(constant_curve.points.iter())
+            .any(|(a, b)| a.speedup.to_bits() != b.speedup.to_bits()));
+    }
+
+    #[test]
+    fn comm_curve_honours_the_models_perf_model() {
+        let budget = ChipBudget::paper_default();
+        let params = AppParams::table2_kmeans();
+        let power = CommModel::new(
+            params.clone(),
+            CommSplit::ideal(params.split.fred).unwrap(),
+            GrowthFunction::Constant,
+            Topology::Mesh2D,
+            PerfModel::Power(0.75),
+        );
+        let ours = symmetric_curve_comm(&power, budget, "x").unwrap();
+        let legacy = explore::symmetric_curve_comm(&power, budget, "x").unwrap();
+        for (a, b) in ours.points.iter().zip(legacy.points.iter()) {
+            assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+        }
+        // Power(0.75) cores genuinely differ from Pollack, so the check bites.
+        let pollack = CommModel::paper_figure7(params).unwrap();
+        let pollack_curve = symmetric_curve_comm(&pollack, budget, "x").unwrap();
+        assert!(ours
+            .points
+            .iter()
+            .zip(pollack_curve.points.iter())
+            .any(|(a, b)| a.speedup.to_bits() != b.speedup.to_bits()));
+    }
+
+    #[test]
+    fn comm_curve_honours_an_explicit_split() {
+        let budget = ChipBudget::paper_default();
+        let params = AppParams::table2_kmeans();
+        let skewed = CommModel::new(
+            params.clone(),
+            CommSplit::new(0.1, 0.33).unwrap(),
+            GrowthFunction::Constant,
+            Topology::Mesh2D,
+            PerfModel::Pollack,
+        );
+        let ours = symmetric_curve_comm(&skewed, budget, "x").unwrap();
+        let legacy = explore::symmetric_curve_comm(&skewed, budget, "x").unwrap();
+        for (a, b) in ours.points.iter().zip(legacy.points.iter()) {
+            assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+        }
+    }
+
+    #[test]
+    fn unit_core_curve_matches_legacy_explore() {
+        let ours = unit_core_curve(&model(), 256).unwrap();
+        let legacy = explore::unit_core_curve(&model(), 256).unwrap();
+        assert_eq!(ours.len(), legacy.len());
+        for ((pa, sa), (pb, sb)) in ours.iter().zip(legacy.iter()) {
+            assert_eq!(pa, pb);
+            assert!((sa - sb).abs() < 1e-12, "p={pa}: {sa} vs {sb}");
+        }
+    }
+
+    #[test]
+    fn best_design_helpers_match_legacy_explore() {
+        let budget = ChipBudget::paper_default();
+        let ours = best_symmetric(&model(), budget).unwrap();
+        let legacy = explore::best_symmetric(&model(), budget).unwrap();
+        assert_eq!(ours.area, legacy.area);
+        assert_eq!(ours.speedup.to_bits(), legacy.speedup.to_bits());
+
+        let (r_a, peak_a) = best_asymmetric(&model(), budget).unwrap();
+        let (r_b, peak_b) = explore::best_asymmetric(&model(), budget).unwrap();
+        assert_eq!(r_a, r_b);
+        assert_eq!(peak_a.speedup.to_bits(), peak_b.speedup.to_bits());
+    }
+}

@@ -1,0 +1,522 @@
+//! The sweep engine: fans a [`ScenarioSpace`] out over an
+//! [`mp_par::ThreadPool`] in cache-friendly batches.
+//!
+//! The space is cut into contiguous index batches (the design axis varies
+//! fastest, so a batch shares the application/growth/perf axes and the
+//! backend's batched path can hoist model construction). Worker jobs pull
+//! batches from a shared atomic cursor — a work queue with no per-scenario
+//! synchronisation — and write results into disjoint slices of one
+//! preallocated record vector, so the output is deterministic and ordered
+//! regardless of scheduling.
+//!
+//! With memoisation enabled, each batch first probes the [`EvalCache`] by
+//! canonical scenario fingerprint; only the misses are evaluated (and
+//! back-filled into the cache). Because the cache stores raw `f64` bit
+//! patterns, cached and uncached sweeps produce bit-identical records.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use mp_par::ThreadPool;
+use serde::{Deserialize, Serialize};
+
+use crate::backend::EvalBackend;
+use crate::cache::EvalCache;
+use crate::scenario::ScenarioSpace;
+
+/// One evaluated scenario of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalRecord {
+    /// Flat index into the swept [`ScenarioSpace`].
+    pub index: usize,
+    /// Predicted speedup (`NaN` for designs that do not fit their budget or
+    /// that the backend rejected).
+    pub speedup: f64,
+    /// Number of cores of the design.
+    pub cores: f64,
+    /// Swept-axis area of the design (`r` symmetric, `rl` asymmetric).
+    pub area: f64,
+}
+
+impl EvalRecord {
+    /// Whether the record carries a real evaluation.
+    pub fn is_valid(&self) -> bool {
+        self.speedup.is_finite()
+    }
+}
+
+/// Tuning knobs of one sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Scenarios per work batch. Batches are contiguous index ranges, so this
+    /// is also the granularity of the backend's model-hoisting fast path.
+    pub batch_size: usize,
+    /// Whether to consult and fill the engine's memoisation cache.
+    pub use_cache: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig { batch_size: 1024, use_cache: true }
+    }
+}
+
+/// Bookkeeping of one sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepStats {
+    /// Total scenarios submitted.
+    pub scenarios: usize,
+    /// Scenarios with a finite speedup.
+    pub valid: usize,
+    /// Scenario evaluations answered from the memoisation cache.
+    pub cache_hits: u64,
+    /// Scenario evaluations computed by the backend.
+    pub cache_misses: u64,
+    /// Worker threads that participated.
+    pub threads: usize,
+    /// Wall-clock duration of the sweep in seconds.
+    pub elapsed_seconds: f64,
+}
+
+/// The outcome of a sweep: one record per scenario, in index order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Evaluated records, ordered by scenario index.
+    pub records: Vec<EvalRecord>,
+    /// Sweep bookkeeping.
+    pub stats: SweepStats,
+}
+
+/// A reusable sweep engine: a worker pool plus a memoisation cache.
+pub struct Engine {
+    pool: Option<ThreadPool>,
+    threads: usize,
+    cache: EvalCache,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("threads", &self.threads)
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// An engine with `threads` workers (1 evaluates inline, no pool).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "engine needs at least one thread");
+        Engine {
+            pool: (threads > 1).then(|| ThreadPool::new(threads)),
+            threads,
+            cache: EvalCache::new(),
+        }
+    }
+
+    /// An engine using every available hardware thread.
+    pub fn with_all_cores() -> Self {
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        Engine::new(threads)
+    }
+
+    /// Worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The engine's memoisation cache (for persistence or inspection).
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// Evaluate every scenario of `space` with `backend`.
+    pub fn sweep(
+        &self,
+        space: &ScenarioSpace,
+        backend: &dyn EvalBackend,
+        config: &SweepConfig,
+    ) -> SweepResult {
+        assert!(config.batch_size > 0, "batch size must be positive");
+        let started = std::time::Instant::now();
+        let n = space.len();
+        let mut records =
+            vec![EvalRecord { index: 0, speedup: f64::NAN, cores: 0.0, area: 0.0 }; n];
+        let cache = config.use_cache.then_some(&self.cache);
+        let hits = AtomicU64::new(0);
+        let misses = AtomicU64::new(0);
+
+        // Shrink the batch when the space is small relative to the worker
+        // count, so every worker gets several batches to pull (load balance);
+        // a floor keeps per-batch overheads amortised. Results are
+        // batch-size-independent, so this only affects scheduling.
+        let batch = if self.pool.is_some() {
+            config.batch_size.min(n.div_ceil(self.threads * 4).max(64))
+        } else {
+            config.batch_size
+        };
+        let use_pool = self.pool.is_some() && n > batch;
+        let mut workers = 1usize;
+        if use_pool {
+            let shared = SweepShared {
+                space,
+                backend,
+                cache,
+                records: records.as_mut_ptr(),
+                n,
+                batch,
+                cursor: AtomicUsize::new(0),
+                hits: &hits,
+                misses: &misses,
+                panicked: AtomicBool::new(false),
+                pending: Mutex::new(0),
+                done: Condvar::new(),
+            };
+            let pool = self.pool.as_ref().expect("pool exists when use_pool");
+            let jobs = self.threads.min(n.div_ceil(batch));
+            workers = jobs;
+            *shared.pending.lock().unwrap_or_else(|e| e.into_inner()) = jobs;
+            // SAFETY: the jobs only live until `wait_pending` returns below —
+            // the pending counter is decremented by a drop guard even on
+            // panic — so every reference outlives every job. Disjoint record
+            // ranges are handed out by the atomic cursor, so no slot is ever
+            // written twice.
+            let shared_ref: &'static SweepShared<'static> = unsafe { std::mem::transmute(&shared) };
+            // The caller participates as the last worker instead of spinning
+            // idle for the whole sweep, so exactly `jobs` threads do work.
+            for _ in 0..jobs.saturating_sub(1) {
+                pool.execute(move || shared_ref.run_worker());
+            }
+            shared.run_worker();
+            shared.wait_pending();
+            if shared.panicked.load(Ordering::Acquire) {
+                panic!("a design-space evaluation backend panicked during the sweep");
+            }
+        } else {
+            let mut start = 0usize;
+            while start < n {
+                let end = (start + batch).min(n);
+                process_batch(
+                    space,
+                    backend,
+                    cache,
+                    start..end,
+                    &mut records[start..end],
+                    &hits,
+                    &misses,
+                );
+                start = end;
+            }
+        }
+
+        let valid = records.iter().filter(|r| r.is_valid()).count();
+        SweepResult {
+            records,
+            stats: SweepStats {
+                scenarios: n,
+                valid,
+                cache_hits: hits.load(Ordering::Relaxed),
+                cache_misses: misses.load(Ordering::Relaxed),
+                threads: workers,
+                elapsed_seconds: started.elapsed().as_secs_f64(),
+            },
+        }
+    }
+}
+
+/// Shared state of one parallel sweep; handed to pool workers as a
+/// lifetime-erased reference (see the safety comment at the transmute).
+struct SweepShared<'a> {
+    space: &'a ScenarioSpace,
+    backend: &'a dyn EvalBackend,
+    cache: Option<&'a EvalCache>,
+    records: *mut EvalRecord,
+    n: usize,
+    batch: usize,
+    cursor: AtomicUsize,
+    hits: &'a AtomicU64,
+    misses: &'a AtomicU64,
+    panicked: AtomicBool,
+    pending: Mutex<usize>,
+    done: Condvar,
+}
+
+// SAFETY: the raw record pointer is only dereferenced through disjoint index
+// ranges handed out by the atomic cursor, and the caller blocks until every
+// worker has finished before touching the records again.
+unsafe impl Send for SweepShared<'_> {}
+unsafe impl Sync for SweepShared<'_> {}
+
+impl SweepShared<'_> {
+    fn run_worker(&self) {
+        // Decrement `pending` even if a batch panics so the caller never
+        // deadlocks; remember the panic and re-raise it on the caller.
+        struct Done<'a, 'b>(&'a SweepShared<'b>);
+        impl Drop for Done<'_, '_> {
+            fn drop(&mut self) {
+                let mut pending = self.0.pending.lock().unwrap_or_else(|e| e.into_inner());
+                *pending -= 1;
+                if *pending == 0 {
+                    self.0.done.notify_all();
+                }
+            }
+        }
+        let _done = Done(self);
+        let result = catch_unwind(AssertUnwindSafe(|| loop {
+            let batch_index = self.cursor.fetch_add(1, Ordering::Relaxed);
+            let start = batch_index.saturating_mul(self.batch);
+            if start >= self.n {
+                break;
+            }
+            let end = (start + self.batch).min(self.n);
+            // SAFETY: `start..end` ranges from the cursor never overlap.
+            let out =
+                unsafe { std::slice::from_raw_parts_mut(self.records.add(start), end - start) };
+            process_batch(
+                self.space,
+                self.backend,
+                self.cache,
+                start..end,
+                out,
+                self.hits,
+                self.misses,
+            );
+        }));
+        if result.is_err() {
+            self.panicked.store(true, Ordering::Release);
+        }
+    }
+
+    fn wait_pending(&self) {
+        let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+        while *pending != 0 {
+            pending = self.done.wait(pending).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Evaluate one contiguous batch into `out`, going through the cache when one
+/// is provided.
+fn process_batch(
+    space: &ScenarioSpace,
+    backend: &dyn EvalBackend,
+    cache: Option<&EvalCache>,
+    range: std::ops::Range<usize>,
+    out: &mut [EvalRecord],
+    hits: &AtomicU64,
+    misses: &AtomicU64,
+) {
+    debug_assert_eq!(out.len(), range.len());
+    let len = range.len();
+    let mut speedups = vec![f64::NAN; len];
+    // Decode every scenario of the batch exactly once; the key, hole-fill
+    // and record loops below all reuse these.
+    let scenarios: Vec<_> = range.clone().map(|index| space.scenario(index)).collect();
+
+    match cache {
+        None => {
+            backend.evaluate_batch(space, range.clone(), &mut speedups);
+            misses.fetch_add(len as u64, Ordering::Relaxed);
+        }
+        Some(cache) => {
+            let salt = backend.cache_salt();
+            let mut keys = Vec::with_capacity(len);
+            let mut holes = vec![false; len];
+            let mut missing = 0usize;
+            for (offset, scenario) in scenarios.iter().enumerate() {
+                let key = scenario.canonical_key(&salt);
+                keys.push(key);
+                match cache.get(key) {
+                    Some(speedup) => speedups[offset] = speedup,
+                    None => {
+                        holes[offset] = true;
+                        missing += 1;
+                    }
+                }
+            }
+            hits.fetch_add((len - missing) as u64, Ordering::Relaxed);
+            if missing == len {
+                // Cold batch: take the backend's hoisted fast path.
+                backend.evaluate_batch(space, range.clone(), &mut speedups);
+                misses.fetch_add(len as u64, Ordering::Relaxed);
+                for (offset, &key) in keys.iter().enumerate() {
+                    cache.insert(key, speedups[offset]);
+                }
+            } else if missing > 0 {
+                // Mixed batch: evaluate only the first-probe holes. A hole's
+                // key may have been filled since the first probe (a duplicate
+                // scenario earlier in this batch, or another worker): take
+                // the cached value then — counted as a hit, since no backend
+                // evaluation happened — so every slot ends up populated.
+                // `peek` keeps the re-probe itself out of the statistics.
+                let mut peeked = 0u64;
+                let mut evaluated = 0u64;
+                for (offset, scenario) in scenarios.iter().enumerate() {
+                    if !holes[offset] {
+                        continue;
+                    }
+                    if let Some(speedup) = cache.peek(keys[offset]) {
+                        speedups[offset] = speedup;
+                        peeked += 1;
+                        continue;
+                    }
+                    let speedup = if scenario.design.fits(scenario.budget) {
+                        backend.evaluate(scenario).unwrap_or(f64::NAN)
+                    } else {
+                        f64::NAN
+                    };
+                    speedups[offset] = speedup;
+                    cache.insert(keys[offset], speedup);
+                    evaluated += 1;
+                }
+                hits.fetch_add(peeked, Ordering::Relaxed);
+                misses.fetch_add(evaluated, Ordering::Relaxed);
+            }
+        }
+    }
+
+    for ((offset, index), scenario) in range.enumerate().zip(scenarios.iter()) {
+        out[offset] = EvalRecord {
+            index,
+            speedup: speedups[offset],
+            cores: scenario.cores(),
+            area: scenario.area(),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::AnalyticBackend;
+    use mp_model::params::{AppClass, AppParams};
+
+    fn space() -> ScenarioSpace {
+        ScenarioSpace::new()
+            .with_apps(
+                AppClass::table3_all().into_iter().map(|c| c.params()).collect::<Vec<AppParams>>(),
+            )
+            .clear_designs()
+            .add_symmetric_grid((0..64).map(|i| 1.0 + i as f64 * 2.0))
+            .add_asymmetric_grid([1.0, 4.0], [4.0, 16.0, 64.0])
+    }
+
+    #[test]
+    fn parallel_and_inline_sweeps_agree_bitwise() {
+        let space = space();
+        let inline = Engine::new(1);
+        let parallel = Engine::new(4);
+        let config = SweepConfig { batch_size: 16, use_cache: false };
+        let a = inline.sweep(&space, &AnalyticBackend, &config);
+        let b = parallel.sweep(&space, &AnalyticBackend, &config);
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(b.records.iter()) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.speedup.to_bits(), y.speedup.to_bits());
+        }
+    }
+
+    #[test]
+    fn cached_resweep_hits_every_scenario() {
+        let space = space();
+        let engine = Engine::new(2);
+        let config = SweepConfig { batch_size: 32, use_cache: true };
+        let first = engine.sweep(&space, &AnalyticBackend, &config);
+        assert_eq!(first.stats.cache_hits, 0);
+        assert_eq!(first.stats.cache_misses, space.len() as u64);
+        let second = engine.sweep(&space, &AnalyticBackend, &config);
+        assert_eq!(second.stats.cache_hits, space.len() as u64);
+        assert_eq!(second.stats.cache_misses, 0);
+        for (x, y) in first.records.iter().zip(second.records.iter()) {
+            assert_eq!(x.speedup.to_bits(), y.speedup.to_bits());
+        }
+    }
+
+    #[test]
+    fn unfit_designs_become_nan_records() {
+        let space = ScenarioSpace::new()
+            .with_budgets(vec![16.0])
+            .clear_designs()
+            .add_symmetric_grid([1.0, 16.0, 64.0]);
+        let engine = Engine::new(1);
+        let result = engine.sweep(&space, &AnalyticBackend, &SweepConfig::default());
+        assert_eq!(result.stats.scenarios, 3);
+        assert_eq!(result.stats.valid, 2);
+        assert!(result.records[2].speedup.is_nan());
+    }
+
+    #[test]
+    fn stats_count_scenarios_and_threads() {
+        let space = space();
+        let engine = Engine::new(3);
+        let result = engine.sweep(
+            &space,
+            &AnalyticBackend,
+            &SweepConfig { batch_size: 8, use_cache: false },
+        );
+        assert_eq!(result.stats.scenarios, space.len());
+        assert_eq!(result.stats.threads, 3);
+        assert!(result.stats.valid > 0);
+        assert!(result.stats.elapsed_seconds >= 0.0);
+    }
+
+    #[test]
+    fn reconfigured_backend_does_not_read_stale_cache_entries() {
+        use crate::backend::SimBackend;
+        // A grid whose merge tables spill the L1 at the default operation
+        // budget but not at a smaller one, so the two configurations truly
+        // disagree.
+        let space = ScenarioSpace::new()
+            .with_apps(AppParams::table2_all())
+            .clear_designs()
+            .add_symmetric_grid([1.0, 2.0, 4.0]);
+        let engine = Engine::new(1);
+        let cached = SweepConfig { batch_size: 4, use_cache: true };
+        let uncached = SweepConfig { batch_size: 4, use_cache: false };
+
+        let big = SimBackend::new();
+        let small = SimBackend::new().with_total_ops(1e5);
+        let truth_small = engine.sweep(&space, &small, &uncached);
+        let truth_big = engine.sweep(&space, &big, &uncached);
+        assert!(
+            truth_small
+                .records
+                .iter()
+                .zip(truth_big.records.iter())
+                .any(|(a, b)| a.speedup.to_bits() != b.speedup.to_bits()),
+            "configurations must disagree for this test to be meaningful"
+        );
+
+        // Warm the cache with one configuration, then sweep the other: the
+        // differently-configured backend must not hit the first one's salt.
+        let first = engine.sweep(&space, &big, &cached);
+        let second = engine.sweep(&space, &small, &cached);
+        assert_eq!(second.stats.cache_hits, 0, "different config must not hit");
+        for ((a, truth_a), (b, truth_b)) in first
+            .records
+            .iter()
+            .zip(truth_big.records.iter())
+            .zip(second.records.iter().zip(truth_small.records.iter()))
+        {
+            assert_eq!(a.speedup.to_bits(), truth_a.speedup.to_bits());
+            assert_eq!(b.speedup.to_bits(), truth_b.speedup.to_bits());
+        }
+    }
+
+    #[test]
+    fn duplicate_designs_in_a_partially_warm_batch_fill_every_slot() {
+        // Two identical designs plus one already-cached design in a single
+        // batch: the mixed-batch path must populate the second duplicate from
+        // the value its twin just inserted, not leave the NaN placeholder.
+        let engine = Engine::new(1);
+        let config = SweepConfig { batch_size: 8, use_cache: true };
+        let warm = ScenarioSpace::new().clear_designs().add_symmetric_grid([8.0]);
+        engine.sweep(&warm, &AnalyticBackend, &config);
+
+        let space = ScenarioSpace::new().clear_designs().add_symmetric_grid([4.0, 4.0, 8.0]);
+        let result = engine.sweep(&space, &AnalyticBackend, &config);
+        assert_eq!(result.stats.valid, 3, "every duplicate slot must be filled");
+        assert_eq!(result.records[0].speedup.to_bits(), result.records[1].speedup.to_bits());
+    }
+}

@@ -1,0 +1,230 @@
+//! Streaming JSON / CSV export of sweep results.
+//!
+//! Both writers stream record by record into any [`std::io::Write`] — no
+//! intermediate per-sweep string is built, so exporting a million-scenario
+//! sweep costs O(1) memory beyond the records themselves. The emitted field
+//! order and float formatting are deterministic, so byte-identical sweeps
+//! export byte-identical files.
+
+use std::io::{self, Write};
+
+use crate::engine::{EvalRecord, SweepStats};
+use crate::scenario::{ChipSpec, ScenarioSpace};
+
+/// Formatting of one record's scenario axes, shared by both formats.
+struct RecordFields {
+    app: String,
+    budget: f64,
+    kind: &'static str,
+    r: f64,
+    rl: f64,
+    growth: String,
+    perf: String,
+    reduction: String,
+    topology: String,
+}
+
+fn fields(space: &ScenarioSpace, record: &EvalRecord) -> RecordFields {
+    let scenario = space.scenario(record.index);
+    let (kind, r, rl) = match scenario.design {
+        ChipSpec::Symmetric { r } => ("symmetric", r, f64::NAN),
+        ChipSpec::Asymmetric { r, rl } => ("asymmetric", r, rl),
+    };
+    RecordFields {
+        app: scenario.app.name.clone(),
+        budget: scenario.budget.total_bce(),
+        kind,
+        r,
+        rl,
+        growth: scenario.growth.label(),
+        perf: scenario.perf.label(),
+        reduction: scenario.reduction.name().to_string(),
+        topology: format!("{:?}", scenario.topology),
+    }
+}
+
+fn float(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        String::new()
+    }
+}
+
+/// RFC-4180 quoting for free-form fields (application names are arbitrary
+/// user strings; the remaining string columns are fixed identifiers).
+fn csv_escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Stream the records as CSV (header + one row per record; invalid scenarios
+/// get an empty speedup column).
+pub fn write_csv<W: Write>(
+    out: &mut W,
+    space: &ScenarioSpace,
+    records: &[EvalRecord],
+) -> io::Result<()> {
+    writeln!(
+        out,
+        "index,app,budget_bce,design,r,rl,cores,area,growth,perf,reduction,topology,speedup"
+    )?;
+    for record in records {
+        let f = fields(space, record);
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            record.index,
+            csv_escape(&f.app),
+            float(f.budget),
+            f.kind,
+            float(f.r),
+            float(f.rl),
+            float(record.cores),
+            float(record.area),
+            f.growth,
+            f.perf,
+            f.reduction,
+            f.topology,
+            float(record.speedup),
+        )?;
+    }
+    Ok(())
+}
+
+/// Stream the sweep as a JSON document: stats header plus a records array,
+/// one object per line. Invalid speedups are emitted as `null` (JSON has no
+/// NaN).
+pub fn write_json<W: Write>(
+    out: &mut W,
+    space: &ScenarioSpace,
+    records: &[EvalRecord],
+    stats: &SweepStats,
+) -> io::Result<()> {
+    write!(
+        out,
+        "{{\"stats\":{},\"records\":[",
+        serde_json::to_string(stats).expect("stats always serialise")
+    )?;
+    for (i, record) in records.iter().enumerate() {
+        let f = fields(space, record);
+        let speedup = if record.speedup.is_finite() {
+            format!("{}", record.speedup)
+        } else {
+            "null".to_string()
+        };
+        write!(
+            out,
+            "{}\n{{\"index\":{},\"app\":{},\"budget_bce\":{},\"design\":\"{}\",\"r\":{},\"rl\":{},\"cores\":{},\"area\":{},\"growth\":\"{}\",\"perf\":\"{}\",\"reduction\":\"{}\",\"topology\":\"{}\",\"speedup\":{}}}",
+            if i == 0 { "" } else { "," },
+            record.index,
+            serde_json::to_string(&f.app).expect("strings serialise"),
+            f.budget,
+            f.kind,
+            json_float(f.r),
+            json_float(f.rl),
+            json_float(record.cores),
+            json_float(record.area),
+            f.growth,
+            f.perf,
+            f.reduction,
+            f.topology,
+            speedup,
+        )?;
+    }
+    writeln!(out, "\n]}}")?;
+    Ok(())
+}
+
+fn json_float(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::AnalyticBackend;
+    use crate::engine::{Engine, SweepConfig};
+
+    fn sweep() -> (ScenarioSpace, Vec<EvalRecord>, SweepStats) {
+        let space = ScenarioSpace::new()
+            .clear_designs()
+            .add_symmetric_grid([1.0, 4.0, 512.0])
+            .add_asymmetric_grid([1.0], [16.0]);
+        let engine = Engine::new(1);
+        let result = engine.sweep(&space, &AnalyticBackend, &SweepConfig::default());
+        (space, result.records, result.stats)
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_record() {
+        let (space, records, _) = sweep();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &space, &records).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + records.len());
+        assert!(lines[0].starts_with("index,app,"));
+        // The unfit r = 512 design exports an empty speedup cell.
+        assert!(lines[3].ends_with(','));
+        // The asymmetric design carries an rl value.
+        assert!(lines[4].contains("asymmetric"));
+    }
+
+    #[test]
+    fn json_parses_back_and_nan_becomes_null() {
+        let (space, records, stats) = sweep();
+        let mut buf = Vec::new();
+        write_json(&mut buf, &space, &records, &stats).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let value = serde_json::parse(&text).unwrap();
+        let map = value.as_map().unwrap();
+        let parsed_records =
+            map.iter().find(|(k, _)| k == "records").and_then(|(_, v)| v.as_arr()).unwrap();
+        assert_eq!(parsed_records.len(), records.len());
+        let unfit = parsed_records[2].as_map().unwrap();
+        assert!(unfit.iter().find(|(k, _)| k == "speedup").unwrap().1.is_null());
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let (space, records, stats) = sweep();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_csv(&mut a, &space, &records).unwrap();
+        write_csv(&mut b, &space, &records).unwrap();
+        assert_eq!(a, b);
+        let mut c = Vec::new();
+        let mut d = Vec::new();
+        write_json(&mut c, &space, &records, &stats).unwrap();
+        write_json(&mut d, &space, &records, &stats).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn csv_quotes_app_names_containing_delimiters() {
+        use mp_model::params::AppParams;
+        let space = ScenarioSpace::new()
+            .with_apps(vec![AppParams::table2_kmeans().with_name("kmeans, \"tuned\"")]);
+        let engine = Engine::new(1);
+        let result = engine.sweep(&space, &AnalyticBackend, &SweepConfig::default());
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &space, &result.records).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let row = text.lines().nth(1).unwrap();
+        assert!(row.contains("\"kmeans, \"\"tuned\"\"\""), "row: {row}");
+        // The one embedded comma sits inside the quoted field, so a naive
+        // split sees exactly one extra column and an RFC-4180 reader sees the
+        // correct count.
+        let header_cols = text.lines().next().unwrap().split(',').count();
+        let naive_cols = row.split(',').count();
+        assert_eq!(naive_cols, header_cols + 1, "row: {row}");
+    }
+}

@@ -1,0 +1,73 @@
+//! # mp-dse — parallel, cache-aware design-space exploration
+//!
+//! The paper's design-space study sweeps a handful of hand-picked chip
+//! designs. This crate turns that into a subsystem that evaluates *millions*
+//! of (application × machine × strategy) scenarios fast:
+//!
+//! * [`scenario`] — [`ScenarioSpace`]: cartesian grids and explicit lists
+//!   over application parameters, chip budgets, core sizes (symmetric and
+//!   asymmetric), growth functions, core performance models, reduction
+//!   strategies and NoC topologies, decoded lazily from flat indices.
+//! * [`backend`] — the pluggable [`EvalBackend`] trait with three
+//!   implementations: the analytic extended model ([`AnalyticBackend`]), the
+//!   communication-aware model ([`CommBackend`]) and the trace-driven
+//!   `mp-cmpsim` timing simulation ([`SimBackend`]).
+//! * [`engine`] — [`Engine`]: a sharded work queue fanning batches out over
+//!   an [`mp_par::ThreadPool`]; contiguous batches share every axis but the
+//!   design, so backends hoist model construction, and results land in
+//!   deterministic index order.
+//! * [`cache`] — [`EvalCache`]: sharded memoisation keyed on canonicalised
+//!   scenario bits; cached and uncached sweeps are bit-identical, and the
+//!   cache serialises to JSON for cross-process warm starts.
+//! * [`analysis`] — top-k designs, per-axis optima and 2-D Pareto frontiers
+//!   of speedup against cores or area.
+//! * [`export`] — streaming JSON / CSV writers.
+//! * [`curves`] — drop-in replacements for the `mp_model::explore` figure
+//!   sweeps, routed through the engine so Figures 3, 4, 5 and 7 share the
+//!   production evaluation path.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mp_dse::prelude::*;
+//! use mp_model::params::AppClass;
+//!
+//! // Sweep every Table III class over a fine symmetric grid.
+//! let space = ScenarioSpace::new()
+//!     .with_apps(AppClass::table3_all().iter().map(|c| c.params()).collect())
+//!     .clear_designs()
+//!     .add_symmetric_grid((0..256).map(|i| 1.0 + i as f64));
+//!
+//! let engine = Engine::new(2);
+//! let result = engine.sweep(&space, &AnalyticBackend, &SweepConfig::default());
+//! assert_eq!(result.records.len(), space.len());
+//!
+//! let best = top_k(&result.records, 3);
+//! let frontier = pareto_frontier(&result.records, CostAxis::Cores);
+//! assert!(!best.is_empty() && !frontier.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod backend;
+pub mod cache;
+pub mod curves;
+pub mod engine;
+pub mod export;
+pub mod scenario;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::analysis::{
+        dominates, pareto_frontier, per_axis_optima, top_k, AxisOptimum, CostAxis,
+    };
+    pub use crate::backend::{AnalyticBackend, CommBackend, DseError, EvalBackend, SimBackend};
+    pub use crate::cache::EvalCache;
+    pub use crate::engine::{Engine, EvalRecord, SweepConfig, SweepResult, SweepStats};
+    pub use crate::export::{write_csv, write_json};
+    pub use crate::scenario::{ChipSpec, Scenario, ScenarioIndex, ScenarioSpace};
+}
+
+pub use prelude::*;

@@ -114,6 +114,16 @@ impl CommModel {
         self.topology
     }
 
+    /// Growth function of the reduction computation in use.
+    pub fn comp_growth(&self) -> &GrowthFunction {
+        &self.comp_growth
+    }
+
+    /// Core performance model in use.
+    pub fn perf(&self) -> &PerfModel {
+        &self.perf
+    }
+
     /// Replace the topology (builder-style), e.g. for topology ablations.
     pub fn with_topology(mut self, topology: Topology) -> Self {
         self.topology = topology;
@@ -204,13 +214,7 @@ mod tests {
         let (best_r, best_s) = budget()
             .power_of_two_core_sizes()
             .into_iter()
-            .map(|r| {
-                (
-                    r,
-                    m.speedup_symmetric(&SymmetricDesign::new(budget(), r).unwrap())
-                        .unwrap(),
-                )
-            })
+            .map(|r| (r, m.speedup_symmetric(&SymmetricDesign::new(budget(), r).unwrap()).unwrap()))
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
             .unwrap();
         assert_eq!(best_r, 8.0, "peak should be at r = 8");
@@ -228,8 +232,7 @@ mod tests {
                 .into_iter()
                 .filter(|&rl| rl >= r && rl < 256.0)
                 .map(|rl| {
-                    m.speedup_asymmetric(&AsymmetricDesign::new(budget(), r, rl).unwrap())
-                        .unwrap()
+                    m.speedup_asymmetric(&AsymmetricDesign::new(budget(), r, rl).unwrap()).unwrap()
                 })
                 .fold(f64::MIN, f64::max)
         };
@@ -247,10 +250,7 @@ mod tests {
         let best_sym_comm = budget()
             .power_of_two_core_sizes()
             .into_iter()
-            .map(|r| {
-                m.speedup_symmetric(&SymmetricDesign::new(budget(), r).unwrap())
-                    .unwrap()
-            })
+            .map(|r| m.speedup_symmetric(&SymmetricDesign::new(budget(), r).unwrap()).unwrap())
             .fold(f64::MIN, f64::max);
         let best_sym_amdahl = budget()
             .power_of_two_core_sizes()
@@ -277,10 +277,7 @@ mod tests {
         let best_sym = budget()
             .power_of_two_core_sizes()
             .into_iter()
-            .map(|r| {
-                m.speedup_symmetric(&SymmetricDesign::new(budget(), r).unwrap())
-                    .unwrap()
-            })
+            .map(|r| m.speedup_symmetric(&SymmetricDesign::new(budget(), r).unwrap()).unwrap())
             .fold(f64::MIN, f64::max);
         let best_asym = budget()
             .power_of_two_core_sizes()
@@ -293,8 +290,7 @@ mod tests {
                     .map(move |rl| (r, rl))
             })
             .map(|(r, rl)| {
-                m.speedup_asymmetric(&AsymmetricDesign::new(budget(), r, rl).unwrap())
-                    .unwrap()
+                m.speedup_asymmetric(&AsymmetricDesign::new(budget(), r, rl).unwrap()).unwrap()
             })
             .fold(f64::MIN, f64::max);
         let margin = best_asym / best_sym;
@@ -321,10 +317,8 @@ mod tests {
     fn serial_computation_growth_lowers_speedup() {
         let params = fig7_params();
         let d = SymmetricDesign::new(budget(), 4.0).unwrap();
-        let parallel_merge = CommModel::paper_figure7(params.clone())
-            .unwrap()
-            .speedup_symmetric(&d)
-            .unwrap();
+        let parallel_merge =
+            CommModel::paper_figure7(params.clone()).unwrap().speedup_symmetric(&d).unwrap();
         let serial_merge = CommModel::paper_figure7(params)
             .unwrap()
             .with_comp_growth(GrowthFunction::Linear)

@@ -58,14 +58,9 @@ impl fmt::Display for ModelError {
             ModelError::NonPositive { name, value } => {
                 write!(fm, "parameter `{name}` must be strictly positive, got {value}")
             }
-            ModelError::BudgetExceeded {
-                what,
-                requested,
-                available,
-            } => write!(
-                fm,
-                "{what} requires {requested} BCE but only {available} BCE are available"
-            ),
+            ModelError::BudgetExceeded { what, requested, available } => {
+                write!(fm, "{what} requires {requested} BCE but only {available} BCE are available")
+            }
             ModelError::NonFinite { what } => {
                 write!(fm, "evaluation of {what} produced a non-finite value")
             }
@@ -133,11 +128,8 @@ mod tests {
     fn display_messages_mention_parameter_names() {
         let e = ModelError::FractionOutOfRange { name: "f", value: 2.0 };
         assert!(e.to_string().contains('f'));
-        let e = ModelError::BudgetExceeded {
-            what: "large core",
-            requested: 512.0,
-            available: 256.0,
-        };
+        let e =
+            ModelError::BudgetExceeded { what: "large core", requested: 512.0, available: 256.0 };
         assert!(e.to_string().contains("512"));
         assert!(e.to_string().contains("256"));
     }

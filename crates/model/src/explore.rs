@@ -38,13 +38,12 @@ pub struct Curve {
 impl Curve {
     /// The point with the highest speedup (ties resolved toward smaller area).
     pub fn peak(&self) -> Option<DesignPoint> {
-        self.points
-            .iter()
-            .copied()
-            .max_by(|a, b| match a.speedup.partial_cmp(&b.speedup).unwrap() {
+        self.points.iter().copied().max_by(|a, b| {
+            match a.speedup.partial_cmp(&b.speedup).unwrap() {
                 std::cmp::Ordering::Equal => b.area.partial_cmp(&a.area).unwrap(),
                 other => other,
-            })
+            }
+        })
     }
 }
 
@@ -124,7 +123,10 @@ pub fn asymmetric_curve_comm(
 
 /// The best symmetric design (per-core area and speedup) for a model under a
 /// budget, considering power-of-two core sizes.
-pub fn best_symmetric(model: &ExtendedModel, budget: ChipBudget) -> Result<DesignPoint, ModelError> {
+pub fn best_symmetric(
+    model: &ExtendedModel,
+    budget: ChipBudget,
+) -> Result<DesignPoint, ModelError> {
     let curve = symmetric_curve(model, budget, "best")?;
     curve.peak().ok_or(ModelError::NonFinite { what: "empty symmetric sweep" })
 }
@@ -157,7 +159,10 @@ pub fn best_asymmetric(
 /// Scalability curve on `p` identical unit cores for `p = 1 … max_cores`
 /// (the Figure 3 series). Returns `(p, speedup)` pairs at power-of-two core
 /// counts plus the end point.
-pub fn unit_core_curve(model: &ExtendedModel, max_cores: usize) -> Result<Vec<(usize, f64)>, ModelError> {
+pub fn unit_core_curve(
+    model: &ExtendedModel,
+    max_cores: usize,
+) -> Result<Vec<(usize, f64)>, ModelError> {
     let mut points = Vec::new();
     let mut p = 1usize;
     while p < max_cores {

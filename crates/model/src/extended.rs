@@ -204,12 +204,8 @@ mod tests {
             .power_of_two_core_sizes()
             .into_iter()
             .max_by(|&a, &b| {
-                let sa = m
-                    .speedup_symmetric(&SymmetricDesign::new(budget(), a).unwrap())
-                    .unwrap();
-                let sb = m
-                    .speedup_symmetric(&SymmetricDesign::new(budget(), b).unwrap())
-                    .unwrap();
+                let sa = m.speedup_symmetric(&SymmetricDesign::new(budget(), a).unwrap()).unwrap();
+                let sb = m.speedup_symmetric(&SymmetricDesign::new(budget(), b).unwrap()).unwrap();
                 sa.partial_cmp(&sb).unwrap()
             })
             .unwrap();
@@ -242,10 +238,7 @@ mod tests {
         let best = budget()
             .power_of_two_core_sizes()
             .into_iter()
-            .map(|r| {
-                m.speedup_symmetric(&SymmetricDesign::new(budget(), r).unwrap())
-                    .unwrap()
-            })
+            .map(|r| m.speedup_symmetric(&SymmetricDesign::new(budget(), r).unwrap()).unwrap())
             .fold(f64::MIN, f64::max);
         assert!((best - 47.6).abs() < 1.0, "got {best}");
     }
@@ -259,8 +252,7 @@ mod tests {
             .into_iter()
             .filter(|&rl| (4.0..256.0).contains(&rl))
             .map(|rl| {
-                m.speedup_asymmetric(&AsymmetricDesign::new(budget(), 4.0, rl).unwrap())
-                    .unwrap()
+                m.speedup_asymmetric(&AsymmetricDesign::new(budget(), 4.0, rl).unwrap()).unwrap()
             })
             .fold(f64::MIN, f64::max);
         assert!((best - 43.3).abs() < 1.0, "got {best}");
@@ -275,8 +267,7 @@ mod tests {
             .into_iter()
             .filter(|&rl| rl < 256.0)
             .map(|rl| {
-                m.speedup_asymmetric(&AsymmetricDesign::new(budget(), 1.0, rl).unwrap())
-                    .unwrap()
+                m.speedup_asymmetric(&AsymmetricDesign::new(budget(), 1.0, rl).unwrap()).unwrap()
             })
             .fold(f64::MIN, f64::max);
         assert!((best - 22.6).abs() < 1.0, "got {best}");
@@ -291,8 +282,7 @@ mod tests {
             .into_iter()
             .filter(|&rl| (4.0..256.0).contains(&rl))
             .map(|rl| {
-                m.speedup_asymmetric(&AsymmetricDesign::new(budget(), 4.0, rl).unwrap())
-                    .unwrap()
+                m.speedup_asymmetric(&AsymmetricDesign::new(budget(), 4.0, rl).unwrap()).unwrap()
             })
             .fold(f64::MIN, f64::max);
         assert!((best - 64.2).abs() < 1.5, "got {best}");
@@ -309,11 +299,7 @@ mod tests {
                 .power_of_two_core_sizes()
                 .into_iter()
                 .map(|r| {
-                    (
-                        r,
-                        m.speedup_symmetric(&SymmetricDesign::new(budget(), r).unwrap())
-                            .unwrap(),
-                    )
+                    (r, m.speedup_symmetric(&SymmetricDesign::new(budget(), r).unwrap()).unwrap())
                 })
                 .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
                 .unwrap()
@@ -333,12 +319,8 @@ mod tests {
             .power_of_two_core_sizes()
             .into_iter()
             .max_by(|&a, &b| {
-                let sa = m
-                    .speedup_symmetric(&SymmetricDesign::new(budget(), a).unwrap())
-                    .unwrap();
-                let sb = m
-                    .speedup_symmetric(&SymmetricDesign::new(budget(), b).unwrap())
-                    .unwrap();
+                let sa = m.speedup_symmetric(&SymmetricDesign::new(budget(), a).unwrap()).unwrap();
+                let sb = m.speedup_symmetric(&SymmetricDesign::new(budget(), b).unwrap()).unwrap();
                 sa.partial_cmp(&sb).unwrap()
             })
             .unwrap();
@@ -370,9 +352,8 @@ mod tests {
         // And speedup is no longer monotone: somewhere before 256 cores there is
         // a peak higher than the 256-core value, or at least the growth has
         // flattened dramatically relative to Amdahl.
-        let peak = (1..=256)
-            .map(|p| m.speedup_unit_cores(p as f64).unwrap())
-            .fold(f64::MIN, f64::max);
+        let peak =
+            (1..=256).map(|p| m.speedup_unit_cores(p as f64).unwrap()).fold(f64::MIN, f64::max);
         assert!(peak >= ext256);
         assert!(amdahl256 / ext256 > 1.2);
     }

@@ -1,0 +1,106 @@
+//! Stable 64-bit FNV-1a fingerprinting.
+//!
+//! Used wherever a fingerprint must be reproducible across runs *and*
+//! toolchains — memoisation-cache keys and the parameterised labels that end
+//! up in persisted sweep exports. `std`'s hashers make no cross-release
+//! stability promise, so the workspace carries this one implementation and
+//! every fingerprint goes through it.
+//!
+//! Negative zero is canonicalised to `0.0` before hashing so semantically
+//! equal floating-point inputs always fingerprint identically.
+
+/// An incremental FNV-1a hasher over bytes, floats and strings.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    /// The standard FNV-1a 64-bit offset basis.
+    pub const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+    /// A hasher seeded with the standard offset basis.
+    pub fn new() -> Self {
+        Self::with_basis(Self::OFFSET_BASIS)
+    }
+
+    /// A hasher seeded with an explicit basis (two different bases give two
+    /// independent streams, e.g. for a 128-bit key).
+    pub fn with_basis(basis: u64) -> Self {
+        Fnv64 { state: basis }
+    }
+
+    /// Fold one byte into the fingerprint.
+    pub fn write_u8(&mut self, byte: u8) {
+        self.state = (self.state ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+    }
+
+    /// Fold a float's bit pattern in, canonicalising `-0.0` to `0.0`.
+    pub fn write_f64(&mut self, value: f64) {
+        let canonical = if value == 0.0 { 0.0f64 } else { value };
+        for byte in canonical.to_bits().to_le_bytes() {
+            self.write_u8(byte);
+        }
+    }
+
+    /// Fold a string in, terminated so adjacent strings cannot alias.
+    pub fn write_str(&mut self, s: &str) {
+        for byte in s.bytes() {
+            self.write_u8(byte);
+        }
+        self.write_u8(0xff);
+    }
+
+    /// The current fingerprint.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a of "a" is a published test vector.
+        let mut h = Fnv64::new();
+        h.write_u8(b'a');
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn negative_zero_canonicalises() {
+        let mut a = Fnv64::new();
+        let mut b = Fnv64::new();
+        a.write_f64(0.0);
+        b.write_f64(-0.0);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinct_bases_give_independent_streams() {
+        let mut a = Fnv64::new();
+        let mut b = Fnv64::with_basis(0x6c62_272e_07bb_0142);
+        a.write_f64(1.5);
+        b.write_f64(1.5);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn string_termination_prevents_aliasing() {
+        let mut a = Fnv64::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv64::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -82,6 +82,28 @@ impl GrowthFunction {
             GrowthFunction::Measured(_) => "measured",
         }
     }
+
+    /// Like [`GrowthFunction::name`], but parameterised variants carry their
+    /// parameters, so distinct growth functions always label distinctly:
+    /// `"superlinear(1.55)"`, and for measured curves the point count plus a
+    /// short content fingerprint, e.g. `"measured(4pts#1a2b3c4d)"`.
+    pub fn label(&self) -> String {
+        match self {
+            GrowthFunction::Superlinear(exp) => format!("superlinear({exp})"),
+            GrowthFunction::Measured(points) => {
+                // Labels end up in persisted exports (sweep CSV/JSON), so the
+                // fingerprint must be stable across toolchains — hence the
+                // workspace [`crate::fingerprint::Fnv64`], not std's hasher.
+                let mut hasher = crate::fingerprint::Fnv64::new();
+                for (x, y) in points {
+                    hasher.write_f64(*x);
+                    hasher.write_f64(*y);
+                }
+                format!("measured({}pts#{:08x})", points.len(), hasher.finish() as u32)
+            }
+            other => other.name().to_string(),
+        }
+    }
 }
 
 /// Piecewise-linear interpolation with linear extrapolation beyond the last

@@ -136,10 +136,12 @@ mod tests {
                 .power_of_two_core_sizes()
                 .into_iter()
                 .max_by(|&a, &b| {
-                    let sa = symmetric_speedup(f, &SymmetricDesign::new(budget(), a).unwrap(), &perf)
-                        .unwrap();
-                    let sb = symmetric_speedup(f, &SymmetricDesign::new(budget(), b).unwrap(), &perf)
-                        .unwrap();
+                    let sa =
+                        symmetric_speedup(f, &SymmetricDesign::new(budget(), a).unwrap(), &perf)
+                            .unwrap();
+                    let sb =
+                        symmetric_speedup(f, &SymmetricDesign::new(budget(), b).unwrap(), &perf)
+                            .unwrap();
                     sa.partial_cmp(&sb).unwrap()
                 })
                 .unwrap()

@@ -69,6 +69,7 @@ pub mod comm;
 pub mod error;
 pub mod explore;
 pub mod extended;
+pub mod fingerprint;
 pub mod growth;
 pub mod hill_marty;
 pub mod params;

@@ -48,10 +48,7 @@ impl SerialSplit {
         let fred = check_fraction("fred", fred)?;
         let sum = fcon + fred;
         if (sum - 1.0).abs() > 1e-6 {
-            return Err(ModelError::FractionSumInvalid {
-                what: "serial split (fcon + fred)",
-                sum,
-            });
+            return Err(ModelError::FractionSumInvalid { what: "serial split (fcon + fred)", sum });
         }
         Ok(SerialSplit { fcon, fred })
     }
@@ -98,13 +95,7 @@ impl AppParams {
             return Err(ModelError::NonPositive { name: "fored", value: fored });
         }
         let critical_section = check_fraction("critical_section", critical_section)?;
-        Ok(AppParams {
-            name: name.into(),
-            f,
-            split,
-            fored,
-            critical_section,
-        })
+        Ok(AppParams { name: name.into(), f, split, fored, critical_section })
     }
 
     /// The serial fraction `s = 1 - f` of single-core execution time.
@@ -154,6 +145,17 @@ impl AppParams {
     /// All three Table II rows, in paper order.
     pub fn table2_all() -> Vec<Self> {
         vec![Self::table2_kmeans(), Self::table2_fuzzy(), Self::table2_hop()]
+    }
+
+    /// The paper's full application catalogue: the eight synthetic Table III
+    /// classes followed by the three measured Table II applications. This is
+    /// the application axis of the large design-space sweeps (`repro dse`,
+    /// the benches and the examples), defined once so they all explore the
+    /// same space.
+    pub fn paper_catalog() -> Vec<Self> {
+        let mut apps: Vec<AppParams> = AppClass::table3_all().iter().map(|c| c.params()).collect();
+        apps.extend(Self::table2_all());
+        apps
     }
 }
 

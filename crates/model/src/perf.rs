@@ -76,6 +76,17 @@ impl PerfModel {
             PerfModel::Logarithmic(_) => "logarithmic",
         }
     }
+
+    /// Like [`PerfModel::name`], but parameterised variants carry their
+    /// parameters, so distinct models always label distinctly
+    /// (e.g. `"power(0.75)"`, `"logarithmic(0.5)"`).
+    pub fn label(&self) -> String {
+        match self {
+            PerfModel::Power(exp) => format!("power({exp})"),
+            PerfModel::Logarithmic(k) => format!("logarithmic({k})"),
+            other => other.name().to_string(),
+        }
+    }
 }
 
 #[cfg(test)]

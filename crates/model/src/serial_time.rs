@@ -27,10 +27,7 @@ pub fn serial_growth_series(
     growth: &GrowthFunction,
     thread_counts: &[usize],
 ) -> Vec<(usize, f64)> {
-    thread_counts
-        .iter()
-        .map(|&p| (p, serial_growth_factor(params, growth, p as f64)))
-        .collect()
+    thread_counts.iter().map(|&p| (p, serial_growth_factor(params, growth, p as f64))).collect()
 }
 
 /// Figure 2(d): the ratio of the model-predicted serial time to an observed
@@ -106,8 +103,7 @@ mod tests {
     #[test]
     fn series_is_monotone_for_linear_growth() {
         let params = AppParams::table2_kmeans();
-        let series =
-            serial_growth_series(&params, &GrowthFunction::Linear, &[1, 2, 4, 8, 16, 32]);
+        let series = serial_growth_series(&params, &GrowthFunction::Linear, &[1, 2, 4, 8, 16, 32]);
         for w in series.windows(2) {
             assert!(w[1].1 >= w[0].1);
         }

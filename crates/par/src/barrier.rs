@@ -26,11 +26,7 @@ impl SpinBarrier {
     /// Create a barrier for `participants` threads (must be at least 1).
     pub fn new(participants: usize) -> Self {
         assert!(participants > 0, "barrier needs at least one participant");
-        SpinBarrier {
-            participants,
-            arrived: AtomicUsize::new(0),
-            sense: AtomicBool::new(false),
-        }
+        SpinBarrier { participants, arrived: AtomicUsize::new(0), sense: AtomicBool::new(false) }
     }
 
     /// Number of participating threads.

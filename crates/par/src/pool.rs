@@ -353,9 +353,8 @@ mod tests {
     #[test]
     fn parallel_partials_equal_sequential_fold() {
         let data: Vec<u64> = (0..10_000).map(|i| i * 3 + 1).collect();
-        let partials = parallel_partials(5, data.len(), |_ctx, range| {
-            data[range].iter().sum::<u64>()
-        });
+        let partials =
+            parallel_partials(5, data.len(), |_ctx, range| data[range].iter().sum::<u64>());
         let parallel_sum: u64 = partials.iter().sum();
         let sequential: u64 = data.iter().sum();
         assert_eq!(parallel_sum, sequential);

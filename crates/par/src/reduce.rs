@@ -299,9 +299,7 @@ mod tests {
     use super::*;
 
     fn make_partials(p: usize, x: usize) -> Vec<Vec<f64>> {
-        (0..p)
-            .map(|t| (0..x).map(|e| (t * x + e) as f64 * 0.5 + 1.0).collect())
-            .collect()
+        (0..p).map(|t| (0..x).map(|e| (t * x + e) as f64 * 0.5 + 1.0).collect()).collect()
     }
 
     fn expected_sum(partials: &[Vec<f64>]) -> Vec<f64> {
@@ -363,11 +361,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn mismatched_lengths_panic() {
-        reduce_elementwise(
-            &[vec![1.0, 2.0], vec![1.0]],
-            ReductionStrategy::SerialLinear,
-            2,
-        );
+        reduce_elementwise(&[vec![1.0, 2.0], vec![1.0]], ReductionStrategy::SerialLinear, 2);
     }
 
     #[test]
@@ -429,8 +423,9 @@ mod tests {
 
     #[test]
     fn fork_join_serial_merge_matches_strategies() {
-        let per_thread =
-            |_tid: usize, range: std::ops::Range<usize>| vec![range.len() as f64, range.start as f64];
+        let per_thread = |_tid: usize, range: std::ops::Range<usize>| {
+            vec![range.len() as f64, range.start as f64]
+        };
         let serial = fork_join_serial_merge(5, 50, per_thread);
         let (via_reduce, _) =
             map_reduce_elementwise(5, 50, 2, ReductionStrategy::TreeLog, per_thread);

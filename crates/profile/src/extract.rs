@@ -73,10 +73,8 @@ pub fn serial_growth(profiles: &[RunProfile]) -> Vec<(usize, f64)> {
         Some(b) if b.serial_time() > 0.0 => b.serial_time(),
         _ => return Vec::new(),
     };
-    let mut series: Vec<(usize, f64)> = profiles
-        .iter()
-        .map(|p| (p.threads, p.serial_time() / base))
-        .collect();
+    let mut series: Vec<(usize, f64)> =
+        profiles.iter().map(|p| (p.threads, p.serial_time() / base)).collect();
     series.sort_by_key(|&(t, _)| t);
     series
 }
@@ -105,10 +103,8 @@ pub fn reduction_growth(profiles: &[RunProfile]) -> Vec<(usize, f64)> {
         Some(b) if b.reduction_time() > 0.0 => b.reduction_time(),
         _ => return Vec::new(),
     };
-    let mut series: Vec<(usize, f64)> = profiles
-        .iter()
-        .map(|p| (p.threads, p.reduction_time() / base))
-        .collect();
+    let mut series: Vec<(usize, f64)> =
+        profiles.iter().map(|p| (p.threads, p.reduction_time() / base)).collect();
     series.sort_by_key(|&(t, _)| t);
     series
 }
@@ -171,11 +167,7 @@ mod tests {
         push(&mut profile, PhaseKind::Init, 0.01);
         push(&mut profile, PhaseKind::Parallel, f / p as f64);
         push(&mut profile, PhaseKind::SerialConstant, fcon_abs);
-        push(
-            &mut profile,
-            PhaseKind::Reduction,
-            fred_abs * (1.0 + fored * (p as f64 - 1.0)),
-        );
+        push(&mut profile, PhaseKind::Reduction, fred_abs * (1.0 + fored * (p as f64 - 1.0)));
         profile
     }
 

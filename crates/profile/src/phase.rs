@@ -33,10 +33,7 @@ impl PhaseKind {
     /// accounting (everything that is not the parallel section or
     /// initialisation).
     pub fn is_serial(&self) -> bool {
-        matches!(
-            self,
-            PhaseKind::SerialConstant | PhaseKind::Reduction | PhaseKind::Communication
-        )
+        matches!(self, PhaseKind::SerialConstant | PhaseKind::Reduction | PhaseKind::Communication)
     }
 
     /// Short label for reports.
@@ -89,11 +86,7 @@ impl RunProfile {
     /// Total time across all phases, *excluding* initialisation (the paper's
     /// accounting subtracts initialisation before computing fractions).
     pub fn total_time(&self) -> f64 {
-        self.records
-            .iter()
-            .filter(|r| r.kind != PhaseKind::Init)
-            .map(|r| r.seconds)
-            .sum()
+        self.records.iter().filter(|r| r.kind != PhaseKind::Init).map(|r| r.seconds).sum()
     }
 
     /// Total time including initialisation.

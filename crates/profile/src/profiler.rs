@@ -24,24 +24,14 @@ pub struct Profiler {
 impl Profiler {
     /// Create a profiler for a run of `app` at `threads` threads.
     pub fn new(app: impl Into<String>, threads: usize) -> Self {
-        Profiler {
-            app: app.into(),
-            threads,
-            records: Mutex::new(Vec::new()),
-            enabled: true,
-        }
+        Profiler { app: app.into(), threads, records: Mutex::new(Vec::new()), enabled: true }
     }
 
     /// Create a disabled profiler: phase bodies still run, but nothing is
     /// recorded and the timing overhead is skipped. Useful for benchmarking
     /// the workloads without instrumentation noise.
     pub fn disabled() -> Self {
-        Profiler {
-            app: String::new(),
-            threads: 0,
-            records: Mutex::new(Vec::new()),
-            enabled: false,
-        }
+        Profiler { app: String::new(), threads: 0, records: Mutex::new(Vec::new()), enabled: false }
     }
 
     /// Whether this profiler records anything.
@@ -86,11 +76,7 @@ impl Profiler {
 
     /// Produce the final [`RunProfile`], consuming the profiler.
     pub fn finish(self) -> RunProfile {
-        RunProfile {
-            app: self.app,
-            threads: self.threads,
-            records: self.records.into_inner(),
-        }
+        RunProfile { app: self.app, threads: self.threads, records: self.records.into_inner() }
     }
 
     /// Produce a snapshot [`RunProfile`] without consuming the profiler.

@@ -54,20 +54,10 @@ pub fn render_table(title: &str, rows: &[TableRow], precision: usize) -> String 
             }
         }
     }
-    let label_width = rows
-        .iter()
-        .map(|r| r.label.len())
-        .chain(std::iter::once("label".len()))
-        .max()
-        .unwrap_or(5)
-        + 2;
-    let col_width = columns
-        .iter()
-        .map(|c| c.len())
-        .max()
-        .unwrap_or(8)
-        .max(precision + 6)
-        + 2;
+    let label_width =
+        rows.iter().map(|r| r.label.len()).chain(std::iter::once("label".len())).max().unwrap_or(5)
+            + 2;
+    let col_width = columns.iter().map(|c| c.len()).max().unwrap_or(8).max(precision + 6) + 2;
 
     out.push_str(&format!("{:<label_width$}", "label"));
     for c in &columns {
@@ -141,10 +131,8 @@ mod tests {
 
     #[test]
     fn header_is_the_union_of_all_row_columns() {
-        let rows = vec![
-            TableRow::new("sym").with("r=1", 1.0),
-            TableRow::new("asym").with("rl=2", 2.0),
-        ];
+        let rows =
+            vec![TableRow::new("sym").with("r=1", 1.0), TableRow::new("asym").with("rl=2", 2.0)];
         let text = render_table("t", &rows, 1);
         assert!(text.contains("r=1"));
         assert!(text.contains("rl=2"));

@@ -93,26 +93,49 @@ impl Dataset {
         assert!(spec.points > 0, "dataset needs at least one point");
         assert!(spec.dims > 0, "dataset needs at least one dimension");
         assert!(spec.clusters > 0, "dataset needs at least one cluster");
-        assert!(
-            spec.clusters <= spec.points,
-            "cannot have more clusters than points"
-        );
+        assert!(spec.clusters <= spec.points, "cannot have more clusters than points");
         let mut rng = StdRng::seed_from_u64(spec.seed);
         let spread = 10.0;
         let sigma = 0.5;
 
-        let mut true_centers = Vec::with_capacity(spec.clusters * spec.dims);
-        for _ in 0..spec.clusters {
-            for _ in 0..spec.dims {
-                true_centers.push(rng.gen_range(0.0..spread));
+        let mut true_centers: Vec<f64> = Vec::with_capacity(spec.clusters * spec.dims);
+        // Rejection-sample the centres so every pair is at least ~6σ apart,
+        // keeping the generated mixture well separated regardless of the seed
+        // (the clustering tests rely on separability). A retry cap keeps the
+        // loop total even for crowded configurations, where late centres may
+        // end up closer together.
+        let min_separation = 6.0 * sigma;
+        for c in 0..spec.clusters {
+            let mut candidate = vec![0.0; spec.dims];
+            for attempt in 0..100 {
+                for slot in candidate.iter_mut() {
+                    *slot = rng.gen_range(0.0..spread);
+                }
+                let well_separated = (0..c).all(|other| {
+                    let dist2: f64 = (0..spec.dims)
+                        .map(|d| {
+                            let delta = candidate[d] - true_centers[other * spec.dims + d];
+                            delta * delta
+                        })
+                        .sum();
+                    dist2 >= min_separation * min_separation
+                });
+                if well_separated || attempt == 99 {
+                    break;
+                }
             }
+            true_centers.extend_from_slice(&candidate);
         }
 
         let normal = rand::distributions::Uniform::new(-1.0f64, 1.0);
         let mut values = Vec::with_capacity(spec.points * spec.dims);
         let mut labels = Vec::with_capacity(spec.points);
-        for _ in 0..spec.points {
-            let c = rng.gen_range(0..spec.clusters);
+        for i in 0..spec.points {
+            // Round-robin cluster assignment: blob sizes are exactly balanced
+            // and any prefix of `clusters` points covers every blob, so
+            // first-k-points seeding (the MineBench kmeans behaviour) starts
+            // from one point per generating cluster for every seed.
+            let c = i % spec.clusters;
             labels.push(c);
             for d in 0..spec.dims {
                 // Sum of three uniforms approximates a Gaussian well enough for

@@ -214,11 +214,8 @@ impl FuzzyCMeans {
                     let mut best_d = f64::MAX;
                     for c in 0..k {
                         let center = &centers[c * d..(c + 1) * d];
-                        let dist: f64 = point
-                            .iter()
-                            .zip(center.iter())
-                            .map(|(a, b)| (a - b) * (a - b))
-                            .sum();
+                        let dist: f64 =
+                            point.iter().zip(center.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
                         if dist < best_d {
                             best_d = dist;
                             best = c;

@@ -212,10 +212,8 @@ impl Hop {
                 (ids, sizes)
             });
 
-        let group_of: Vec<usize> = roots
-            .iter()
-            .map(|root| group_ids.get(root).copied().unwrap_or(usize::MAX))
-            .collect();
+        let group_of: Vec<usize> =
+            roots.iter().map(|root| group_ids.get(root).copied().unwrap_or(usize::MAX)).collect();
 
         HopResult { group_of, groups: group_sizes.len(), group_sizes, densities }
     }
@@ -239,7 +237,12 @@ mod tests {
     #[test]
     fn hop_finds_roughly_the_generating_blobs() {
         let data = blobs();
-        let hop = Hop::new(HopConfig::default());
+        // The number of density peaks scales with points-per-neighbourhood
+        // (n / k): hopping only reaches the k nearest neighbours, so a 300-
+        // point blob fragments under the 12-neighbour default. 24 neighbours
+        // smooth the density estimate enough that each blob keeps a handful
+        // of peaks at most, independent of the data seed.
+        let hop = Hop::new(HopConfig { neighbors: 24, ..HopConfig::default() });
         let r = hop.run_uninstrumented(&data, 4);
         assert!(r.groups >= 2, "expected at least two groups, got {}", r.groups);
         assert!(r.groups <= 12, "expected few groups, got {}", r.groups);

@@ -139,11 +139,7 @@ impl<'a> KdTree<'a> {
         let node = self.nodes[node_idx];
         let coords = self.point_coords(node.point);
         if Some(node.point) != exclude {
-            let dist2: f64 = coords
-                .iter()
-                .zip(query.iter())
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let dist2: f64 = coords.iter().zip(query.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
             if heap.len() < k {
                 heap.push(HeapEntry { dist2, index: node.point });
             } else if let Some(top) = heap.peek() {
@@ -154,11 +150,8 @@ impl<'a> KdTree<'a> {
             }
         }
         let diff = query[node.axis] - coords[node.axis];
-        let (near, far) = if diff <= 0.0 {
-            (node.left, node.right)
-        } else {
-            (node.right, node.left)
-        };
+        let (near, far) =
+            if diff <= 0.0 { (node.left, node.right) } else { (node.right, node.left) };
         self.search(near, query, k, exclude, heap);
         let worst = heap.peek().map(|e| e.dist2).unwrap_or(f64::MAX);
         if heap.len() < k || diff * diff < worst {

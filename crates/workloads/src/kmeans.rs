@@ -311,10 +311,7 @@ mod tests {
     #[test]
     fn single_cluster_degenerates_to_mean() {
         let data = tiny_data();
-        let km = KMeans::new(KMeansConfig {
-            clusters: 1,
-            ..KMeansConfig::default()
-        });
+        let km = KMeans::new(KMeansConfig { clusters: 1, ..KMeansConfig::default() });
         let result = km.run_uninstrumented(&data, 2);
         let d = data.dims();
         let mut mean = vec![0.0; d];

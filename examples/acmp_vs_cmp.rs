@@ -5,7 +5,9 @@
 //! cargo run --release --example acmp_vs_cmp
 //! ```
 
-use merging_phases::model::explore::{best_asymmetric, best_symmetric, symmetric_curve_comm, asymmetric_curve_comm};
+use merging_phases::model::explore::{
+    asymmetric_curve_comm, best_asymmetric, best_symmetric, symmetric_curve_comm,
+};
 use merging_phases::model::params::AppClass;
 use merging_phases::prelude::*;
 
@@ -52,10 +54,7 @@ fn main() {
         .collect();
 
     println!("\nwith the 2-D-mesh communication model ({}):", class.name());
-    println!(
-        "  best symmetric CMP : speedup {:.1} at r = {}",
-        sym_peak.speedup, sym_peak.area
-    );
+    println!("  best symmetric CMP : speedup {:.1} at r = {}", sym_peak.speedup, sym_peak.area);
     for (r, s) in &asym_peaks {
         println!("  best ACMP (r = {r:>2})  : speedup {s:.1}");
     }

@@ -30,7 +30,10 @@ fn main() {
     let job = ClusteringWorkload::kmeans(data);
     let profiles = run_sweep(&job, &sweep);
 
-    println!("{:>8} {:>12} {:>12} {:>14} {:>14}", "threads", "total (ms)", "speedup", "serial (us)", "serial growth");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>14}",
+        "threads", "total (ms)", "speedup", "serial (us)", "serial growth"
+    );
     let base_total = profiles[0].total_time();
     let base_serial = profiles[0].serial_time();
     for p in &profiles {

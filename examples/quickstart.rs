@@ -8,15 +8,16 @@
 //! against the extended model on a 256-BCE chip, and reports the best
 //! symmetric and asymmetric designs under both assumptions.
 
-use merging_phases::prelude::*;
 use merging_phases::model::explore;
 use merging_phases::model::hill_marty;
+use merging_phases::prelude::*;
 
 fn main() {
     let params = AppParams::table2_kmeans();
     let budget = ChipBudget::paper_default();
 
-    println!("application: {} (f = {}, fcon = {:.0}%, fred = {:.0}%, fored = {:.0}%)",
+    println!(
+        "application: {} (f = {}, fcon = {:.0}%, fred = {:.0}%, fored = {:.0}%)",
         params.name,
         params.f,
         params.split.fcon * 100.0,
@@ -59,8 +60,5 @@ fn main() {
         "best asymmetric CMP (extended):   rl = {:>3} r = {:>2}  speedup = {:7.1}",
         asym_best.area, small_r, asym_best.speedup
     );
-    println!(
-        "ACMP advantage over CMP:          {:.2}x",
-        asym_best.speedup / ext_best.speedup
-    );
+    println!("ACMP advantage over CMP:          {:.2}x", asym_best.speedup / ext_best.speedup);
 }

@@ -17,6 +17,11 @@
 //! * [`cmpsim`] — an abstract CMP/ACMP timing simulator (cores with
 //!   area-dependent performance, two-level cache cost model, 2-D-mesh NoC)
 //!   standing in for the SESC simulator used by the paper.
+//! * [`dse`] — a parallel, cache-aware design-space exploration engine:
+//!   cartesian scenario spaces over every model axis, pluggable evaluation
+//!   backends (analytic, communication-aware, simulation), a sharded work
+//!   queue with memoisation, top-k / per-axis / Pareto analysis and
+//!   streaming JSON/CSV export. The paper's figure sweeps run through it.
 //!
 //! See the repository `README.md` for a quickstart and `EXPERIMENTS.md` for
 //! the paper-vs-measured record of every table and figure.
@@ -34,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub use mp_cmpsim as cmpsim;
+pub use mp_dse as dse;
 pub use mp_model as model;
 pub use mp_par as par;
 pub use mp_profile as profile;
@@ -48,4 +54,9 @@ pub mod prelude {
     pub use mp_workloads::prelude::*;
 
     pub use mp_cmpsim::prelude::*;
+
+    pub use mp_dse::{
+        AnalyticBackend, ChipSpec, CommBackend, CostAxis, Engine, EvalBackend, EvalCache,
+        EvalRecord, ScenarioSpace, SimBackend, SweepConfig, SweepResult,
+    };
 }

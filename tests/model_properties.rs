@@ -6,13 +6,22 @@ use merging_phases::prelude::*;
 use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = AppParams> {
-    (0.5f64..=0.9999, 0.0f64..=1.0, 0.0f64..=2.0).prop_map(|(f, fcon, fored)| {
-        AppParams::new("prop", f, fcon, fored, 0.0).unwrap()
-    })
+    (0.5f64..=0.9999, 0.0f64..=1.0, 0.0f64..=2.0)
+        .prop_map(|(f, fcon, fored)| AppParams::new("prop", f, fcon, fored, 0.0).unwrap())
 }
 
 fn arb_core_area() -> impl Strategy<Value = f64> {
-    prop_oneof![Just(1.0), Just(2.0), Just(4.0), Just(8.0), Just(16.0), Just(32.0), Just(64.0), Just(128.0), Just(256.0)]
+    prop_oneof![
+        Just(1.0),
+        Just(2.0),
+        Just(4.0),
+        Just(8.0),
+        Just(16.0),
+        Just(32.0),
+        Just(64.0),
+        Just(128.0),
+        Just(256.0)
+    ]
 }
 
 proptest! {

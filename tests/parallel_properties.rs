@@ -2,8 +2,8 @@
 //! reduction strategies agree with sequential folds, chunking is a partition,
 //! and the clustering results are independent of the thread count.
 
-use merging_phases::par::{reduce_elementwise, ReductionStrategy};
 use merging_phases::par::pool::{chunk_range, parallel_partials};
+use merging_phases::par::{reduce_elementwise, ReductionStrategy};
 use merging_phases::prelude::*;
 use merging_phases::workloads::kdtree::KdTree;
 use proptest::prelude::*;

@@ -88,9 +88,6 @@ fn speedup_series_is_reported_relative_to_single_thread() {
     // Multi-thread runs should not be slower than half the ideal (generous
     // bound: CI machines can be noisy and oversubscribed).
     for &(threads, speedup) in &series {
-        assert!(
-            speedup > 0.3,
-            "threads={threads}: implausible speedup {speedup}"
-        );
+        assert!(speedup > 0.3, "threads={threads}: implausible speedup {speedup}");
     }
 }

@@ -6,7 +6,9 @@
 //! a reasonable tolerance for the near-linear workloads (kmeans, fuzzy).
 
 use merging_phases::cmpsim::program::ReductionKind;
-use merging_phases::cmpsim::{fuzzy_program, kmeans_program, simulate, simulate_profile, Machine, WorkloadShape};
+use merging_phases::cmpsim::{
+    fuzzy_program, kmeans_program, simulate, simulate_profile, Machine, WorkloadShape,
+};
 use merging_phases::model::serial_time::serial_growth_factor;
 use merging_phases::prelude::*;
 use merging_phases::profile::{extract_params, serial_growth, RunProfile};
@@ -17,8 +19,12 @@ fn simulated_sweep(program_name: &str) -> Vec<RunProfile> {
         .map(|&cores| {
             let machine = Machine::table1(cores);
             let program = match program_name {
-                "kmeans" => kmeans_program(&WorkloadShape::kmeans_base(), ReductionKind::SerialLinear),
-                "fuzzy" => fuzzy_program(&WorkloadShape::kmeans_base(), ReductionKind::SerialLinear),
+                "kmeans" => {
+                    kmeans_program(&WorkloadShape::kmeans_base(), ReductionKind::SerialLinear)
+                }
+                "fuzzy" => {
+                    fuzzy_program(&WorkloadShape::kmeans_base(), ReductionKind::SerialLinear)
+                }
                 _ => unreachable!(),
             };
             simulate_profile(&program, &machine)

@@ -1,0 +1,182 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API shape the workspace's benches use — `criterion_group!`,
+//! `criterion_main!`, [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkId`] and [`Bencher::iter`] —
+//! backed by a simple wall-clock harness: each benchmark is warmed up once
+//! and then timed over enough iterations to fill a short measurement window,
+//! reporting the mean time per iteration. No statistics, no HTML reports,
+//! but `cargo bench` runs and prints meaningful numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Measured mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `f`, storing the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call, then time batches until the window is filled.
+        black_box(f());
+        let window = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < window {
+            black_box(f());
+            iters += 1;
+        }
+        let elapsed = start.elapsed();
+        self.iters = iters.max(1);
+        self.mean_ns = elapsed.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let (value, unit) = if b.mean_ns >= 1e9 {
+        (b.mean_ns / 1e9, "s")
+    } else if b.mean_ns >= 1e6 {
+        (b.mean_ns / 1e6, "ms")
+    } else if b.mean_ns >= 1e3 {
+        (b.mean_ns / 1e3, "us")
+    } else {
+        (b.mean_ns, "ns")
+    };
+    println!("bench {name:<56} {value:>10.3} {unit}/iter ({} iters)", b.iters);
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { mean_ns: 0.0, iters: 0 };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub harness has no sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub uses a fixed window.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { mean_ns: 0.0, iters: 0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into_benchmark_id().label), &b);
+        self
+    }
+
+    /// Run one parameterised benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { mean_ns: 0.0, iters: 0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.label), &b);
+        self
+    }
+
+    /// Close the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Things accepted as benchmark ids by [`BenchmarkGroup::bench_function`].
+pub trait IntoBenchmarkId {
+    /// Convert to a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,435 @@
+//! Offline stand-in for the real `serde_derive` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal `serde` whose `Serialize`/`Deserialize` traits convert through a
+//! JSON-like [`Value`] tree. This proc-macro crate derives those traits for
+//! the shapes actually used in this repository:
+//!
+//! * structs with named fields,
+//! * tuple structs,
+//! * enums with unit, tuple and struct variants (externally tagged, like the
+//!   real serde default representation).
+//!
+//! Generic types are intentionally unsupported (none of the workspace types
+//! that derive serde traits are generic); the macro panics with a clear
+//! message if it meets one, which surfaces as a compile error at the derive
+//! site.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derive `serde::Serialize` (the vendored stub trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (the vendored stub trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (token-tree level; no syn available offline)
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the bracket group that follows.
+                let _ = toks.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Visibility, possibly `pub(crate)`.
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        let _ = toks.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut toks);
+                reject_generics(&mut toks, &name);
+                return match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Item::Struct { name, fields: parse_named_fields(g.stream()) }
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+                    }
+                    other => panic!("unsupported struct shape for `{name}`: {other:?}"),
+                };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut toks);
+                reject_generics(&mut toks, &name);
+                return match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Item::Enum { name, variants: parse_variants(g.stream()) }
+                    }
+                    other => panic!("unsupported enum shape for `{name}`: {other:?}"),
+                };
+            }
+            Some(_) => continue,
+            None => panic!("expected `struct` or `enum` in derive input"),
+        }
+    }
+}
+
+fn expect_ident(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+fn reject_generics(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>, name: &str) {
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stub derive does not support generic type `{name}`");
+        }
+    }
+}
+
+/// Parse `name: Type, ...` from the body of a braced struct or variant,
+/// returning the field names. Attributes and visibility are skipped; the type
+/// tokens are consumed up to the next top-level comma (tracking `<`/`>`
+/// nesting so `HashMap<K, V>` does not split a field).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments included) and visibility.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = toks.next();
+                    let _ = toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    let _ = toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(id) = tok else {
+            panic!("expected field name, found {tok:?}");
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{id}`, found {other:?}"),
+        }
+        fields.push(id.to_string());
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = toks.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    let _ = toks.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                _ => {}
+            }
+            let _ = toks.next();
+        }
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct / tuple variant: comma-separated type
+/// runs at the top level of the parenthesised group, ignoring attributes.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut in_segment = false;
+    let mut angle_depth = 0i32;
+    let mut toks = stream.into_iter().peekable();
+    while let Some(tok) = toks.next() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = toks.next(); // the attribute's bracket group
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if in_segment {
+                    count += 1;
+                }
+                in_segment = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                in_segment = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                in_segment = true;
+            }
+            _ => in_segment = true,
+        }
+    }
+    if in_segment {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes (`#[default]`, doc comments, ...).
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                let _ = toks.next();
+                let _ = toks.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(id) = tok else {
+            panic!("expected variant name, found {tok:?}");
+        };
+        let name = id.to_string();
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                let _ = toks.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                let _ = toks.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == ',' {
+                let _ = toks.next();
+            }
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then re-parsed)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__m.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Map(__m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Arr(vec![{}])\n\
+                     }}\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Value::Map(vec![({vname:?}.to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(vec![({vname:?}.to_string(), ::serde::Value::Arr(vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![({vname:?}.to_string(), ::serde::Value::Map(vec![{}]))]),\n",
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(::serde::map_get(__m, {f:?})?)?")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __m = __v.as_map().ok_or_else(|| ::serde::Error::new(concat!(\"expected map for struct \", stringify!({name}))))?;\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __a = __v.as_arr().ok_or_else(|| ::serde::Error::new(concat!(\"expected array for tuple struct \", stringify!({name}))))?;\n\
+                         if __a.len() != {arity} {{ return ::std::result::Result::Err(::serde::Error::new(\"tuple struct arity mismatch\")); }}\n\
+                         ::std::result::Result::Ok({name}({}))\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                        // Also accept the tagged form `{"Variant": null}`.
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                                 let __a = __payload.as_arr().ok_or_else(|| ::serde::Error::new(\"expected array payload\"))?;\n\
+                                 if __a.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::new(\"variant arity mismatch\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({}))\n\
+                             }}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::map_get(__m, {f:?})?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                                 let __m = __payload.as_map().ok_or_else(|| ::serde::Error::new(\"expected map payload\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                             }}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\
+                                 __other => ::std::result::Result::Err(::serde::Error::new(format!(concat!(\"unknown unit variant {{}} of \", stringify!({name})), __other))),\n\
+                             }},\n\
+                             ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                                 let (__tag, __payload) = &__entries[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {tagged_arms}\
+                                     __other => ::std::result::Result::Err(::serde::Error::new(format!(concat!(\"unknown variant {{}} of \", stringify!({name})), __other))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::Error::new(concat!(\"expected string or singleton map for enum \", stringify!({name})))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
