@@ -26,6 +26,7 @@ fn bench_clustering(c: &mut Criterion) {
             WorkloadKind::KMeans => ClusteringWorkload::kmeans(cluster_spec.generate()),
             WorkloadKind::Fuzzy => ClusteringWorkload::fuzzy(cluster_spec.generate()),
             WorkloadKind::Hop => ClusteringWorkload::hop(hop_spec.generate()),
+            WorkloadKind::KdTree => ClusteringWorkload::kdtree(hop_spec.generate()),
         };
         let mut group = c.benchmark_group(format!("fig2a/{}", kind.name()));
         group.sample_size(10);

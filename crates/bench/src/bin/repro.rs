@@ -123,22 +123,32 @@ fn usage() {
     eprintln!(
         "       repro dse [--backend analytic|comm|sim] [--out DIR] [--top K] [--quick] [--json]"
     );
+    eprintln!(
+        "       repro calibrate [--threads N] [--out DIR] [--top K] [--quick] [--exact] [--json]"
+    );
     eprintln!("experiments:");
     for e in EXPERIMENTS {
         eprintln!("  {:<8} {}", e.name, e.title);
     }
-    eprintln!("  dse      large-scale design-space exploration (mp-dse engine)");
+    eprintln!("  dse        large-scale design-space exploration (mp-dse engine)");
+    eprintln!("  calibrate  run workloads, calibrate the model, sweep the design space");
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
-    // `repro dse [...]` is a subcommand with its own flags: a large-scale
-    // design-space exploration through the mp-dse engine. Flags may precede
-    // the subcommand name (`repro --json dse`, `repro --backend sim dse`),
-    // matching the main command's own usage shape, so find the subcommand
-    // token by scanning past flags — skipping the values of the dse flags
-    // that take one, so `--out dse` is never mistaken for the subcommand.
+    // `repro dse [...]` and `repro calibrate [...]` are subcommands with
+    // their own flags: a large-scale design-space exploration through the
+    // mp-dse engine, and the measure → calibrate → explore pipeline. Flags
+    // may precede the subcommand name (`repro --json dse`,
+    // `repro --threads 4 calibrate`), matching the main command's own usage
+    // shape, so find the subcommand token by scanning past flags — skipping
+    // the values of the subcommand flags that take one, so `--out dse` is
+    // never mistaken for the subcommand.
+    let value_flag = |flag: &str| {
+        mp_bench::dse_cmd::VALUE_FLAGS.contains(&flag)
+            || mp_bench::calibrate_cmd::VALUE_FLAGS.contains(&flag)
+    };
     let mut cursor = 0usize;
     while cursor < args.len() {
         match args[cursor].as_str() {
@@ -147,7 +157,12 @@ fn main() -> ExitCode {
                 rest.remove(cursor);
                 return mp_bench::dse_cmd::run(&rest);
             }
-            flag if mp_bench::dse_cmd::VALUE_FLAGS.contains(&flag) => cursor += 2,
+            "calibrate" => {
+                let mut rest = args;
+                rest.remove(cursor);
+                return mp_bench::calibrate_cmd::run(&rest);
+            }
+            flag if value_flag(flag) => cursor += 2,
             flag if flag.starts_with("--") => cursor += 1,
             _ => break,
         }

@@ -135,7 +135,7 @@ fn build_space(options: &Options) -> ScenarioSpace {
     space
 }
 
-fn scenario_label(space: &ScenarioSpace, record: &EvalRecord) -> String {
+pub(crate) fn scenario_label(space: &ScenarioSpace, record: &EvalRecord) -> String {
     let s = space.scenario(record.index);
     let design = match s.design {
         ChipSpec::Symmetric { r } => format!("sym r={r:.2}"),
@@ -161,7 +161,7 @@ fn scenario_label(space: &ScenarioSpace, record: &EvalRecord) -> String {
     label
 }
 
-fn record_row(label: String, record: &EvalRecord) -> TableRow {
+pub(crate) fn record_row(label: String, record: &EvalRecord) -> TableRow {
     TableRow::new(label)
         .with("speedup", record.speedup)
         .with("cores", record.cores)

@@ -78,12 +78,12 @@ impl SimReport {
     pub fn to_profile(&self, machine: &Machine) -> RunProfile {
         let mut profile = RunProfile::new(self.name.clone(), self.threads);
         for p in &self.phases {
-            profile.push(mp_profile::PhaseRecord {
-                kind: p.kind,
-                label: p.label.clone(),
-                seconds: machine.config().cycles_to_seconds(p.cycles),
-                threads: self.threads,
-            });
+            profile.push(mp_profile::PhaseRecord::new(
+                p.kind,
+                p.label.clone(),
+                machine.config().cycles_to_seconds(p.cycles),
+                self.threads,
+            ));
         }
         profile
     }

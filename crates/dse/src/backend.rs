@@ -1,10 +1,14 @@
 //! Pluggable evaluation backends.
 //!
-//! A backend turns one [`Scenario`] into a predicted speedup. Three are
+//! A backend turns one [`Scenario`] into a predicted speedup. Four are
 //! provided:
 //!
 //! * [`AnalyticBackend`] — the paper's extended model (Eq. 4/5); consumes the
 //!   application, budget, design, growth and perf axes.
+//! * [`MeasuredBackend`] — the extended model driven by *measured*
+//!   calibrations ([`CalibratedParams`]): each scenario application resolves
+//!   to its calibrated parameters and fitted growth function, closing the
+//!   paper's measure → extract → model → explore loop.
 //! * [`CommBackend`] — the communication-aware model (Eq. 6–8); the
 //!   scenario's growth axis drives the reduction *computation* and the
 //!   topology axis the communication.
@@ -27,10 +31,12 @@ use mp_cmpsim::config::MachineConfig;
 use mp_cmpsim::engine::simulate;
 use mp_cmpsim::machine::Machine;
 use mp_cmpsim::program::{PhaseOp, PhaseProgram, ReductionKind};
+use mp_model::calibrate::CalibratedParams;
 use mp_model::chip::{AsymmetricDesign, SymmetricDesign};
 use mp_model::comm::{CommModel, CommSplit};
 use mp_model::error::ModelError;
 use mp_model::extended::ExtendedModel;
+use mp_model::params::AppParams;
 use mp_par::ReductionStrategy;
 
 use crate::scenario::{ChipSpec, Scenario, ScenarioSpace};
@@ -270,6 +276,118 @@ impl EvalBackend for CommBackend {
             }
             let model = &current.as_ref().expect("model built above").1;
             *slot = speedup_comm(model, &scenario).unwrap_or(f64::NAN);
+        }
+    }
+}
+
+/// The measured-calibration backend: the extended model parameterised by
+/// workload calibrations instead of hand-entered constants.
+///
+/// Each scenario's application is matched **by name** against the backend's
+/// calibration set; the calibration supplies both the application parameters
+/// and the growth function, so the scenario's app values and growth axis are
+/// not consulted (build the space's application axis from
+/// [`MeasuredBackend::apps`] to keep reports consistent). The budget, design
+/// and perf axes are honoured as usual.
+///
+/// With [`MeasuredBackend::with_exact_growth`] the fitted closed-form growth
+/// is replaced by the empirical [`GrowthFunction::Measured`] curve
+/// (reproduces the observed serial multipliers exactly at the measured
+/// thread counts, linear extrapolation beyond).
+///
+/// [`GrowthFunction::Measured`]: mp_model::growth::GrowthFunction::Measured
+pub struct MeasuredBackend {
+    calibrations: Vec<CalibratedParams>,
+    exact_growth: bool,
+}
+
+impl MeasuredBackend {
+    /// A backend answering for the given calibrations (at least one).
+    pub fn new(calibrations: Vec<CalibratedParams>) -> Self {
+        assert!(!calibrations.is_empty(), "measured backend needs at least one calibration");
+        MeasuredBackend { calibrations, exact_growth: false }
+    }
+
+    /// Use the empirical measured-growth curves instead of the fitted closed
+    /// forms.
+    pub fn with_exact_growth(mut self) -> Self {
+        self.exact_growth = true;
+        self
+    }
+
+    /// The calibrations this backend answers for.
+    pub fn calibrations(&self) -> &[CalibratedParams] {
+        &self.calibrations
+    }
+
+    /// The calibrated application parameter sets, ready to become a
+    /// [`ScenarioSpace`] application axis.
+    pub fn apps(&self) -> Vec<AppParams> {
+        self.calibrations.iter().map(|c| c.app_params().clone()).collect()
+    }
+
+    fn find(&self, name: &str) -> Option<&CalibratedParams> {
+        self.calibrations.iter().find(|c| c.app_params().name == name)
+    }
+
+    fn model(&self, scenario: &Scenario<'_>) -> Result<ExtendedModel, DseError> {
+        let calibration =
+            self.find(&scenario.app.name).ok_or(DseError::Model(ModelError::Calibration {
+                what: "scenario application has no calibration",
+            }))?;
+        let (app, growth) = if self.exact_growth {
+            (calibration.exact_app_params(), calibration.exact_growth())
+        } else {
+            (calibration.app_params().clone(), calibration.growth().clone())
+        };
+        Ok(ExtendedModel::new(app, growth, scenario.perf))
+    }
+}
+
+impl EvalBackend for MeasuredBackend {
+    fn name(&self) -> &'static str {
+        "measured"
+    }
+
+    fn cache_salt(&self) -> String {
+        let mut salt =
+            String::from(if self.exact_growth { "measured:exact" } else { "measured:fit" });
+        for calibration in &self.calibrations {
+            salt.push_str(&format!(":{:016x}", calibration.fingerprint()));
+        }
+        salt
+    }
+
+    fn evaluate(&self, scenario: &Scenario<'_>) -> Result<f64, DseError> {
+        let model = self.model(scenario)?;
+        speedup_extended(&model, scenario)
+    }
+
+    fn evaluate_batch(
+        &self,
+        space: &ScenarioSpace,
+        range: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        assert_eq!(out.len(), range.len());
+        // Consecutive indices share the application, so one calibrated model
+        // serves a whole run of designs.
+        let mut current: Option<(usize, ExtendedModel)> = None;
+        for (slot, index) in out.iter_mut().zip(range) {
+            let shared = index / space.designs().len();
+            let scenario = space.scenario(index);
+            if !matches!(&current, Some((tag, _)) if *tag == shared) {
+                match self.model(&scenario) {
+                    Ok(model) => current = Some((shared, model)),
+                    Err(_) => {
+                        current = None;
+                        *slot = f64::NAN;
+                        continue;
+                    }
+                }
+            }
+            let model = &current.as_ref().expect("model built above").1;
+            *slot = speedup_extended(model, &scenario).unwrap_or(f64::NAN);
         }
     }
 }
@@ -518,6 +636,110 @@ mod tests {
         };
         let backend = SimBackend::new();
         assert!(backend.evaluate(&asym).unwrap() > backend.evaluate(&sym).unwrap());
+    }
+
+    fn synthetic_calibration(name: &str, f: f64, fcon: f64, fored: f64) -> CalibratedParams {
+        use mp_model::calibrate::MeasuredRun;
+        let s = 1.0 - f;
+        let runs: Vec<MeasuredRun> = [1usize, 2, 4, 8, 16]
+            .iter()
+            .map(|&p| {
+                MeasuredRun::new(
+                    p,
+                    f / p as f64,
+                    s * fcon,
+                    s * (1.0 - fcon) * (1.0 + fored * (p as f64 - 1.0)),
+                )
+            })
+            .collect();
+        CalibratedParams::fit(name, &runs).unwrap()
+    }
+
+    #[test]
+    fn measured_backend_tracks_the_analytic_model_it_fitted() {
+        let calibration = synthetic_calibration("cal-app", 0.99, 0.6, 0.8);
+        let backend = MeasuredBackend::new(vec![calibration.clone()]);
+        let space = ScenarioSpace::new()
+            .with_apps(backend.apps())
+            .clear_designs()
+            .add_symmetric_grid([1.0, 2.0, 4.0, 16.0, 64.0]);
+        for index in 0..space.len() {
+            let scenario = space.scenario(index);
+            let measured = backend.evaluate(&scenario).unwrap();
+            // The calibration recovered a linear growth with the seeded fored,
+            // so the analytic model on the same axes must agree closely.
+            let analytic = AnalyticBackend.evaluate(&scenario).unwrap();
+            assert!(
+                (measured - analytic).abs() / analytic < 1e-6,
+                "index {index}: {measured} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn measured_backend_rejects_uncalibrated_applications() {
+        let backend = MeasuredBackend::new(vec![synthetic_calibration("known", 0.99, 0.5, 0.5)]);
+        let s = scenario(ChipSpec::Symmetric { r: 4.0 }); // app name "kmeans"
+        assert!(matches!(backend.evaluate(&s), Err(DseError::Model(_))));
+        // And in batch mode the slot becomes NaN rather than poisoning the
+        // sweep.
+        let space = ScenarioSpace::new();
+        let mut out = vec![0.0; space.len()];
+        backend.evaluate_batch(&space, 0..space.len(), &mut out);
+        assert!(out.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn measured_batch_and_single_agree_bitwise() {
+        let backend = MeasuredBackend::new(vec![
+            synthetic_calibration("a", 0.999, 0.9, 0.1),
+            synthetic_calibration("b", 0.99, 0.6, 0.8),
+        ]);
+        let space = ScenarioSpace::new()
+            .with_apps(backend.apps())
+            .clear_designs()
+            .add_symmetric_grid([1.0, 2.0, 8.0, 300.0]);
+        let mut batch = vec![0.0; space.len()];
+        backend.evaluate_batch(&space, 0..space.len(), &mut batch);
+        for (i, &got) in batch.iter().enumerate() {
+            let s = space.scenario(i);
+            let expect = if s.design.fits(s.budget) {
+                backend.evaluate(&s).unwrap_or(f64::NAN)
+            } else {
+                f64::NAN
+            };
+            assert_eq!(got.to_bits(), expect.to_bits(), "index {i}");
+        }
+    }
+
+    #[test]
+    fn exact_growth_mode_changes_the_salt_and_the_numbers() {
+        // A hop-like super-linear calibration where the closed-form fit and
+        // the empirical curve genuinely differ between measured points.
+        use mp_model::calibrate::MeasuredRun;
+        let f = 0.999;
+        let s = 1.0 - f;
+        let runs: Vec<MeasuredRun> = [1usize, 2, 3, 4, 8, 16]
+            .iter()
+            .map(|&p| {
+                let wobble = if p == 3 { 1.5 } else { 1.0 };
+                MeasuredRun::new(
+                    p,
+                    f / p as f64,
+                    s * 0.5,
+                    s * 0.5 * (1.0 + 0.9 * wobble * (p as f64 - 1.0)),
+                )
+            })
+            .collect();
+        let calibration = CalibratedParams::fit("wobbly", &runs).unwrap();
+        let fit = MeasuredBackend::new(vec![calibration.clone()]);
+        let exact = MeasuredBackend::new(vec![calibration]).with_exact_growth();
+        assert_ne!(fit.cache_salt(), exact.cache_salt());
+        let space =
+            ScenarioSpace::new().with_apps(fit.apps()).clear_designs().add_symmetric_grid([85.0]); // ~3 cores: the wobbled point
+        let a = fit.evaluate(&space.scenario(0)).unwrap();
+        let b = exact.evaluate(&space.scenario(0)).unwrap();
+        assert!((a - b).abs() > 1e-9, "fit {a} vs exact {b} should differ");
     }
 
     #[test]

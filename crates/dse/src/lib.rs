@@ -8,10 +8,11 @@
 //!   over application parameters, chip budgets, core sizes (symmetric and
 //!   asymmetric), growth functions, core performance models, reduction
 //!   strategies and NoC topologies, decoded lazily from flat indices.
-//! * [`backend`] — the pluggable [`EvalBackend`] trait with three
+//! * [`backend`] — the pluggable [`EvalBackend`] trait with four
 //!   implementations: the analytic extended model ([`AnalyticBackend`]), the
-//!   communication-aware model ([`CommBackend`]) and the trace-driven
-//!   `mp-cmpsim` timing simulation ([`SimBackend`]).
+//!   measured-calibration model ([`MeasuredBackend`], fed by
+//!   `mp_model::calibrate`), the communication-aware model ([`CommBackend`])
+//!   and the trace-driven `mp-cmpsim` timing simulation ([`SimBackend`]).
 //! * [`engine`] — [`Engine`]: a sharded work queue fanning batches out over
 //!   an [`mp_par::ThreadPool`]; contiguous batches share every axis but the
 //!   design, so backends hoist model construction, and results land in
@@ -63,7 +64,9 @@ pub mod prelude {
     pub use crate::analysis::{
         dominates, pareto_frontier, per_axis_optima, top_k, AxisOptimum, CostAxis,
     };
-    pub use crate::backend::{AnalyticBackend, CommBackend, DseError, EvalBackend, SimBackend};
+    pub use crate::backend::{
+        AnalyticBackend, CommBackend, DseError, EvalBackend, MeasuredBackend, SimBackend,
+    };
     pub use crate::cache::EvalCache;
     pub use crate::engine::{Engine, EvalRecord, SweepConfig, SweepResult, SweepStats};
     pub use crate::export::{write_csv, write_json};

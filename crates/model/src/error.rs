@@ -44,6 +44,11 @@ pub enum ModelError {
         /// Name of the quantity that became non-finite.
         what: &'static str,
     },
+    /// A calibration could not be fitted from the provided measurements.
+    Calibration {
+        /// Description of what was missing or degenerate.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -63,6 +68,9 @@ impl fmt::Display for ModelError {
             }
             ModelError::NonFinite { what } => {
                 write!(fm, "evaluation of {what} produced a non-finite value")
+            }
+            ModelError::Calibration { what } => {
+                write!(fm, "calibration failed: {what}")
             }
         }
     }

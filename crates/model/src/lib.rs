@@ -64,6 +64,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod amdahl;
+pub mod calibrate;
 pub mod chip;
 pub mod comm;
 pub mod error;
@@ -80,6 +81,7 @@ pub mod topology;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::amdahl::{amdahl_speedup, amdahl_speedup_limit};
+    pub use crate::calibrate::{CalibratedParams, GrowthFit, MeasuredRun, RunAccounting};
     pub use crate::chip::{AsymmetricDesign, ChipBudget, SymmetricDesign};
     pub use crate::comm::{CommModel, CommSplit};
     pub use crate::error::ModelError;

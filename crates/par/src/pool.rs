@@ -85,17 +85,14 @@ where
 ///
 /// The chunking is deterministic (identical to [`ThreadCtx::chunk`]), which
 /// keeps per-thread partial results reproducible across runs — important for
-/// the instrumentation experiments.
+/// the instrumentation experiments. Every thread calls `f` exactly once, even
+/// when `len < num_threads` leaves its chunk empty, so per-thread bookkeeping
+/// (one slot per tid) never depends on the data size.
 pub fn parallel_for<F>(num_threads: usize, len: usize, f: F)
 where
     F: Fn(ThreadCtx, std::ops::Range<usize>) + Sync,
 {
-    run_scoped(num_threads, |ctx| {
-        let range = ctx.chunk(len);
-        if !range.is_empty() || len == 0 {
-            f(ctx, range);
-        }
-    });
+    run_scoped(num_threads, |ctx| f(ctx, ctx.chunk(len)));
 }
 
 /// Fork-join map producing one *partial result* per thread: thread `tid`
@@ -278,6 +275,52 @@ mod tests {
     #[should_panic]
     fn chunk_range_rejects_bad_tid() {
         chunk_range(4, 4, 10);
+    }
+
+    #[test]
+    fn single_thread_chunk_is_the_whole_range() {
+        // p = 1 edge case: thread 0 owns 0..len for any len, including 0.
+        for len in [0usize, 1, 5, 1024] {
+            assert_eq!(chunk_range(0, 1, len), 0..len);
+            assert_eq!(ThreadCtx { tid: 0, num_threads: 1 }.chunk(len), 0..len);
+        }
+    }
+
+    #[test]
+    fn fewer_items_than_threads_gives_one_item_chunks_then_empty() {
+        // len < num_threads edge case: the first `len` threads get exactly one
+        // item each (their own index) and the rest get empty ranges — never an
+        // out-of-bounds or overlapping range.
+        let (len, nt) = (3usize, 16usize);
+        for tid in 0..nt {
+            let range = chunk_range(tid, nt, len);
+            if tid < len {
+                assert_eq!(range, tid..tid + 1, "tid={tid}");
+            } else {
+                assert!(range.is_empty(), "tid={tid} got {range:?}");
+                assert!(range.start <= len && range.end <= len, "tid={tid} got {range:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_range_chunks_are_empty_for_every_thread() {
+        for tid in 0..8 {
+            assert!(chunk_range(tid, 8, 0).is_empty());
+        }
+    }
+
+    #[test]
+    fn parallel_for_calls_every_thread_even_with_empty_chunks() {
+        // Each thread must be called exactly once regardless of len, so
+        // per-tid bookkeeping never depends on the data size.
+        for len in [0usize, 3, 100] {
+            let calls = AtomicUsize::new(0);
+            parallel_for(16, len, |_ctx, _range| {
+                calls.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(calls.into_inner(), 16, "len={len}");
+        }
     }
 
     #[test]

@@ -99,12 +99,21 @@ pub struct ReduceStats {
 }
 
 impl ReduceStats {
-    fn for_strategy(strategy: ReductionStrategy, partials: usize, elements: usize) -> Self {
-        let p = partials.max(1);
+    /// The analytical operation counts of merging `partials` partial results
+    /// of `elements` elements each with `strategy` — the formulas of the
+    /// module-header table.
+    ///
+    /// A single partial (or none) needs no merging: every count, including
+    /// the round count, is zero for all strategies.
+    pub fn for_strategy(strategy: ReductionStrategy, partials: usize, elements: usize) -> Self {
+        if partials <= 1 {
+            return ReduceStats { partials, elements, ..ReduceStats::default() };
+        }
+        let p = partials;
         let x = elements;
         let total_ops = (p - 1) * x;
         let (critical_path_ops, comm_elements, rounds) = match strategy {
-            ReductionStrategy::SerialLinear => ((p - 1) * x, (p - 1) * x, p.saturating_sub(1)),
+            ReductionStrategy::SerialLinear => ((p - 1) * x, (p - 1) * x, p - 1),
             ReductionStrategy::TreeLog => {
                 let rounds = (p as f64).log2().ceil() as usize;
                 (rounds * x, (p - 1) * x, rounds)
@@ -349,6 +358,25 @@ mod tests {
             assert_eq!(got, partials[0]);
             assert_eq!(stats.total_ops, 0);
             assert_eq!(stats.critical_path_ops, 0);
+            assert_eq!(stats.comm_elements, 0, "{strategy:?}");
+            assert_eq!(stats.rounds, 0, "one partial needs no rounds ({strategy:?})");
+        }
+    }
+
+    #[test]
+    fn degenerate_partial_counts_have_all_zero_stats() {
+        // partials == 1 (and the defensive 0) must not underflow or report
+        // phantom rounds for any strategy.
+        for partials in [0usize, 1] {
+            for strategy in ReductionStrategy::all() {
+                let s = ReduceStats::for_strategy(strategy, partials, 72);
+                assert_eq!(s.partials, partials);
+                assert_eq!(s.elements, 72);
+                assert_eq!(s.total_ops, 0, "{strategy:?}");
+                assert_eq!(s.critical_path_ops, 0, "{strategy:?}");
+                assert_eq!(s.comm_elements, 0, "{strategy:?}");
+                assert_eq!(s.rounds, 0, "{strategy:?}");
+            }
         }
     }
 

@@ -17,6 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use mp_model::calibrate::{MeasuredRun, RunAccounting};
 use mp_model::growth::GrowthFunction;
 use mp_model::params::AppParams;
 use mp_model::serial_time::fit_fored;
@@ -109,43 +110,48 @@ pub fn reduction_growth(profiles: &[RunProfile]) -> Vec<(usize, f64)> {
     series
 }
 
-/// Extract the full parameter set from a collection of profiles of the same
-/// workload at different thread counts. A single-thread profile must be
-/// present; multi-thread profiles refine the `fored` fit and populate the
-/// growth/speedup series.
+/// Extract the full parameter set from section totals ([`MeasuredRun`]s) of
+/// the same workload at different thread counts. This is the streaming core:
+/// the phase-graph scheduler's record sink aggregates straight into
+/// [`MeasuredRun`]s, so extraction never needs the flat per-phase record
+/// lists. A single-thread run must be present; multi-thread runs refine the
+/// `fored` fit and populate the growth/speedup series.
 ///
 /// `growth` selects the growth-function shape assumed when fitting `fored`
 /// (the paper uses linear for all three applications).
-pub fn extract_params(profiles: &[RunProfile], growth: &GrowthFunction) -> Option<ExtractedParams> {
-    let base = profiles.iter().find(|p| p.threads == 1)?;
-    let total = base.total_time();
-    if total <= 0.0 {
-        return None;
-    }
-    let serial = base.serial_time();
-    let f = (base.parallel_time() / total).clamp(0.0, 1.0);
-    let serial_fraction = (serial / total).clamp(0.0, 1.0);
-    let (fcon, fred) = if serial > 0.0 {
-        (base.constant_serial_time() / serial, base.reduction_time() / serial)
-    } else {
-        (1.0, 0.0)
-    };
+pub fn extract_params_from_runs(
+    app: &str,
+    runs: &[MeasuredRun],
+    growth: &GrowthFunction,
+) -> Option<ExtractedParams> {
+    // The Section V-A accounting (baseline fractions + series) is shared
+    // with model calibration so the two paths cannot diverge.
+    let accounting = RunAccounting::from_runs(runs).ok()?;
+    let RunAccounting { f, serial_fraction, fcon, fred, serial_multipliers, speedups } = accounting;
 
     // Fit fored from the growth of the *serial* section, which is what the
     // paper plots; the fit solves multiplier(p) − 1 = fred·fored·grow(p).
-    let growth_series = serial_growth(profiles);
-    let fored = fit_fored(fred, growth, &growth_series).unwrap_or(0.0);
+    let fored = fit_fored(fred, growth, &serial_multipliers).unwrap_or(0.0);
 
     Some(ExtractedParams {
-        app: base.app.clone(),
+        app: app.to_string(),
         f,
         serial_fraction,
-        fcon: fcon.clamp(0.0, 1.0),
-        fred: fred.clamp(0.0, 1.0),
+        fcon,
+        fred,
         fored,
-        serial_growth: growth_series,
-        speedups: speedup_series(profiles),
+        serial_growth: serial_multipliers,
+        speedups,
     })
+}
+
+/// Extract the full parameter set from a collection of profiles of the same
+/// workload at different thread counts (the post-hoc adapter over
+/// [`extract_params_from_runs`]).
+pub fn extract_params(profiles: &[RunProfile], growth: &GrowthFunction) -> Option<ExtractedParams> {
+    let base = profiles.iter().find(|p| p.threads == 1)?;
+    let runs: Vec<MeasuredRun> = profiles.iter().map(RunProfile::to_measured_run).collect();
+    extract_params_from_runs(&base.app, &runs, growth)
 }
 
 #[cfg(test)]
@@ -162,7 +168,7 @@ mod tests {
         let fred_abs = s * (1.0 - fcon);
         let mut profile = RunProfile::new(app, p);
         let push = |profile: &mut RunProfile, kind, seconds| {
-            profile.push(PhaseRecord { kind, label: "x".into(), seconds, threads: p })
+            profile.push(PhaseRecord::new(kind, "x", seconds, p))
         };
         push(&mut profile, PhaseKind::Init, 0.01);
         push(&mut profile, PhaseKind::Parallel, f / p as f64);
@@ -261,24 +267,14 @@ mod tests {
             .iter()
             .map(|&p| {
                 let mut profile = RunProfile::new("log-app", p);
-                profile.push(PhaseRecord {
-                    kind: PhaseKind::Parallel,
-                    label: "par".into(),
-                    seconds: f / p as f64,
-                    threads: p,
-                });
-                profile.push(PhaseRecord {
-                    kind: PhaseKind::SerialConstant,
-                    label: "ser".into(),
-                    seconds: s * fcon,
-                    threads: p,
-                });
-                profile.push(PhaseRecord {
-                    kind: PhaseKind::Reduction,
-                    label: "red".into(),
-                    seconds: s * (1.0 - fcon) * (1.0 + fored * (p as f64).log2()),
-                    threads: p,
-                });
+                profile.push(PhaseRecord::new(PhaseKind::Parallel, "par", f / p as f64, p));
+                profile.push(PhaseRecord::new(PhaseKind::SerialConstant, "ser", s * fcon, p));
+                profile.push(PhaseRecord::new(
+                    PhaseKind::Reduction,
+                    "red",
+                    s * (1.0 - fcon) * (1.0 + fored * (p as f64).log2()),
+                    p,
+                ));
                 profile
             })
             .collect();

@@ -59,6 +59,36 @@ pub struct PhaseRecord {
     pub seconds: f64,
     /// Number of threads active during the phase.
     pub threads: usize,
+    /// Per-thread durations in seconds, indexed by thread id, when the phase
+    /// was executed through the phase-graph scheduler (empty otherwise). For a
+    /// fork-join phase `seconds` is the wall-clock of the whole region while
+    /// these samples expose the per-worker imbalance.
+    pub thread_seconds: Vec<f64>,
+}
+
+impl PhaseRecord {
+    /// A record with no per-thread samples.
+    pub fn new(kind: PhaseKind, label: impl Into<String>, seconds: f64, threads: usize) -> Self {
+        PhaseRecord { kind, label: label.into(), seconds, threads, thread_seconds: Vec::new() }
+    }
+
+    /// Attach per-thread duration samples (builder style).
+    pub fn with_thread_seconds(mut self, thread_seconds: Vec<f64>) -> Self {
+        self.thread_seconds = thread_seconds;
+        self
+    }
+
+    /// Load imbalance of the phase: the slowest thread's time over the mean
+    /// thread time (1.0 = perfectly balanced). Returns `None` without
+    /// per-thread samples.
+    pub fn imbalance(&self) -> Option<f64> {
+        if self.thread_seconds.is_empty() {
+            return None;
+        }
+        let max = self.thread_seconds.iter().cloned().fold(0.0f64, f64::max);
+        let mean = self.thread_seconds.iter().sum::<f64>() / self.thread_seconds.len() as f64;
+        (mean > 0.0).then(|| max / mean)
+    }
 }
 
 /// All timed phases of one run of a workload at a fixed thread count.
@@ -145,6 +175,18 @@ impl RunProfile {
     pub fn absorb(&mut self, other: RunProfile) {
         self.records.extend(other.records);
     }
+
+    /// Collapse the profile into the model-level section totals used by the
+    /// paper's accounting (and by [`mp_model::calibrate::CalibratedParams`]).
+    pub fn to_measured_run(&self) -> mp_model::calibrate::MeasuredRun {
+        mp_model::calibrate::MeasuredRun {
+            threads: self.threads,
+            parallel_seconds: self.parallel_time(),
+            serial_constant_seconds: self.constant_serial_time(),
+            reduction_seconds: self.time_in(PhaseKind::Reduction),
+            communication_seconds: self.time_in(PhaseKind::Communication),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -152,7 +194,7 @@ mod tests {
     use super::*;
 
     fn rec(kind: PhaseKind, seconds: f64) -> PhaseRecord {
-        PhaseRecord { kind, label: kind.name().to_string(), seconds, threads: 4 }
+        PhaseRecord::new(kind, kind.name(), seconds, 4)
     }
 
     fn sample_profile() -> RunProfile {

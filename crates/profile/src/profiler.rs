@@ -61,12 +61,16 @@ impl Profiler {
         if !self.enabled {
             return;
         }
-        self.records.lock().push(PhaseRecord {
-            kind,
-            label: label.to_string(),
-            seconds,
-            threads: self.threads,
-        });
+        self.records.lock().push(PhaseRecord::new(kind, label, seconds, self.threads));
+    }
+
+    /// Record a fully-formed phase record (e.g. one carrying per-thread
+    /// samples from the phase-graph scheduler).
+    pub fn record_phase(&self, record: PhaseRecord) {
+        if !self.enabled {
+            return;
+        }
+        self.records.lock().push(record);
     }
 
     /// Number of records accumulated so far.

@@ -1,0 +1,300 @@
+//! Declarative phase graphs.
+//!
+//! A [`PhaseGraph`] is a workload's declaration of its execution structure in
+//! the paper's terms (Figure 1): an **init** region, a **body** region of
+//! parallel kernels followed by a merging (reduction) phase and constant
+//! serial work — repeated up to an iteration limit — and a **finalize**
+//! region. The scheduler validates the declaration once and then checks every
+//! executed phase against it, so a workload cannot silently drift from its
+//! declared accounting (e.g. time a merge as parallel work).
+
+use serde::{Deserialize, Serialize};
+
+use mp_profile::PhaseKind;
+
+/// The region of the graph a phase node belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// One-time setup, excluded from the paper's accounting.
+    Init,
+    /// The repeated region: parallel kernels, merge, constant serial work.
+    Body,
+    /// One-time teardown/reporting after the loop exits.
+    Finalize,
+}
+
+impl Region {
+    /// Short label for error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Region::Init => "init",
+            Region::Body => "body",
+            Region::Finalize => "finalize",
+        }
+    }
+}
+
+/// How a parallel node scales with the scheduler's thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scaling {
+    /// Runs on one thread (init, reduction and serial-constant nodes).
+    Serial,
+    /// Uses every scheduler thread.
+    Full,
+    /// Uses at most this many threads regardless of the scheduler's count —
+    /// MineBench's limited-parallelism kernels (hop's tree build).
+    Limited(usize),
+}
+
+/// One declared phase of a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseNodeSpec {
+    /// Which region the node belongs to.
+    pub region: Region,
+    /// The accounting classification of the node.
+    pub kind: PhaseKind,
+    /// The label the executed phase must carry.
+    pub label: String,
+    /// Thread-scaling behaviour.
+    pub scaling: Scaling,
+}
+
+/// A validated phase-graph declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseGraph {
+    nodes: Vec<PhaseNodeSpec>,
+    max_iterations: usize,
+}
+
+/// An invalid phase-graph declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphError(pub String);
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid phase graph: {}", self.0)
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl PhaseGraph {
+    /// Start declaring a graph whose body repeats at most `max_iterations`
+    /// times.
+    pub fn builder(max_iterations: usize) -> PhaseGraphBuilder {
+        PhaseGraphBuilder { nodes: Vec::new(), max_iterations }
+    }
+
+    /// All declared nodes, in declaration order.
+    pub fn nodes(&self) -> &[PhaseNodeSpec] {
+        &self.nodes
+    }
+
+    /// The nodes of one region, in declaration order.
+    pub fn region_nodes(&self, region: Region) -> Vec<&PhaseNodeSpec> {
+        self.nodes.iter().filter(|n| n.region == region).collect()
+    }
+
+    /// Iteration limit of the body region.
+    pub fn max_iterations(&self) -> usize {
+        self.max_iterations
+    }
+
+    /// Validate the declaration: a non-empty body with at least one parallel
+    /// node, every reduction preceded by a parallel node within the body,
+    /// positive iteration and limited-scaling bounds, and region-unique
+    /// labels.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.max_iterations == 0 {
+            return Err(GraphError("max_iterations must be at least 1".into()));
+        }
+        let body: Vec<&PhaseNodeSpec> =
+            self.nodes.iter().filter(|n| n.region == Region::Body).collect();
+        if body.is_empty() {
+            return Err(GraphError("the body region declares no phases".into()));
+        }
+        if !body.iter().any(|n| n.kind == PhaseKind::Parallel) {
+            return Err(GraphError("the body region declares no parallel phase".into()));
+        }
+        let mut saw_parallel = false;
+        for node in &body {
+            match node.kind {
+                PhaseKind::Parallel => saw_parallel = true,
+                PhaseKind::Reduction if !saw_parallel => {
+                    return Err(GraphError(format!(
+                        "reduction `{}` precedes every parallel phase: there are no partials to merge",
+                        node.label
+                    )));
+                }
+                _ => {}
+            }
+        }
+        for node in &self.nodes {
+            if node.label.is_empty() {
+                return Err(GraphError("phase labels must be non-empty".into()));
+            }
+            if let Scaling::Limited(cap) = node.scaling {
+                if cap == 0 {
+                    return Err(GraphError(format!(
+                        "limited-scaling phase `{}` allows zero threads",
+                        node.label
+                    )));
+                }
+            }
+            if node.kind == PhaseKind::Init && node.region != Region::Init {
+                return Err(GraphError(format!(
+                    "init-kind phase `{}` declared outside the init region",
+                    node.label
+                )));
+            }
+        }
+        for region in [Region::Init, Region::Body, Region::Finalize] {
+            let labels: Vec<&str> = self
+                .nodes
+                .iter()
+                .filter(|n| n.region == region)
+                .map(|n| n.label.as_str())
+                .collect();
+            for (i, a) in labels.iter().enumerate() {
+                if labels[i + 1..].contains(a) {
+                    return Err(GraphError(format!(
+                        "label `{a}` declared twice in the {} region",
+                        region.name()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`PhaseGraph`]; nodes are appended to the named region.
+#[derive(Debug, Clone)]
+pub struct PhaseGraphBuilder {
+    nodes: Vec<PhaseNodeSpec>,
+    max_iterations: usize,
+}
+
+impl PhaseGraphBuilder {
+    fn push(mut self, region: Region, kind: PhaseKind, label: &str, scaling: Scaling) -> Self {
+        self.nodes.push(PhaseNodeSpec { region, kind, label: label.to_string(), scaling });
+        self
+    }
+
+    /// Declare an init-region setup phase.
+    pub fn init(self, label: &str) -> Self {
+        self.push(Region::Init, PhaseKind::Init, label, Scaling::Serial)
+    }
+
+    /// Declare a fully-scaling parallel phase in the body.
+    pub fn parallel(self, label: &str) -> Self {
+        self.push(Region::Body, PhaseKind::Parallel, label, Scaling::Full)
+    }
+
+    /// Declare a limited-parallelism phase in the body (at most `cap`
+    /// threads).
+    pub fn parallel_limited(self, label: &str, cap: usize) -> Self {
+        self.push(Region::Body, PhaseKind::Parallel, label, Scaling::Limited(cap))
+    }
+
+    /// Declare the merging (reduction) phase in the body.
+    pub fn reduction(self, label: &str) -> Self {
+        self.push(Region::Body, PhaseKind::Reduction, label, Scaling::Serial)
+    }
+
+    /// Declare a constant serial phase in the body.
+    pub fn serial(self, label: &str) -> Self {
+        self.push(Region::Body, PhaseKind::SerialConstant, label, Scaling::Serial)
+    }
+
+    /// Declare a fully-scaling parallel phase in the finalize region.
+    pub fn finalize_parallel(self, label: &str) -> Self {
+        self.push(Region::Finalize, PhaseKind::Parallel, label, Scaling::Full)
+    }
+
+    /// Declare a constant serial phase in the finalize region.
+    pub fn finalize_serial(self, label: &str) -> Self {
+        self.push(Region::Finalize, PhaseKind::SerialConstant, label, Scaling::Serial)
+    }
+
+    /// Validate and finish the declaration.
+    ///
+    /// # Errors
+    /// Returns the first [`GraphError`] found by [`PhaseGraph::validate`].
+    pub fn build(self) -> Result<PhaseGraph, GraphError> {
+        let graph = PhaseGraph { nodes: self.nodes, max_iterations: self.max_iterations };
+        graph.validate()?;
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kmeans_like() -> PhaseGraph {
+        PhaseGraph::builder(50)
+            .init("init-centers")
+            .parallel("assign-and-accumulate")
+            .reduction("merge-partials")
+            .serial("recompute-centers")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_declares_regions_in_order() {
+        let g = kmeans_like();
+        assert_eq!(g.nodes().len(), 4);
+        assert_eq!(g.region_nodes(Region::Init).len(), 1);
+        assert_eq!(g.region_nodes(Region::Body).len(), 3);
+        assert!(g.region_nodes(Region::Finalize).is_empty());
+        assert_eq!(g.max_iterations(), 50);
+    }
+
+    #[test]
+    fn body_without_parallel_phase_is_rejected() {
+        let err = PhaseGraph::builder(1).serial("only-serial").build().unwrap_err();
+        assert!(err.to_string().contains("parallel"));
+    }
+
+    #[test]
+    fn empty_body_is_rejected() {
+        assert!(PhaseGraph::builder(1).init("setup").build().is_err());
+    }
+
+    #[test]
+    fn reduction_before_any_parallel_phase_is_rejected() {
+        let err = PhaseGraph::builder(1).reduction("merge").parallel("work").build().unwrap_err();
+        assert!(err.to_string().contains("merge"));
+    }
+
+    #[test]
+    fn zero_iterations_is_rejected() {
+        assert!(PhaseGraph::builder(0).parallel("work").build().is_err());
+    }
+
+    #[test]
+    fn zero_thread_cap_is_rejected() {
+        assert!(PhaseGraph::builder(1).parallel_limited("build", 0).build().is_err());
+    }
+
+    #[test]
+    fn duplicate_labels_within_a_region_are_rejected() {
+        let err = PhaseGraph::builder(1).parallel("work").parallel("work").build().unwrap_err();
+        assert!(err.to_string().contains("work"));
+    }
+
+    #[test]
+    fn same_label_in_different_regions_is_allowed() {
+        assert!(PhaseGraph::builder(1).parallel("pass").finalize_parallel("pass").build().is_ok());
+    }
+
+    #[test]
+    fn graph_serializes_roundtrip() {
+        let g = kmeans_like();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: PhaseGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+}

@@ -1,0 +1,251 @@
+//! The phase-graph scheduler.
+//!
+//! [`PhaseScheduler::run`] drives a [`PhasedWorkload`] through its declared
+//! graph — init region once, body region until the workload breaks or the
+//! declared iteration limit is reached, finalize region once — handing the
+//! workload a fresh conformance-checked [`PhaseExec`] per region pass and
+//! streaming every instrumented record into the caller's [`RecordSink`].
+
+use mp_profile::stream::{NullSink, RecordSink};
+use mp_profile::{Profiler, RunProfile};
+
+use crate::exec::PhaseExec;
+use crate::graph::{PhaseGraph, Region};
+
+/// Loop control returned by one body iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Run another iteration (until the graph's limit).
+    Continue,
+    /// The workload converged; skip to the finalize region.
+    Break,
+}
+
+/// A workload expressed as a phase graph: declarative structure plus the
+/// phase bodies, executed and instrumented by [`PhaseScheduler`].
+///
+/// The four clustering workloads implement this; anything that does makes
+/// itself a drop-in scenario for the characterisation sweep, the streaming
+/// parameter extraction and (through calibration) the design-space engine.
+pub trait PhasedWorkload {
+    /// Mutable state threaded through the regions.
+    type State;
+    /// Final result assembled by the finalize region.
+    type Output;
+
+    /// Workload name, used for profiles and reports.
+    fn name(&self) -> &str;
+
+    /// The declared phase graph. Called once per run; must validate.
+    fn graph(&self) -> PhaseGraph;
+
+    /// Execute the init region and build the initial state.
+    fn init(&self, exec: &PhaseExec<'_>) -> Self::State;
+
+    /// Execute one pass of the body region. `iter` counts from zero.
+    fn iteration(&self, state: &mut Self::State, exec: &PhaseExec<'_>, iter: usize) -> Control;
+
+    /// Execute the finalize region and assemble the output.
+    fn finalize(&self, state: Self::State, exec: &PhaseExec<'_>) -> Self::Output;
+}
+
+/// Outcome of a scheduled run: the workload output plus loop bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome<T> {
+    /// The workload's output.
+    pub output: T,
+    /// Body iterations executed.
+    pub iterations: usize,
+    /// Whether the workload broke out before the iteration limit.
+    pub converged: bool,
+}
+
+/// Executes phased workloads at a fixed thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseScheduler {
+    threads: usize,
+}
+
+impl PhaseScheduler {
+    /// A scheduler using `threads` worker threads (thread 0 is the caller).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "threads must be positive");
+        PhaseScheduler { threads }
+    }
+
+    /// The scheduler's thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `workload` to completion, streaming instrumented records into
+    /// `sink`.
+    ///
+    /// # Panics
+    /// Panics when the workload's graph fails validation or its execution
+    /// deviates from the declaration (see [`PhaseExec`]).
+    pub fn run<W: PhasedWorkload>(
+        &self,
+        workload: &W,
+        sink: &dyn RecordSink,
+    ) -> RunOutcome<W::Output> {
+        let graph = workload.graph();
+        if let Err(e) = graph.validate() {
+            panic!("workload `{}` declares an {e}", workload.name());
+        }
+
+        let init_exec =
+            PhaseExec::new(sink, self.threads, Region::Init, graph.region_nodes(Region::Init));
+        let mut state = workload.init(&init_exec);
+
+        let mut iterations = 0usize;
+        let mut converged = false;
+        for iter in 0..graph.max_iterations() {
+            let exec =
+                PhaseExec::new(sink, self.threads, Region::Body, graph.region_nodes(Region::Body));
+            let control = workload.iteration(&mut state, &exec, iter);
+            iterations += 1;
+            if control == Control::Break {
+                converged = true;
+                break;
+            }
+        }
+
+        let final_exec = PhaseExec::new(
+            sink,
+            self.threads,
+            Region::Finalize,
+            graph.region_nodes(Region::Finalize),
+        );
+        let output = workload.finalize(state, &final_exec);
+        RunOutcome { output, iterations, converged }
+    }
+
+    /// Run with a fresh [`Profiler`] and return the output together with the
+    /// collected [`RunProfile`].
+    pub fn run_profiled<W: PhasedWorkload>(
+        &self,
+        workload: &W,
+    ) -> (RunOutcome<W::Output>, RunProfile) {
+        let profiler = Profiler::new(workload.name(), self.threads);
+        let outcome = self.run(workload, &profiler);
+        (outcome, profiler.finish())
+    }
+
+    /// Run without any instrumentation (timing overhead skipped entirely).
+    pub fn run_uninstrumented<W: PhasedWorkload>(&self, workload: &W) -> RunOutcome<W::Output> {
+        self.run(workload, &NullSink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_profile::{PhaseKind, StreamingExtractor};
+
+    /// A miniature kmeans-shaped workload: sums chunks in parallel, merges,
+    /// and converges after a fixed number of iterations.
+    struct MiniWorkload {
+        items: usize,
+        converge_after: usize,
+    }
+
+    impl PhasedWorkload for MiniWorkload {
+        type State = (Vec<f64>, usize);
+        type Output = f64;
+
+        fn name(&self) -> &str {
+            "mini"
+        }
+
+        fn graph(&self) -> PhaseGraph {
+            PhaseGraph::builder(10)
+                .init("alloc")
+                .parallel("sum-chunks")
+                .reduction("merge")
+                .serial("check")
+                .finalize_serial("report")
+                .build()
+                .unwrap()
+        }
+
+        fn init(&self, exec: &PhaseExec<'_>) -> Self::State {
+            (exec.init("alloc", || vec![0.0; 1]), 0)
+        }
+
+        fn iteration(&self, state: &mut Self::State, exec: &PhaseExec<'_>, iter: usize) -> Control {
+            let partials = exec.parallel("sum-chunks", self.items, |_ctx, range| {
+                vec![range.map(|i| i as f64).sum::<f64>()]
+            });
+            let (merged, _stats) =
+                exec.reduce("merge", &partials, mp_par::ReductionStrategy::SerialLinear);
+            let done = exec.serial("check", || {
+                state.0 = merged;
+                state.1 = iter + 1;
+                iter + 1 >= self.converge_after
+            });
+            if done {
+                Control::Break
+            } else {
+                Control::Continue
+            }
+        }
+
+        fn finalize(&self, state: Self::State, exec: &PhaseExec<'_>) -> Self::Output {
+            exec.serial("report", || state.0[0])
+        }
+    }
+
+    #[test]
+    fn scheduler_runs_the_declared_loop() {
+        let w = MiniWorkload { items: 100, converge_after: 3 };
+        let scheduler = PhaseScheduler::new(4);
+        let (outcome, profile) = scheduler.run_profiled(&w);
+        let expect: f64 = (0..100).map(|i| i as f64).sum();
+        assert_eq!(outcome.output, expect);
+        assert_eq!(outcome.iterations, 3);
+        assert!(outcome.converged);
+        // 1 init + 3 iterations × 3 phases + 1 finalize = 11 records.
+        assert_eq!(profile.records.len(), 11);
+        assert_eq!(profile.app, "mini");
+        assert!(profile.parallel_time() >= 0.0);
+        assert!(profile.time_in(PhaseKind::Init) >= 0.0);
+    }
+
+    #[test]
+    fn iteration_limit_stops_a_non_converging_workload() {
+        let w = MiniWorkload { items: 10, converge_after: usize::MAX };
+        let outcome = PhaseScheduler::new(2).run_uninstrumented(&w);
+        assert_eq!(outcome.iterations, 10);
+        assert!(!outcome.converged);
+    }
+
+    #[test]
+    fn results_are_thread_count_independent() {
+        let w = MiniWorkload { items: 1000, converge_after: 2 };
+        let base = PhaseScheduler::new(1).run_uninstrumented(&w).output;
+        for threads in [2usize, 3, 8, 16] {
+            assert_eq!(PhaseScheduler::new(threads).run_uninstrumented(&w).output, base);
+        }
+    }
+
+    #[test]
+    fn records_stream_into_an_extractor() {
+        let w = MiniWorkload { items: 5000, converge_after: 4 };
+        let extractor = StreamingExtractor::new("mini");
+        for threads in [1usize, 2, 4] {
+            let sink = extractor.run_sink(threads);
+            PhaseScheduler::new(threads).run(&w, &sink);
+        }
+        assert_eq!(extractor.thread_counts(), vec![1, 2, 4]);
+        let runs = extractor.measured_runs();
+        assert_eq!(runs.len(), 3);
+        assert!(runs.iter().all(|r| r.parallel_seconds > 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threads_rejected() {
+        PhaseScheduler::new(0);
+    }
+}

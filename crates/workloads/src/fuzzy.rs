@@ -20,9 +20,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use mp_par::pool::parallel_partials;
-use mp_par::reduce::{reduce_elementwise, ReductionStrategy};
-use mp_profile::{PhaseKind, Profiler};
+use mp_par::reduce::ReductionStrategy;
+use mp_profile::Profiler;
+use mp_runtime::{Control, PhaseExec, PhaseGraph, PhaseScheduler, PhasedWorkload};
 
 use crate::data::Dataset;
 
@@ -94,19 +94,67 @@ impl FuzzyCMeans {
         &self.config
     }
 
+    /// The phase-graph view of this workload over `data`, ready for a
+    /// [`PhaseScheduler`].
+    pub fn phased<'a>(&'a self, data: &'a Dataset) -> PhasedFuzzy<'a> {
+        PhasedFuzzy { workload: self, data }
+    }
+
     /// Run fuzzy c-means on `data` with `threads` worker threads, recording
-    /// phases into `profiler`.
+    /// phases into `profiler` (executed through the phase-graph scheduler).
     pub fn run(&self, data: &Dataset, threads: usize, profiler: &Profiler) -> FuzzyResult {
-        assert!(threads > 0, "threads must be positive");
+        PhaseScheduler::new(threads).run(&self.phased(data), profiler).output
+    }
+
+    /// Convenience: run without instrumentation.
+    pub fn run_uninstrumented(&self, data: &Dataset, threads: usize) -> FuzzyResult {
+        PhaseScheduler::new(threads).run_uninstrumented(&self.phased(data)).output
+    }
+}
+
+/// [`FuzzyCMeans`] expressed as a phase-graph workload: a parallel membership
+/// kernel, the merging phase over `C·D + C` accumulator elements, a constant
+/// serial centre update, and a final parallel hard-assignment pass.
+pub struct PhasedFuzzy<'a> {
+    workload: &'a FuzzyCMeans,
+    data: &'a Dataset,
+}
+
+/// Loop state of a scheduled fuzzy c-means run.
+pub struct FuzzyState {
+    k: usize,
+    centers: Vec<f64>,
+    iterations: usize,
+    final_delta: f64,
+}
+
+impl PhasedWorkload for PhasedFuzzy<'_> {
+    type State = FuzzyState;
+    type Output = FuzzyResult;
+
+    fn name(&self) -> &str {
+        "fuzzy"
+    }
+
+    fn graph(&self) -> PhaseGraph {
+        PhaseGraph::builder(self.workload.config.max_iters)
+            .init("init-centers")
+            .parallel("memberships")
+            .reduction("merge-partials")
+            .serial("recompute-centers")
+            .finalize_parallel("final-assignments")
+            .build()
+            .expect("fuzzy phase graph is valid")
+    }
+
+    fn init(&self, exec: &PhaseExec<'_>) -> FuzzyState {
+        let data = self.data;
         let n = data.len();
         let d = data.dims();
-        let k = self.config.clusters.min(n);
-        let m = self.config.fuzziness;
-        // Membership exponent for distance ratios: 2 / (m - 1).
-        let ratio_exp = 2.0 / (m - 1.0);
+        let k = self.workload.config.clusters.min(n);
 
-        // -------- Init: spread initial centres over the first points. --------
-        let mut centers = profiler.time(PhaseKind::Init, "init-centers", || {
+        // Spread initial centres over the first points.
+        let centers = exec.init("init-centers", || {
             let stride = (n / k).max(1);
             let mut c = Vec::with_capacity(k * d);
             for i in 0..k {
@@ -115,125 +163,132 @@ impl FuzzyCMeans {
             c
         });
 
-        let mut iterations = 0;
-        let mut final_delta = f64::MAX;
+        FuzzyState { k, centers, iterations: 0, final_delta: f64::MAX }
+    }
+
+    fn iteration(&self, state: &mut FuzzyState, exec: &PhaseExec<'_>, _iter: usize) -> Control {
+        let data = self.data;
+        let n = data.len();
+        let d = data.dims();
+        let k = state.k;
+        let m = self.workload.config.fuzziness;
+        // Membership exponent for distance ratios: 2 / (m - 1).
+        let ratio_exp = 2.0 / (m - 1.0);
         // Flat partial layout: [weighted sums (k·d) | weights (k)].
         let partial_len = k * d + k;
 
-        for _iter in 0..self.config.max_iters {
-            iterations += 1;
-
-            // -------- Parallel phase: memberships + partial accumulation. ----
-            let partials = profiler.time(PhaseKind::Parallel, "memberships", || {
-                parallel_partials(threads, n, |_ctx, range| {
-                    let mut partial = vec![0.0f64; partial_len];
-                    let (sums, weights) = partial.split_at_mut(k * d);
-                    let mut dist2 = vec![0.0f64; k];
-                    for i in range {
-                        let point = data.point(i);
-                        let mut zero_cluster = None;
-                        for (c, dc) in dist2.iter_mut().enumerate() {
-                            let center = &centers[c * d..(c + 1) * d];
-                            *dc = point
-                                .iter()
-                                .zip(center.iter())
-                                .map(|(a, b)| (a - b) * (a - b))
-                                .sum();
-                            if *dc == 0.0 {
-                                zero_cluster = Some(c);
-                            }
-                        }
-                        for c in 0..k {
-                            // Membership of point i in cluster c under the
-                            // standard FCM update; points coinciding with a
-                            // centre get full membership there.
-                            let u = match zero_cluster {
-                                Some(z) => {
-                                    if c == z {
-                                        1.0
-                                    } else {
-                                        0.0
-                                    }
-                                }
-                                None => {
-                                    let mut denom = 0.0;
-                                    for &other in dist2.iter() {
-                                        denom += (dist2[c] / other).powf(ratio_exp / 2.0);
-                                    }
-                                    1.0 / denom
-                                }
-                            };
-                            let w = u.powf(m);
-                            weights[c] += w;
-                            for (s, p) in sums[c * d..(c + 1) * d].iter_mut().zip(point.iter()) {
-                                *s += w * p;
-                            }
-                        }
+        // -------- Parallel phase: memberships + partial accumulation. --------
+        let centers = &state.centers;
+        let partials = exec.parallel("memberships", n, |_ctx, range| {
+            let mut partial = vec![0.0f64; partial_len];
+            let (sums, weights) = partial.split_at_mut(k * d);
+            let mut dist2 = vec![0.0f64; k];
+            for i in range {
+                let point = data.point(i);
+                let mut zero_cluster = None;
+                for (c, dc) in dist2.iter_mut().enumerate() {
+                    let center = &centers[c * d..(c + 1) * d];
+                    *dc = point.iter().zip(center.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+                    if *dc == 0.0 {
+                        zero_cluster = Some(c);
                     }
-                    partial
-                })
-            });
-
-            // -------- Merging phase. -----------------------------------------
-            let (merged, _stats) = profiler.time(PhaseKind::Reduction, "merge-partials", || {
-                reduce_elementwise(&partials, self.config.reduction, threads)
-            });
-
-            // -------- Constant serial phase: new centres + convergence. ------
-            let (new_centers, delta) =
-                profiler.time(PhaseKind::SerialConstant, "recompute-centers", || {
-                    let mut new_centers = centers.clone();
-                    let mut max_delta: f64 = 0.0;
-                    for c in 0..k {
-                        let w = merged[k * d + c];
-                        if w > 0.0 {
-                            for dd in 0..d {
-                                let v = merged[c * d + dd] / w;
-                                max_delta = max_delta.max((v - centers[c * d + dd]).abs());
-                                new_centers[c * d + dd] = v;
-                            }
-                        }
-                    }
-                    (new_centers, max_delta)
-                });
-
-            centers = new_centers;
-            final_delta = delta;
-            if delta <= self.config.epsilon {
-                break;
-            }
-        }
-
-        // Hard assignments from the final centres (one extra parallel pass).
-        let assignments = profiler.time(PhaseKind::Parallel, "final-assignments", || {
-            let chunks = parallel_partials(threads, n, |_ctx, range| {
-                let mut local = Vec::with_capacity(range.len());
-                for i in range {
-                    let point = data.point(i);
-                    let mut best = 0usize;
-                    let mut best_d = f64::MAX;
-                    for c in 0..k {
-                        let center = &centers[c * d..(c + 1) * d];
-                        let dist: f64 =
-                            point.iter().zip(center.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
-                        if dist < best_d {
-                            best_d = dist;
-                            best = c;
-                        }
-                    }
-                    local.push(best);
                 }
-                local
-            });
-            chunks.into_iter().flatten().collect::<Vec<usize>>()
+                for c in 0..k {
+                    // Membership of point i in cluster c under the
+                    // standard FCM update; points coinciding with a
+                    // centre get full membership there.
+                    let u = match zero_cluster {
+                        Some(z) => {
+                            if c == z {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        }
+                        None => {
+                            let mut denom = 0.0;
+                            for &other in dist2.iter() {
+                                denom += (dist2[c] / other).powf(ratio_exp / 2.0);
+                            }
+                            1.0 / denom
+                        }
+                    };
+                    let w = u.powf(m);
+                    weights[c] += w;
+                    for (s, p) in sums[c * d..(c + 1) * d].iter_mut().zip(point.iter()) {
+                        *s += w * p;
+                    }
+                }
+            }
+            partial
         });
 
-        FuzzyResult { centers, assignments, iterations, final_delta }
+        // -------- Merging phase. ---------------------------------------------
+        let (merged, _stats) =
+            exec.reduce("merge-partials", &partials, self.workload.config.reduction);
+
+        // -------- Constant serial phase: new centres + convergence. ----------
+        let (new_centers, delta) = exec.serial("recompute-centers", || {
+            let mut new_centers = state.centers.clone();
+            let mut max_delta: f64 = 0.0;
+            for c in 0..k {
+                let w = merged[k * d + c];
+                if w > 0.0 {
+                    for dd in 0..d {
+                        let v = merged[c * d + dd] / w;
+                        max_delta = max_delta.max((v - state.centers[c * d + dd]).abs());
+                        new_centers[c * d + dd] = v;
+                    }
+                }
+            }
+            (new_centers, max_delta)
+        });
+
+        state.centers = new_centers;
+        state.final_delta = delta;
+        state.iterations += 1;
+        if delta <= self.workload.config.epsilon {
+            Control::Break
+        } else {
+            Control::Continue
+        }
     }
 
-    /// Convenience: run without instrumentation.
-    pub fn run_uninstrumented(&self, data: &Dataset, threads: usize) -> FuzzyResult {
-        self.run(data, threads, &Profiler::disabled())
+    fn finalize(&self, state: FuzzyState, exec: &PhaseExec<'_>) -> FuzzyResult {
+        let data = self.data;
+        let n = data.len();
+        let d = data.dims();
+        let k = state.k;
+        let centers = &state.centers;
+
+        // Hard assignments from the final centres (one extra parallel pass).
+        let chunks = exec.parallel("final-assignments", n, |_ctx, range| {
+            let mut local = Vec::with_capacity(range.len());
+            for i in range {
+                let point = data.point(i);
+                let mut best = 0usize;
+                let mut best_d = f64::MAX;
+                for c in 0..k {
+                    let center = &centers[c * d..(c + 1) * d];
+                    let dist: f64 =
+                        point.iter().zip(center.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+                    if dist < best_d {
+                        best_d = dist;
+                        best = c;
+                    }
+                }
+                local.push(best);
+            }
+            local
+        });
+        let assignments: Vec<usize> = chunks.into_iter().flatten().collect();
+
+        FuzzyResult {
+            centers: state.centers.clone(),
+            assignments,
+            iterations: state.iterations,
+            final_delta: state.final_delta,
+        }
     }
 }
 

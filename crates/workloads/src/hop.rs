@@ -33,8 +33,8 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use mp_par::pool::parallel_partials;
-use mp_profile::{PhaseKind, Profiler};
+use mp_profile::Profiler;
+use mp_runtime::{Control, PhaseExec, PhaseGraph, PhaseScheduler, PhasedWorkload};
 
 use crate::data::Dataset;
 use crate::kdtree::KdTree;
@@ -91,22 +91,78 @@ impl Hop {
         &self.config
     }
 
+    /// The phase-graph view of this workload over `data`, ready for a
+    /// [`PhaseScheduler`].
+    pub fn phased<'a>(&'a self, data: &'a Dataset) -> PhasedHop<'a> {
+        PhasedHop { workload: self, data }
+    }
+
     /// Run HOP on `data` with `threads` worker threads, recording phases into
-    /// `profiler`.
+    /// `profiler` (executed through the phase-graph scheduler).
     pub fn run(&self, data: &Dataset, threads: usize, profiler: &Profiler) -> HopResult {
-        assert!(threads > 0, "threads must be positive");
+        PhaseScheduler::new(threads).run(&self.phased(data), profiler).output
+    }
+
+    /// Convenience: run without instrumentation.
+    pub fn run_uninstrumented(&self, data: &Dataset, threads: usize) -> HopResult {
+        PhaseScheduler::new(threads).run_uninstrumented(&self.phased(data)).output
+    }
+}
+
+/// [`Hop`] expressed as a phase-graph workload: four parallel kernels (the
+/// tree build with limited scaling), the scattered-memory group-table merge,
+/// and the constant serial group filter — a single pass through the body.
+pub struct PhasedHop<'a> {
+    workload: &'a Hop,
+    data: &'a Dataset,
+}
+
+/// State carried from the single body pass to finalisation.
+#[derive(Default)]
+pub struct HopState {
+    group_of: Vec<usize>,
+    group_sizes: Vec<usize>,
+    densities: Vec<f64>,
+}
+
+impl PhasedWorkload for PhasedHop<'_> {
+    type State = HopState;
+    type Output = HopResult;
+
+    fn name(&self) -> &str {
+        "hop"
+    }
+
+    fn graph(&self) -> PhaseGraph {
+        PhaseGraph::builder(1)
+            .parallel_limited("build-kdtree", self.workload.config.max_tree_build_threads)
+            .parallel("density")
+            .parallel("hop")
+            .parallel("chase-roots")
+            .parallel("partial-group-tables")
+            .reduction("merge-group-tables")
+            .serial("filter-groups")
+            .build()
+            .expect("hop phase graph is valid")
+    }
+
+    fn init(&self, _exec: &PhaseExec<'_>) -> HopState {
+        HopState::default()
+    }
+
+    fn iteration(&self, state: &mut HopState, exec: &PhaseExec<'_>, _iter: usize) -> Control {
+        let data = self.data;
         let n = data.len();
-        let k = self.config.neighbors.min(n.saturating_sub(1)).max(1);
+        let k = self.workload.config.neighbors.min(n.saturating_sub(1)).max(1);
 
         // -------- Parallel kernel 1: tree construction (limited scaling). ----
-        let build_threads = threads.min(self.config.max_tree_build_threads);
-        let tree = profiler.time(PhaseKind::Parallel, "build-kdtree", || {
+        let tree = exec.parallel_task("build-kdtree", |build_threads| {
             KdTree::build(data.values(), data.dims(), build_threads)
         });
 
         // -------- Parallel kernel 2: density estimation. ----------------------
-        let densities: Vec<f64> = profiler.time(PhaseKind::Parallel, "density", || {
-            let chunks = parallel_partials(threads, n, |_ctx, range| {
+        let densities: Vec<f64> = exec
+            .parallel("density", n, |_ctx, range| {
                 let mut local = Vec::with_capacity(range.len());
                 for i in range {
                     let neighbors = tree.knn(data.point(i), k, Some(i));
@@ -118,13 +174,14 @@ impl Hop {
                     local.push(k as f64 / volume);
                 }
                 local
-            });
-            chunks.into_iter().flatten().collect()
-        });
+            })
+            .into_iter()
+            .flatten()
+            .collect();
 
         // -------- Parallel kernel 3: hop to the densest neighbour. -----------
-        let hop_to: Vec<usize> = profiler.time(PhaseKind::Parallel, "hop", || {
-            let chunks = parallel_partials(threads, n, |_ctx, range| {
+        let hop_to: Vec<usize> = exec
+            .parallel("hop", n, |_ctx, range| {
                 let mut local = Vec::with_capacity(range.len());
                 for i in range {
                     let neighbors = tree.knn(data.point(i), k, Some(i));
@@ -139,14 +196,15 @@ impl Hop {
                     local.push(best);
                 }
                 local
-            });
-            chunks.into_iter().flatten().collect()
-        });
+            })
+            .into_iter()
+            .flatten()
+            .collect();
 
         // Chase hop chains to their roots (density peaks). Still parallel: the
         // chains are read-only.
-        let roots: Vec<usize> = profiler.time(PhaseKind::Parallel, "chase-roots", || {
-            let chunks = parallel_partials(threads, n, |_ctx, range| {
+        let roots: Vec<usize> = exec
+            .parallel("chase-roots", n, |_ctx, range| {
                 let mut local = Vec::with_capacity(range.len());
                 for i in range {
                     let mut cur = i;
@@ -158,9 +216,10 @@ impl Hop {
                     local.push(cur);
                 }
                 local
-            });
-            chunks.into_iter().flatten().collect()
-        });
+            })
+            .into_iter()
+            .flatten()
+            .collect();
 
         // -------- Merging phase: combine per-thread group tables. ------------
         // Each thread builds a partial table  root → (member count, density
@@ -168,20 +227,18 @@ impl Hop {
         // one hash entry per (thread, group) pair — the scattered-memory merge
         // the paper blames for hop's super-linear overhead.
         let partial_tables: Vec<HashMap<usize, (usize, f64)>> =
-            profiler.time(PhaseKind::Parallel, "partial-group-tables", || {
-                parallel_partials(threads, n, |_ctx, range| {
-                    let mut table: HashMap<usize, (usize, f64)> = HashMap::new();
-                    for i in range {
-                        let entry = table.entry(roots[i]).or_insert((0, 0.0));
-                        entry.0 += 1;
-                        entry.1 += densities[i];
-                    }
-                    table
-                })
+            exec.parallel("partial-group-tables", n, |_ctx, range| {
+                let mut table: HashMap<usize, (usize, f64)> = HashMap::new();
+                for i in range {
+                    let entry = table.entry(roots[i]).or_insert((0, 0.0));
+                    entry.0 += 1;
+                    entry.1 += densities[i];
+                }
+                table
             });
 
         let global_table: HashMap<usize, (usize, f64)> =
-            profiler.time(PhaseKind::Reduction, "merge-group-tables", || {
+            exec.reduce_with("merge-group-tables", || {
                 let mut global: HashMap<usize, (usize, f64)> = HashMap::new();
                 for table in &partial_tables {
                     for (&root, &(count, mass)) in table {
@@ -194,33 +251,37 @@ impl Hop {
             });
 
         // -------- Constant serial phase: filter and relabel groups. ----------
-        let (group_ids, group_sizes) =
-            profiler.time(PhaseKind::SerialConstant, "filter-groups", || {
-                let mut groups: Vec<(usize, usize, f64)> = global_table
-                    .iter()
-                    .filter(|(_, &(count, _))| count >= self.config.min_group_size)
-                    .map(|(&root, &(count, mass))| (root, count, mass))
-                    .collect();
-                // Densest (highest mass) groups first, ties broken by root id for
-                // determinism.
-                groups.sort_by(|a, b| {
-                    b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
-                });
-                let ids: HashMap<usize, usize> =
-                    groups.iter().enumerate().map(|(gid, &(root, _, _))| (root, gid)).collect();
-                let sizes: Vec<usize> = groups.iter().map(|&(_, count, _)| count).collect();
-                (ids, sizes)
+        let (group_ids, group_sizes) = exec.serial("filter-groups", || {
+            let mut groups: Vec<(usize, usize, f64)> = global_table
+                .iter()
+                .filter(|(_, &(count, _))| count >= self.workload.config.min_group_size)
+                .map(|(&root, &(count, mass))| (root, count, mass))
+                .collect();
+            // Densest (highest mass) groups first, ties broken by root id for
+            // determinism.
+            groups.sort_by(|a, b| {
+                b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
             });
+            let ids: HashMap<usize, usize> =
+                groups.iter().enumerate().map(|(gid, &(root, _, _))| (root, gid)).collect();
+            let sizes: Vec<usize> = groups.iter().map(|&(_, count, _)| count).collect();
+            (ids, sizes)
+        });
 
-        let group_of: Vec<usize> =
+        state.group_of =
             roots.iter().map(|root| group_ids.get(root).copied().unwrap_or(usize::MAX)).collect();
-
-        HopResult { group_of, groups: group_sizes.len(), group_sizes, densities }
+        state.group_sizes = group_sizes;
+        state.densities = densities;
+        Control::Break
     }
 
-    /// Convenience: run without instrumentation.
-    pub fn run_uninstrumented(&self, data: &Dataset, threads: usize) -> HopResult {
-        self.run(data, threads, &Profiler::disabled())
+    fn finalize(&self, state: HopState, _exec: &PhaseExec<'_>) -> HopResult {
+        HopResult {
+            group_of: state.group_of,
+            groups: state.group_sizes.len(),
+            group_sizes: state.group_sizes,
+            densities: state.densities,
+        }
     }
 }
 

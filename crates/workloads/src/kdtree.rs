@@ -1,4 +1,4 @@
-//! A k-d tree for nearest-neighbour queries.
+//! A k-d tree for nearest-neighbour queries, plus the kd-tree workload.
 //!
 //! HOP's density estimation needs the `k` nearest neighbours of every
 //! particle. MineBench's implementation builds a balanced k-d tree once and
@@ -7,8 +7,22 @@
 //! follows the same structure: a median-split balanced tree over point indices
 //! with an optionally parallel build (sub-trees built by separate threads) and
 //! read-only concurrent kNN queries.
+//!
+//! [`KdTreeWorkload`] exposes the tree as a standalone phased scenario — the
+//! limited-scaling build, a fully-parallel all-points kNN pass producing
+//! per-thread distance histograms, a merging phase over the histograms and a
+//! constant serial summary — so the tree kernel can be characterised and
+//! calibrated on its own, isolated from the rest of HOP.
 
 use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use mp_par::reduce::ReductionStrategy;
+use mp_profile::Profiler;
+use mp_runtime::{Control, PhaseExec, PhaseGraph, PhaseScheduler, PhasedWorkload};
+
+use crate::data::Dataset;
 
 /// A balanced k-d tree over a borrowed point set.
 #[derive(Debug)]
@@ -247,6 +261,189 @@ impl Builder<'_> {
     }
 }
 
+/// Configuration of a kd-tree workload run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KdTreeConfig {
+    /// Neighbours per kNN query.
+    pub neighbors: usize,
+    /// Buckets of the kth-neighbour distance histogram (the reduction
+    /// elements of the merging phase).
+    pub buckets: usize,
+    /// Thread cap of the tree-construction kernel (MineBench's tree build has
+    /// limited parallelism).
+    pub max_tree_build_threads: usize,
+    /// How the per-thread histograms are merged.
+    pub reduction: ReductionStrategy,
+}
+
+impl Default for KdTreeConfig {
+    fn default() -> Self {
+        KdTreeConfig {
+            neighbors: 8,
+            buckets: 64,
+            max_tree_build_threads: 4,
+            reduction: ReductionStrategy::SerialLinear,
+        }
+    }
+}
+
+/// Result of a kd-tree workload run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KdTreeResult {
+    /// Histogram of kth-neighbour distances over all points.
+    pub histogram: Vec<f64>,
+    /// Mean kth-neighbour distance.
+    pub mean_kth_distance: f64,
+    /// Number of kNN queries executed (= number of points).
+    pub queries: usize,
+}
+
+/// The kd-tree workload: build + all-points kNN characterisation.
+#[derive(Debug, Clone)]
+pub struct KdTreeWorkload {
+    config: KdTreeConfig,
+}
+
+impl KdTreeWorkload {
+    /// Create a workload with the given configuration.
+    pub fn new(config: KdTreeConfig) -> Self {
+        assert!(config.neighbors > 0, "neighbors must be positive");
+        assert!(config.buckets > 0, "buckets must be positive");
+        assert!(config.max_tree_build_threads > 0, "tree build threads must be positive");
+        KdTreeWorkload { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &KdTreeConfig {
+        &self.config
+    }
+
+    /// The phase-graph view of this workload over `data`, ready for a
+    /// [`PhaseScheduler`].
+    pub fn phased<'a>(&'a self, data: &'a Dataset) -> PhasedKdTree<'a> {
+        PhasedKdTree { workload: self, data }
+    }
+
+    /// Run the workload on `data` with `threads` worker threads, recording
+    /// phases into `profiler` (executed through the phase-graph scheduler).
+    pub fn run(&self, data: &Dataset, threads: usize, profiler: &Profiler) -> KdTreeResult {
+        PhaseScheduler::new(threads).run(&self.phased(data), profiler).output
+    }
+
+    /// Convenience: run without instrumentation.
+    pub fn run_uninstrumented(&self, data: &Dataset, threads: usize) -> KdTreeResult {
+        PhaseScheduler::new(threads).run_uninstrumented(&self.phased(data)).output
+    }
+}
+
+/// [`KdTreeWorkload`] expressed as a phase-graph workload.
+pub struct PhasedKdTree<'a> {
+    workload: &'a KdTreeWorkload,
+    data: &'a Dataset,
+}
+
+/// State of a scheduled kd-tree workload run.
+#[derive(Default)]
+pub struct KdTreeState {
+    /// Bucket width of the distance histogram (from the data extent).
+    scale: f64,
+    histogram: Vec<f64>,
+    mean_kth_distance: f64,
+}
+
+impl PhasedWorkload for PhasedKdTree<'_> {
+    type State = KdTreeState;
+    type Output = KdTreeResult;
+
+    fn name(&self) -> &str {
+        "kdtree"
+    }
+
+    fn graph(&self) -> PhaseGraph {
+        PhaseGraph::builder(1)
+            .init("measure-extent")
+            .parallel_limited("build-kdtree", self.workload.config.max_tree_build_threads)
+            .parallel("knn-histogram")
+            .reduction("merge-histograms")
+            .serial("summarize")
+            .build()
+            .expect("kd-tree phase graph is valid")
+    }
+
+    fn init(&self, exec: &PhaseExec<'_>) -> KdTreeState {
+        let data = self.data;
+        // Histogram bucket width from the bounding-box diagonal, so bucket
+        // indices are deterministic and independent of the thread count.
+        let scale = exec.init("measure-extent", || {
+            let d = data.dims();
+            let n = data.len();
+            if n == 0 {
+                return 1.0;
+            }
+            let mut lo = vec![f64::MAX; d];
+            let mut hi = vec![f64::MIN; d];
+            for i in 0..n {
+                for (dd, &v) in data.point(i).iter().enumerate() {
+                    lo[dd] = lo[dd].min(v);
+                    hi[dd] = hi[dd].max(v);
+                }
+            }
+            let diagonal: f64 =
+                lo.iter().zip(hi.iter()).map(|(a, b)| (b - a) * (b - a)).sum::<f64>().sqrt();
+            (diagonal / self.workload.config.buckets as f64).max(f64::MIN_POSITIVE)
+        });
+        KdTreeState { scale, histogram: Vec::new(), mean_kth_distance: 0.0 }
+    }
+
+    fn iteration(&self, state: &mut KdTreeState, exec: &PhaseExec<'_>, _iter: usize) -> Control {
+        let data = self.data;
+        let n = data.len();
+        let k = self.workload.config.neighbors.min(n.saturating_sub(1)).max(1);
+        let buckets = self.workload.config.buckets;
+        let scale = state.scale;
+
+        // -------- Limited-scaling kernel: tree construction. -----------------
+        let tree = exec.parallel_task("build-kdtree", |build_threads| {
+            KdTree::build(data.values(), data.dims(), build_threads)
+        });
+
+        // -------- Parallel phase: all-points kNN with per-thread histograms. -
+        // Partial layout: [bucket counts (buckets) | distance sum].
+        let partials = exec.parallel("knn-histogram", n, |_ctx, range| {
+            let mut partial = vec![0.0f64; buckets + 1];
+            for i in range {
+                let neighbors = tree.knn(data.point(i), k, Some(i));
+                let dist = neighbors.last().map(|nb| nb.dist2.sqrt()).unwrap_or(0.0);
+                let bucket = ((dist / scale) as usize).min(buckets - 1);
+                partial[bucket] += 1.0;
+                partial[buckets] += dist;
+            }
+            partial
+        });
+
+        // -------- Merging phase: reduce the per-thread histograms. -----------
+        let (merged, _stats) =
+            exec.reduce("merge-histograms", &partials, self.workload.config.reduction);
+
+        // -------- Constant serial phase: summary statistics. -----------------
+        let (histogram, mean) = exec.serial("summarize", || {
+            let mean = if n > 0 { merged[buckets] / n as f64 } else { 0.0 };
+            (merged[..buckets].to_vec(), mean)
+        });
+        state.histogram = histogram;
+        state.mean_kth_distance = mean;
+        Control::Break
+    }
+
+    fn finalize(&self, state: KdTreeState, _exec: &PhaseExec<'_>) -> KdTreeResult {
+        KdTreeResult {
+            histogram: state.histogram,
+            mean_kth_distance: state.mean_kth_distance,
+            queries: self.data.len(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +570,63 @@ mod tests {
         let points = random_points(10, 3, 4);
         let tree = KdTree::build(&points, 3, 1);
         tree.knn(&[0.0, 0.0], 2, None);
+    }
+
+    #[test]
+    fn workload_histogram_counts_every_point() {
+        let data = crate::data::DatasetSpec::new(500, 3, 3, 23).generate();
+        let w = KdTreeWorkload::new(KdTreeConfig::default());
+        let r = w.run_uninstrumented(&data, 4);
+        assert_eq!(r.queries, 500);
+        assert_eq!(r.histogram.len(), KdTreeConfig::default().buckets);
+        assert_eq!(r.histogram.iter().sum::<f64>(), 500.0);
+        assert!(r.mean_kth_distance > 0.0);
+    }
+
+    #[test]
+    fn workload_result_is_thread_count_independent() {
+        let data = crate::data::DatasetSpec::new(400, 2, 2, 9).generate();
+        let w = KdTreeWorkload::new(KdTreeConfig::default());
+        let base = w.run_uninstrumented(&data, 1);
+        for threads in [2usize, 4, 8] {
+            let r = w.run_uninstrumented(&data, threads);
+            assert_eq!(r.histogram, base.histogram, "threads={threads}");
+            assert!((r.mean_kth_distance - base.mean_kth_distance).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn workload_records_all_phase_kinds() {
+        use mp_profile::PhaseKind;
+        let data = crate::data::DatasetSpec::new(600, 3, 3, 31).generate();
+        let w = KdTreeWorkload::new(KdTreeConfig::default());
+        let profiler = Profiler::new("kdtree", 4);
+        w.run(&data, 4, &profiler);
+        let profile = profiler.finish();
+        assert!(profile.time_in(PhaseKind::Init) >= 0.0);
+        assert!(profile.parallel_time() > 0.0);
+        assert!(profile.reduction_time() >= 0.0);
+        assert!(profile.constant_serial_time() >= 0.0);
+    }
+
+    #[test]
+    fn workload_reduction_strategy_does_not_change_the_histogram() {
+        let data = crate::data::DatasetSpec::new(300, 3, 3, 5).generate();
+        let base = KdTreeWorkload::new(KdTreeConfig::default()).run_uninstrumented(&data, 4);
+        for strategy in ReductionStrategy::all() {
+            let r = KdTreeWorkload::new(KdTreeConfig {
+                reduction: strategy,
+                ..KdTreeConfig::default()
+            })
+            .run_uninstrumented(&data, 4);
+            assert_eq!(r.histogram, base.histogram, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn workload_rejects_zero_neighbors() {
+        KdTreeWorkload::new(KdTreeConfig { neighbors: 0, ..KdTreeConfig::default() });
     }
 
     #[test]

@@ -18,9 +18,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use mp_par::pool::parallel_partials;
-use mp_par::reduce::{reduce_elementwise, ReductionStrategy};
-use mp_profile::{PhaseKind, Profiler};
+use mp_par::pool::chunk_range;
+use mp_par::reduce::ReductionStrategy;
+use mp_profile::Profiler;
+use mp_runtime::{Control, PhaseExec, PhaseGraph, PhaseScheduler, PhasedWorkload};
 
 use crate::data::Dataset;
 
@@ -109,16 +110,67 @@ impl KMeans {
         &self.config
     }
 
+    /// The phase-graph view of this workload over `data`, ready for a
+    /// [`PhaseScheduler`].
+    pub fn phased<'a>(&'a self, data: &'a Dataset) -> PhasedKMeans<'a> {
+        PhasedKMeans { workload: self, data }
+    }
+
     /// Run k-means on `data` with `threads` worker threads, recording phases
-    /// into `profiler`.
+    /// into `profiler` (executed through the phase-graph scheduler).
     pub fn run(&self, data: &Dataset, threads: usize, profiler: &Profiler) -> KMeansResult {
-        assert!(threads > 0, "threads must be positive");
+        PhaseScheduler::new(threads).run(&self.phased(data), profiler).output
+    }
+
+    /// Convenience: run without instrumentation.
+    pub fn run_uninstrumented(&self, data: &Dataset, threads: usize) -> KMeansResult {
+        PhaseScheduler::new(threads).run_uninstrumented(&self.phased(data)).output
+    }
+}
+
+/// [`KMeans`] expressed as a phase-graph workload: one parallel
+/// assign-and-accumulate kernel, the merging phase over per-thread partials,
+/// and a constant serial centre recomputation, repeated until convergence.
+pub struct PhasedKMeans<'a> {
+    workload: &'a KMeans,
+    data: &'a Dataset,
+}
+
+/// Loop state of a scheduled k-means run.
+pub struct KMeansState {
+    k: usize,
+    centers: Vec<f64>,
+    chunk_assignments: Vec<Vec<usize>>,
+    iterations: usize,
+    sse: f64,
+}
+
+impl PhasedWorkload for PhasedKMeans<'_> {
+    type State = KMeansState;
+    type Output = KMeansResult;
+
+    fn name(&self) -> &str {
+        "kmeans"
+    }
+
+    fn graph(&self) -> PhaseGraph {
+        PhaseGraph::builder(self.workload.config.max_iters)
+            .init("init-centers")
+            .parallel("assign-and-accumulate")
+            .reduction("merge-partials")
+            .serial("recompute-centers")
+            .build()
+            .expect("kmeans phase graph is valid")
+    }
+
+    fn init(&self, exec: &PhaseExec<'_>) -> KMeansState {
+        let data = self.data;
         let n = data.len();
         let d = data.dims();
-        let k = self.config.clusters.min(n);
+        let k = self.workload.config.clusters.min(n);
 
-        // -------- Init: first-k-points seeding (MineBench behaviour). --------
-        let mut centers = profiler.time(PhaseKind::Init, "init-centers", || {
+        // First-k-points seeding (MineBench behaviour).
+        let centers = exec.init("init-centers", || {
             let mut c = Vec::with_capacity(k * d);
             for i in 0..k {
                 c.extend_from_slice(data.point(i));
@@ -127,97 +179,98 @@ impl KMeans {
         });
 
         // Per-thread (chunked) assignment state: chunk boundaries are the
-        // deterministic static chunks of `parallel_partials`, so each thread
-        // compares against and replaces only its own slice across iterations.
-        let mut chunk_assignments: Vec<Vec<usize>> = (0..threads)
-            .map(|tid| {
-                let range = mp_par::pool::chunk_range(tid, threads, n);
-                vec![usize::MAX; range.len()]
-            })
+        // deterministic static chunks of the scheduler's fork-join, so each
+        // thread compares against and replaces only its own slice across
+        // iterations.
+        let chunk_assignments: Vec<Vec<usize>> = (0..exec.threads())
+            .map(|tid| vec![usize::MAX; chunk_range(tid, exec.threads(), n).len()])
             .collect();
 
-        let mut iterations = 0;
-        let mut sse = 0.0;
+        KMeansState { k, centers, chunk_assignments, iterations: 0, sse: 0.0 }
+    }
+
+    fn iteration(&self, state: &mut KMeansState, exec: &PhaseExec<'_>, _iter: usize) -> Control {
+        let data = self.data;
+        let n = data.len();
+        let d = data.dims();
+        let k = state.k;
         // Flat partial layout: [sums (k·d) | counts (k) | changed | sse].
         let partial_len = k * d + k + 2;
 
-        for _iter in 0..self.config.max_iters {
-            iterations += 1;
-
-            // -------- Parallel phase: assignment + partial accumulation. -----
-            let outputs = profiler.time(PhaseKind::Parallel, "assign-and-accumulate", || {
-                parallel_partials(threads, n, |ctx, range| {
-                    let previous = &chunk_assignments[ctx.tid];
-                    let mut partial = vec![0.0f64; partial_len];
-                    let mut local_assign = Vec::with_capacity(range.len());
-                    {
-                        let (sums, rest) = partial.split_at_mut(k * d);
-                        let (counts, tail) = rest.split_at_mut(k);
-                        for (local_idx, i) in range.enumerate() {
-                            let point = data.point(i);
-                            let (best, best_d) = nearest_center(point, &centers, k, d);
-                            if previous[local_idx] != best {
-                                tail[0] += 1.0;
-                            }
-                            tail[1] += best_d;
-                            counts[best] += 1.0;
-                            for (s, p) in
-                                sums[best * d..(best + 1) * d].iter_mut().zip(point.iter())
-                            {
-                                *s += *p;
-                            }
-                            local_assign.push(best);
-                        }
+        // -------- Parallel phase: assignment + partial accumulation. ---------
+        let centers = &state.centers;
+        let previous_chunks = &state.chunk_assignments;
+        let outputs = exec.parallel("assign-and-accumulate", n, |ctx, range| {
+            let previous = &previous_chunks[ctx.tid];
+            let mut partial = vec![0.0f64; partial_len];
+            let mut local_assign = Vec::with_capacity(range.len());
+            {
+                let (sums, rest) = partial.split_at_mut(k * d);
+                let (counts, tail) = rest.split_at_mut(k);
+                for (local_idx, i) in range.enumerate() {
+                    let point = data.point(i);
+                    let (best, best_d) = nearest_center(point, centers, k, d);
+                    if previous[local_idx] != best {
+                        tail[0] += 1.0;
                     }
-                    (partial, local_assign)
-                })
-            });
-
-            let mut partials = Vec::with_capacity(threads);
-            let mut new_chunks = Vec::with_capacity(threads);
-            for (partial, local) in outputs {
-                partials.push(partial);
-                new_chunks.push(local);
-            }
-            chunk_assignments = new_chunks;
-
-            // -------- Merging phase: reduce the per-thread partials. ---------
-            let (merged, _stats) = profiler.time(PhaseKind::Reduction, "merge-partials", || {
-                reduce_elementwise(&partials, self.config.reduction, threads)
-            });
-
-            // -------- Constant serial phase: recompute centres, convergence. --
-            let (new_centers, changed_fraction, new_sse) =
-                profiler.time(PhaseKind::SerialConstant, "recompute-centers", || {
-                    let mut new_centers = centers.clone();
-                    for c in 0..k {
-                        let count = merged[k * d + c];
-                        if count > 0.0 {
-                            for dd in 0..d {
-                                new_centers[c * d + dd] = merged[c * d + dd] / count;
-                            }
-                        }
+                    tail[1] += best_d;
+                    counts[best] += 1.0;
+                    for (s, p) in sums[best * d..(best + 1) * d].iter_mut().zip(point.iter()) {
+                        *s += *p;
                     }
-                    let changed = merged[k * d + k];
-                    let sse_total = merged[k * d + k + 1];
-                    (new_centers, changed / n as f64, sse_total)
-                });
-
-            centers = new_centers;
-            sse = new_sse;
-
-            if changed_fraction <= self.config.threshold {
-                break;
+                    local_assign.push(best);
+                }
             }
+            (partial, local_assign)
+        });
+
+        let mut partials = Vec::with_capacity(outputs.len());
+        let mut new_chunks = Vec::with_capacity(outputs.len());
+        for (partial, local) in outputs {
+            partials.push(partial);
+            new_chunks.push(local);
         }
+        state.chunk_assignments = new_chunks;
 
-        let assignments: Vec<usize> = chunk_assignments.into_iter().flatten().collect();
-        KMeansResult { centers, assignments, iterations, sse }
+        // -------- Merging phase: reduce the per-thread partials. -------------
+        let (merged, _stats) =
+            exec.reduce("merge-partials", &partials, self.workload.config.reduction);
+
+        // -------- Constant serial phase: recompute centres, convergence. -----
+        let (new_centers, changed_fraction, new_sse) = exec.serial("recompute-centers", || {
+            let mut new_centers = state.centers.clone();
+            for c in 0..k {
+                let count = merged[k * d + c];
+                if count > 0.0 {
+                    for dd in 0..d {
+                        new_centers[c * d + dd] = merged[c * d + dd] / count;
+                    }
+                }
+            }
+            let changed = merged[k * d + k];
+            let sse_total = merged[k * d + k + 1];
+            (new_centers, changed / n as f64, sse_total)
+        });
+
+        state.centers = new_centers;
+        state.sse = new_sse;
+        state.iterations += 1;
+
+        if changed_fraction <= self.workload.config.threshold {
+            Control::Break
+        } else {
+            Control::Continue
+        }
     }
 
-    /// Convenience: run without instrumentation.
-    pub fn run_uninstrumented(&self, data: &Dataset, threads: usize) -> KMeansResult {
-        self.run(data, threads, &Profiler::disabled())
+    fn finalize(&self, state: KMeansState, _exec: &PhaseExec<'_>) -> KMeansResult {
+        let assignments: Vec<usize> = state.chunk_assignments.into_iter().flatten().collect();
+        KMeansResult {
+            centers: state.centers,
+            assignments,
+            iterations: state.iterations,
+            sse: state.sse,
+        }
     }
 }
 
@@ -225,6 +278,7 @@ impl KMeans {
 mod tests {
     use super::*;
     use crate::data::DatasetSpec;
+    use mp_profile::PhaseKind;
 
     fn tiny_data() -> Dataset {
         DatasetSpec::new(600, 4, 3, 7).generate()

@@ -1,24 +1,23 @@
 //! # mp-workloads — MineBench-style clustering workloads with merging phases
 //!
-//! From-scratch Rust implementations of the three clustering applications the
-//! paper studies (MineBench's `kmeans`, `fuzzy` c-means and `hop`), structured
-//! so that the phases the paper times are explicit and instrumented:
-//!
-//! * a **parallel phase** in which every thread processes a chunk of the data
-//!   set and produces a *partial result*,
-//! * a **merging (reduction) phase** that combines the per-thread partials —
-//!   the phase whose growth with the thread count is the subject of the paper,
-//! * a **constant serial phase** (convergence checks, centre recomputation)
-//!   whose cost does not depend on the thread count.
+//! From-scratch Rust implementations of the clustering applications the paper
+//! studies (MineBench's `kmeans`, `fuzzy` c-means and `hop`, plus hop's
+//! kd-tree kernel as a standalone scenario). Every workload is an
+//! [`mp_runtime::PhasedWorkload`]: it *declares* its phase graph — parallel
+//! kernels, the merging (reduction) phase whose growth with the thread count
+//! is the subject of the paper, and constant serial work — and the
+//! `mp-runtime` scheduler executes it with automatic per-phase, per-thread
+//! instrumentation.
 //!
 //! The crate also contains:
 //!
 //! * [`data`] — a synthetic Gaussian-mixture data generator reproducing the
 //!   data-set shapes of Table IV (N points, D dimensions, C centres),
-//! * [`kdtree`] — the k-d tree substrate used by HOP's neighbour searches,
+//! * [`kdtree`] — the k-d tree substrate used by HOP's neighbour searches and
+//!   the standalone kd-tree workload built on it,
 //! * [`runner`] — a uniform driver that runs any workload across thread
-//!   counts and produces `mp-profile` run profiles ready for parameter
-//!   extraction.
+//!   counts, producing `mp-profile` run profiles or streaming scheduler
+//!   records straight into a `StreamingExtractor` for calibration.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,6 +34,7 @@ pub mod prelude {
     pub use crate::data::{Dataset, DatasetSpec};
     pub use crate::fuzzy::{FuzzyCMeans, FuzzyConfig, FuzzyResult};
     pub use crate::hop::{Hop, HopConfig, HopResult};
+    pub use crate::kdtree::{KdTreeConfig, KdTreeResult, KdTreeWorkload};
     pub use crate::kmeans::{KMeans, KMeansConfig, KMeansResult};
     pub use crate::runner::{run_sweep, ClusteringWorkload, WorkloadKind};
 }

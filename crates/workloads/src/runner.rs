@@ -3,17 +3,24 @@
 //! The paper's characterisation experiments (Figure 2, Tables II and IV) need
 //! the same procedure for every application: run it at 1, 2, 4, … threads,
 //! record the phase profile of each run, and feed the set of profiles to the
-//! parameter extraction. [`ClusteringWorkload`] wraps the three applications
-//! behind one interface and [`run_sweep`] produces exactly that set.
+//! parameter extraction. [`ClusteringWorkload`] wraps the applications behind
+//! one interface — every run goes through the `mp-runtime` phase-graph
+//! scheduler — and [`run_sweep`] produces exactly that set of profiles, while
+//! [`ClusteringWorkload::run_with_sink`] streams the scheduler's records
+//! directly into any [`RecordSink`] (e.g. a
+//! [`mp_profile::StreamingExtractor`]) without materialising profiles at all.
 
 use serde::{Deserialize, Serialize};
 
 use mp_par::reduce::ReductionStrategy;
+use mp_profile::stream::RecordSink;
 use mp_profile::{Profiler, RunProfile};
+use mp_runtime::PhaseScheduler;
 
 use crate::data::Dataset;
 use crate::fuzzy::{FuzzyCMeans, FuzzyConfig};
 use crate::hop::{Hop, HopConfig};
+use crate::kdtree::{KdTreeConfig, KdTreeWorkload};
 use crate::kmeans::{KMeans, KMeansConfig};
 
 /// Which clustering application to run.
@@ -25,6 +32,9 @@ pub enum WorkloadKind {
     Fuzzy,
     /// HOP density-based clustering.
     Hop,
+    /// The kd-tree build + all-points kNN scenario (hop's tree kernel,
+    /// isolated).
+    KdTree,
 }
 
 impl WorkloadKind {
@@ -34,11 +44,18 @@ impl WorkloadKind {
             WorkloadKind::KMeans => "kmeans",
             WorkloadKind::Fuzzy => "fuzzy",
             WorkloadKind::Hop => "hop",
+            WorkloadKind::KdTree => "kdtree",
         }
     }
 
-    /// All kinds, in the paper's order.
-    pub fn all() -> [WorkloadKind; 3] {
+    /// All kinds: the paper's three applications in paper order, then the
+    /// kd-tree scenario.
+    pub fn all() -> [WorkloadKind; 4] {
+        [WorkloadKind::KMeans, WorkloadKind::Fuzzy, WorkloadKind::Hop, WorkloadKind::KdTree]
+    }
+
+    /// The three applications the paper characterises, in paper order.
+    pub fn paper() -> [WorkloadKind; 3] {
         [WorkloadKind::KMeans, WorkloadKind::Fuzzy, WorkloadKind::Hop]
     }
 }
@@ -52,44 +69,44 @@ pub struct ClusteringWorkload {
     kmeans: KMeansConfig,
     fuzzy: FuzzyConfig,
     hop: HopConfig,
+    kdtree: KdTreeConfig,
 }
 
 impl ClusteringWorkload {
+    fn with_defaults(kind: WorkloadKind, dataset: Dataset) -> Self {
+        ClusteringWorkload {
+            kind,
+            dataset,
+            kmeans: KMeansConfig::default(),
+            fuzzy: FuzzyConfig::default(),
+            hop: HopConfig::default(),
+            kdtree: KdTreeConfig::default(),
+        }
+    }
+
     /// A k-means job over `dataset` with the default configuration for that
     /// data set.
     pub fn kmeans(dataset: Dataset) -> Self {
         let kmeans = KMeansConfig::for_dataset(&dataset);
-        ClusteringWorkload {
-            kind: WorkloadKind::KMeans,
-            dataset,
-            kmeans,
-            fuzzy: FuzzyConfig::default(),
-            hop: HopConfig::default(),
-        }
+        ClusteringWorkload { kmeans, ..Self::with_defaults(WorkloadKind::KMeans, dataset) }
     }
 
     /// A fuzzy c-means job over `dataset` with the default configuration for
     /// that data set.
     pub fn fuzzy(dataset: Dataset) -> Self {
         let fuzzy = FuzzyConfig::for_dataset(&dataset);
-        ClusteringWorkload {
-            kind: WorkloadKind::Fuzzy,
-            dataset,
-            kmeans: KMeansConfig::default(),
-            fuzzy,
-            hop: HopConfig::default(),
-        }
+        ClusteringWorkload { fuzzy, ..Self::with_defaults(WorkloadKind::Fuzzy, dataset) }
     }
 
     /// A HOP job over `dataset` with the default configuration.
     pub fn hop(dataset: Dataset) -> Self {
-        ClusteringWorkload {
-            kind: WorkloadKind::Hop,
-            dataset,
-            kmeans: KMeansConfig::default(),
-            fuzzy: FuzzyConfig::default(),
-            hop: HopConfig::default(),
-        }
+        Self::with_defaults(WorkloadKind::Hop, dataset)
+    }
+
+    /// A kd-tree build/query job over `dataset` with the default
+    /// configuration.
+    pub fn kdtree(dataset: Dataset) -> Self {
+        Self::with_defaults(WorkloadKind::KdTree, dataset)
     }
 
     /// Build a job of `kind` over `dataset` with default configurations.
@@ -98,6 +115,7 @@ impl ClusteringWorkload {
             WorkloadKind::KMeans => Self::kmeans(dataset),
             WorkloadKind::Fuzzy => Self::fuzzy(dataset),
             WorkloadKind::Hop => Self::hop(dataset),
+            WorkloadKind::KdTree => Self::kdtree(dataset),
         }
     }
 
@@ -111,10 +129,13 @@ impl ClusteringWorkload {
         &self.dataset
     }
 
-    /// Override the reduction strategy used by kmeans/fuzzy merging phases.
+    /// Override the reduction strategy used by the element-wise merging
+    /// phases (kmeans, fuzzy, kdtree; hop's hashed merge has no strategy
+    /// axis).
     pub fn with_reduction(mut self, strategy: ReductionStrategy) -> Self {
         self.kmeans.reduction = strategy;
         self.fuzzy.reduction = strategy;
+        self.kdtree.reduction = strategy;
         self
     }
 
@@ -136,38 +157,43 @@ impl ClusteringWorkload {
         self
     }
 
+    /// Override the kd-tree configuration.
+    pub fn with_kdtree_config(mut self, config: KdTreeConfig) -> Self {
+        self.kdtree = config;
+        self
+    }
+
+    /// Run the job once at `threads` threads through the phase-graph
+    /// scheduler, streaming every instrumented record into `sink`.
+    pub fn run_with_sink(&self, threads: usize, sink: &dyn RecordSink) {
+        let scheduler = PhaseScheduler::new(threads);
+        match self.kind {
+            WorkloadKind::KMeans => {
+                scheduler.run(&KMeans::new(self.kmeans).phased(&self.dataset), sink);
+            }
+            WorkloadKind::Fuzzy => {
+                scheduler.run(&FuzzyCMeans::new(self.fuzzy).phased(&self.dataset), sink);
+            }
+            WorkloadKind::Hop => {
+                scheduler.run(&Hop::new(self.hop).phased(&self.dataset), sink);
+            }
+            WorkloadKind::KdTree => {
+                scheduler.run(&KdTreeWorkload::new(self.kdtree).phased(&self.dataset), sink);
+            }
+        }
+    }
+
     /// Run the job once at `threads` threads and return its phase profile.
     pub fn run_profiled(&self, threads: usize) -> RunProfile {
         let profiler = Profiler::new(self.kind.name(), threads);
-        match self.kind {
-            WorkloadKind::KMeans => {
-                KMeans::new(self.kmeans).run(&self.dataset, threads, &profiler);
-            }
-            WorkloadKind::Fuzzy => {
-                FuzzyCMeans::new(self.fuzzy).run(&self.dataset, threads, &profiler);
-            }
-            WorkloadKind::Hop => {
-                Hop::new(self.hop).run(&self.dataset, threads, &profiler);
-            }
-        }
+        self.run_with_sink(threads, &profiler);
         profiler.finish()
     }
 
     /// Run the job once at `threads` threads without instrumentation (used by
     /// wall-clock benchmarks).
     pub fn run_uninstrumented(&self, threads: usize) {
-        let profiler = Profiler::disabled();
-        match self.kind {
-            WorkloadKind::KMeans => {
-                KMeans::new(self.kmeans).run(&self.dataset, threads, &profiler);
-            }
-            WorkloadKind::Fuzzy => {
-                FuzzyCMeans::new(self.fuzzy).run(&self.dataset, threads, &profiler);
-            }
-            WorkloadKind::Hop => {
-                Hop::new(self.hop).run(&self.dataset, threads, &profiler);
-            }
-        }
+        self.run_with_sink(threads, &mp_profile::NullSink);
     }
 }
 
@@ -208,7 +234,14 @@ mod tests {
         assert_eq!(WorkloadKind::KMeans.name(), "kmeans");
         assert_eq!(WorkloadKind::Fuzzy.name(), "fuzzy");
         assert_eq!(WorkloadKind::Hop.name(), "hop");
-        assert_eq!(WorkloadKind::all().len(), 3);
+        assert_eq!(WorkloadKind::KdTree.name(), "kdtree");
+        assert_eq!(WorkloadKind::all().len(), 4);
+        // The paper's characterisation covers exactly the three MineBench
+        // applications, in paper order.
+        assert_eq!(
+            WorkloadKind::paper(),
+            [WorkloadKind::KMeans, WorkloadKind::Fuzzy, WorkloadKind::Hop]
+        );
     }
 
     #[test]
@@ -261,5 +294,23 @@ mod tests {
         let job = ClusteringWorkload::fuzzy(tiny())
             .with_fuzzy_config(FuzzyConfig { max_iters: 2, ..Default::default() });
         assert_eq!(job.fuzzy.max_iters, 2);
+        let job = ClusteringWorkload::kdtree(tiny())
+            .with_kdtree_config(crate::kdtree::KdTreeConfig { neighbors: 3, ..Default::default() });
+        assert_eq!(job.kdtree.neighbors, 3);
+    }
+
+    #[test]
+    fn sweep_streams_into_an_extractor_and_calibrates() {
+        use mp_profile::StreamingExtractor;
+        let job = ClusteringWorkload::kmeans(tiny());
+        let extractor = StreamingExtractor::new(job.kind().name());
+        for threads in [1usize, 2, 4] {
+            job.run_with_sink(threads, &extractor.run_sink(threads));
+        }
+        let calibrated = extractor.calibrate().unwrap();
+        assert!(calibrated.app_params().f > 0.5, "f = {}", calibrated.app_params().f);
+        let split = calibrated.app_params().split;
+        assert!(split.fcon >= 0.0 && split.fcon <= 1.0);
+        assert!((split.fcon + split.fred - 1.0).abs() < 1e-9);
     }
 }

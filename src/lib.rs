@@ -7,13 +7,17 @@
 //!   primary contribution): classic Amdahl, symmetric/asymmetric Hill–Marty,
 //!   the merging-phase extension (Eq. 4/5), and the communication-aware model
 //!   (Eq. 6–8).
-//! * [`par`] — the fork-join runtime and the three reduction strategies
+//! * [`par`] — the fork-join primitives and the three reduction strategies
 //!   (serial linear, logarithmic tree, privatised parallel).
-//! * [`profile`] — phase instrumentation and extraction of the model
-//!   parameters (`f`, `fcon`, `fred`, `fored`) from instrumented runs.
+//! * [`runtime`] — the phase-graph execution runtime: workloads declare
+//!   their phase structure ([`runtime::PhaseGraph`]) and a scheduler executes
+//!   it with automatic per-phase, per-thread instrumentation.
+//! * [`profile`] — phase instrumentation, streaming record sinks and
+//!   extraction of the model parameters (`f`, `fcon`, `fred`, `fored`) from
+//!   instrumented runs.
 //! * [`workloads`] — MineBench-style clustering workloads (kmeans, fuzzy
-//!   c-means, HOP) with explicit, instrumented merging phases and a synthetic
-//!   data generator.
+//!   c-means, HOP, the kd-tree scenario) declared as phased workloads over a
+//!   synthetic data generator.
 //! * [`cmpsim`] — an abstract CMP/ACMP timing simulator (cores with
 //!   area-dependent performance, two-level cache cost model, 2-D-mesh NoC)
 //!   standing in for the SESC simulator used by the paper.
@@ -43,6 +47,7 @@ pub use mp_dse as dse;
 pub use mp_model as model;
 pub use mp_par as par;
 pub use mp_profile as profile;
+pub use mp_runtime as runtime;
 pub use mp_workloads as workloads;
 
 /// Convenience prelude re-exporting the most commonly used items from every
@@ -50,13 +55,14 @@ pub use mp_workloads as workloads;
 pub mod prelude {
     pub use mp_model::prelude::*;
     pub use mp_par::{ReductionStrategy, ThreadPool};
-    pub use mp_profile::{PhaseKind, Profiler, RunProfile};
+    pub use mp_profile::{PhaseKind, Profiler, RunProfile, StreamingExtractor};
+    pub use mp_runtime::prelude::*;
     pub use mp_workloads::prelude::*;
 
     pub use mp_cmpsim::prelude::*;
 
     pub use mp_dse::{
         AnalyticBackend, ChipSpec, CommBackend, CostAxis, Engine, EvalBackend, EvalCache,
-        EvalRecord, ScenarioSpace, SimBackend, SweepConfig, SweepResult,
+        EvalRecord, MeasuredBackend, ScenarioSpace, SimBackend, SweepConfig, SweepResult,
     };
 }

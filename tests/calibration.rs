@@ -1,0 +1,141 @@
+//! End-to-end calibration tests: simulated/synthetic profiles with known
+//! injected fractions must calibrate back to those fractions, and the
+//! measured DSE backend must agree with the analytic backend when both are
+//! given the same fractions.
+
+use merging_phases::cmpsim::{kmeans_program, simulate_profile, Machine, WorkloadShape};
+use merging_phases::dse::{AnalyticBackend, EvalBackend, MeasuredBackend, ScenarioSpace};
+use merging_phases::model::calibrate::CalibratedParams;
+use merging_phases::model::growth::GrowthFunction;
+use merging_phases::prelude::*;
+use merging_phases::profile::{extract_params, PhaseKind, PhaseRecord, StreamingExtractor};
+use merging_phases::runtime::PhaseScheduler;
+
+/// A synthetic profile following the extended model exactly: parallel `f/p`,
+/// constant serial `s·fcon`, reduction `s·fred·(1 + fored·grow(p))`.
+fn injected_profile(app: &str, p: usize, f: f64, fcon: f64, fored: f64) -> RunProfile {
+    let s = 1.0 - f;
+    let mut profile = RunProfile::new(app, p);
+    profile.push(PhaseRecord::new(PhaseKind::Init, "init", 0.02, p));
+    profile.push(PhaseRecord::new(PhaseKind::Parallel, "par", f / p as f64, p));
+    profile.push(PhaseRecord::new(PhaseKind::SerialConstant, "ser", s * fcon, p));
+    profile.push(PhaseRecord::new(
+        PhaseKind::Reduction,
+        "red",
+        s * (1.0 - fcon) * (1.0 + fored * (p as f64 - 1.0)),
+        p,
+    ));
+    profile
+}
+
+fn injected_calibration(f: f64, fcon: f64, fored: f64) -> CalibratedParams {
+    let extractor = StreamingExtractor::new("injected");
+    for p in [1usize, 2, 4, 8, 16] {
+        extractor.absorb_profile(&injected_profile("injected", p, f, fcon, fored));
+    }
+    extractor.calibrate().expect("synthetic sweep calibrates")
+}
+
+#[test]
+fn calibration_recovers_injected_fractions() {
+    let (f, fcon, fored) = (0.99, 0.6, 0.8);
+    let calibrated = injected_calibration(f, fcon, fored);
+    let app = calibrated.app_params();
+    assert!((app.f - f).abs() < 1e-9, "f: {}", app.f);
+    assert!((app.split.fcon - fcon).abs() < 1e-9, "fcon: {}", app.split.fcon);
+    assert!((app.split.fred - (1.0 - fcon)).abs() < 1e-9, "fred: {}", app.split.fred);
+    assert!((app.fored - fored).abs() < 1e-6, "fored: {}", app.fored);
+    assert_eq!(calibrated.growth(), &GrowthFunction::Linear);
+}
+
+#[test]
+fn measured_backend_agrees_with_analytic_on_injected_fractions() {
+    let calibrated = injected_calibration(0.995, 0.55, 1.1);
+    let backend = MeasuredBackend::new(vec![calibrated]);
+    // Same fractions, same (fitted linear) growth: the analytic backend on
+    // the measured app axis must produce the same speedups.
+    let space = ScenarioSpace::new()
+        .with_apps(backend.apps())
+        .with_budgets(vec![64.0, 256.0])
+        .clear_designs()
+        .add_symmetric_grid([1.0, 2.0, 4.0, 16.0, 64.0])
+        .add_asymmetric_grid([1.0, 4.0], [8.0, 64.0]);
+    assert!(space.len() > 10);
+    for index in 0..space.len() {
+        let scenario = space.scenario(index);
+        if !scenario.design.fits(scenario.budget) {
+            continue;
+        }
+        let measured = backend.evaluate(&scenario).unwrap();
+        let analytic = AnalyticBackend.evaluate(&scenario).unwrap();
+        assert!(
+            (measured - analytic).abs() / analytic < 1e-6,
+            "index {index}: measured {measured} vs analytic {analytic}"
+        );
+    }
+}
+
+#[test]
+fn calibration_from_cmpsim_simulation_matches_direct_extraction() {
+    use merging_phases::cmpsim::program::ReductionKind;
+    // Deterministic source: the timing simulator's kmeans phase programs at
+    // 1–16 cores, the same runs Figure 2 is generated from.
+    let extractor = StreamingExtractor::new("kmeans-sim");
+    let mut profiles = Vec::new();
+    for cores in [1usize, 2, 4, 8, 16] {
+        let machine = Machine::table1(cores);
+        let program = kmeans_program(&WorkloadShape::kmeans_base(), ReductionKind::SerialLinear);
+        let profile = simulate_profile(&program, &machine);
+        extractor.absorb_profile(&profile);
+        profiles.push(profile);
+    }
+    let calibrated = extractor.calibrate().unwrap();
+    let extracted = extract_params(&profiles, &GrowthFunction::Linear).unwrap();
+    let app = calibrated.app_params();
+    // The streaming calibration and the classic post-hoc extraction read the
+    // same simulated runs, so the single-core fractions must agree exactly.
+    assert!((app.f - extracted.f).abs() < 1e-12);
+    assert!((app.split.fcon - extracted.fcon).abs() < 1e-12);
+    assert!((app.split.fred - extracted.fred).abs() < 1e-12);
+    // The simulated kmeans merge grows essentially linearly while the partial
+    // tables stay cache-resident, so the calibrated closed form must track
+    // the observed multipliers tightly.
+    for &(p, observed) in calibrated.serial_multipliers() {
+        let predicted = calibrated.predicted_multiplier(p as f64);
+        assert!(
+            (predicted - observed).abs() / observed < 0.25,
+            "p={p}: predicted {predicted} vs observed {observed}"
+        );
+    }
+}
+
+#[test]
+fn scheduler_run_calibrates_and_sweeps_end_to_end() {
+    // The full pipeline on a real (tiny) workload: scheduler → streaming
+    // extractor → calibration → measured backend → engine sweep.
+    let data = DatasetSpec::new(600, 3, 3, 13).generate();
+    let mut config = KMeansConfig::for_dataset(&data);
+    config.threshold = -1.0; // fixed iteration count for stable ratios
+    config.max_iters = 6;
+    let workload = KMeans::new(config);
+    let extractor = StreamingExtractor::new("kmeans");
+    for threads in [1usize, 2, 4] {
+        let sink = extractor.run_sink(threads);
+        PhaseScheduler::new(threads).run(&workload.phased(&data), &sink);
+    }
+    let calibrated = extractor.calibrate().unwrap();
+    let app = calibrated.app_params();
+    assert!(app.f > 0.5 && app.f < 1.0, "f = {}", app.f);
+    assert!((app.split.fcon + app.split.fred - 1.0).abs() < 1e-9);
+
+    let backend = MeasuredBackend::new(vec![calibrated]);
+    let space = ScenarioSpace::new()
+        .with_apps(backend.apps())
+        .clear_designs()
+        .add_symmetric_grid((0..32).map(|i| 1.0 + i as f64));
+    let engine = Engine::new(2);
+    let result = engine.sweep(&space, &backend, &SweepConfig::default());
+    assert_eq!(result.records.len(), space.len());
+    assert_eq!(result.stats.valid, space.len());
+    assert!(result.records.iter().all(|r| r.speedup > 0.0));
+}

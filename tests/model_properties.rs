@@ -129,7 +129,7 @@ proptest! {
         let s = 1.0 - f;
         let profiles: Vec<RunProfile> = [1usize, 2, 4, 8, 16].iter().map(|&p| {
             let mut profile = RunProfile::new("roundtrip", p);
-            let mut push = |kind, seconds| profile.push(PhaseRecord { kind, label: "x".into(), seconds, threads: p });
+            let mut push = |kind, seconds| profile.push(PhaseRecord::new(kind, "x", seconds, p));
             push(PhaseKind::Parallel, f / p as f64);
             push(PhaseKind::SerialConstant, s * fcon);
             push(PhaseKind::Reduction, s * (1.0 - fcon) * (1.0 + fored * (p as f64 - 1.0)));

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no access to crates.io, so the workspace vendors
 //! a minimal `serde` whose `Serialize`/`Deserialize` traits convert through a
-//! JSON-like [`Value`] tree. This proc-macro crate derives those traits for
+//! JSON-like `Value` tree. This proc-macro crate derives those traits for
 //! the shapes actually used in this repository:
 //!
 //! * structs with named fields,
