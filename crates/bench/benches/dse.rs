@@ -1,7 +1,9 @@
 //! Design-space-exploration engine benchmarks: sweep throughput per backend,
-//! and the effect of the memoisation cache.
+//! the columnar prepared path against the naive per-scenario loop, the
+//! lock-free memoisation cache's probe/insert costs, and the effect of the
+//! cache on whole sweeps.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use mp_dse::prelude::*;
 use mp_model::growth::GrowthFunction;
@@ -53,6 +55,87 @@ fn bench_dse(c: &mut Criterion) {
         );
         b.iter(|| pareto_frontier(&result.records, CostAxis::Cores));
     });
+
+    bench_prepared_vs_naive(c);
+    bench_cache_probe(c);
+}
+
+/// The columnar prepared batch path against the naive per-scenario default
+/// loop (decode + clone-owning model per scenario), over identical batches.
+fn bench_prepared_vs_naive(c: &mut Criterion) {
+    let space = space();
+    let n = space.len();
+    let tables = SpaceTables::new(&space);
+    let mut group = c.benchmark_group("dse/prepared_vs_naive");
+    group.bench_function("naive-per-scenario", |b| {
+        let mut out = vec![f64::NAN; n];
+        b.iter(|| {
+            // The trait's default loop: decode + fits + owned model each time.
+            struct Naive;
+            impl EvalBackend for Naive {
+                fn name(&self) -> &'static str {
+                    "naive"
+                }
+                fn evaluate(&self, scenario: &Scenario<'_>) -> Result<f64, DseError> {
+                    AnalyticBackend.evaluate(scenario)
+                }
+            }
+            Naive.evaluate_batch(&space, 0..n, &mut out);
+            black_box(out[0])
+        });
+    });
+    group.bench_function("prepared-columnar", |b| {
+        let mut out = vec![f64::NAN; n];
+        b.iter(|| {
+            AnalyticBackend.evaluate_batch_prepared(&space, &tables, 0..n, &mut out);
+            black_box(out[0])
+        });
+    });
+    group.finish();
+}
+
+/// Probe and insert costs of the lock-free memoisation cache at sweep scale.
+fn bench_cache_probe(c: &mut Criterion) {
+    let space = space();
+    let n = space.len();
+    let keys: Vec<(u64, u64)> =
+        (0..n).map(|i| space.scenario(i).canonical_key("analytic")).collect();
+    let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+
+    let mut group = c.benchmark_group(format!("dse/cache-{n}-keys"));
+    group.bench_function("insert-batch-reserved", |b| {
+        b.iter(|| {
+            let cache = EvalCache::new();
+            cache.reserve(n);
+            cache.insert_batch(&keys, &values);
+            black_box(cache.len())
+        });
+    });
+    group.bench_function("probe-warm", |b| {
+        let cache = EvalCache::new();
+        cache.reserve(n);
+        cache.insert_batch(&keys, &values);
+        b.iter(|| {
+            cache.prefetch(&keys);
+            let mut acc = 0u64;
+            for &key in &keys {
+                acc ^= cache.peek(key).unwrap_or(f64::NAN).to_bits();
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("probe-cold-miss", |b| {
+        let cache = EvalCache::new();
+        cache.reserve(n);
+        b.iter(|| {
+            let mut misses = 0usize;
+            for &key in &keys {
+                misses += usize::from(cache.peek(key).is_none());
+            }
+            black_box(misses)
+        });
+    });
+    group.finish();
 }
 
 criterion_group!(benches, bench_dse);

@@ -14,6 +14,11 @@
 use std::process::ExitCode;
 
 use mp_bench::figures;
+
+/// Count heap allocations so `repro dse --profile` can report the sweep hot
+/// path's allocation behaviour alongside its throughput.
+#[global_allocator]
+static ALLOC: mp_bench::alloc_track::CountingAllocator = mp_bench::alloc_track::CountingAllocator;
 use mp_profile::report::to_json;
 use mp_profile::{render_table, TableRow};
 
@@ -121,7 +126,7 @@ fn generate(name: &str, quick: bool) -> Vec<TableRow> {
 fn usage() {
     eprintln!("usage: repro [--json] [--quick] <experiment>... | all");
     eprintln!(
-        "       repro dse [--backend analytic|comm|sim] [--out DIR] [--top K] [--quick] [--json]"
+        "       repro dse [--backend analytic|comm|sim|measured] [--out DIR] [--top K] [--threads N] [--quick] [--json] [--profile]"
     );
     eprintln!(
         "       repro calibrate [--threads N] [--out DIR] [--top K] [--quick] [--exact] [--json]"

@@ -18,16 +18,19 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use mp_dse::prelude::*;
+use mp_model::calibrate::{CalibratedParams, MeasuredRun};
 use mp_model::growth::GrowthFunction;
 use mp_model::params::AppParams;
 use mp_model::perf::PerfModel;
 use mp_model::topology::Topology;
 use mp_profile::{render_table, TableRow};
 
+use crate::alloc_track;
+
 /// The `dse` flags that consume a value token. The `repro` binary's
 /// subcommand scanner uses this to step over flag values when the flags
 /// precede the subcommand name, so the list lives here next to `parse`.
-pub const VALUE_FLAGS: &[&str] = &["--backend", "--out", "--top"];
+pub const VALUE_FLAGS: &[&str] = &["--backend", "--out", "--top", "--threads"];
 
 /// Options of one `dse` invocation.
 struct Options {
@@ -35,6 +38,8 @@ struct Options {
     out_dir: PathBuf,
     quick: bool,
     json: bool,
+    profile: bool,
+    threads: Option<usize>,
     top_k: usize,
 }
 
@@ -44,6 +49,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
         out_dir: PathBuf::from("target/dse"),
         quick: false,
         json: false,
+        profile: false,
+        threads: None,
         top_k: 10,
     };
     let mut iter = args.iter();
@@ -62,12 +69,21 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     options.top_k =
                         value.parse().map_err(|_| "--top needs an integer".to_string())?;
                 }
+                "--threads" => {
+                    let threads: usize =
+                        value.parse().map_err(|_| "--threads needs an integer".to_string())?;
+                    if threads == 0 {
+                        return Err("--threads must be at least 1".to_string());
+                    }
+                    options.threads = Some(threads);
+                }
                 other => unreachable!("{other} is listed in VALUE_FLAGS but unhandled"),
             }
         } else {
             match arg {
                 "--json" => options.json = true,
                 "--quick" => options.quick = true,
+                "--profile" => options.profile = true,
                 other => return Err(format!("unknown dse option `{other}`")),
             }
         }
@@ -79,6 +95,34 @@ fn parse(args: &[String]) -> Result<Options, String> {
 /// three measured Table II applications.
 fn applications() -> Vec<AppParams> {
     AppParams::paper_catalog()
+}
+
+/// Deterministic synthetic calibrations of the paper catalogue for the
+/// `measured` backend: each application's parameters are converted into the
+/// section times an ideal instrumented run would report at 1–16 threads
+/// (linear merge growth) and re-fitted through [`CalibratedParams::fit`].
+/// This exercises the full calibration-driven evaluation path — parameter
+/// lookup, fitted growth, extended model — without running workloads, so the
+/// `measured` throughput numbers are reproducible on any host.
+pub fn synthetic_calibrations() -> Vec<CalibratedParams> {
+    applications()
+        .iter()
+        .map(|app| {
+            let s = app.serial_fraction();
+            let runs: Vec<MeasuredRun> = [1usize, 2, 4, 8, 16]
+                .iter()
+                .map(|&p| {
+                    MeasuredRun::new(
+                        p,
+                        app.f / p as f64,
+                        s * app.split.fcon,
+                        s * app.split.fred * (1.0 + app.fored * (p as f64 - 1.0)),
+                    )
+                })
+                .collect();
+            CalibratedParams::fit(&app.name, &runs).expect("catalogue calibrations fit")
+        })
+        .collect()
 }
 
 /// Build the exploration space. The full grid is ≥ 200 000 scenarios; the
@@ -174,23 +218,39 @@ pub fn run(args: &[String]) -> ExitCode {
         Ok(options) => options,
         Err(message) => {
             eprintln!("{message}");
-            eprintln!("usage: repro dse [--backend analytic|comm|sim] [--out DIR] [--top K] [--quick] [--json]");
+            eprintln!("usage: repro dse [--backend analytic|comm|sim|measured] [--out DIR] [--top K] [--threads N] [--quick] [--json] [--profile]");
             return ExitCode::FAILURE;
         }
     };
 
+    let mut measured_apps = None;
     let backend: Box<dyn EvalBackend> = match options.backend.as_str() {
         "analytic" => Box::new(AnalyticBackend),
         "comm" => Box::new(CommBackend::new()),
         "sim" => Box::new(SimBackend::new()),
+        "measured" => {
+            let backend = MeasuredBackend::new(synthetic_calibrations());
+            measured_apps = Some(backend.apps());
+            Box::new(backend)
+        }
         other => {
-            eprintln!("unknown backend `{other}` (expected analytic, comm or sim)");
+            eprintln!("unknown backend `{other}` (expected analytic, comm, sim or measured)");
             return ExitCode::FAILURE;
         }
     };
 
-    let space = build_space(&options);
-    let engine = Engine::with_all_cores();
+    let mut space = build_space(&options);
+    if let Some(apps) = measured_apps {
+        // The calibrations supply both the application parameters and the
+        // growth function, so the space sweeps the calibrated applications
+        // and the growth axis collapses to a single label the backend
+        // ignores anyway.
+        space = space.with_apps(apps).with_growths(vec![GrowthFunction::Linear]);
+    }
+    let engine = match options.threads {
+        Some(threads) => Engine::new(threads),
+        None => Engine::with_all_cores(),
+    };
     let config = SweepConfig::default();
 
     // Warm-start from a persisted cache if a previous run left one.
@@ -203,11 +263,15 @@ pub fn run(args: &[String]) -> ExitCode {
         }
     }
 
+    let allocs_before_first = alloc_track::allocation_count();
     let first = engine.sweep(&space, backend.as_ref(), &config);
+    let allocs_first = alloc_track::allocation_count() - allocs_before_first;
 
     // Second pass: must be answered from the cache and reproduce the first
     // pass bit-for-bit.
+    let allocs_before_second = alloc_track::allocation_count();
     let second = engine.sweep(&space, backend.as_ref(), &config);
+    let allocs_second = alloc_track::allocation_count() - allocs_before_second;
     let identical = first
         .records
         .iter()
@@ -227,9 +291,24 @@ pub fn run(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let scenarios_per_second = first.stats.scenarios as f64 / first.stats.elapsed_seconds.max(1e-9);
+    let cached_per_second = second.stats.scenarios as f64 / second.stats.elapsed_seconds.max(1e-9);
+
     if options.json {
+        let profile_fields = if options.profile {
+            format!(
+                ",\"scenarios_per_second\":{},\"cached_scenarios_per_second\":{},\"allocations_first_pass\":{},\"allocations_cached_pass\":{},\"allocations_per_scenario\":{}",
+                scenarios_per_second,
+                cached_per_second,
+                allocs_first,
+                allocs_second,
+                allocs_first as f64 / first.stats.scenarios.max(1) as f64,
+            )
+        } else {
+            String::new()
+        };
         println!(
-            "{{\"experiment\":\"dse\",\"backend\":\"{}\",\"scenarios\":{},\"valid\":{},\"threads\":{},\"elapsed_seconds\":{},\"rescan_hits\":{},\"warm_entries\":{},\"identical\":{},\"frontier_size\":{},\"best_speedup\":{}}}",
+            "{{\"experiment\":\"dse\",\"backend\":\"{}\",\"scenarios\":{},\"valid\":{},\"threads\":{},\"elapsed_seconds\":{},\"rescan_hits\":{},\"warm_entries\":{},\"identical\":{},\"frontier_size\":{},\"best_speedup\":{}{}}}",
             options.backend,
             first.stats.scenarios,
             first.stats.valid,
@@ -243,6 +322,7 @@ pub fn run(args: &[String]) -> ExitCode {
             top.first()
                 .map(|r| r.speedup.to_string())
                 .unwrap_or_else(|| "null".to_string()),
+            profile_fields,
         );
         return if identical { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
@@ -276,6 +356,21 @@ pub fn run(args: &[String]) -> ExitCode {
         options.out_dir.join("sweep.csv").display(),
         cache_path.display(),
     );
+    if options.profile {
+        println!();
+        println!("  profile (throughput and heap traffic):");
+        println!(
+            "    first pass:  {scenarios_per_second:>12.0} scenarios/s, {allocs_first} heap allocations ({:.4} per scenario)",
+            allocs_first as f64 / first.stats.scenarios.max(1) as f64,
+        );
+        println!(
+            "    cached pass: {cached_per_second:>12.0} scenarios/s, {allocs_second} heap allocations ({:.4} per scenario)",
+            allocs_second as f64 / second.stats.scenarios.max(1) as f64,
+        );
+        if alloc_track::allocation_count() == 0 {
+            println!("    (allocation counting unavailable: no counting allocator installed)");
+        }
+    }
     println!();
 
     let top_rows: Vec<TableRow> = top

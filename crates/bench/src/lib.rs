@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod alloc_track;
 pub mod calibrate_cmd;
 pub mod dse_cmd;
 pub mod figures;

@@ -26,6 +26,8 @@
 //! simulated run can be analysed by exactly the same extraction code as a real
 //! one.
 
+use std::borrow::Cow;
+
 use serde::{Deserialize, Serialize};
 
 use mp_profile::{PhaseKind, RunProfile};
@@ -39,8 +41,9 @@ use crate::program::{PhaseOp, PhaseProgram, ReductionKind};
 pub struct SimPhase {
     /// Phase classification (parallel / serial / reduction / communication).
     pub kind: PhaseKind,
-    /// Label copied from the program.
-    pub label: String,
+    /// Label copied from the program (borrowed when the program's label is a
+    /// static string, so report construction does not copy it to the heap).
+    pub label: Cow<'static, str>,
     /// Simulated duration in cycles.
     pub cycles: f64,
 }
@@ -74,7 +77,8 @@ impl SimReport {
     }
 
     /// Convert the report into an `mp-profile` [`RunProfile`] using the
-    /// machine clock of `machine`.
+    /// machine clock of `machine`. Borrowed phase labels are passed through
+    /// without a per-record heap copy.
     pub fn to_profile(&self, machine: &Machine) -> RunProfile {
         let mut profile = RunProfile::new(self.name.clone(), self.threads);
         for p in &self.phases {
@@ -89,13 +93,37 @@ impl SimReport {
     }
 }
 
-/// Simulate `program` on `machine`, returning per-phase cycles.
-pub fn simulate(program: &PhaseProgram, machine: &Machine) -> SimReport {
+/// How the label of an emitted phase derives from the program's label.
+enum PhaseLabel<'a> {
+    /// The program label itself.
+    Plain(&'a Cow<'static, str>),
+    /// The program label suffixed with `-exchange` (the privatised
+    /// reduction's NoC phase).
+    Exchange(&'a Cow<'static, str>),
+}
+
+impl PhaseLabel<'_> {
+    fn materialise(&self) -> Cow<'static, str> {
+        match self {
+            PhaseLabel::Plain(label) => (*label).clone(),
+            PhaseLabel::Exchange(label) => Cow::Owned(format!("{label}-exchange")),
+        }
+    }
+}
+
+/// The timing walk shared by [`simulate`] and [`simulate_cycles`]: executes
+/// `program` on `machine` and emits every phase, in order, to `emit`. All of
+/// the timing arithmetic lives here exactly once, so the report-building and
+/// the allocation-free paths cannot drift apart.
+fn walk_phases(
+    program: &PhaseProgram,
+    machine: &Machine,
+    mut emit: impl FnMut(PhaseKind, PhaseLabel<'_>, f64),
+) {
     let cache = CacheModel::new(*machine.config());
     let noc = machine.noc();
     let threads = machine.threads();
     let config = machine.config();
-    let mut phases = Vec::with_capacity(program.phase_count());
 
     for op in program.unrolled() {
         match op {
@@ -112,21 +140,13 @@ pub fn simulate(program: &PhaseProgram, machine: &Machine) -> SimReport {
                     (threads.min(max_parallelism.unwrap_or(usize::MAX)).max(1)) as f64;
                 let memory =
                     cache.memory_cycles(memory_refs / effective_workers, *working_set_bytes, false);
-                phases.push(SimPhase {
-                    kind: PhaseKind::Parallel,
-                    label: label.clone(),
-                    cycles: compute + memory,
-                });
+                emit(PhaseKind::Parallel, PhaseLabel::Plain(label), compute + memory);
             }
             PhaseOp::SerialWork { label, ops, memory_refs, working_set_bytes } => {
                 let core = machine.serial_core();
                 let compute = core.compute_cycles(*ops, config);
                 let memory = cache.memory_cycles(*memory_refs, *working_set_bytes, false);
-                phases.push(SimPhase {
-                    kind: PhaseKind::SerialConstant,
-                    label: label.clone(),
-                    cycles: compute + memory,
-                });
+                emit(PhaseKind::SerialConstant, PhaseLabel::Plain(label), compute + memory);
             }
             PhaseOp::Reduction { label, elements, ops_per_element, bytes_per_element, kind } => {
                 let x = *elements as f64;
@@ -140,11 +160,7 @@ pub fn simulate(program: &PhaseProgram, machine: &Machine) -> SimReport {
                         let merges = threads as f64 * x;
                         let compute = serial_core.compute_cycles(merges * ops_per_element, config);
                         let memory = cache.memory_cycles(merges, partials_bytes, threads > 1);
-                        phases.push(SimPhase {
-                            kind: PhaseKind::Reduction,
-                            label: label.clone(),
-                            cycles: compute + memory,
-                        });
+                        emit(PhaseKind::Reduction, PhaseLabel::Plain(label), compute + memory);
                     }
                     ReductionKind::TreeLog => {
                         // Critical path: one merge of x elements per tree level
@@ -157,11 +173,7 @@ pub fn simulate(program: &PhaseProgram, machine: &Machine) -> SimReport {
                             (2 * elements * bytes_per_element).max(1),
                             threads > 1,
                         );
-                        phases.push(SimPhase {
-                            kind: PhaseKind::Reduction,
-                            label: label.clone(),
-                            cycles: compute + memory,
-                        });
+                        emit(PhaseKind::Reduction, PhaseLabel::Plain(label), compute + memory);
                     }
                     ReductionKind::ParallelPrivatized => {
                         // Each core merges its share of the element space
@@ -171,19 +183,11 @@ pub fn simulate(program: &PhaseProgram, machine: &Machine) -> SimReport {
                         let compute =
                             parallel_core.compute_cycles(merges * ops_per_element, config);
                         let memory = cache.memory_cycles(merges, partials_bytes, threads > 1);
-                        phases.push(SimPhase {
-                            kind: PhaseKind::Reduction,
-                            label: label.clone(),
-                            cycles: compute + memory,
-                        });
+                        emit(PhaseKind::Reduction, PhaseLabel::Plain(label), compute + memory);
                         // The all-to-all exchange of partials over the mesh.
                         let comm = noc.reduction_exchange_cycles(x, threads);
                         if comm > 0.0 {
-                            phases.push(SimPhase {
-                                kind: PhaseKind::Communication,
-                                label: format!("{label}-exchange"),
-                                cycles: comm,
-                            });
+                            emit(PhaseKind::Communication, PhaseLabel::Exchange(label), comm);
                         }
                     }
                 }
@@ -191,16 +195,30 @@ pub fn simulate(program: &PhaseProgram, machine: &Machine) -> SimReport {
             PhaseOp::Broadcast { label, elements } => {
                 let messages = (threads.saturating_sub(1) * elements) as f64;
                 let cycles = noc.transfer_cycles(messages);
-                phases.push(SimPhase {
-                    kind: PhaseKind::Communication,
-                    label: label.clone(),
-                    cycles,
-                });
+                emit(PhaseKind::Communication, PhaseLabel::Plain(label), cycles);
             }
         }
     }
+}
 
-    SimReport { name: program.name.clone(), threads, phases }
+/// Simulate `program` on `machine`, returning per-phase cycles.
+pub fn simulate(program: &PhaseProgram, machine: &Machine) -> SimReport {
+    let mut phases = Vec::with_capacity(program.phase_count());
+    walk_phases(program, machine, |kind, label, cycles| {
+        phases.push(SimPhase { kind, label: label.materialise(), cycles });
+    });
+    SimReport { name: program.name.clone(), threads: machine.threads(), phases }
+}
+
+/// Time `program` on `machine` without materialising a report: no `SimPhase`
+/// vector, no label strings, no heap traffic at all — just the summed cycle
+/// count, bit-identical to `simulate(program, machine).total_cycles()`. This
+/// is the design-space-exploration kernel: the DSE sweep calls it once per
+/// simulated machine, millions of times per sweep.
+pub fn simulate_cycles(program: &PhaseProgram, machine: &Machine) -> f64 {
+    let mut total = 0.0;
+    walk_phases(program, machine, |_, _, cycles| total += cycles);
+    total
 }
 
 /// Simulate and directly return an `mp-profile` profile (cycles converted to
@@ -347,6 +365,33 @@ mod tests {
         assert_eq!(profile.records.len(), report.phases.len());
         let expected_seconds = machine.config().cycles_to_seconds(report.total_cycles());
         assert!((profile.total_time_with_init() - expected_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_kernel_matches_report_total_bitwise() {
+        for kind in
+            [ReductionKind::SerialLinear, ReductionKind::TreeLog, ReductionKind::ParallelPrivatized]
+        {
+            let program = simple_program(kind);
+            for cores in [1usize, 2, 7, 16, 64] {
+                let machine = Machine::table1(cores);
+                let report = simulate(&program, &machine).total_cycles();
+                let kernel = simulate_cycles(&program, &machine);
+                assert_eq!(report.to_bits(), kernel.to_bits(), "{kind:?} cores={cores}");
+            }
+        }
+    }
+
+    #[test]
+    fn static_labels_reach_the_profile_without_copies() {
+        let program = simple_program(ReductionKind::SerialLinear);
+        let machine = Machine::table1(4);
+        let report = simulate(&program, &machine);
+        // Program labels are static strings, so the report (and the profile
+        // derived from it) must carry borrowed labels.
+        assert!(report.phases.iter().all(|p| matches!(p.label, std::borrow::Cow::Borrowed(_))));
+        let profile = report.to_profile(&machine);
+        assert!(profile.records.iter().all(|r| matches!(r.label, std::borrow::Cow::Borrowed(_))));
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod prelude {
     pub use crate::cache::CacheModel;
     pub use crate::config::MachineConfig;
     pub use crate::corem::CoreModel;
-    pub use crate::engine::{simulate, simulate_profile, SimReport};
+    pub use crate::engine::{simulate, simulate_cycles, simulate_profile, SimReport};
     pub use crate::machine::{Machine, MachineKind};
     pub use crate::noc::NocModel;
     pub use crate::program::{PhaseOp, PhaseProgram};

@@ -7,6 +7,8 @@
 //! same program on differently shaped machines, which is exactly how the paper
 //! uses its simulator (same application, 1–16 cores).
 
+use std::borrow::Cow;
+
 use serde::{Deserialize, Serialize};
 
 /// Reduction (merging-phase) implementation assumed by a [`PhaseOp::Reduction`]
@@ -39,8 +41,9 @@ impl ReductionKind {
 pub enum PhaseOp {
     /// Work executed by all parallel cores.
     ParallelWork {
-        /// Label for the profile.
-        label: String,
+        /// Label for the profile. `Cow` so the synthetic programs of the DSE
+        /// hot path can use static names without per-program heap copies.
+        label: Cow<'static, str>,
         /// Total compute operations across all data.
         ops: f64,
         /// Total data references across all data.
@@ -54,7 +57,7 @@ pub enum PhaseOp {
     /// Work executed on a single core (the large core of an ACMP).
     SerialWork {
         /// Label for the profile.
-        label: String,
+        label: Cow<'static, str>,
         /// Compute operations.
         ops: f64,
         /// Data references.
@@ -65,7 +68,7 @@ pub enum PhaseOp {
     /// A merging phase over per-thread partial results.
     Reduction {
         /// Label for the profile.
-        label: String,
+        label: Cow<'static, str>,
         /// Number of reduction elements per partial (the paper's `x`).
         elements: usize,
         /// Compute operations per element-merge.
@@ -79,7 +82,7 @@ pub enum PhaseOp {
     /// Broadcasting `elements` merged values back to all cores over the NoC.
     Broadcast {
         /// Label for the profile.
-        label: String,
+        label: Cow<'static, str>,
         /// Number of elements broadcast.
         elements: usize,
     },
@@ -92,7 +95,7 @@ impl PhaseOp {
             PhaseOp::ParallelWork { label, .. }
             | PhaseOp::SerialWork { label, .. }
             | PhaseOp::Reduction { label, .. }
-            | PhaseOp::Broadcast { label, .. } => label,
+            | PhaseOp::Broadcast { label, .. } => label.as_ref(),
         }
     }
 }
@@ -152,7 +155,7 @@ impl PhaseProgram {
 mod tests {
     use super::*;
 
-    fn parallel(label: &str) -> PhaseOp {
+    fn parallel(label: &'static str) -> PhaseOp {
         PhaseOp::ParallelWork {
             label: label.into(),
             ops: 1000.0,

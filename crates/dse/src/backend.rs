@@ -19,16 +19,20 @@
 //!   of being assumed.
 //!
 //! Backends also expose [`EvalBackend::evaluate_batch`] over a contiguous
-//! index range of a space. The default implementation loops; the analytic
-//! backends override it to hoist model construction out of the inner loop,
-//! exploiting the space's design-innermost decode order (consecutive indices
-//! share every axis but the design).
+//! index range of a space (default: a per-scenario loop; the analytic
+//! backends hoist model construction per shared-axis run) and — the sweep
+//! hot path — [`EvalBackend::evaluate_batch_prepared`], which streams the
+//! design-innermost inner loop through the sweep's precomputed
+//! [`SpaceTables`] columns with zero heap allocation per scenario, borrowing
+//! parameters via [`PreparedModel`] instead of cloning them. Both paths are
+//! bit-identical to per-scenario evaluation by contract (and by
+//! `tests/sweep_parity.rs`).
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
 use mp_cmpsim::config::MachineConfig;
-use mp_cmpsim::engine::simulate;
+use mp_cmpsim::engine::simulate_cycles;
 use mp_cmpsim::machine::Machine;
 use mp_cmpsim::program::{PhaseOp, PhaseProgram, ReductionKind};
 use mp_model::calibrate::CalibratedParams;
@@ -36,10 +40,13 @@ use mp_model::chip::{AsymmetricDesign, SymmetricDesign};
 use mp_model::comm::{CommModel, CommSplit};
 use mp_model::error::ModelError;
 use mp_model::extended::ExtendedModel;
+use mp_model::growth::GrowthFunction;
 use mp_model::params::AppParams;
+use mp_model::prepared::PreparedModel;
 use mp_par::ReductionStrategy;
 
 use crate::scenario::{ChipSpec, Scenario, ScenarioSpace};
+use crate::tables::SpaceTables;
 
 /// Error produced by a backend evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,6 +118,83 @@ pub trait EvalBackend: Sync {
             };
         }
     }
+
+    /// Like [`EvalBackend::evaluate_batch`], with the sweep's columnar
+    /// [`SpaceTables`] available. Backends that override this stream the
+    /// per-design inner loop through the precomputed geometry / perf / growth
+    /// columns with **zero heap allocation per scenario**; the default
+    /// delegates to [`EvalBackend::evaluate_batch`]. Overrides must stay
+    /// bit-identical to the per-scenario path.
+    fn evaluate_batch_prepared(
+        &self,
+        space: &ScenarioSpace,
+        tables: &SpaceTables,
+        range: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        let _ = tables;
+        self.evaluate_batch(space, range, out);
+    }
+}
+
+/// Walk `range` as maximal runs of consecutive designs sharing every other
+/// axis (the decode order is design-innermost), calling
+/// `f(first_index_of_run, offset_into_range, run_length)`.
+pub(crate) fn for_each_design_run(
+    space: &ScenarioSpace,
+    range: std::ops::Range<usize>,
+    mut f: impl FnMut(usize, usize, usize),
+) {
+    let designs = space.designs().len();
+    let mut index = range.start;
+    let mut offset = 0usize;
+    while index < range.end {
+        let design = index % designs;
+        let run = (designs - design).min(range.end - index);
+        f(index, offset, run);
+        index += run;
+        offset += run;
+    }
+}
+
+/// The branch-light columnar inner loop: evaluate the designs
+/// `[design_start, design_start + out.len())` of one shared-axis run through
+/// a prepared model and the sweep's precomputed columns. `growth_at` supplies
+/// the growth sample per design index (a table column for space-axis growth,
+/// a direct evaluation for calibration-supplied growth). No heap allocation,
+/// no `Result`s — invalid designs are `NaN`, bit-identical to the
+/// per-scenario path.
+#[allow(clippy::too_many_arguments)] // one column per argument, by design
+fn eval_design_run(
+    model: &PreparedModel<'_>,
+    designs: &[ChipSpec],
+    geometry: &[crate::tables::DesignGeometry],
+    perf_small: &[f64],
+    perf_large: &[f64],
+    growth_at: impl Fn(usize) -> f64,
+    total_bce: f64,
+    design_start: usize,
+    out: &mut [f64],
+) {
+    for (k, slot) in out.iter_mut().enumerate() {
+        let di = design_start + k;
+        let geo = geometry[di];
+        *slot = if !geo.fits {
+            f64::NAN
+        } else {
+            match designs[di] {
+                ChipSpec::Symmetric { r } => {
+                    model.speedup_symmetric_from_parts(total_bce, r, perf_small[di], growth_at(di))
+                }
+                ChipSpec::Asymmetric { .. } => model.speedup_asymmetric_from_parts(
+                    geo.small_cores,
+                    perf_small[di],
+                    perf_large[di],
+                    growth_at(di),
+                ),
+            }
+        };
+    }
 }
 
 fn speedup_extended(model: &ExtendedModel, scenario: &Scenario<'_>) -> Result<f64, DseError> {
@@ -173,6 +257,36 @@ impl EvalBackend for AnalyticBackend {
             let model = &current.as_ref().expect("model built above").1;
             *slot = speedup_extended(model, &scenario).unwrap_or(f64::NAN);
         }
+    }
+
+    fn evaluate_batch_prepared(
+        &self,
+        space: &ScenarioSpace,
+        tables: &SpaceTables,
+        range: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        assert_eq!(out.len(), range.len());
+        for_each_design_run(space, range, |index, offset, run| {
+            let ix = space.decode(index);
+            let model = PreparedModel::new(
+                &space.apps()[ix.app],
+                &space.growths()[ix.growth],
+                space.perfs()[ix.perf],
+            );
+            let growth = tables.growth(ix.growth, ix.budget);
+            eval_design_run(
+                &model,
+                space.designs(),
+                tables.geometry(ix.budget),
+                tables.perf_small(ix.perf),
+                tables.perf_large(ix.perf),
+                |di| growth[di],
+                space.budgets()[ix.budget],
+                ix.design,
+                &mut out[offset..offset + run],
+            );
+        });
     }
 }
 
@@ -298,6 +412,10 @@ impl EvalBackend for CommBackend {
 /// [`GrowthFunction::Measured`]: mp_model::growth::GrowthFunction::Measured
 pub struct MeasuredBackend {
     calibrations: Vec<CalibratedParams>,
+    /// Exact-growth parameters, one per calibration, materialised once at
+    /// construction so the batched hot path can borrow them instead of
+    /// rebuilding an `AppParams` + measured curve per shared-axis run.
+    exact: Vec<(AppParams, GrowthFunction)>,
     exact_growth: bool,
 }
 
@@ -305,7 +423,8 @@ impl MeasuredBackend {
     /// A backend answering for the given calibrations (at least one).
     pub fn new(calibrations: Vec<CalibratedParams>) -> Self {
         assert!(!calibrations.is_empty(), "measured backend needs at least one calibration");
-        MeasuredBackend { calibrations, exact_growth: false }
+        let exact = calibrations.iter().map(|c| (c.exact_app_params(), c.exact_growth())).collect();
+        MeasuredBackend { calibrations, exact, exact_growth: false }
     }
 
     /// Use the empirical measured-growth curves instead of the fitted closed
@@ -326,21 +445,30 @@ impl MeasuredBackend {
         self.calibrations.iter().map(|c| c.app_params().clone()).collect()
     }
 
-    fn find(&self, name: &str) -> Option<&CalibratedParams> {
-        self.calibrations.iter().find(|c| c.app_params().name == name)
+    fn find(&self, name: &str) -> Option<usize> {
+        self.calibrations.iter().position(|c| c.app_params().name == name)
+    }
+
+    /// The (parameters, growth) pair a scenario application resolves to,
+    /// borrowed — the fitted calibration or its precomputed exact-growth
+    /// counterpart.
+    fn resolve(&self, name: &str) -> Option<(&AppParams, &GrowthFunction)> {
+        let at = self.find(name)?;
+        Some(if self.exact_growth {
+            let (app, growth) = &self.exact[at];
+            (app, growth)
+        } else {
+            let calibration = &self.calibrations[at];
+            (calibration.app_params(), calibration.growth())
+        })
     }
 
     fn model(&self, scenario: &Scenario<'_>) -> Result<ExtendedModel, DseError> {
-        let calibration =
-            self.find(&scenario.app.name).ok_or(DseError::Model(ModelError::Calibration {
+        let (app, growth) =
+            self.resolve(&scenario.app.name).ok_or(DseError::Model(ModelError::Calibration {
                 what: "scenario application has no calibration",
             }))?;
-        let (app, growth) = if self.exact_growth {
-            (calibration.exact_app_params(), calibration.exact_growth())
-        } else {
-            (calibration.app_params().clone(), calibration.growth().clone())
-        };
-        Ok(ExtendedModel::new(app, growth, scenario.perf))
+        Ok(ExtendedModel::new(app.clone(), growth.clone(), scenario.perf))
     }
 }
 
@@ -389,6 +517,40 @@ impl EvalBackend for MeasuredBackend {
             let model = &current.as_ref().expect("model built above").1;
             *slot = speedup_extended(model, &scenario).unwrap_or(f64::NAN);
         }
+    }
+
+    fn evaluate_batch_prepared(
+        &self,
+        space: &ScenarioSpace,
+        tables: &SpaceTables,
+        range: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        assert_eq!(out.len(), range.len());
+        for_each_design_run(space, range, |index, offset, run| {
+            let ix = space.decode(index);
+            let out = &mut out[offset..offset + run];
+            let Some((app, growth)) = self.resolve(&space.apps()[ix.app].name) else {
+                out.fill(f64::NAN);
+                return;
+            };
+            // The calibration supplies the growth function, so its samples
+            // are evaluated at the designs' thread counts directly instead of
+            // read from the space-axis growth column.
+            let model = PreparedModel::new(app, growth, space.perfs()[ix.perf]);
+            let geometry = tables.geometry(ix.budget);
+            eval_design_run(
+                &model,
+                space.designs(),
+                geometry,
+                tables.perf_small(ix.perf),
+                tables.perf_large(ix.perf),
+                |di| model.growth_sample(geometry[di].cores),
+                space.budgets()[ix.budget],
+                ix.design,
+                out,
+            );
+        });
     }
 }
 
@@ -497,19 +659,10 @@ impl SimBackend {
     }
 
     fn machine(&self, scenario: &Scenario<'_>) -> Option<Machine> {
-        if !scenario.design.fits(scenario.budget) {
-            return None;
-        }
-        match scenario.design {
-            ChipSpec::Symmetric { r } => {
-                let cores = (scenario.budget.total_bce() / r).floor().max(1.0) as usize;
-                Some(Machine::symmetric(cores, r, self.config))
-            }
-            ChipSpec::Asymmetric { r, rl } => {
-                let small = ((scenario.budget.total_bce() - rl) / r).floor().max(0.0) as usize;
-                Some(Machine::asymmetric(small, r, rl, self.config))
-            }
-        }
+        scenario
+            .design
+            .fits(scenario.budget)
+            .then(|| self.machine_for(scenario.design, scenario.budget.total_bce()))
     }
 
     fn baseline_cycles(&self, scenario: &Scenario<'_>, program: &PhaseProgram) -> f64 {
@@ -527,9 +680,25 @@ impl SimBackend {
         if let Some(&cycles) = self.baselines.lock().get(&key) {
             return cycles;
         }
-        let cycles = simulate(program, &Machine::symmetric(1, 1.0, self.config)).total_cycles();
+        let cycles = simulate_cycles(program, &Machine::symmetric(1, 1.0, self.config));
         self.baselines.lock().insert(key, cycles);
         cycles
+    }
+
+    /// The simulated machine of one design under `total_bce`, assuming the
+    /// design already passed its fit check. Same discretisation as
+    /// [`SimBackend::machine`].
+    fn machine_for(&self, design: ChipSpec, total_bce: f64) -> Machine {
+        match design {
+            ChipSpec::Symmetric { r } => {
+                let cores = (total_bce / r).floor().max(1.0) as usize;
+                Machine::symmetric(cores, r, self.config)
+            }
+            ChipSpec::Asymmetric { r, rl } => {
+                let small = ((total_bce - rl) / r).floor().max(0.0) as usize;
+                Machine::asymmetric(small, r, rl, self.config)
+            }
+        }
     }
 }
 
@@ -552,8 +721,40 @@ impl EvalBackend for SimBackend {
         })?;
         let program = self.program(scenario);
         let baseline = self.baseline_cycles(scenario, &program);
-        let cycles = simulate(&program, &machine).total_cycles();
+        let cycles = simulate_cycles(&program, &machine);
         Ok(baseline / cycles)
+    }
+
+    fn evaluate_batch_prepared(
+        &self,
+        space: &ScenarioSpace,
+        tables: &SpaceTables,
+        range: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        assert_eq!(out.len(), range.len());
+        for_each_design_run(space, range, |index, offset, run| {
+            // The program and its single-core baseline depend only on the
+            // shared axes (application, reduction strategy), so both are
+            // resolved once per run; the per-design loop is machine assembly
+            // plus the allocation-free cycle kernel.
+            let scenario = space.scenario(index);
+            let program = self.program(&scenario);
+            let baseline = self.baseline_cycles(&scenario, &program);
+            let ix = space.decode(index);
+            let geometry = tables.geometry(ix.budget);
+            let total_bce = space.budgets()[ix.budget];
+            let designs = space.designs();
+            for (k, slot) in out[offset..offset + run].iter_mut().enumerate() {
+                let di = ix.design + k;
+                *slot = if !geometry[di].fits {
+                    f64::NAN
+                } else {
+                    let machine = self.machine_for(designs[di], total_bce);
+                    baseline / simulate_cycles(&program, &machine)
+                };
+            }
+        });
     }
 }
 

@@ -1,26 +1,303 @@
-//! Sharded, memoising evaluation cache.
+//! Lock-free, sharded, memoising evaluation cache.
 //!
 //! Keys are the 128-bit canonical scenario fingerprints of
 //! [`crate::scenario::Scenario::canonical_key`]; values are the raw bit
 //! patterns of the evaluated speedup, so cached and uncached sweeps are
 //! **bit-identical** by construction (`NaN` markers for invalid scenarios
-//! round-trip too). The map is split into shards, each behind its own lock,
-//! so the worker threads of a parallel sweep rarely contend.
+//! round-trip too).
+//!
+//! ## Structure
+//!
+//! The cache is split into a fixed number of shards selected by the key's
+//! low bits.
+//! Each shard is an **open-addressed table of atomic slots** (state word,
+//! two key words, one value word): probes and inserts are plain atomic loads
+//! and one CAS — no locks, no per-probe allocation — so the worker threads of
+//! a parallel sweep never serialise on the cache. This replaces the previous
+//! `Vec<Mutex<HashMap>>`, whose per-probe lock was the last piece of
+//! cross-thread synchronisation on the sweep hot path.
+//!
+//! ## Growth
+//!
+//! Each shard grows independently: when its table passes a ¾ load factor,
+//! the inserting thread takes the shard's (cold-path) grow lock, publishes a
+//! double-size table, waits for in-flight writers to drain, and migrates the
+//! old entries. Readers are never blocked — at worst a probe against the old
+//! table reports a miss and the scenario is recomputed, which is harmless
+//! because every cached value is a deterministic function of its key.
+//! [`EvalCache::reserve`] pre-sizes all shards so a sweep of known size (the
+//! engine reserves `space.len()` up front) never grows mid-run. Retired
+//! tables are kept until the cache is dropped, so concurrent readers can
+//! finish probing them safely; total retired memory is bounded by the final
+//! table size (geometric series).
 //!
 //! The cache serialises to JSON (hex-encoded keys and value bits) so a sweep
 //! can warm-start from a previous process — see [`EvalCache::save_json`] /
 //! [`EvalCache::load_json`].
 
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
-/// Number of independently locked shards (power of two).
-const SHARDS: usize = 64;
+/// Number of independent shards (power of two). Shards only gate the cold
+/// grow/migrate paths — probes and inserts are per-slot atomics — so the
+/// count is chosen for *reserve* behaviour: fewer, larger shards keep the
+/// relative hash imbalance between shards small (√n̄/n̄), which lets `reserve`
+/// run the tables denser without any shard outgrowing its slack mid-sweep.
+const SHARDS: usize = 32;
 
-/// A sharded memoisation cache for scenario evaluations.
+/// Initial slot count per shard (power of two). [`SHARDS`] × 64 slots ≈ 2k
+/// slots before any growth; `reserve` raises this for real sweeps.
+const INITIAL_SLOTS: usize = 64;
+
+/// Slot states.
+const EMPTY: u8 = 0;
+const BUSY: u8 = 1;
+const FULL: u8 = 2;
+
+/// One open-addressed slot: a state word guarding two key words and a value.
+struct Slot {
+    state: AtomicU8,
+    k0: AtomicU64,
+    k1: AtomicU64,
+    value: AtomicU64,
+}
+
+/// Outcome of one table-level insert attempt.
+enum InsertOutcome {
+    /// A fresh slot was claimed; the table now holds `len` entries.
+    Inserted { len: usize },
+    /// The key already existed; its value was overwritten (values are
+    /// deterministic per key, so this is a no-op bit-wise in normal use).
+    Updated,
+    /// No free slot within the probe budget: the table must grow.
+    TableFull,
+}
+
+/// A fixed-capacity open-addressed table. Never grows in place; a full table
+/// is replaced wholesale by the owning shard.
+struct Table {
+    mask: usize,
+    len: AtomicUsize,
+    slots: Box<[Slot]>,
+}
+
+impl Table {
+    fn with_capacity(capacity: usize) -> Box<Table> {
+        debug_assert!(capacity.is_power_of_two());
+        // The all-zero byte pattern is exactly a table of EMPTY slots, so the
+        // slot array comes from `alloc_zeroed`: for the multi-megabyte tables
+        // a reserved sweep uses, the kernel's lazily-mapped zero pages make
+        // this near-free instead of a full init write pass.
+        let slots: Box<[Slot]> = unsafe {
+            let layout = std::alloc::Layout::array::<Slot>(capacity).expect("table layout");
+            let ptr = std::alloc::alloc_zeroed(layout) as *mut Slot;
+            assert!(!ptr.is_null(), "cache table allocation failed");
+            crate::mem::advise_huge_pages(ptr, layout.size());
+            Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, capacity))
+        };
+        Box::new(Table { mask: capacity - 1, len: AtomicUsize::new(0), slots })
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The load-factor ceiling: grow once the table holds more than ⅞ of its
+    /// capacity. Linear probing at ⅞ load averages a handful of adjacent
+    /// slots per probe — cheap, since consecutive slots share cachelines —
+    /// while the denser table halves the memory footprint (and first-touch
+    /// fault count) of a reserved sweep compared to a ¾ ceiling.
+    fn threshold(&self) -> usize {
+        self.capacity() - self.capacity() / 8
+    }
+
+    /// Slot index of the first probe. The shard was selected by `key.0`'s low
+    /// bits, so the in-shard position uses the independent second stream.
+    fn home(&self, key: (u64, u64)) -> usize {
+        (key.1 as usize) & self.mask
+    }
+
+    /// Probe for `key`; `Some(bits)` when present and fully published.
+    fn probe(&self, key: (u64, u64)) -> Option<u64> {
+        let mut index = self.home(key);
+        for _ in 0..self.capacity() {
+            let slot = &self.slots[index];
+            match slot.state.load(Ordering::Acquire) {
+                EMPTY => return None,
+                FULL if slot.k0.load(Ordering::Relaxed) == key.0
+                    && slot.k1.load(Ordering::Relaxed) == key.1 =>
+                {
+                    return Some(slot.value.load(Ordering::Relaxed));
+                }
+                // Other key, or BUSY — a writer mid-publish: treat as
+                // occupied-by-unknown and keep probing. If a busy slot held
+                // our key, the caller simply recomputes a deterministic
+                // value.
+                _ => {}
+            }
+            index = (index + 1) & self.mask;
+        }
+        None
+    }
+
+    /// Insert or overwrite `key`, publishing the `FULL` state with `publish`
+    /// ordering. The optimistic insert protocol (see [`Shard::insert`])
+    /// requires the publication to be ordered before the post-insert check
+    /// of the shard's migration flag: single inserts publish `SeqCst`,
+    /// batched inserts publish `Release` and order the whole batch with one
+    /// trailing `SeqCst` fence.
+    fn insert(&self, key: (u64, u64), bits: u64, publish: Ordering) -> InsertOutcome {
+        let mut index = self.home(key);
+        for _ in 0..self.capacity() {
+            let slot = &self.slots[index];
+            match slot.state.compare_exchange(EMPTY, BUSY, Ordering::Acquire, Ordering::Acquire) {
+                Ok(_) => {
+                    // Claimed a fresh slot: publish key and value, then flip
+                    // to FULL so readers (Acquire on state) see them.
+                    slot.k0.store(key.0, Ordering::Relaxed);
+                    slot.k1.store(key.1, Ordering::Relaxed);
+                    slot.value.store(bits, Ordering::Relaxed);
+                    slot.state.store(FULL, publish);
+                    let len = self.len.fetch_add(1, Ordering::Relaxed) + 1;
+                    return InsertOutcome::Inserted { len };
+                }
+                Err(mut state) => {
+                    // Someone owns this slot. Wait out a concurrent publish
+                    // (a handful of stores), then match on the key.
+                    while state == BUSY {
+                        std::hint::spin_loop();
+                        state = slot.state.load(Ordering::Acquire);
+                    }
+                    if slot.k0.load(Ordering::Relaxed) == key.0
+                        && slot.k1.load(Ordering::Relaxed) == key.1
+                    {
+                        slot.value.store(bits, Ordering::Relaxed);
+                        return InsertOutcome::Updated;
+                    }
+                }
+            }
+            index = (index + 1) & self.mask;
+        }
+        InsertOutcome::TableFull
+    }
+
+    /// Snapshot every published entry. `SeqCst` state loads so a migration
+    /// scan sequenced after the `migrating` flag store observes every
+    /// publication that was `SeqCst`-ordered before the flag (writers whose
+    /// publication came later re-insert themselves instead).
+    fn entries(&self) -> impl Iterator<Item = ((u64, u64), u64)> + '_ {
+        self.slots.iter().filter(|s| s.state.load(Ordering::SeqCst) == FULL).map(|s| {
+            (
+                (s.k0.load(Ordering::Relaxed), s.k1.load(Ordering::Relaxed)),
+                s.value.load(Ordering::Relaxed),
+            )
+        })
+    }
+}
+
+/// One shard: the live table, a `migrating` flag gating writers during
+/// migration, and the cold-path grow lock holding retired tables.
+struct Shard {
+    current: AtomicPtr<Table>,
+    /// Set while a migration is in flight. Writers insert *optimistically*
+    /// (no registration) and re-check this flag plus the table pointer after
+    /// publishing: a publication the migration scan could have missed is
+    /// always followed by a re-check that observes the flag or the swapped
+    /// pointer, and that writer re-inserts into the live table. Readers
+    /// never check the flag: probes stay lock-free and a racy miss merely
+    /// recomputes a deterministic value.
+    migrating: AtomicBool,
+    grow: Mutex<Vec<*mut Table>>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            current: AtomicPtr::new(Box::into_raw(Table::with_capacity(INITIAL_SLOTS))),
+            migrating: AtomicBool::new(false),
+            grow: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The live table. Safe because tables are only retired, never freed,
+    /// while the cache is alive.
+    fn table(&self) -> &Table {
+        unsafe { &*self.current.load(Ordering::Acquire) }
+    }
+
+    fn insert(&self, key: (u64, u64), bits: u64) {
+        loop {
+            while self.migrating.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            let table_ptr = self.current.load(Ordering::SeqCst);
+            let table = unsafe { &*table_ptr };
+            let outcome = table.insert(key, bits, Ordering::SeqCst);
+            // Post-publication check, `SeqCst` like the publication: either
+            // the publication is ordered before a concurrent migration's
+            // flag store — then the migration scan (`SeqCst` loads,
+            // sequenced after that store) sees the entry and copies it — or
+            // this load observes the flag / the swapped pointer and the
+            // insert retries against the live table. No entry is lost either
+            // way.
+            if self.migrating.load(Ordering::SeqCst)
+                || self.current.load(Ordering::SeqCst) != table_ptr
+            {
+                continue;
+            }
+            match outcome {
+                InsertOutcome::Inserted { len } if len > table.threshold() => {
+                    self.grow_to(table.capacity() * 2);
+                    return;
+                }
+                InsertOutcome::Inserted { .. } | InsertOutcome::Updated => return,
+                InsertOutcome::TableFull => {
+                    self.grow_to(table.capacity() * 2);
+                    // Retry against the (possibly freshly grown) table.
+                }
+            }
+        }
+    }
+
+    /// Replace the live table with one of at least `capacity` slots,
+    /// migrating every entry. No-op if the live table is already big enough
+    /// (e.g. a racing grower got there first).
+    fn grow_to(&self, capacity: usize) {
+        let capacity = capacity.next_power_of_two();
+        let mut retired = self.grow.lock();
+        let old_ptr = self.current.load(Ordering::SeqCst);
+        let old = unsafe { &*old_ptr };
+        if old.capacity() >= capacity {
+            return;
+        }
+        // Gate new writers out, then copy. Writers whose publication raced
+        // the flag re-insert themselves (see `insert`), so the scan below
+        // may miss them; everything it does see lands in the new table,
+        // which — at least double the old capacity and filled by no one
+        // else — cannot overflow. Racing re-inserts spin on the flag and
+        // land in the new table after the swap.
+        self.migrating.store(true, Ordering::SeqCst);
+        let new_ptr = Box::into_raw(Table::with_capacity(capacity));
+        let new = unsafe { &*new_ptr };
+        for (key, bits) in old.entries() {
+            if matches!(new.insert(key, bits, Ordering::Release), InsertOutcome::TableFull) {
+                unreachable!("migration target cannot fill up");
+            }
+        }
+        self.current.store(new_ptr, Ordering::SeqCst);
+        self.migrating.store(false, Ordering::SeqCst);
+        retired.push(old_ptr);
+    }
+}
+
+// SAFETY: the raw table pointers are only created from `Box::into_raw`, only
+// freed in `Drop`, and all shared access goes through atomics.
+unsafe impl Send for Shard {}
+unsafe impl Sync for Shard {}
+
+/// A sharded, lock-free memoisation cache for scenario evaluations.
 pub struct EvalCache {
-    shards: Vec<Mutex<HashMap<(u64, u64), u64>>>,
+    shards: Vec<Shard>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -31,10 +308,23 @@ impl Default for EvalCache {
     }
 }
 
+impl Drop for EvalCache {
+    fn drop(&mut self) {
+        for shard in &self.shards {
+            let current = shard.current.load(Ordering::Relaxed);
+            drop(unsafe { Box::from_raw(current) });
+            for &retired in shard.grow.lock().iter() {
+                drop(unsafe { Box::from_raw(retired) });
+            }
+        }
+    }
+}
+
 impl std::fmt::Debug for EvalCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EvalCache")
             .field("entries", &self.len())
+            .field("capacity", &self.capacity())
             .field("hits", &self.hits())
             .field("misses", &self.misses())
             .finish()
@@ -45,20 +335,67 @@ impl EvalCache {
     /// An empty cache.
     pub fn new() -> Self {
         EvalCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| Shard::new()).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: (u64, u64)) -> &Mutex<HashMap<(u64, u64), u64>> {
+    /// An empty cache pre-sized for `entries` entries.
+    pub fn with_capacity(entries: usize) -> Self {
+        let cache = EvalCache::new();
+        cache.reserve(entries);
+        cache
+    }
+
+    fn shard(&self, key: (u64, u64)) -> &Shard {
         &self.shards[(key.0 as usize) & (SHARDS - 1)]
+    }
+
+    /// Pre-size every shard so `entries` total entries fit without growing:
+    /// large sweeps reserve their scenario count up front and the hot loop
+    /// then never migrates a table mid-run.
+    pub fn reserve(&self, entries: usize) {
+        let per_shard = entries.div_ceil(SHARDS);
+        // FNV-sharded keys spread binomially, so a shard can exceed the mean
+        // by a few standard deviations; four of them (plus a small constant
+        // for tiny reservations) makes mid-sweep growth vanishingly unlikely
+        // without doubling the tables for it.
+        let target = per_shard + 4 * (per_shard as f64).sqrt() as usize + 8;
+        let mut capacity = INITIAL_SLOTS.max(target.next_power_of_two());
+        while capacity - capacity / 8 < target {
+            capacity *= 2;
+        }
+        for shard in &self.shards {
+            if shard.table().capacity() < capacity {
+                shard.grow_to(capacity);
+            }
+        }
+    }
+
+    /// Total slot capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.table().capacity()).sum()
+    }
+
+    /// Touch the home slot of every key with a plain load. Independent loads
+    /// pipeline through the memory system (unlike the locked operations of
+    /// `insert`, which drain the store buffer and serialise their cache
+    /// misses), so warming a whole batch's cachelines first and then
+    /// probing/inserting against L2 is several times faster than paying one
+    /// serialised DRAM round-trip per key. A batch of ~1k keys touches ~64
+    /// KiB — comfortably cache-resident.
+    pub fn prefetch(&self, keys: &[(u64, u64)]) {
+        for &key in keys {
+            let table = self.shard(key).table();
+            let slot = &table.slots[table.home(key)];
+            let _ = slot.state.load(Ordering::Relaxed);
+        }
     }
 
     /// Look up a cached speedup, counting the probe as a hit or miss.
     pub fn get(&self, key: (u64, u64)) -> Option<f64> {
-        let found = self.shard(key).lock().get(&key).copied();
-        match found {
+        match self.shard(key).table().probe(key) {
             Some(bits) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(f64::from_bits(bits))
@@ -74,17 +411,75 @@ impl EvalCache {
     /// Used for internal re-probes (a batch re-checking its own first-probe
     /// holes), which would otherwise double-count and skew the statistics.
     pub fn peek(&self, key: (u64, u64)) -> Option<f64> {
-        self.shard(key).lock().get(&key).copied().map(f64::from_bits)
+        self.shard(key).table().probe(key).map(f64::from_bits)
     }
 
     /// Store an evaluated speedup (bit pattern preserved, NaNs included).
     pub fn insert(&self, key: (u64, u64), speedup: f64) {
-        self.shard(key).lock().insert(key, speedup.to_bits());
+        self.shard(key).insert(key, speedup.to_bits());
     }
 
-    /// Number of cached entries.
+    /// Store a batch of evaluated speedups. Equivalent to calling
+    /// [`EvalCache::insert`] per entry, but the publications are `Release`
+    /// with **one** trailing `SeqCst` fence ordering the whole batch against
+    /// concurrent shard migrations — on the sweep's cold back-fill path this
+    /// replaces a full fence per scenario with one per batch. Panics if the
+    /// slices differ in length.
+    pub fn insert_batch(&self, keys: &[(u64, u64)], speedups: &[f64]) {
+        assert_eq!(keys.len(), speedups.len(), "one speedup per key");
+        self.prefetch(keys);
+        // The table pointer each shard's inserts went through (null =
+        // untouched). If the post-fence check finds a shard migrated (or
+        // migrating) since, its keys are re-inserted through the fully
+        // fenced single path — idempotent, values are deterministic per key.
+        let mut seen: [*mut Table; SHARDS] = [std::ptr::null_mut(); SHARDS];
+        for (&key, &speedup) in keys.iter().zip(speedups) {
+            let index = (key.0 as usize) & (SHARDS - 1);
+            let shard = &self.shards[index];
+            if shard.migrating.load(Ordering::Acquire) {
+                // Rare: fall back to the single path, which parks and
+                // retries; the shard still gets a post-fence check below
+                // for any earlier unfenced inserts.
+                shard.insert(key, speedup.to_bits());
+                continue;
+            }
+            let table_ptr = shard.current.load(Ordering::Acquire);
+            if seen[index].is_null() {
+                seen[index] = table_ptr;
+            }
+            // Keep the *earliest* observed pointer in `seen`: if the shard
+            // migrates between two inserts of this batch, the final check
+            // sees the mismatch and replays the shard's keys.
+            let table = unsafe { &*table_ptr };
+            match table.insert(key, speedup.to_bits(), Ordering::Release) {
+                InsertOutcome::Inserted { len } if len > table.threshold() => {
+                    shard.grow_to(table.capacity() * 2);
+                }
+                InsertOutcome::Inserted { .. } | InsertOutcome::Updated => {}
+                InsertOutcome::TableFull => shard.insert(key, speedup.to_bits()),
+            }
+        }
+        std::sync::atomic::fence(Ordering::SeqCst);
+        for (index, &table_ptr) in seen.iter().enumerate() {
+            if table_ptr.is_null() {
+                continue;
+            }
+            let shard = &self.shards[index];
+            if shard.migrating.load(Ordering::SeqCst)
+                || shard.current.load(Ordering::SeqCst) != table_ptr
+            {
+                for (&key, &speedup) in keys.iter().zip(speedups) {
+                    if (key.0 as usize) & (SHARDS - 1) == index {
+                        shard.insert(key, speedup.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of cached entries (exact while no inserts are in flight).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.table().entries().count()).sum()
     }
 
     /// Whether the cache is empty.
@@ -121,11 +516,11 @@ impl EvalCache {
     pub fn save_json(&self) -> String {
         let mut entries: Vec<(String, String, String)> = Vec::with_capacity(self.len());
         for shard in &self.shards {
-            for (&(hi, lo), &bits) in shard.lock().iter() {
+            for ((hi, lo), bits) in shard.table().entries() {
                 entries.push((format!("{hi:016x}"), format!("{lo:016x}"), format!("{bits:016x}")));
             }
         }
-        // Deterministic order regardless of hash-map iteration.
+        // Deterministic order regardless of slot placement.
         entries.sort();
         serde_json::to_string(&(Self::format_version(), entries))
             .expect("cache entries always serialise")
@@ -157,8 +552,9 @@ impl EvalCache {
             parsed.push(((hi, lo), bits));
         }
         let loaded = parsed.len();
+        self.reserve(loaded);
         for (key, bits) in parsed {
-            self.shard(key).lock().insert(key, bits);
+            self.shard(key).insert(key, bits);
         }
         Ok(loaded)
     }
@@ -184,6 +580,46 @@ mod tests {
         cache.insert((9, 9), f64::NAN);
         let got = cache.get((9, 9)).unwrap();
         assert_eq!(got.to_bits(), f64::NAN.to_bits());
+    }
+
+    #[test]
+    fn overwriting_a_key_keeps_one_entry() {
+        let cache = EvalCache::new();
+        cache.insert((5, 6), 1.0);
+        cache.insert((5, 6), 2.0);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.peek((5, 6)), Some(2.0));
+    }
+
+    #[test]
+    fn growth_keeps_every_entry() {
+        let cache = EvalCache::new();
+        // Far beyond the initial SHARDS × 64-slot capacity, with keys
+        // crafted to hammer a handful of shards (same low bits of key.0).
+        let n = 40_000u64;
+        for i in 0..n {
+            cache.insert((i * SHARDS as u64, i.wrapping_mul(0x9E37_79B9_7F4A_7C15)), i as f64);
+        }
+        assert_eq!(cache.len(), n as usize);
+        for i in 0..n {
+            let got = cache
+                .peek((i * SHARDS as u64, i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+                .unwrap_or(f64::NAN);
+            assert_eq!(got.to_bits(), (i as f64).to_bits(), "entry {i} lost in growth");
+        }
+    }
+
+    #[test]
+    fn reserve_presizes_and_prevents_growth() {
+        let cache = EvalCache::new();
+        cache.reserve(100_000);
+        let capacity = cache.capacity();
+        assert!(capacity >= 100_000 * 8 / 7, "got {capacity}");
+        for i in 0..100_000u64 {
+            cache.insert((i, i * 31), i as f64);
+        }
+        assert_eq!(cache.capacity(), capacity, "a reserved cache must not grow mid-run");
+        assert_eq!(cache.len(), 100_000);
     }
 
     #[test]
@@ -233,5 +669,34 @@ mod tests {
             b.insert(((99 - i) * 31, 99 - i), (99 - i) as f64);
         }
         assert_eq!(a.save_json(), b.save_json());
+    }
+
+    #[test]
+    fn concurrent_inserts_and_probes_stay_consistent() {
+        let cache = EvalCache::new();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..2_000u64 {
+                        let key = (i * 7 + t * 101, i.rotate_left(17) ^ t);
+                        cache.insert(key, (i + t) as f64);
+                        if let Some(v) = cache.peek(key) {
+                            // A probe may race a concurrent overwrite of the
+                            // same key by another thread, but a present value
+                            // is always one that was inserted for this key.
+                            assert!((0.0..3_000.0).contains(&v));
+                        }
+                    }
+                });
+            }
+        });
+        // Every thread's final inserts are all present afterwards.
+        for t in 0..8u64 {
+            for i in 0..2_000u64 {
+                let key = (i * 7 + t * 101, i.rotate_left(17) ^ t);
+                assert!(cache.peek(key).is_some(), "t={t} i={i}");
+            }
+        }
     }
 }

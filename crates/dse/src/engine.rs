@@ -23,7 +23,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::backend::EvalBackend;
 use crate::cache::EvalCache;
-use crate::scenario::ScenarioSpace;
+use crate::scenario::{Scenario, ScenarioSpace};
+use crate::tables::SpaceTables;
 
 /// One evaluated scenario of a sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -141,9 +142,32 @@ impl Engine {
         assert!(config.batch_size > 0, "batch size must be positive");
         let started = std::time::Instant::now();
         let n = space.len();
-        let mut records =
-            vec![EvalRecord { index: 0, speedup: f64::NAN, cores: 0.0, area: 0.0 }; n];
+        // The batches cover `0..n` exactly once and overwrite every record,
+        // so a `vec![placeholder; n]` would be a second full write pass over
+        // tens of megabytes. The all-zero byte pattern is a valid
+        // `EvalRecord` (index 0, +0.0 everywhere), so the vector comes from
+        // a zeroed allocation instead: the kernel's lazily-mapped zero pages
+        // make it near-free and every element is still initialised.
+        let mut records: Vec<EvalRecord> = zeroed_records(n);
+        crate::mem::advise_huge_pages(records.as_mut_ptr(), n * std::mem::size_of::<EvalRecord>());
+        // Everything design-axis-shaped is precomputed once for the whole
+        // sweep; batches then run through columnar lookups.
+        let tables = SpaceTables::new(space);
         let cache = config.use_cache.then_some(&self.cache);
+        // An empty cache cannot answer any probe, so the sweep skips the
+        // guaranteed-miss lookups entirely and goes straight to the columnar
+        // evaluation plus back-fill — this halves the cache's memory traffic
+        // on a cold first pass. (A concurrently shared cache may gain entries
+        // mid-sweep; skipping those probes merely recomputes deterministic
+        // values, so records are unaffected.) Checked before `reserve`, which
+        // would otherwise make the emptiness scan walk the grown tables.
+        let cold_start = cache.is_some_and(|c| c.is_empty());
+        // The cache never rehashes mid-sweep, and the salt string is built
+        // once instead of once per batch.
+        if cache.is_some() {
+            self.cache.reserve(n);
+        }
+        let salt = backend.cache_salt();
         let hits = AtomicU64::new(0);
         let misses = AtomicU64::new(0);
 
@@ -161,8 +185,11 @@ impl Engine {
         if use_pool {
             let shared = SweepShared {
                 space,
+                tables: &tables,
                 backend,
                 cache,
+                cold_start,
+                salt: &salt,
                 records: records.as_mut_ptr(),
                 n,
                 batch,
@@ -194,17 +221,22 @@ impl Engine {
                 panic!("a design-space evaluation backend panicked during the sweep");
             }
         } else {
+            let mut scratch = BatchScratch::with_capacity(batch);
             let mut start = 0usize;
             while start < n {
                 let end = (start + batch).min(n);
                 process_batch(
                     space,
+                    &tables,
                     backend,
                     cache,
+                    cold_start,
+                    &salt,
                     start..end,
                     &mut records[start..end],
                     &hits,
                     &misses,
+                    &mut scratch,
                 );
                 start = end;
             }
@@ -229,8 +261,11 @@ impl Engine {
 /// lifetime-erased reference (see the safety comment at the transmute).
 struct SweepShared<'a> {
     space: &'a ScenarioSpace,
+    tables: &'a SpaceTables,
     backend: &'a dyn EvalBackend,
     cache: Option<&'a EvalCache>,
+    cold_start: bool,
+    salt: &'a str,
     records: *mut EvalRecord,
     n: usize,
     batch: usize,
@@ -263,25 +298,35 @@ impl SweepShared<'_> {
             }
         }
         let _done = Done(self);
-        let result = catch_unwind(AssertUnwindSafe(|| loop {
-            let batch_index = self.cursor.fetch_add(1, Ordering::Relaxed);
-            let start = batch_index.saturating_mul(self.batch);
-            if start >= self.n {
-                break;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // One scratch per worker, reused across every batch it pulls: the
+            // per-batch working sets allocate only on the worker's first
+            // batch (and never per scenario).
+            let mut scratch = BatchScratch::with_capacity(self.batch);
+            loop {
+                let batch_index = self.cursor.fetch_add(1, Ordering::Relaxed);
+                let start = batch_index.saturating_mul(self.batch);
+                if start >= self.n {
+                    break;
+                }
+                let end = (start + self.batch).min(self.n);
+                // SAFETY: `start..end` ranges from the cursor never overlap.
+                let out =
+                    unsafe { std::slice::from_raw_parts_mut(self.records.add(start), end - start) };
+                process_batch(
+                    self.space,
+                    self.tables,
+                    self.backend,
+                    self.cache,
+                    self.cold_start,
+                    self.salt,
+                    start..end,
+                    out,
+                    self.hits,
+                    self.misses,
+                    &mut scratch,
+                );
             }
-            let end = (start + self.batch).min(self.n);
-            // SAFETY: `start..end` ranges from the cursor never overlap.
-            let out =
-                unsafe { std::slice::from_raw_parts_mut(self.records.add(start), end - start) };
-            process_batch(
-                self.space,
-                self.backend,
-                self.cache,
-                start..end,
-                out,
-                self.hits,
-                self.misses,
-            );
         }));
         if result.is_err() {
             self.panicked.store(true, Ordering::Release);
@@ -296,93 +341,233 @@ impl SweepShared<'_> {
     }
 }
 
+/// A record vector of `n` all-zero elements straight from a zeroed
+/// allocation — no element-wise initialisation pass. Zero bytes are a valid
+/// `EvalRecord` (`index` 0, `+0.0` in every float field).
+fn zeroed_records(n: usize) -> Vec<EvalRecord> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let layout = std::alloc::Layout::array::<EvalRecord>(n).expect("record layout");
+    // SAFETY: the pointer comes from the global allocator with exactly the
+    // layout `Vec` will free it under (len == capacity == n), and all-zero
+    // bytes initialise every `EvalRecord` field to a valid value.
+    unsafe {
+        let ptr = std::alloc::alloc_zeroed(layout) as *mut EvalRecord;
+        assert!(!ptr.is_null(), "record allocation failed");
+        Vec::from_raw_parts(ptr, n, n)
+    }
+}
+
+/// Reusable per-worker working sets of one batch. Sized once (to the sweep's
+/// batch size) and reused for every batch the worker pulls, so the steady
+/// state of the sweep performs no per-batch — let alone per-scenario — heap
+/// allocation.
+struct BatchScratch {
+    speedups: Vec<f64>,
+    keys: Vec<(u64, u64)>,
+    holes: Vec<bool>,
+}
+
+impl BatchScratch {
+    fn with_capacity(batch: usize) -> Self {
+        BatchScratch {
+            speedups: Vec::with_capacity(batch),
+            keys: Vec::with_capacity(batch),
+            holes: Vec::with_capacity(batch),
+        }
+    }
+
+    /// Reset for a batch of `len` scenarios.
+    fn reset(&mut self, len: usize) {
+        self.speedups.clear();
+        self.speedups.resize(len, f64::NAN);
+        self.keys.clear();
+        self.keys.resize(len, (0, 0));
+        self.holes.clear();
+        self.holes.resize(len, false);
+    }
+}
+
+/// Walk `range` as maximal runs of consecutive designs sharing every other
+/// axis, handing each run's base scenario to `f` along with its offset and
+/// length. The decode (and, for the cache path, the canonical-key prefix
+/// hash) thus happens once per run instead of once per scenario. Built on
+/// the same run decomposition the backends use
+/// ([`crate::backend::for_each_design_run`]).
+fn for_each_run(
+    space: &ScenarioSpace,
+    range: std::ops::Range<usize>,
+    mut f: impl FnMut(usize, &Scenario<'_>, usize, usize, usize),
+) {
+    crate::backend::for_each_design_run(space, range, |index, offset, run| {
+        let scenario = space.scenario(index);
+        f(index, &scenario, index % space.designs().len(), offset, run);
+    });
+}
+
 /// Evaluate one contiguous batch into `out`, going through the cache when one
 /// is provided.
+#[allow(clippy::too_many_arguments)]
 fn process_batch(
     space: &ScenarioSpace,
+    tables: &SpaceTables,
     backend: &dyn EvalBackend,
     cache: Option<&EvalCache>,
+    cold_start: bool,
+    salt: &str,
     range: std::ops::Range<usize>,
     out: &mut [EvalRecord],
     hits: &AtomicU64,
     misses: &AtomicU64,
+    scratch: &mut BatchScratch,
 ) {
     debug_assert_eq!(out.len(), range.len());
     let len = range.len();
-    let mut speedups = vec![f64::NAN; len];
-    // Decode every scenario of the batch exactly once; the key, hole-fill
-    // and record loops below all reuse these.
-    let scenarios: Vec<_> = range.clone().map(|index| space.scenario(index)).collect();
+    scratch.reset(len);
 
     match cache {
         None => {
-            backend.evaluate_batch(space, range.clone(), &mut speedups);
+            backend.evaluate_batch_prepared(
+                space,
+                tables,
+                range.clone(),
+                &mut scratch.speedups[..],
+            );
             misses.fetch_add(len as u64, Ordering::Relaxed);
         }
         Some(cache) => {
-            let salt = backend.cache_salt();
-            let mut keys = Vec::with_capacity(len);
-            let mut holes = vec![false; len];
-            let mut missing = 0usize;
-            for (offset, scenario) in scenarios.iter().enumerate() {
-                let key = scenario.canonical_key(&salt);
-                keys.push(key);
-                match cache.get(key) {
-                    Some(speedup) => speedups[offset] = speedup,
-                    None => {
-                        holes[offset] = true;
-                        missing += 1;
+            let missing = {
+                let speedups = &mut scratch.speedups[..];
+                let keys = &mut scratch.keys[..];
+                let holes = &mut scratch.holes[..];
+                // Hash the shared axes once per design run; per scenario only
+                // the design itself is folded into the saved prefix.
+                for_each_run(space, range.clone(), |_, scenario, design, offset, run| {
+                    let prefix = scenario.canonical_key_prefix(salt);
+                    for k in 0..run {
+                        keys[offset + k] = prefix.key_for(space.designs()[design + k]);
                     }
-                }
-            }
-            hits.fetch_add((len - missing) as u64, Ordering::Relaxed);
-            if missing == len {
-                // Cold batch: take the backend's hoisted fast path.
-                backend.evaluate_batch(space, range.clone(), &mut speedups);
-                misses.fetch_add(len as u64, Ordering::Relaxed);
-                for (offset, &key) in keys.iter().enumerate() {
-                    cache.insert(key, speedups[offset]);
-                }
-            } else if missing > 0 {
-                // Mixed batch: evaluate only the first-probe holes. A hole's
-                // key may have been filled since the first probe (a duplicate
-                // scenario earlier in this batch, or another worker): take
-                // the cached value then — counted as a hit, since no backend
-                // evaluation happened — so every slot ends up populated.
-                // `peek` keeps the re-probe itself out of the statistics.
-                let mut peeked = 0u64;
-                let mut evaluated = 0u64;
-                for (offset, scenario) in scenarios.iter().enumerate() {
-                    if !holes[offset] {
-                        continue;
+                });
+                if cold_start {
+                    // The cache was empty when the sweep started: every probe
+                    // would miss, so evaluate straight away and only pay the
+                    // cache's memory traffic for the back-fill.
+                    backend.evaluate_batch_prepared(space, tables, range.clone(), speedups);
+                    misses.fetch_add(len as u64, Ordering::Relaxed);
+                    cache.insert_batch(keys, speedups);
+                    None
+                } else {
+                    // Warm the batch's cachelines with pipelined plain loads
+                    // before the dependent probe walk.
+                    cache.prefetch(keys);
+                    let mut missing = 0usize;
+                    for (offset, &key) in keys.iter().enumerate() {
+                        match cache.get(key) {
+                            Some(speedup) => speedups[offset] = speedup,
+                            None => {
+                                holes[offset] = true;
+                                missing += 1;
+                            }
+                        }
                     }
-                    if let Some(speedup) = cache.peek(keys[offset]) {
-                        speedups[offset] = speedup;
-                        peeked += 1;
-                        continue;
-                    }
-                    let speedup = if scenario.design.fits(scenario.budget) {
-                        backend.evaluate(scenario).unwrap_or(f64::NAN)
-                    } else {
-                        f64::NAN
-                    };
-                    speedups[offset] = speedup;
-                    cache.insert(keys[offset], speedup);
-                    evaluated += 1;
+                    hits.fetch_add((len - missing) as u64, Ordering::Relaxed);
+                    Some(missing)
                 }
-                hits.fetch_add(peeked, Ordering::Relaxed);
-                misses.fetch_add(evaluated, Ordering::Relaxed);
+            };
+            if let Some(missing) = missing {
+                process_batch_holes(
+                    space,
+                    tables,
+                    backend,
+                    cache,
+                    range.clone(),
+                    missing,
+                    scratch,
+                    hits,
+                    misses,
+                );
             }
         }
     }
 
-    for ((offset, index), scenario) in range.enumerate().zip(scenarios.iter()) {
-        out[offset] = EvalRecord {
-            index,
-            speedup: speedups[offset],
-            cores: scenario.cores(),
-            area: scenario.area(),
-        };
+    // Records read their geometry from the precomputed columns — no
+    // per-scenario decode, derivation or scenario materialisation. The
+    // budget axis is the second-innermost of the decode order, so its index
+    // falls out of the run's base index directly.
+    let area = tables.area();
+    let designs = space.designs().len();
+    let budgets = space.budgets().len();
+    crate::backend::for_each_design_run(space, range, |index, offset, run| {
+        let design = index % designs;
+        let geometry = tables.geometry(index / designs % budgets);
+        for k in 0..run {
+            out[offset + k] = EvalRecord {
+                index: index + k,
+                speedup: scratch.speedups[offset + k],
+                cores: geometry[design + k].cores,
+                area: area[design + k],
+            };
+        }
+    });
+}
+
+/// The warm-cache tail of [`process_batch`]: fill the probe holes of a batch
+/// whose keys and first-probe results are already in `scratch`.
+#[allow(clippy::too_many_arguments)]
+fn process_batch_holes(
+    space: &ScenarioSpace,
+    tables: &SpaceTables,
+    backend: &dyn EvalBackend,
+    cache: &EvalCache,
+    range: std::ops::Range<usize>,
+    missing: usize,
+    scratch: &mut BatchScratch,
+    hits: &AtomicU64,
+    misses: &AtomicU64,
+) {
+    let len = range.len();
+    let speedups = &mut scratch.speedups[..];
+    let keys = &scratch.keys[..];
+    let holes = &scratch.holes[..];
+    if missing == len {
+        // Cold batch: take the backend's columnar fast path.
+        backend.evaluate_batch_prepared(space, tables, range.clone(), speedups);
+        misses.fetch_add(len as u64, Ordering::Relaxed);
+        cache.insert_batch(keys, speedups);
+    } else if missing > 0 {
+        // Mixed batch: evaluate only the first-probe holes. A hole's
+        // key may have been filled since the first probe (a duplicate
+        // scenario earlier in this batch, or another worker): take
+        // the cached value then — counted as a hit, since no backend
+        // evaluation happened — so every slot ends up populated.
+        // `peek` keeps the re-probe itself out of the statistics.
+        let mut peeked = 0u64;
+        let mut evaluated = 0u64;
+        for_each_run(space, range, |_, scenario, design, offset, run| {
+            for k in 0..run {
+                if !holes[offset + k] {
+                    continue;
+                }
+                if let Some(speedup) = cache.peek(keys[offset + k]) {
+                    speedups[offset + k] = speedup;
+                    peeked += 1;
+                    continue;
+                }
+                let candidate =
+                    Scenario { design: space.designs()[design + k], ..scenario.clone() };
+                let speedup = if candidate.design.fits(candidate.budget) {
+                    backend.evaluate(&candidate).unwrap_or(f64::NAN)
+                } else {
+                    f64::NAN
+                };
+                speedups[offset + k] = speedup;
+                cache.insert(keys[offset + k], speedup);
+                evaluated += 1;
+            }
+        });
+        hits.fetch_add(peeked, Ordering::Relaxed);
+        misses.fetch_add(evaluated, Ordering::Relaxed);
     }
 }
 

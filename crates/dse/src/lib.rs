@@ -15,11 +15,16 @@
 //!   and the trace-driven `mp-cmpsim` timing simulation ([`SimBackend`]).
 //! * [`engine`] — [`Engine`]: a sharded work queue fanning batches out over
 //!   an [`mp_par::ThreadPool`]; contiguous batches share every axis but the
-//!   design, so backends hoist model construction, and results land in
-//!   deterministic index order.
-//! * [`cache`] — [`EvalCache`]: sharded memoisation keyed on canonicalised
-//!   scenario bits; cached and uncached sweeps are bit-identical, and the
-//!   cache serialises to JSON for cross-process warm starts.
+//!   design, so backends stream through the columnar prepared path, and
+//!   results land in deterministic index order.
+//! * [`tables`] — [`SpaceTables`]: per-sweep columnar (SoA) precomputation
+//!   of every design-axis quantity (geometry, `perf(r)`, growth samples),
+//!   feeding the backends' zero-allocation batch kernels.
+//! * [`cache`] — [`EvalCache`]: lock-free, sharded, open-addressed
+//!   memoisation keyed on canonicalised scenario bits; cached and uncached
+//!   sweeps are bit-identical, large sweeps reserve their size up front so
+//!   the table never rehashes mid-run, and the cache serialises to JSON for
+//!   cross-process warm starts.
 //! * [`analysis`] — top-k designs, per-axis optima and 2-D Pareto frontiers
 //!   of speedup against cores or area.
 //! * [`export`] — streaming JSON / CSV writers.
@@ -57,7 +62,9 @@ pub mod cache;
 pub mod curves;
 pub mod engine;
 pub mod export;
+mod mem;
 pub mod scenario;
+pub mod tables;
 
 /// Commonly used items.
 pub mod prelude {
@@ -70,7 +77,10 @@ pub mod prelude {
     pub use crate::cache::EvalCache;
     pub use crate::engine::{Engine, EvalRecord, SweepConfig, SweepResult, SweepStats};
     pub use crate::export::{write_csv, write_json};
-    pub use crate::scenario::{ChipSpec, Scenario, ScenarioIndex, ScenarioSpace};
+    pub use crate::scenario::{
+        CanonicalKeyPrefix, ChipSpec, Scenario, ScenarioIndex, ScenarioSpace,
+    };
+    pub use crate::tables::{DesignGeometry, SpaceTables};
 }
 
 pub use prelude::*;

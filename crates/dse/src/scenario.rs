@@ -113,7 +113,19 @@ impl Scenario<'_> {
     /// computed from parameter *values* (bit patterns with `-0.0`
     /// canonicalised to `0.0`), never from axis indices. `salt` distinguishes
     /// backends.
+    ///
+    /// The design is folded in *last*, so a batch over the design-innermost
+    /// index order can hash the shared axes once via
+    /// [`Scenario::canonical_key_prefix`] and derive each design's key from
+    /// the saved prefix state — the per-scenario hashing cost of the sweep
+    /// hot loop drops from the whole scenario to just the design.
     pub fn canonical_key(&self, salt: &str) -> (u64, u64) {
+        self.canonical_key_prefix(salt).key_for(self.design)
+    }
+
+    /// Hash every axis but the design, returning a resumable prefix. One
+    /// prefix serves a whole run of consecutive designs.
+    pub fn canonical_key_prefix(&self, salt: &str) -> CanonicalKeyPrefix {
         let mut hasher = Fnv128::new();
         hasher.write_str(salt);
         hasher.write_f64(self.app.f);
@@ -122,17 +134,6 @@ impl Scenario<'_> {
         hasher.write_f64(self.app.fored);
         hasher.write_f64(self.app.critical_section);
         hasher.write_f64(self.budget.total_bce());
-        match self.design {
-            ChipSpec::Symmetric { r } => {
-                hasher.write_u8(1);
-                hasher.write_f64(r);
-            }
-            ChipSpec::Asymmetric { r, rl } => {
-                hasher.write_u8(2);
-                hasher.write_f64(r);
-                hasher.write_f64(rl);
-            }
-        }
         match self.growth {
             GrowthFunction::Constant => hasher.write_u8(10),
             GrowthFunction::Linear => hasher.write_u8(11),
@@ -173,13 +174,39 @@ impl Scenario<'_> {
             Topology::Crossbar => 43,
             Topology::Ideal => 44,
         });
-        hasher.finish()
+        CanonicalKeyPrefix { hasher }
+    }
+}
+
+/// Saved canonical-key hash state covering every axis but the design. `Copy`,
+/// two words: cloning it per design is free.
+#[derive(Debug, Clone, Copy)]
+pub struct CanonicalKeyPrefix {
+    hasher: Fnv128,
+}
+
+impl CanonicalKeyPrefix {
+    /// Complete the key for one design.
+    pub fn key_for(mut self, design: ChipSpec) -> (u64, u64) {
+        match design {
+            ChipSpec::Symmetric { r } => {
+                self.hasher.write_u8(1);
+                self.hasher.write_f64(r);
+            }
+            ChipSpec::Asymmetric { r, rl } => {
+                self.hasher.write_u8(2);
+                self.hasher.write_f64(r);
+                self.hasher.write_f64(rl);
+            }
+        }
+        self.hasher.finish()
     }
 }
 
 /// Two independent [`Fnv64`] streams (distinct bases) giving a 128-bit
 /// fingerprint; the byte-fold and `-0.0` canonicalisation live in
 /// [`mp_model::fingerprint`], shared with the export labels.
+#[derive(Debug, Clone, Copy)]
 struct Fnv128 {
     a: Fnv64,
     b: Fnv64,
@@ -483,6 +510,25 @@ mod tests {
         assert_eq!(space_a.scenario(0).canonical_key("x"), space_b.scenario(0).canonical_key("x"));
         let space_c = ScenarioSpace::new().with_apps(vec![AppParams::table2_fuzzy()]);
         assert_ne!(space_b.scenario(0).canonical_key("x"), space_c.scenario(0).canonical_key("x"));
+    }
+
+    #[test]
+    fn key_prefix_resumes_to_the_full_key() {
+        let space = two_by_three()
+            .with_growths(vec![
+                GrowthFunction::Superlinear(1.55),
+                GrowthFunction::Measured(vec![(1.0, 0.0), (8.0, 4.0)]),
+            ])
+            .with_budgets(vec![64.0, 256.0]);
+        for index in 0..space.len() {
+            let scenario = space.scenario(index);
+            let prefix = scenario.canonical_key_prefix("salt");
+            assert_eq!(prefix.key_for(scenario.design), scenario.canonical_key("salt"));
+        }
+        // And the prefix is design-agnostic: one prefix serves any design.
+        let a = space.scenario(0);
+        let b = space.scenario(1);
+        assert_eq!(a.canonical_key_prefix("s").key_for(b.design), b.canonical_key("s"));
     }
 
     #[test]

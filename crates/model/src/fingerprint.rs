@@ -10,7 +10,7 @@
 //! equal floating-point inputs always fingerprint identically.
 
 /// An incremental FNV-1a hasher over bytes, floats and strings.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct Fnv64 {
     state: u64,
 }

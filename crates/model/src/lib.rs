@@ -75,6 +75,7 @@ pub mod growth;
 pub mod hill_marty;
 pub mod params;
 pub mod perf;
+pub mod prepared;
 pub mod serial_time;
 pub mod topology;
 
@@ -93,6 +94,7 @@ pub mod prelude {
     pub use crate::hill_marty;
     pub use crate::params::{AppParams, SerialSplit};
     pub use crate::perf::PerfModel;
+    pub use crate::prepared::PreparedModel;
     pub use crate::serial_time::serial_growth_factor;
     pub use crate::topology::Topology;
 }

@@ -5,6 +5,8 @@
 //! `f64` seconds so that the same structures can carry wall-clock times (real
 //! executions) and simulated times (cycles divided by a nominal frequency).
 
+use std::borrow::Cow;
+
 use serde::{Deserialize, Serialize};
 
 /// Classification of an execution phase, mirroring the paper's section split
@@ -53,8 +55,10 @@ impl PhaseKind {
 pub struct PhaseRecord {
     /// What kind of phase this was.
     pub kind: PhaseKind,
-    /// Free-form label (e.g. `"assign-points"`, `"merge-centers"`).
-    pub label: String,
+    /// Free-form label (e.g. `"assign-points"`, `"merge-centers"`). A `Cow`
+    /// so static phase names (the simulator's, the schedulers') reach reports
+    /// without a heap copy per record.
+    pub label: Cow<'static, str>,
     /// Duration in seconds (wall-clock or simulated).
     pub seconds: f64,
     /// Number of threads active during the phase.
@@ -68,7 +72,12 @@ pub struct PhaseRecord {
 
 impl PhaseRecord {
     /// A record with no per-thread samples.
-    pub fn new(kind: PhaseKind, label: impl Into<String>, seconds: f64, threads: usize) -> Self {
+    pub fn new(
+        kind: PhaseKind,
+        label: impl Into<Cow<'static, str>>,
+        seconds: f64,
+        threads: usize,
+    ) -> Self {
         PhaseRecord { kind, label: label.into(), seconds, threads, thread_seconds: Vec::new() }
     }
 

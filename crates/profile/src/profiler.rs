@@ -61,7 +61,7 @@ impl Profiler {
         if !self.enabled {
             return;
         }
-        self.records.lock().push(PhaseRecord::new(kind, label, seconds, self.threads));
+        self.records.lock().push(PhaseRecord::new(kind, label.to_owned(), seconds, self.threads));
     }
 
     /// Record a fully-formed phase record (e.g. one carrying per-thread

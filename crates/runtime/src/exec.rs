@@ -81,7 +81,7 @@ impl<'a> PhaseExec<'a> {
     }
 
     fn record(&self, kind: PhaseKind, label: &str, seconds: f64, threads: usize) {
-        self.sink.record(PhaseRecord::new(kind, label, seconds, threads));
+        self.sink.record(PhaseRecord::new(kind, label.to_owned(), seconds, threads));
     }
 
     /// Run a declared init phase (setup excluded from the paper's
@@ -217,7 +217,7 @@ impl<'a> PhaseExec<'a> {
             samples.push(sample);
         }
         self.sink.record(
-            PhaseRecord::new(PhaseKind::Parallel, label, seconds, threads)
+            PhaseRecord::new(PhaseKind::Parallel, label.to_owned(), seconds, threads)
                 .with_thread_seconds(samples),
         );
         results

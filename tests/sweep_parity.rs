@@ -1,0 +1,204 @@
+//! Bit-parity regression suite for the columnar sweep path.
+//!
+//! The zero-allocation pipeline (prepared models, space tables, lock-free
+//! memoisation cache, allocation-free simulator kernel) is only allowed to
+//! be *faster* — every sweep must reproduce the reference per-scenario
+//! evaluation bit for bit, NaN markers included, cached or not, single- or
+//! multi-threaded. These tests sweep mixed analytic + cmpsim + measured
+//! spaces through both paths and compare raw `f64` bit patterns.
+
+use mp_dse::prelude::*;
+use mp_model::calibrate::{CalibratedParams, MeasuredRun};
+use mp_model::growth::GrowthFunction;
+use mp_model::params::AppParams;
+use mp_model::perf::PerfModel;
+use proptest::prelude::*;
+
+/// The reference path: per-scenario `evaluate` with the engine's
+/// fit-check-then-NaN convention, no batching, no tables, no cache.
+fn reference_sweep(space: &ScenarioSpace, backend: &dyn EvalBackend) -> Vec<EvalRecord> {
+    (0..space.len())
+        .map(|index| {
+            let scenario = space.scenario(index);
+            let speedup = if scenario.design.fits(scenario.budget) {
+                backend.evaluate(&scenario).unwrap_or(f64::NAN)
+            } else {
+                f64::NAN
+            };
+            EvalRecord { index, speedup, cores: scenario.cores(), area: scenario.area() }
+        })
+        .collect()
+}
+
+fn assert_bit_identical(label: &str, reference: &[EvalRecord], got: &[EvalRecord]) {
+    assert_eq!(reference.len(), got.len(), "{label}: record count");
+    for (r, g) in reference.iter().zip(got) {
+        assert_eq!(r.index, g.index, "{label}: index order");
+        assert_eq!(
+            r.speedup.to_bits(),
+            g.speedup.to_bits(),
+            "{label}: speedup bits at index {} ({} vs {})",
+            r.index,
+            r.speedup,
+            g.speedup
+        );
+        assert_eq!(r.cores.to_bits(), g.cores.to_bits(), "{label}: cores at index {}", r.index);
+        assert_eq!(r.area.to_bits(), g.area.to_bits(), "{label}: area at index {}", r.index);
+    }
+}
+
+/// A space that mixes valid and invalid (over-budget) designs, symmetric and
+/// asymmetric organisations, and parameterised growth/perf variants — the
+/// shapes that exercise every branch of the columnar tables.
+fn mixed_space() -> ScenarioSpace {
+    ScenarioSpace::new()
+        .with_apps(AppParams::table2_all())
+        .with_budgets(vec![64.0, 256.0])
+        .clear_designs()
+        .add_symmetric_grid([1.0, 3.7, 16.0, 64.0, 100.0, 300.0])
+        .add_asymmetric_grid([1.0, 4.0], [4.0, 16.0, 64.0, 256.0])
+        .with_growths(vec![
+            GrowthFunction::Constant,
+            GrowthFunction::Linear,
+            GrowthFunction::Superlinear(1.55),
+            GrowthFunction::Measured(vec![(1.0, 0.0), (4.0, 2.0), (16.0, 40.0)]),
+        ])
+        .with_perfs(vec![PerfModel::Pollack, PerfModel::Power(0.75)])
+}
+
+fn synthetic_calibration(name: &str, f: f64, fcon: f64, fored: f64) -> CalibratedParams {
+    let s = 1.0 - f;
+    let runs: Vec<MeasuredRun> = [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&p| {
+            MeasuredRun::new(
+                p,
+                f / p as f64,
+                s * fcon,
+                s * (1.0 - fcon) * (1.0 + fored * (p as f64 - 1.0)),
+            )
+        })
+        .collect();
+    CalibratedParams::fit(name, &runs).unwrap()
+}
+
+fn measured_backend() -> MeasuredBackend {
+    MeasuredBackend::new(vec![
+        synthetic_calibration("kmeans", 0.999, 0.6, 0.8),
+        synthetic_calibration("fuzzy", 0.9999, 0.7, 0.3),
+        synthetic_calibration("hop", 0.999, 0.88, 1.55),
+    ])
+}
+
+fn parity_for(backend: &dyn EvalBackend, space: &ScenarioSpace, label: &str) {
+    let reference = reference_sweep(space, backend);
+    for threads in [1usize, 4] {
+        let engine = Engine::new(threads);
+        for (use_cache, batch_size) in [(false, 64), (true, 64), (true, 7), (true, 4096)] {
+            let config = SweepConfig { batch_size, use_cache };
+            let result = engine.sweep(space, backend, &config);
+            assert_bit_identical(
+                &format!("{label} threads={threads} cache={use_cache} batch={batch_size}"),
+                &reference,
+                &result.records,
+            );
+        }
+        // Re-sweep against the now-warm cache: answered from memo bits.
+        let warm = engine.sweep(space, backend, &SweepConfig { batch_size: 64, use_cache: true });
+        assert_bit_identical(&format!("{label} warm threads={threads}"), &reference, &warm.records);
+    }
+}
+
+#[test]
+fn analytic_columnar_path_is_bit_identical() {
+    parity_for(&AnalyticBackend, &mixed_space(), "analytic");
+}
+
+#[test]
+fn comm_path_is_bit_identical() {
+    parity_for(&CommBackend::new(), &mixed_space(), "comm");
+}
+
+#[test]
+fn cmpsim_columnar_path_is_bit_identical() {
+    // Integer core sizes so the simulated machines are meaningful; small
+    // operation budget keeps the suite fast.
+    let space = ScenarioSpace::new()
+        .with_apps(AppParams::table2_all())
+        .with_budgets(vec![16.0, 64.0])
+        .clear_designs()
+        .add_symmetric_grid([1.0, 2.0, 4.0, 8.0, 100.0])
+        .add_asymmetric_grid([1.0, 2.0], [4.0, 16.0])
+        .with_reductions(mp_par::ReductionStrategy::all().to_vec());
+    let backend = SimBackend::new().with_total_ops(1e5);
+    parity_for(&backend, &space, "cmpsim");
+}
+
+#[test]
+fn measured_columnar_path_is_bit_identical_in_both_growth_modes() {
+    let backend = measured_backend();
+    let space = mixed_space().with_apps(backend.apps());
+    parity_for(&backend, &space, "measured-fit");
+
+    let exact = measured_backend().with_exact_growth();
+    let space = mixed_space().with_apps(exact.apps());
+    parity_for(&exact, &space, "measured-exact");
+}
+
+#[test]
+fn unknown_apps_stay_nan_through_the_columnar_path() {
+    // A measured backend swept over applications it has no calibration for:
+    // whole runs must come back NaN, exactly like the reference path.
+    let backend = measured_backend();
+    let space = mixed_space(); // table2 names but *not* the calibrated values
+    let with_unknown = space.with_apps(vec![
+        AppParams::table2_kmeans().with_name("unknown-app"),
+        backend.apps()[0].clone(),
+    ]);
+    parity_for(&backend, &with_unknown, "measured-unknown");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Hammer the lock-free cache from 8 threads with overlapping key ranges
+    /// and assert nothing is lost or corrupted — including entries written
+    /// while shards migrate (the initial tables are small, so unreserved
+    /// inserts migrate several times per run).
+    #[test]
+    fn concurrent_cache_hammering_loses_nothing(seed in 0u64..u64::MAX) {
+        let cache = EvalCache::new();
+        let per_thread = 1_500u64;
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        // Overlapping ranges: neighbouring threads write the
+                        // same keys with the same (deterministic) values.
+                        let k = seed.wrapping_add(i + (t / 2) * per_thread);
+                        let key = (k.wrapping_mul(0x9E37_79B9_7F4A_7C15), k.rotate_left(23));
+                        let value = f64::from_bits(k ^ 0x7ff8_0000_0000_0001);
+                        cache.insert(key, value);
+                        if i % 3 == 0 {
+                            if let Some(got) = cache.peek(key) {
+                                assert_eq!(got.to_bits(), value.to_bits());
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // Every key of every thread is present with its exact bits.
+        for t in 0..8u64 {
+            for i in 0..per_thread {
+                let k = seed.wrapping_add(i + (t / 2) * per_thread);
+                let key = (k.wrapping_mul(0x9E37_79B9_7F4A_7C15), k.rotate_left(23));
+                let expect = k ^ 0x7ff8_0000_0000_0001;
+                let got = cache.peek(key);
+                prop_assert!(got.is_some(), "key of thread {} iteration {} lost", t, i);
+                prop_assert_eq!(got.unwrap().to_bits(), expect);
+            }
+        }
+    }
+}

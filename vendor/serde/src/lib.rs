@@ -172,6 +172,20 @@ impl Serialize for str {
     }
 }
 
+impl Serialize for std::borrow::Cow<'_, str> {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_ref().to_string())
+    }
+}
+
+impl Deserialize for std::borrow::Cow<'static, str> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(|s| std::borrow::Cow::Owned(s.to_string()))
+            .ok_or_else(|| Error::new("expected string"))
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
