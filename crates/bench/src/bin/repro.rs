@@ -131,12 +131,20 @@ fn usage() {
     eprintln!(
         "       repro calibrate [--threads N] [--out DIR] [--top K] [--quick] [--exact] [--json]"
     );
+    eprintln!(
+        "       repro serve [--addr HOST:PORT | --socket PATH] [--shards N] [--threads N] [--backend B] [--no-cache]"
+    );
+    eprintln!(
+        "       repro load [--addr HOST:PORT | --socket PATH] [--clients N] [--requests N] [--quick] [--json] [--spawn]"
+    );
     eprintln!("experiments:");
     for e in EXPERIMENTS {
         eprintln!("  {:<8} {}", e.name, e.title);
     }
     eprintln!("  dse        large-scale design-space exploration (mp-dse engine)");
     eprintln!("  calibrate  run workloads, calibrate the model, sweep the design space");
+    eprintln!("  serve      resident sharded sweep service (mp-serve, JSON socket protocol)");
+    eprintln!("  load       closed-loop load generator + differential checker for `serve`");
 }
 
 fn main() -> ExitCode {
@@ -153,6 +161,8 @@ fn main() -> ExitCode {
     let value_flag = |flag: &str| {
         mp_bench::dse_cmd::VALUE_FLAGS.contains(&flag)
             || mp_bench::calibrate_cmd::VALUE_FLAGS.contains(&flag)
+            || mp_bench::serve_cmd::VALUE_FLAGS.contains(&flag)
+            || mp_bench::load_cmd::VALUE_FLAGS.contains(&flag)
     };
     let mut cursor = 0usize;
     while cursor < args.len() {
@@ -166,6 +176,16 @@ fn main() -> ExitCode {
                 let mut rest = args;
                 rest.remove(cursor);
                 return mp_bench::calibrate_cmd::run(&rest);
+            }
+            "serve" => {
+                let mut rest = args;
+                rest.remove(cursor);
+                return mp_bench::serve_cmd::run(&rest);
+            }
+            "load" => {
+                let mut rest = args;
+                rest.remove(cursor);
+                return mp_bench::load_cmd::run(&rest);
             }
             flag if value_flag(flag) => cursor += 2,
             flag if flag.starts_with("--") => cursor += 1,

@@ -57,16 +57,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
             let value = iter.next().ok_or_else(|| format!("{arg} needs a value"))?.clone();
             match arg {
                 "--threads" => {
-                    options.threads =
-                        value.parse().map_err(|_| "--threads needs an integer".to_string())?;
-                    if options.threads == 0 {
-                        return Err("--threads must be at least 1".to_string());
-                    }
+                    options.threads = crate::cli::parse_parallelism(arg, &value)?;
                 }
                 "--out" => options.out_dir = PathBuf::from(value),
                 "--top" => {
-                    options.top_k =
-                        value.parse().map_err(|_| "--top needs an integer".to_string())?;
+                    options.top_k = crate::cli::parse_count(arg, &value, 1, crate::cli::MAX_COUNT)?;
                 }
                 other => unreachable!("{other} is listed in VALUE_FLAGS but unhandled"),
             }
@@ -295,6 +290,8 @@ mod tests {
         assert!(parse(&["--bogus".to_string()]).is_err());
         assert!(parse(&["--threads".to_string()]).is_err());
         assert!(parse(&["--threads".to_string(), "0".to_string()]).is_err());
+        assert!(parse(&["--threads".to_string(), "999999".to_string()]).is_err());
+        assert!(parse(&["--top".to_string(), "0".to_string()]).is_err());
     }
 
     #[test]

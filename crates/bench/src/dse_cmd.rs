@@ -33,6 +33,7 @@ use crate::alloc_track;
 pub const VALUE_FLAGS: &[&str] = &["--backend", "--out", "--top", "--threads"];
 
 /// Options of one `dse` invocation.
+#[derive(Debug)]
 struct Options {
     backend: String,
     out_dir: PathBuf,
@@ -66,16 +67,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 "--backend" => options.backend = value,
                 "--out" => options.out_dir = PathBuf::from(value),
                 "--top" => {
-                    options.top_k =
-                        value.parse().map_err(|_| "--top needs an integer".to_string())?;
+                    options.top_k = crate::cli::parse_count(arg, &value, 1, crate::cli::MAX_COUNT)?;
                 }
                 "--threads" => {
-                    let threads: usize =
-                        value.parse().map_err(|_| "--threads needs an integer".to_string())?;
-                    if threads == 0 {
-                        return Err("--threads must be at least 1".to_string());
-                    }
-                    options.threads = Some(threads);
+                    options.threads = Some(crate::cli::parse_parallelism(arg, &value)?);
                 }
                 other => unreachable!("{other} is listed in VALUE_FLAGS but unhandled"),
             }
@@ -223,21 +218,19 @@ pub fn run(args: &[String]) -> ExitCode {
         }
     };
 
-    let mut measured_apps = None;
-    let backend: Box<dyn EvalBackend> = match options.backend.as_str() {
-        "analytic" => Box::new(AnalyticBackend),
-        "comm" => Box::new(CommBackend::new()),
-        "sim" => Box::new(SimBackend::new()),
-        "measured" => {
-            let backend = MeasuredBackend::new(synthetic_calibrations());
-            measured_apps = Some(backend.apps());
-            Box::new(backend)
-        }
-        other => {
-            eprintln!("unknown backend `{other}` (expected analytic, comm, sim or measured)");
+    let backend = match crate::cli::backend_by_name(&options.backend) {
+        Ok(backend) => backend,
+        Err(message) => {
+            eprintln!("{message}");
             return ExitCode::FAILURE;
         }
     };
+    // The calibrated application axis, derived straight from the same
+    // deterministic calibrations the shared constructor parameterised the
+    // backend with (no second backend build).
+    let measured_apps = (options.backend == "measured").then(|| {
+        synthetic_calibrations().iter().map(|c| c.app_params().clone()).collect::<Vec<_>>()
+    });
 
     let mut space = build_space(&options);
     if let Some(apps) = measured_apps {
@@ -452,5 +445,19 @@ mod tests {
             parse(&["--backend".to_string(), "sim".to_string(), "--quick".to_string()]).unwrap();
         assert_eq!(options.backend, "sim");
         assert!(options.quick);
+    }
+
+    #[test]
+    fn parse_rejects_zero_and_oversized_counts() {
+        let args = |flag: &str, value: &str| vec![flag.to_string(), value.to_string()];
+        let error = parse(&args("--threads", "0")).unwrap_err();
+        assert!(error.contains("--threads") && error.contains("at least 1"), "{error}");
+        let error = parse(&args("--threads", "1000000")).unwrap_err();
+        assert!(error.contains("at most"), "{error}");
+        let error = parse(&args("--top", "0")).unwrap_err();
+        assert!(error.contains("--top") && error.contains("at least 1"), "{error}");
+        // usize overflow surfaces as a clear integer error, not a panic.
+        let error = parse(&args("--top", "18446744073709551616")).unwrap_err();
+        assert!(error.contains("integer"), "{error}");
     }
 }

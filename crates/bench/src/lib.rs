@@ -27,7 +27,10 @@
 
 pub mod alloc_track;
 pub mod calibrate_cmd;
+pub mod cli;
 pub mod dse_cmd;
 pub mod figures;
+pub mod load_cmd;
+pub mod serve_cmd;
 
 pub use figures::*;

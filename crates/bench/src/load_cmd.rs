@@ -1,0 +1,555 @@
+//! The `repro load` subcommand: a closed-loop load generator for `repro
+//! serve`.
+//!
+//! Drives N concurrent clients (default 16) against a running sweep service
+//! for two passes — `cold`, then `warm` — of mixed queries (full sweeps,
+//! index-range sweeps, top-k, Pareto), and reports queries/s, tail latency
+//! percentiles and the per-pass cache hit rate. Every response is checked
+//! **bit-identical** against a direct local `Engine::sweep` of the same
+//! space with the same backend, so the run doubles as a differential test;
+//! the command exits non-zero on any parity failure, or when the warm pass's
+//! hit rate is not above 90%.
+//!
+//! `--spawn` makes the command self-contained: it launches `repro serve` as
+//! a child process on a free port, waits for its readiness line, runs the
+//! load, then shuts the child down — this is what the CI smoke step runs.
+
+use std::io::BufRead;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mp_dse::backend::EvalBackend;
+use mp_dse::prelude::*;
+use mp_model::params::AppClass;
+use mp_serve::prelude::*;
+
+use crate::cli;
+
+/// The `load` flags that consume a value token (see
+/// [`crate::dse_cmd::VALUE_FLAGS`] for why this lives next to `parse`).
+pub const VALUE_FLAGS: &[&str] =
+    &["--addr", "--socket", "--clients", "--requests", "--shards", "--backend", "--chunk"];
+
+#[derive(Debug)]
+struct Options {
+    endpoint: Endpoint,
+    endpoint_explicit: bool,
+    clients: usize,
+    requests: usize,
+    quick: bool,
+    json: bool,
+    spawn: bool,
+    shards: usize,
+    backend: String,
+    shutdown: bool,
+    chunk: usize,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        endpoint: Endpoint::Tcp("127.0.0.1:7077".to_string()),
+        endpoint_explicit: false,
+        clients: 16,
+        requests: 6,
+        quick: false,
+        json: false,
+        spawn: false,
+        shards: 4,
+        backend: "analytic".to_string(),
+        shutdown: false,
+        chunk: 0,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let arg = arg.as_str();
+        if VALUE_FLAGS.contains(&arg) {
+            let value = iter.next().ok_or_else(|| format!("{arg} needs a value"))?.clone();
+            match arg {
+                "--addr" => {
+                    options.endpoint = Endpoint::Tcp(value);
+                    options.endpoint_explicit = true;
+                }
+                "--socket" => {
+                    options.endpoint = Endpoint::Unix(value.into());
+                    options.endpoint_explicit = true;
+                }
+                "--clients" => options.clients = cli::parse_parallelism(arg, &value)?,
+                "--requests" => {
+                    options.requests = cli::parse_count(arg, &value, 1, cli::MAX_COUNT)?;
+                }
+                "--shards" => options.shards = cli::parse_parallelism(arg, &value)?,
+                "--backend" => options.backend = value,
+                "--chunk" => options.chunk = cli::parse_count(arg, &value, 1, cli::MAX_COUNT)?,
+                other => unreachable!("{other} is listed in VALUE_FLAGS but unhandled"),
+            }
+        } else {
+            match arg {
+                "--quick" => options.quick = true,
+                "--json" => options.json = true,
+                "--spawn" => options.spawn = true,
+                "--shutdown" => options.shutdown = true,
+                other => return Err(format!("unknown load option `{other}`")),
+            }
+        }
+    }
+    if options.spawn && options.endpoint_explicit {
+        return Err(
+            "--spawn starts its own server on a free local port and cannot be combined with \
+             --addr or --socket (drop --spawn to load an existing server)"
+                .to_string(),
+        );
+    }
+    Ok(options)
+}
+
+/// The query space the generator drives: Table III's classes over symmetric
+/// and asymmetric grids under two growth laws. Matches what an interactive
+/// DSE client would ask, and is small enough that the local reference sweep
+/// stays cheap. The `measured` backend answers for its calibrated
+/// applications instead.
+pub fn load_space(quick: bool, backend: &dyn EvalBackend) -> ScenarioSpace {
+    let sym_points = if quick { 96usize } else { 384 };
+    let max_r: f64 = 128.0;
+    let sym = (0..sym_points)
+        .map(move |i| max_r.powf(i as f64 / (sym_points.saturating_sub(1).max(1)) as f64));
+    let pow2 = |limit: f64| {
+        std::iter::successors(Some(1.0f64), move |r| (r * 2.0 <= limit).then_some(r * 2.0))
+    };
+    let apps = if backend.name() == "measured" {
+        // Straight from the calibrations (no second backend build).
+        crate::dse_cmd::synthetic_calibrations().iter().map(|c| c.app_params().clone()).collect()
+    } else {
+        AppClass::table3_all().into_iter().map(|c| c.params()).collect()
+    };
+    ScenarioSpace::new()
+        .with_apps(apps)
+        .clear_designs()
+        .add_symmetric_grid(sym)
+        .add_asymmetric_grid([1.0, 4.0], pow2(128.0).skip(1))
+        .with_growths(vec![
+            mp_model::growth::GrowthFunction::Linear,
+            mp_model::growth::GrowthFunction::Logarithmic,
+        ])
+}
+
+/// Bitwise record-list equality (index, speedup, cores, area).
+fn records_identical(a: &[EvalRecord], b: &[EvalRecord]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b.iter()).all(|(x, y)| {
+            x.index == y.index
+                && x.speedup.to_bits() == y.speedup.to_bits()
+                && x.cores.to_bits() == y.cores.to_bits()
+                && x.area.to_bits() == y.area.to_bits()
+        })
+}
+
+/// Latency percentile (sorted input, fraction in `[0, 1]`).
+fn percentile(sorted: &[f64], fraction: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * fraction).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Outcome of one load pass.
+struct PassReport {
+    name: &'static str,
+    requests: usize,
+    elapsed_seconds: f64,
+    queries_per_second: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    parity_failures: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+    hit_rate: f64,
+}
+
+impl PassReport {
+    fn json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"requests\":{},\"elapsed_seconds\":{},\"queries_per_second\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"max_ms\":{},\"parity_failures\":{},\"cache_hits\":{},\"cache_misses\":{},\"hit_rate\":{}}}",
+            self.name,
+            self.requests,
+            self.elapsed_seconds,
+            self.queries_per_second,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.max_ms,
+            self.parity_failures,
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate,
+        )
+    }
+}
+
+/// The local ground truth every response is compared against.
+struct Reference {
+    space: ScenarioSpace,
+    records: Vec<EvalRecord>,
+    top: Vec<EvalRecord>,
+    frontier_cores: Vec<EvalRecord>,
+    frontier_area: Vec<EvalRecord>,
+}
+
+/// Run one pass of `clients × requests` mixed queries; returns latencies and
+/// the parity failure count.
+fn run_pass(
+    endpoint: &Endpoint,
+    reference: &Reference,
+    clients: usize,
+    requests: usize,
+    chunk: usize,
+) -> Result<(Vec<f64>, usize), String> {
+    let failures = std::sync::atomic::AtomicUsize::new(0);
+    let latencies = std::sync::Mutex::new(Vec::with_capacity(clients * requests));
+    let n = reference.space.len();
+    std::thread::scope(|scope| -> Result<(), String> {
+        let mut handles = Vec::with_capacity(clients);
+        for client_index in 0..clients {
+            let failures = &failures;
+            let latencies = &latencies;
+            handles.push(scope.spawn(move || -> Result<(), String> {
+                let mut client = Client::connect(endpoint)
+                    .map_err(|e| format!("client {client_index}: connect failed: {e}"))?;
+                let mut local: Vec<f64> = Vec::with_capacity(requests);
+                for request in 0..requests {
+                    let started = Instant::now();
+                    let ok = match request % 3 {
+                        0 => {
+                            let (records, stats) = client
+                                .sweep(&reference.space, None, chunk)
+                                .map_err(|e| format!("client {client_index}: sweep: {e}"))?;
+                            stats.scenarios == n && records_identical(&records, &reference.records)
+                        }
+                        1 => {
+                            // A deterministic per-(client, request) window, so
+                            // reruns are reproducible and windows differ.
+                            let start = (client_index * 7919 + request * 104_729) % n;
+                            let end = (start + n / 4 + 1).min(n);
+                            let (records, _) = client
+                                .sweep(&reference.space, Some(start..end), chunk)
+                                .map_err(|e| format!("client {client_index}: range sweep: {e}"))?;
+                            records_identical(&records, &reference.records[start..end])
+                        }
+                        _ => {
+                            if client_index % 2 == 0 {
+                                let top = client
+                                    .top_k(&reference.space, 10)
+                                    .map_err(|e| format!("client {client_index}: top_k: {e}"))?;
+                                records_identical(&top, &reference.top)
+                            } else {
+                                let cost = if request % 2 == 0 {
+                                    (CostAxis::Cores, &reference.frontier_cores)
+                                } else {
+                                    (CostAxis::Area, &reference.frontier_area)
+                                };
+                                let frontier = client
+                                    .pareto(&reference.space, cost.0)
+                                    .map_err(|e| format!("client {client_index}: pareto: {e}"))?;
+                                records_identical(&frontier, cost.1)
+                            }
+                        }
+                    };
+                    local.push(started.elapsed().as_secs_f64());
+                    if !ok {
+                        failures.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+                latencies.lock().unwrap_or_else(|e| e.into_inner()).extend(local);
+                Ok(())
+            }));
+        }
+        for handle in handles {
+            handle.join().map_err(|_| "a load client panicked".to_string())??;
+        }
+        Ok(())
+    })?;
+    let latencies = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
+    Ok((latencies, failures.into_inner()))
+}
+
+/// Spawn `repro serve` as a child on a free port and wait for its readiness
+/// line. Returns the child and the endpoint it listens on.
+fn spawn_server(options: &Options) -> Result<(std::process::Child, Endpoint), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate repro binary: {e}"))?;
+    let mut child = std::process::Command::new(exe)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--shards",
+            &options.shards.to_string(),
+            "--backend",
+            &options.backend,
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("failed to spawn repro serve: {e}"))?;
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let read = reader.read_line(&mut line).map_err(|e| {
+            let _ = child.kill();
+            format!("reading serve readiness line failed: {e}")
+        })?;
+        if read == 0 {
+            let _ = child.kill();
+            return Err("repro serve exited before becoming ready".to_string());
+        }
+        if let Some(rest) = line.split("listening on tcp://").nth(1) {
+            let addr = rest.split_whitespace().next().unwrap_or("").to_string();
+            if addr.is_empty() {
+                let _ = child.kill();
+                return Err(format!("malformed readiness line: {line}"));
+            }
+            // Keep draining the child's stdout so its final shutdown print
+            // can never block on a full pipe.
+            std::thread::spawn(move || {
+                let mut sink = String::new();
+                while matches!(reader.read_line(&mut sink), Ok(read) if read > 0) {
+                    sink.clear();
+                }
+            });
+            return Ok((child, Endpoint::Tcp(addr)));
+        }
+    }
+}
+
+/// Entry point of the `load` subcommand.
+pub fn run(args: &[String]) -> ExitCode {
+    let options = match parse(args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            eprintln!(
+                "usage: repro load [--addr HOST:PORT | --socket PATH] [--clients N] [--requests N] \
+                 [--backend analytic|comm|sim|measured] [--chunk N] [--shards N (with --spawn)] \
+                 [--quick] [--json] [--spawn] [--shutdown]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The local reference backend — by construction identical to what
+    // `repro serve` runs for the same name (one shared constructor).
+    let backend = match cli::backend_by_name(&options.backend) {
+        Ok(backend) => backend,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut child = None;
+    let endpoint = if options.spawn {
+        match spawn_server(&options) {
+            Ok((spawned, endpoint)) => {
+                child = Some(spawned);
+                endpoint
+            }
+            Err(message) => {
+                eprintln!("{message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        options.endpoint.clone()
+    };
+
+    let outcome = drive(&options, backend.as_ref(), &endpoint);
+
+    // Always reap a spawned server, even after a failed run.
+    if let Some(mut child) = child {
+        let shutdown_sent = outcome.is_ok() || {
+            // Best-effort shutdown after a failure too.
+            Client::connect(&endpoint).map(|mut c| c.shutdown().is_ok()).unwrap_or(false)
+        };
+        if !shutdown_sent {
+            let _ = child.kill();
+        }
+        let _ = child.wait();
+    }
+
+    match outcome {
+        Ok(ok) => {
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("load run failed its acceptance checks (parity and >90% warm hit rate)");
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The measured load run proper; returns whether the acceptance checks held.
+fn drive(
+    options: &Options,
+    backend: &(dyn EvalBackend + Send + Sync),
+    endpoint: &Endpoint,
+) -> Result<bool, String> {
+    // Wait for the server (freshly spawned ones need a moment to bind).
+    let mut control = None;
+    let deadline = Instant::now() + std::time::Duration::from_secs(10);
+    while control.is_none() {
+        match Client::connect(endpoint) {
+            Ok(client) => control = Some(client),
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            Err(e) => return Err(format!("cannot reach {endpoint}: {e}")),
+        }
+    }
+    let mut control = control.expect("connected above");
+    let version = control.ping().map_err(|e| format!("ping failed: {e}"))?;
+
+    // Local ground truth: one direct engine sweep of the same space.
+    let space = load_space(options.quick, backend);
+    let direct = Engine::with_all_cores().sweep(&space, backend, &SweepConfig::default());
+    let reference = Arc::new(Reference {
+        top: top_k(&direct.records, 10),
+        frontier_cores: pareto_frontier(&direct.records, CostAxis::Cores),
+        frontier_area: pareto_frontier(&direct.records, CostAxis::Area),
+        records: direct.records,
+        space,
+    });
+
+    let mut reports = Vec::with_capacity(2);
+    let mut parity_failures = 0usize;
+    for pass in ["cold", "warm"] {
+        let before = control.stats().map_err(|e| format!("stats failed: {e}"))?.cache_totals();
+        let started = Instant::now();
+        let (mut latencies, failures) =
+            run_pass(endpoint, &reference, options.clients, options.requests, options.chunk)?;
+        let elapsed = started.elapsed().as_secs_f64();
+        let after = control.stats().map_err(|e| format!("stats failed: {e}"))?.cache_totals();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let requests = options.clients * options.requests;
+        let hits = after.hits - before.hits;
+        let misses = after.misses - before.misses;
+        parity_failures += failures;
+        reports.push(PassReport {
+            name: pass,
+            requests,
+            elapsed_seconds: elapsed,
+            queries_per_second: requests as f64 / elapsed.max(1e-9),
+            p50_ms: percentile(&latencies, 0.50) * 1e3,
+            p95_ms: percentile(&latencies, 0.95) * 1e3,
+            p99_ms: percentile(&latencies, 0.99) * 1e3,
+            max_ms: latencies.last().copied().unwrap_or(0.0) * 1e3,
+            parity_failures: failures,
+            cache_hits: hits,
+            cache_misses: misses,
+            hit_rate: if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 },
+        });
+    }
+
+    let warm = reports.last().expect("two passes ran");
+    let warm_hit_rate = warm.hit_rate;
+    let nonzero_hits = warm.cache_hits > 0;
+    let ok = parity_failures == 0 && warm_hit_rate > 0.9 && nonzero_hits;
+
+    if options.shutdown || options.spawn {
+        control.shutdown().map_err(|e| format!("shutdown failed: {e}"))?;
+    }
+
+    if options.json {
+        let passes: Vec<String> = reports.iter().map(PassReport::json).collect();
+        println!(
+            "{{\"experiment\":\"load\",\"endpoint\":\"{endpoint}\",\"protocol\":\"{version}\",\"backend\":\"{}\",\"clients\":{},\"requests_per_client\":{},\"scenarios_per_sweep\":{},\"passes\":[{}],\"parity_failures\":{parity_failures},\"warm_hit_rate\":{warm_hit_rate},\"ok\":{ok}}}",
+            backend.name(),
+            options.clients,
+            options.requests,
+            reference.space.len(),
+            passes.join(","),
+        );
+    } else {
+        println!("closed-loop load against {endpoint} ({version}, backend `{}`)", backend.name());
+        println!(
+            "  {} clients x {} requests/pass over a {}-scenario space",
+            options.clients,
+            options.requests,
+            reference.space.len(),
+        );
+        for report in &reports {
+            println!(
+                "  {:<4} pass: {:>7.1} queries/s | latency p50 {:>7.1}ms p95 {:>7.1}ms p99 {:>7.1}ms max {:>7.1}ms | cache {} hits / {} misses ({:.1}% hit rate)",
+                report.name,
+                report.queries_per_second,
+                report.p50_ms,
+                report.p95_ms,
+                report.p99_ms,
+                report.max_ms,
+                report.cache_hits,
+                report.cache_misses,
+                report.hit_rate * 100.0,
+            );
+        }
+        println!(
+            "  parity: {} | warm hit rate {:.1}% ({}) ",
+            if parity_failures == 0 {
+                "every response bit-identical to Engine::sweep".to_string()
+            } else {
+                format!("{parity_failures} FAILURES")
+            },
+            warm_hit_rate * 100.0,
+            if ok { "PASS" } else { "FAIL" },
+        );
+    }
+    Ok(ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults_sustain_sixteen_clients_and_reject_bad_counts() {
+        let options = parse(&[]).unwrap();
+        assert_eq!(options.clients, 16, "acceptance floor: >= 16 concurrent clients");
+        assert_eq!(options.shards, 4);
+        assert!(parse(&["--clients".to_string(), "0".to_string()]).is_err());
+        assert!(parse(&["--requests".to_string(), "0".to_string()]).is_err());
+        assert!(parse(&["--chunk".to_string(), "0".to_string()]).is_err());
+        assert!(parse(&["--bogus".to_string()]).is_err());
+        assert!(cli::backend_by_name("nope").is_err());
+        let conflict =
+            parse(&["--spawn".to_string(), "--addr".to_string(), "1.2.3.4:1".to_string()])
+                .unwrap_err();
+        assert!(conflict.contains("cannot be combined"), "{conflict}");
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let sorted: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 0.0), 0.0);
+        assert_eq!(percentile(&sorted, 1.0), 99.0);
+        assert!(percentile(&sorted, 0.5) <= percentile(&sorted, 0.95));
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn load_space_matches_the_measured_backend_catalogue() {
+        let measured =
+            mp_dse::backend::MeasuredBackend::new(crate::dse_cmd::synthetic_calibrations());
+        let space = load_space(true, &measured);
+        let result = Engine::new(1).sweep(&space, &measured, &SweepConfig::default());
+        assert!(result.stats.valid > 0, "measured load space must resolve calibrations");
+        let analytic_space = load_space(true, &AnalyticBackend);
+        assert!(analytic_space.len() > 1000);
+    }
+}

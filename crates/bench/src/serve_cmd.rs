@@ -1,0 +1,217 @@
+//! The `repro serve` subcommand: run the resident sharded sweep service.
+//!
+//! Binds an `mp-serve` [`Server`] on a TCP address or Unix socket and serves
+//! the line-delimited JSON query protocol (`sweep`, `top_k`, `pareto`,
+//! `curve`, `stats`, `catalogue`, `ping`, `shutdown`) until a client sends
+//! `shutdown`. Each shard owns a long-lived engine with its own lock-free
+//! memoisation cache, so repeated queries are answered warm; the `measured`
+//! backend additionally exposes its synthetic calibration catalogue so
+//! clients can address applications by fingerprint id.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use mp_model::catalogue::CatalogueRegistry;
+use mp_serve::prelude::*;
+
+use crate::cli;
+
+/// The `serve` flags that consume a value token (see
+/// [`crate::dse_cmd::VALUE_FLAGS`] for why this lives next to `parse`).
+pub const VALUE_FLAGS: &[&str] =
+    &["--addr", "--socket", "--shards", "--threads", "--backend", "--batch"];
+
+/// Options of one `serve` invocation.
+pub struct Options {
+    endpoint: Endpoint,
+    shards: usize,
+    /// Engine threads per shard; `None` = split the host's cores evenly.
+    threads: Option<usize>,
+    backend: String,
+    batch_size: usize,
+    use_cache: bool,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        endpoint: Endpoint::Tcp("127.0.0.1:7077".to_string()),
+        shards: 4,
+        threads: None,
+        backend: "analytic".to_string(),
+        batch_size: 1024,
+        use_cache: true,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let arg = arg.as_str();
+        if VALUE_FLAGS.contains(&arg) {
+            let value = iter.next().ok_or_else(|| format!("{arg} needs a value"))?.clone();
+            match arg {
+                "--addr" => options.endpoint = Endpoint::Tcp(value),
+                "--socket" => options.endpoint = Endpoint::Unix(value.into()),
+                "--shards" => options.shards = cli::parse_parallelism(arg, &value)?,
+                "--threads" => options.threads = Some(cli::parse_parallelism(arg, &value)?),
+                "--backend" => options.backend = value,
+                "--batch" => {
+                    options.batch_size = cli::parse_count(arg, &value, 1, cli::MAX_COUNT)?;
+                }
+                other => unreachable!("{other} is listed in VALUE_FLAGS but unhandled"),
+            }
+        } else {
+            match arg {
+                "--no-cache" => options.use_cache = false,
+                other => return Err(format!("unknown serve option `{other}`")),
+            }
+        }
+    }
+    Ok(options)
+}
+
+/// Build the service a parsed option set describes (shared with `--spawn`-
+/// free in-process uses).
+pub fn build_service(options: &Options) -> Result<SweepService, String> {
+    let backend = cli::backend_by_name(&options.backend)?;
+    let registry = if options.backend == "measured" {
+        // The same deterministic calibrations the backend was built from,
+        // exposed as the id-addressable catalogue.
+        CatalogueRegistry::from_calibrations(crate::dse_cmd::synthetic_calibrations())
+    } else {
+        CatalogueRegistry::new()
+    };
+    let host_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads_per_shard =
+        options.threads.unwrap_or_else(|| (host_threads / options.shards).max(1));
+    let config = ServiceConfig {
+        shards: options.shards,
+        threads_per_shard,
+        batch_size: options.batch_size,
+        use_cache: options.use_cache,
+    };
+    Ok(SweepService::new(backend, &config).with_registry(registry))
+}
+
+/// Entry point of the `serve` subcommand.
+pub fn run(args: &[String]) -> ExitCode {
+    let options = match parse(args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            eprintln!(
+                "usage: repro serve [--addr HOST:PORT | --socket PATH] [--shards N] [--threads N] \
+                 [--backend analytic|comm|sim|measured] [--batch N] [--no-cache]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = match build_service(&options) {
+        Ok(service) => Arc::new(service),
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::bind(&options.endpoint, Arc::clone(&service)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("failed to bind {}: {e}", options.endpoint);
+            return ExitCode::FAILURE;
+        }
+    };
+    // The `listening on` line is the readiness signal `repro load --spawn`
+    // (and the CI smoke step) waits for — keep its shape stable.
+    println!(
+        "mp-serve listening on {} (backend={}, shards={}, threads/shard={}, cache={})",
+        server.endpoint(),
+        service.backend_name(),
+        service.shards(),
+        service.stats().shards.first().map(|s| s.threads).unwrap_or(0),
+        if options.use_cache { "on" } else { "off" },
+    );
+    match server.run() {
+        Ok(()) => {
+            println!("mp-serve: shutdown requested, exiting");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_covers_flags_and_rejects_bad_counts() {
+        let options = parse(&[
+            "--socket".to_string(),
+            "/tmp/mp.sock".to_string(),
+            "--shards".to_string(),
+            "2".to_string(),
+            "--threads".to_string(),
+            "3".to_string(),
+            "--backend".to_string(),
+            "measured".to_string(),
+            "--no-cache".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(options.endpoint, Endpoint::Unix("/tmp/mp.sock".into()));
+        assert_eq!(options.shards, 2);
+        assert_eq!(options.threads, Some(3));
+        assert_eq!(options.backend, "measured");
+        assert!(!options.use_cache);
+
+        assert!(parse(&["--shards".to_string(), "0".to_string()]).is_err());
+        assert!(parse(&["--threads".to_string(), "0".to_string()]).is_err());
+        assert!(parse(&["--batch".to_string(), "0".to_string()]).is_err());
+        assert!(parse(&["--bogus".to_string()]).is_err());
+        assert!(
+            build_service(&parse(&["--backend".to_string(), "nope".to_string()]).unwrap()).is_err()
+        );
+    }
+
+    #[test]
+    fn measured_service_exposes_its_catalogue() {
+        let options = parse(&["--backend".to_string(), "measured".to_string()]).unwrap();
+        let service = build_service(&options).unwrap();
+        let entries = service.catalogue_entries();
+        assert!(!entries.is_empty());
+        assert!(entries.iter().all(|e| e.id.len() == 16));
+    }
+
+    #[test]
+    fn clients_can_address_calibrations_by_catalogue_id() {
+        use mp_dse::prelude::*;
+        let options = parse(&[
+            "--backend".to_string(),
+            "measured".to_string(),
+            "--shards".to_string(),
+            "2".to_string(),
+            "--threads".to_string(),
+            "1".to_string(),
+        ])
+        .unwrap();
+        let service = build_service(&options).unwrap();
+        // Take two catalogue ids and sweep a space whose application axis is
+        // assembled server-side from them.
+        let ids: Vec<String> =
+            service.catalogue_entries().iter().take(2).map(|e| e.id.clone()).collect();
+        let axes = ScenarioSpace::new()
+            .clear_designs()
+            .add_symmetric_grid((0..24).map(|i| 1.0 + i as f64 * 5.0));
+        let spec = SpaceSpec::Catalogue { ids: ids.clone(), space: axes.clone() };
+        let resolved = service.resolve_space(&spec).unwrap();
+        assert_eq!(resolved.apps().len(), 2);
+        let result = service.sweep(&resolved, None).unwrap();
+        assert_eq!(result.stats.scenarios, resolved.len());
+        assert!(result.stats.valid > 0, "calibrated apps must evaluate");
+        // Bit-identical to the direct engine sweep with the same backend.
+        let backend = MeasuredBackend::new(crate::dse_cmd::synthetic_calibrations());
+        let direct = Engine::new(1).sweep(&resolved, &backend, &SweepConfig::default());
+        for (a, b) in result.records.iter().zip(direct.records.iter()) {
+            assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+        }
+    }
+}

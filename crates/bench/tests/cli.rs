@@ -1,0 +1,72 @@
+//! CLI validation tests: run the real `repro` binary and assert that bad
+//! argument values fail fast, with a clear message, before any work starts.
+//!
+//! Regression tests for the class of bug where `--threads 0` (or an
+//! overflowing / absurdly large count) was accepted by `usize::parse` and
+//! only blew up — or silently misbehaved — deep inside the engine.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro")).args(args).output().expect("repro binary runs")
+}
+
+fn assert_rejects(args: &[&str], needle: &str) {
+    let output = repro(args);
+    assert!(
+        !output.status.success(),
+        "`repro {}` should fail, got: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&output.stdout),
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains(needle),
+        "`repro {}` stderr should mention `{needle}`, got: {stderr}",
+        args.join(" "),
+    );
+}
+
+#[test]
+fn dse_rejects_zero_and_oversized_counts() {
+    assert_rejects(&["dse", "--threads", "0"], "--threads must be at least 1");
+    assert_rejects(&["dse", "--threads", "1000000"], "--threads must be at most");
+    assert_rejects(&["dse", "--top", "0"], "--top must be at least 1");
+    assert_rejects(&["dse", "--top", "18446744073709551616"], "needs an integer");
+    assert_rejects(&["dse", "--backend"], "--backend needs a value");
+}
+
+#[test]
+fn calibrate_rejects_zero_and_oversized_counts() {
+    assert_rejects(&["calibrate", "--threads", "0"], "--threads must be at least 1");
+    assert_rejects(&["calibrate", "--threads", "99999999"], "--threads must be at most");
+    assert_rejects(&["calibrate", "--top", "0"], "--top must be at least 1");
+}
+
+#[test]
+fn serve_rejects_zero_shards_and_unknown_backends() {
+    assert_rejects(&["serve", "--shards", "0"], "--shards must be at least 1");
+    assert_rejects(&["serve", "--threads", "0"], "--threads must be at least 1");
+    assert_rejects(&["serve", "--batch", "0"], "--batch must be at least 1");
+    assert_rejects(&["serve", "--backend", "nope"], "unknown backend `nope`");
+}
+
+#[test]
+fn load_rejects_zero_clients_and_requests() {
+    assert_rejects(&["load", "--clients", "0"], "--clients must be at least 1");
+    assert_rejects(&["load", "--requests", "0"], "--requests must be at least 1");
+    assert_rejects(&["load", "--chunk", "0"], "--chunk must be at least 1");
+    assert_rejects(&["load", "--backend", "nope"], "unknown backend `nope`");
+    // --spawn launches its own server; silently ignoring a user-supplied
+    // endpoint would report numbers for the wrong server.
+    assert_rejects(&["load", "--spawn", "--addr", "10.0.0.1:7077"], "cannot be combined");
+    assert_rejects(&["load", "--spawn", "--socket", "/tmp/x.sock"], "cannot be combined");
+}
+
+#[test]
+fn unknown_experiments_and_flags_fail_with_usage() {
+    assert_rejects(&["fig99"], "unknown experiment");
+    assert_rejects(&["dse", "--bogus"], "unknown dse option");
+    assert_rejects(&["serve", "--bogus"], "unknown serve option");
+    assert_rejects(&["load", "--bogus"], "unknown load option");
+}

@@ -302,6 +302,31 @@ pub struct EvalCache {
     misses: AtomicU64,
 }
 
+/// Snapshot of a cache's warm-start state — see [`EvalCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Total slot capacity across all shards.
+    pub capacity: usize,
+    /// Probes answered from the cache since construction / the last reset.
+    pub hits: u64,
+    /// Probes that missed since construction / the last reset.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of probes answered from the cache (`0.0` when unprobed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 impl Default for EvalCache {
     fn default() -> Self {
         EvalCache::new()
@@ -497,10 +522,33 @@ impl EvalCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Record `n` misses whose probes were skipped: the engine's cold-start
+    /// path evaluates straight away when the cache starts empty (every probe
+    /// would miss), so it reports the bypassed probes here — otherwise the
+    /// hit-rate a service derives from these counters would ignore exactly
+    /// the sweeps that filled the cache.
+    pub fn record_bypassed_misses(&self, n: u64) {
+        self.misses.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Reset the hit/miss counters (entries are kept).
     pub fn reset_counters(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// One consistent-enough snapshot of the cache's warm-start state:
+    /// entry/capacity footprint plus the lifetime hit/miss counters. Cheap to
+    /// take (one table walk) and safe concurrently with inserts — counts may
+    /// lag in-flight writers by a few entries, which is fine for the service
+    /// stats and hit-rate reporting this feeds.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.len(),
+            capacity: self.capacity(),
+            hits: self.hits(),
+            misses: self.misses(),
+        }
     }
 
     /// The version tag stamped into persisted caches: the mp-dse crate

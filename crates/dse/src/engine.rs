@@ -14,6 +14,7 @@
 //! back-filled into the cache). Because the cache stores raw `f64` bit
 //! patterns, cached and uncached sweeps produce bit-identical records.
 
+use std::borrow::Cow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -74,6 +75,9 @@ pub struct SweepStats {
     pub cache_hits: u64,
     /// Scenario evaluations computed by the backend.
     pub cache_misses: u64,
+    /// Cache entries already present when the sweep started (its warm-start
+    /// budget; `0` for uncached or cold-cache sweeps).
+    pub warm_entries: usize,
     /// Worker threads that participated.
     pub threads: usize,
     /// Wall-clock duration of the sweep in seconds.
@@ -139,9 +143,33 @@ impl Engine {
         backend: &dyn EvalBackend,
         config: &SweepConfig,
     ) -> SweepResult {
+        let handle = SweepHandle::new(space);
+        self.sweep_range(&handle, backend, config, 0..handle.len())
+    }
+
+    /// Evaluate the contiguous index sub-range `range` of a prepared sweep.
+    ///
+    /// This is the reusable core of [`Engine::sweep`]: the handle's
+    /// [`SpaceTables`] are built once and shared across any number of calls
+    /// (and engines), so a resident service can answer incremental or
+    /// repeated queries without re-deriving the columnar precomputation.
+    /// Records carry **global** flat indices into the handle's space, and a
+    /// range sweep is bit-identical to the same slice of a full sweep — the
+    /// per-scenario values are deterministic functions of the scenario and
+    /// backend alone.
+    pub fn sweep_range(
+        &self,
+        handle: &SweepHandle<'_>,
+        backend: &dyn EvalBackend,
+        config: &SweepConfig,
+        range: std::ops::Range<usize>,
+    ) -> SweepResult {
         assert!(config.batch_size > 0, "batch size must be positive");
+        let space = handle.space();
+        let tables = handle.tables();
+        assert!(range.end <= space.len(), "sweep range {range:?} exceeds the space");
         let started = std::time::Instant::now();
-        let n = space.len();
+        let n = range.len();
         // The batches cover `0..n` exactly once and overwrite every record,
         // so a `vec![placeholder; n]` would be a second full write pass over
         // tens of megabytes. The all-zero byte pattern is a valid
@@ -150,9 +178,6 @@ impl Engine {
         // make it near-free and every element is still initialised.
         let mut records: Vec<EvalRecord> = zeroed_records(n);
         crate::mem::advise_huge_pages(records.as_mut_ptr(), n * std::mem::size_of::<EvalRecord>());
-        // Everything design-axis-shaped is precomputed once for the whole
-        // sweep; batches then run through columnar lookups.
-        let tables = SpaceTables::new(space);
         let cache = config.use_cache.then_some(&self.cache);
         // An empty cache cannot answer any probe, so the sweep skips the
         // guaranteed-miss lookups entirely and goes straight to the columnar
@@ -162,6 +187,12 @@ impl Engine {
         // values, so records are unaffected.) Checked before `reserve`, which
         // would otherwise make the emptiness scan walk the grown tables.
         let cold_start = cache.is_some_and(|c| c.is_empty());
+        // The cold-start scan already walked the tables, so the warm-start
+        // entry count only pays a second walk on genuinely warm sweeps.
+        let warm_entries = match cache {
+            Some(cache) if !cold_start => cache.len(),
+            _ => 0,
+        };
         // The cache never rehashes mid-sweep, and the salt string is built
         // once instead of once per batch.
         if cache.is_some() {
@@ -185,13 +216,14 @@ impl Engine {
         if use_pool {
             let shared = SweepShared {
                 space,
-                tables: &tables,
+                tables,
                 backend,
                 cache,
                 cold_start,
                 salt: &salt,
                 records: records.as_mut_ptr(),
-                n,
+                base: range.start,
+                end: range.end,
                 batch,
                 cursor: AtomicUsize::new(0),
                 hits: &hits,
@@ -222,18 +254,19 @@ impl Engine {
             }
         } else {
             let mut scratch = BatchScratch::with_capacity(batch);
-            let mut start = 0usize;
-            while start < n {
-                let end = (start + batch).min(n);
+            let mut start = range.start;
+            while start < range.end {
+                let end = (start + batch).min(range.end);
+                let out = &mut records[start - range.start..end - range.start];
                 process_batch(
                     space,
-                    &tables,
+                    tables,
                     backend,
                     cache,
                     cold_start,
                     &salt,
                     start..end,
-                    &mut records[start..end],
+                    out,
                     &hits,
                     &misses,
                     &mut scratch,
@@ -250,10 +283,61 @@ impl Engine {
                 valid,
                 cache_hits: hits.load(Ordering::Relaxed),
                 cache_misses: misses.load(Ordering::Relaxed),
+                warm_entries,
                 threads: workers,
                 elapsed_seconds: started.elapsed().as_secs_f64(),
             },
         }
+    }
+}
+
+/// A reusable sweep snapshot: a scenario space plus its columnar
+/// [`SpaceTables`], built once and shared across any number of
+/// [`Engine::sweep_range`] calls.
+///
+/// [`SweepHandle::new`] borrows the space (what [`Engine::sweep`] uses — no
+/// cloning on the one-shot path); [`SweepHandle::owned`] takes ownership, for
+/// resident services that keep prepared sweeps alive across requests.
+pub struct SweepHandle<'a> {
+    space: Cow<'a, ScenarioSpace>,
+    tables: SpaceTables,
+}
+
+impl<'a> SweepHandle<'a> {
+    /// Prepare a sweep over a borrowed space.
+    pub fn new(space: &'a ScenarioSpace) -> Self {
+        SweepHandle { tables: SpaceTables::new(space), space: Cow::Borrowed(space) }
+    }
+
+    /// Prepare a sweep that owns its space (`'static`: storable in caches).
+    pub fn owned(space: ScenarioSpace) -> SweepHandle<'static> {
+        SweepHandle { tables: SpaceTables::new(&space), space: Cow::Owned(space) }
+    }
+
+    /// The prepared space.
+    pub fn space(&self) -> &ScenarioSpace {
+        &self.space
+    }
+
+    /// The precomputed design-axis columns.
+    pub fn tables(&self) -> &SpaceTables {
+        &self.tables
+    }
+
+    /// Number of scenarios in the prepared space.
+    pub fn len(&self) -> usize {
+        self.space.len()
+    }
+
+    /// Whether the prepared space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.space.is_empty()
+    }
+}
+
+impl std::fmt::Debug for SweepHandle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepHandle").field("scenarios", &self.len()).finish()
     }
 }
 
@@ -266,8 +350,12 @@ struct SweepShared<'a> {
     cache: Option<&'a EvalCache>,
     cold_start: bool,
     salt: &'a str,
+    /// Destination slot of global index `base` (the range's first scenario).
     records: *mut EvalRecord,
-    n: usize,
+    /// First global scenario index of the swept range.
+    base: usize,
+    /// One past the last global scenario index of the swept range.
+    end: usize,
     batch: usize,
     cursor: AtomicUsize,
     hits: &'a AtomicU64,
@@ -305,14 +393,16 @@ impl SweepShared<'_> {
             let mut scratch = BatchScratch::with_capacity(self.batch);
             loop {
                 let batch_index = self.cursor.fetch_add(1, Ordering::Relaxed);
-                let start = batch_index.saturating_mul(self.batch);
-                if start >= self.n {
+                let offset = batch_index.saturating_mul(self.batch);
+                if offset >= self.end - self.base {
                     break;
                 }
-                let end = (start + self.batch).min(self.n);
+                let start = self.base + offset;
+                let end = (start + self.batch).min(self.end);
                 // SAFETY: `start..end` ranges from the cursor never overlap.
-                let out =
-                    unsafe { std::slice::from_raw_parts_mut(self.records.add(start), end - start) };
+                let out = unsafe {
+                    std::slice::from_raw_parts_mut(self.records.add(offset), end - start)
+                };
                 process_batch(
                     self.space,
                     self.tables,
@@ -455,6 +545,7 @@ fn process_batch(
                     // cache's memory traffic for the back-fill.
                     backend.evaluate_batch_prepared(space, tables, range.clone(), speedups);
                     misses.fetch_add(len as u64, Ordering::Relaxed);
+                    cache.record_bypassed_misses(len as u64);
                     cache.insert_batch(keys, speedups);
                     None
                 } else {
@@ -686,6 +777,51 @@ mod tests {
         {
             assert_eq!(a.speedup.to_bits(), truth_a.speedup.to_bits());
             assert_eq!(b.speedup.to_bits(), truth_b.speedup.to_bits());
+        }
+    }
+
+    #[test]
+    fn range_sweep_matches_the_same_slice_of_a_full_sweep_bitwise() {
+        let space = space();
+        let handle = SweepHandle::new(&space);
+        let n = handle.len();
+        let config = SweepConfig { batch_size: 16, use_cache: false };
+        let engine = Engine::new(4);
+        let full = engine.sweep(&space, &AnalyticBackend, &config);
+        // Uneven thirds, including range boundaries that split design runs.
+        let cuts = [0, n / 3 + 1, 2 * n / 3 + 5, n];
+        for window in cuts.windows(2) {
+            let (start, end) = (window[0], window[1]);
+            let part = engine.sweep_range(&handle, &AnalyticBackend, &config, start..end);
+            assert_eq!(part.stats.scenarios, end - start);
+            assert_eq!(part.records.len(), end - start);
+            for (record, truth) in part.records.iter().zip(&full.records[start..end]) {
+                assert_eq!(record.index, truth.index, "records carry global indices");
+                assert_eq!(record.speedup.to_bits(), truth.speedup.to_bits());
+                assert_eq!(record.cores.to_bits(), truth.cores.to_bits());
+                assert_eq!(record.area.to_bits(), truth.area.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn one_handle_serves_many_engines_and_warms_their_caches() {
+        let space = space();
+        let handle = SweepHandle::owned(space.clone());
+        let config = SweepConfig { batch_size: 32, use_cache: true };
+        let n = handle.len();
+        // Two engines (distinct caches) share the handle; each answers its
+        // second pass entirely from its own cache.
+        for threads in [1usize, 2] {
+            let engine = Engine::new(threads);
+            let first = engine.sweep_range(&handle, &AnalyticBackend, &config, 0..n);
+            assert_eq!(first.stats.warm_entries, 0, "cold cache reports no warm entries");
+            let second = engine.sweep_range(&handle, &AnalyticBackend, &config, 0..n);
+            assert_eq!(second.stats.cache_hits, n as u64);
+            assert!(second.stats.warm_entries > 0, "warm sweep reports its warm-start budget");
+            for (a, b) in first.records.iter().zip(second.records.iter()) {
+                assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+            }
         }
     }
 

@@ -74,8 +74,11 @@ pub mod prelude {
     pub use crate::backend::{
         AnalyticBackend, CommBackend, DseError, EvalBackend, MeasuredBackend, SimBackend,
     };
-    pub use crate::cache::EvalCache;
-    pub use crate::engine::{Engine, EvalRecord, SweepConfig, SweepResult, SweepStats};
+    pub use crate::cache::{CacheStats, EvalCache};
+    pub use crate::curves::{figure_curves, Figure};
+    pub use crate::engine::{
+        Engine, EvalRecord, SweepConfig, SweepHandle, SweepResult, SweepStats,
+    };
     pub use crate::export::{write_csv, write_json};
     pub use crate::scenario::{
         CanonicalKeyPrefix, ChipSpec, Scenario, ScenarioIndex, ScenarioSpace,

@@ -65,6 +65,7 @@
 
 pub mod amdahl;
 pub mod calibrate;
+pub mod catalogue;
 pub mod chip;
 pub mod comm;
 pub mod error;
@@ -83,6 +84,7 @@ pub mod topology;
 pub mod prelude {
     pub use crate::amdahl::{amdahl_speedup, amdahl_speedup_limit};
     pub use crate::calibrate::{CalibratedParams, GrowthFit, MeasuredRun, RunAccounting};
+    pub use crate::catalogue::CatalogueRegistry;
     pub use crate::chip::{AsymmetricDesign, ChipBudget, SymmetricDesign};
     pub use crate::comm::{CommModel, CommSplit};
     pub use crate::error::ModelError;

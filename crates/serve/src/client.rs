@@ -1,0 +1,225 @@
+//! A small blocking client for the serve protocol, used by the `repro load`
+//! generator and the differential tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::ops::Range;
+
+use mp_dse::analysis::CostAxis;
+use mp_dse::curves::Figure;
+use mp_dse::engine::{EvalRecord, SweepStats};
+use mp_dse::scenario::ScenarioSpace;
+use mp_model::explore::Curve;
+
+use crate::protocol::{
+    decode_line, encode_line, CatalogueEntry, Request, RequestEnvelope, Response, ResponseEnvelope,
+    ServiceStats,
+};
+use crate::server::{Endpoint, Stream};
+
+/// Error produced by a client call: transport failure, protocol violation or
+/// a server-reported error.
+#[derive(Debug)]
+pub struct ClientError(pub String);
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError(format!("transport error: {e}"))
+    }
+}
+
+fn err(message: impl Into<String>) -> ClientError {
+    ClientError(message.into())
+}
+
+/// A blocking connection to a sweep service.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(endpoint: &Endpoint) -> std::io::Result<Client> {
+        let stream = Stream::connect(endpoint)?;
+        Ok(Client { reader: BufReader::new(stream.try_clone()?), writer: stream, next_id: 1 })
+    }
+
+    /// Send one request and collect its responses through the terminal one.
+    /// Responses for other ids are a protocol violation (this client keeps
+    /// one request in flight at a time).
+    pub fn call(&mut self, request: Request) -> Result<Vec<Response>, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let line = encode_line(&RequestEnvelope { id, request });
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+
+        let mut responses = Vec::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(err("server closed the connection mid-request"));
+            }
+            let envelope: ResponseEnvelope = decode_line(line.trim_end()).map_err(err)?;
+            if envelope.id != id {
+                return Err(err(format!(
+                    "response id {} does not match request id {id}",
+                    envelope.id
+                )));
+            }
+            let terminal = envelope.response.is_terminal();
+            responses.push(envelope.response);
+            if terminal {
+                return Ok(responses);
+            }
+        }
+    }
+
+    fn single(&mut self, request: Request) -> Result<Response, ClientError> {
+        let mut responses = self.call(request)?;
+        if responses.len() != 1 {
+            return Err(err(format!("expected one response, got {}", responses.len())));
+        }
+        match responses.pop().expect("length checked") {
+            Response::Error { message } => Err(err(format!("server error: {message}"))),
+            response => Ok(response),
+        }
+    }
+
+    /// Liveness probe; returns the server's protocol version.
+    pub fn ping(&mut self) -> Result<String, ClientError> {
+        match self.single(Request::Ping)? {
+            Response::Pong { version } => Ok(version),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Fetch service statistics.
+    pub fn stats(&mut self) -> Result<ServiceStats, ClientError> {
+        match self.single(Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// List the service's calibration catalogue.
+    pub fn catalogue(&mut self) -> Result<Vec<CatalogueEntry>, ClientError> {
+        match self.single(Request::Catalogue)? {
+            Response::Catalogue { entries } => Ok(entries),
+            other => Err(unexpected("Catalogue", &other)),
+        }
+    }
+
+    /// Sweep `range` of `space` (`None` = the whole space), reassembling the
+    /// streamed chunks. Records come back in index order with global indices.
+    pub fn sweep(
+        &mut self,
+        space: &ScenarioSpace,
+        range: Option<Range<usize>>,
+        chunk: usize,
+    ) -> Result<(Vec<EvalRecord>, SweepStats), ClientError> {
+        let range = range.unwrap_or(0..space.len());
+        let responses = self.call(Request::Sweep {
+            space: super::protocol::SpaceSpec::Explicit(space.clone()),
+            start: range.start,
+            end: range.end,
+            chunk,
+        })?;
+        let mut records: Vec<EvalRecord> = Vec::with_capacity(range.len());
+        let mut stats = None;
+        for response in responses {
+            match response {
+                Response::SweepChunk { start, records: wire } => {
+                    if records.len() + range.start != start {
+                        return Err(err(format!(
+                            "out-of-order sweep chunk: expected start {}, got {start}",
+                            records.len() + range.start
+                        )));
+                    }
+                    records.extend(wire.into_iter().map(EvalRecord::from));
+                }
+                Response::SweepDone { stats: s } => stats = Some(s),
+                Response::Error { message } => return Err(err(format!("server error: {message}"))),
+                other => return Err(unexpected("SweepChunk/SweepDone", &other)),
+            }
+        }
+        let stats = stats.ok_or_else(|| err("sweep ended without a SweepDone"))?;
+        if records.len() != range.len() {
+            return Err(err(format!(
+                "sweep returned {} of {} records",
+                records.len(),
+                range.len()
+            )));
+        }
+        Ok((records, stats))
+    }
+
+    /// The `k` best records of a full sweep of `space`.
+    pub fn top_k(
+        &mut self,
+        space: &ScenarioSpace,
+        k: usize,
+    ) -> Result<Vec<EvalRecord>, ClientError> {
+        let request =
+            Request::TopK { space: super::protocol::SpaceSpec::Explicit(space.clone()), k };
+        match self.single(request)? {
+            Response::Records { records } => Ok(super::protocol::from_wire(&records)),
+            other => Err(unexpected("Records", &other)),
+        }
+    }
+
+    /// The Pareto frontier of a full sweep of `space`.
+    pub fn pareto(
+        &mut self,
+        space: &ScenarioSpace,
+        cost: CostAxis,
+    ) -> Result<Vec<EvalRecord>, ClientError> {
+        let request =
+            Request::Pareto { space: super::protocol::SpaceSpec::Explicit(space.clone()), cost };
+        match self.single(request)? {
+            Response::Records { records } => Ok(super::protocol::from_wire(&records)),
+            other => Err(unexpected("Records", &other)),
+        }
+    }
+
+    /// The curve family of one paper figure.
+    pub fn curves(&mut self, figure: Figure) -> Result<Vec<Curve>, ClientError> {
+        match self.single(Request::Curve { figure })? {
+            Response::Curves { curves } => Ok(curves),
+            other => Err(unexpected("Curves", &other)),
+        }
+    }
+
+    /// Ask the server to stop accepting connections and exit its serve loop.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.single(Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    let label = match got {
+        Response::Pong { .. } => "Pong",
+        Response::Stats(_) => "Stats",
+        Response::Catalogue { .. } => "Catalogue",
+        Response::ShuttingDown => "ShuttingDown",
+        Response::SweepChunk { .. } => "SweepChunk",
+        Response::SweepDone { .. } => "SweepDone",
+        Response::Records { .. } => "Records",
+        Response::Curves { .. } => "Curves",
+        Response::Error { .. } => "Error",
+    };
+    err(format!("expected {wanted} response, got {label}"))
+}

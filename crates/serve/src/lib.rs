@@ -1,0 +1,66 @@
+//! # mp-serve — a resident, sharded sweep service
+//!
+//! The `mp-dse` engine answers one sweep per call; this crate turns it into
+//! a **system**: a long-lived service that keeps engines, memoisation caches
+//! and prepared sweep snapshots resident between queries and answers them
+//! over a line-delimited JSON socket protocol.
+//!
+//! * [`service`] — [`SweepService`]: `N` shards, each a long-lived
+//!   [`Engine`](mp_dse::engine::Engine) + lock-free `EvalCache` behind its
+//!   own admission queue. Queries are split along the space's flat index
+//!   order into static per-shard bands and merged back in order, so a
+//!   sharded answer is **bit-identical** to a direct `Engine::sweep` and
+//!   repeated queries hit the same shard's warm cache. Prepared
+//!   [`SweepHandle`](mp_dse::engine::SweepHandle)s (space + columnar tables)
+//!   are cached by content fingerprint and shared across requests.
+//! * [`protocol`] — the wire types: `sweep` (streamed, chunked, resumable via
+//!   index sub-ranges), `top_k`, `pareto`, `curve(figure)`, `stats`,
+//!   `catalogue` (fingerprint-keyed calibration addressing), `ping`,
+//!   `shutdown`. Records travel as hex bit patterns, so responses are
+//!   bit-exact down to the engine's `NaN` markers.
+//! * [`server`] — TCP / Unix-domain listeners, one handler thread per
+//!   connection, per-line flushing so large sweeps stream.
+//! * [`client`] — a small blocking client (what `repro load` and the
+//!   differential tests drive).
+//!
+//! ## Quick example (in-process)
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mp_serve::prelude::*;
+//! use mp_dse::prelude::*;
+//!
+//! let service = SweepService::new(
+//!     Arc::new(AnalyticBackend),
+//!     &ServiceConfig { shards: 2, ..ServiceConfig::default() },
+//! );
+//! let space = ScenarioSpace::new()
+//!     .clear_designs()
+//!     .add_symmetric_grid((0..64).map(|i| 1.0 + i as f64));
+//! let cold = service.sweep(&space, None).unwrap();
+//! let warm = service.sweep(&space, None).unwrap();
+//! assert_eq!(warm.stats.cache_hits as usize, space.len());
+//! assert_eq!(cold.records, warm.records);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::client::{Client, ClientError};
+    pub use crate::protocol::{
+        decode_line, encode_line, from_wire, to_wire, CatalogueEntry, Request, RequestEnvelope,
+        Response, ResponseEnvelope, ServiceStats, ShardStats, SpaceSpec, WireRecord, DEFAULT_CHUNK,
+        PROTOCOL_VERSION,
+    };
+    pub use crate::server::{Endpoint, Server, Stream};
+    pub use crate::service::{ServeError, ServiceConfig, SweepService};
+}
+
+pub use prelude::*;

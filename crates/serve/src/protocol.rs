@@ -1,0 +1,405 @@
+//! The wire protocol: line-delimited JSON requests and responses.
+//!
+//! Every message is one JSON object on one line. Clients send
+//! [`RequestEnvelope`]s (`{"id":N,"request":{...}}`) and receive one or more
+//! [`ResponseEnvelope`]s tagged with the same id; every request is answered
+//! by exactly one **terminal** response, optionally preceded by streamed
+//! [`Response::SweepChunk`] lines: a sweep's records arrive in index-ordered
+//! chunks, each encoded, written and flushed before the next is built, so a
+//! large answer is never buffered as one whole-result line (at most one
+//! chunk's wire copy is alive at a time on the server). Correlation ids are
+//! client-chosen but must be **≥ 1**: id `0` is reserved for
+//! server-generated [`Response::Error`]s about lines that could not be
+//! parsed into a request at all.
+//!
+//! ## Bit-exactness
+//!
+//! Sweep records travel as [`WireRecord`]s: the three `f64` fields are
+//! encoded as 16-digit hex bit patterns, never as JSON numbers. JSON cannot
+//! represent `NaN` (the engine's marker for designs that do not fit their
+//! budget) and a decimal round-trip of a computed `NaN` would not be
+//! bit-stable, so the hex encoding is what lets the differential tests assert
+//! that service answers are *bit-identical* to a direct [`Engine::sweep`].
+//! Figure curves ([`Response::Curves`]) contain only finite values and use
+//! plain numbers, which the workspace's JSON printer round-trips exactly.
+//!
+//! [`Engine::sweep`]: mp_dse::engine::Engine::sweep
+
+use serde::{Deserialize, Serialize};
+
+use mp_dse::analysis::CostAxis;
+use mp_dse::cache::CacheStats;
+use mp_dse::curves::Figure;
+use mp_dse::engine::{EvalRecord, SweepStats};
+use mp_dse::scenario::ScenarioSpace;
+use mp_model::explore::Curve;
+
+/// Protocol identity reported by `ping`; bump on incompatible changes.
+pub const PROTOCOL_VERSION: &str = "mp-serve/1";
+
+/// Default scenario count per streamed sweep chunk.
+pub const DEFAULT_CHUNK: usize = 8192;
+
+/// One client request, tagged with a client-chosen correlation id.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Correlation id echoed on every response to this request. Must be
+    /// ≥ 1 — id `0` is reserved for server errors about unparseable lines.
+    pub id: u64,
+    /// The request itself.
+    pub request: Request,
+}
+
+/// The scenario space a query runs over: sent explicitly, or assembled from
+/// the service's calibration catalogue so clients can address calibrated
+/// applications by id instead of shipping parameter sets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SpaceSpec {
+    /// A fully explicit space.
+    Explicit(ScenarioSpace),
+    /// `space` with its application axis replaced by the catalogue entries
+    /// named by `ids` (16-hex-digit fingerprints from [`Response::Catalogue`]),
+    /// in the given order.
+    Catalogue {
+        /// Catalogue ids supplying the application axis.
+        ids: Vec<String>,
+        /// The remaining axes (its own application axis is ignored).
+        space: ScenarioSpace,
+    },
+}
+
+/// A query or control message.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness / version probe.
+    Ping,
+    /// Service, shard and cache statistics.
+    Stats,
+    /// List the service's calibration catalogue.
+    Catalogue,
+    /// Stop accepting connections and exit the serve loop.
+    Shutdown,
+    /// Evaluate `[start, end)` of the space (the full space when
+    /// `start == 0 && end == space.len()`); records stream back in
+    /// index-ordered chunks of `chunk` scenarios (`0` = server default).
+    Sweep {
+        /// The space to sweep.
+        space: SpaceSpec,
+        /// First flat scenario index (inclusive).
+        start: usize,
+        /// Last flat scenario index (exclusive).
+        end: usize,
+        /// Records per streamed chunk (`0` = [`DEFAULT_CHUNK`]).
+        chunk: usize,
+    },
+    /// The `k` highest-speedup records of a full sweep.
+    TopK {
+        /// The space to sweep.
+        space: SpaceSpec,
+        /// Number of records to return.
+        k: usize,
+    },
+    /// The Pareto frontier (speedup vs `cost`) of a full sweep.
+    Pareto {
+        /// The space to sweep.
+        space: SpaceSpec,
+        /// The cost axis to minimise.
+        cost: CostAxis,
+    },
+    /// The engine-reproduced curve family of one paper figure.
+    Curve {
+        /// Which figure.
+        figure: Figure,
+    },
+}
+
+/// One service response, tagged with the originating request's id.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResponseEnvelope {
+    /// Correlation id of the request being answered.
+    pub id: u64,
+    /// The response payload.
+    pub response: Response,
+}
+
+/// A response payload. [`Response::SweepChunk`] is the only non-terminal
+/// variant; everything else completes its request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: String,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats(ServiceStats),
+    /// Answer to [`Request::Catalogue`].
+    Catalogue {
+        /// Every registered calibration.
+        entries: Vec<CatalogueEntry>,
+    },
+    /// Acknowledgement of [`Request::Shutdown`].
+    ShuttingDown,
+    /// One index-ordered slice of an in-flight sweep (non-terminal).
+    SweepChunk {
+        /// Flat scenario index of the first record in the chunk.
+        start: usize,
+        /// The records, consecutive from `start`.
+        records: Vec<WireRecord>,
+    },
+    /// Terminal line of a sweep: the merged statistics.
+    SweepDone {
+        /// Merged sweep statistics across the participating shards.
+        stats: SweepStats,
+    },
+    /// Answer to [`Request::TopK`] / [`Request::Pareto`].
+    Records {
+        /// The selected records, in result order.
+        records: Vec<WireRecord>,
+    },
+    /// Answer to [`Request::Curve`].
+    Curves {
+        /// The figure's curve family.
+        curves: Vec<Curve>,
+    },
+    /// The request failed; no further responses follow.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Whether this response completes its request.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, Response::SweepChunk { .. })
+    }
+}
+
+/// Aggregate service statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// The backend the service evaluates with.
+    pub backend: String,
+    /// Per-shard state, in shard order.
+    pub shards: Vec<ShardStats>,
+    /// Queries answered since the service started.
+    pub queries: u64,
+    /// Prepared sweep snapshots ([`SpaceTables`]) resident in the handle
+    /// cache.
+    ///
+    /// [`SpaceTables`]: mp_dse::tables::SpaceTables
+    pub prepared_spaces: usize,
+    /// Seconds since the service started.
+    pub uptime_seconds: f64,
+}
+
+impl ServiceStats {
+    /// Cache totals summed over every shard.
+    pub fn cache_totals(&self) -> CacheStats {
+        let mut totals = CacheStats { entries: 0, capacity: 0, hits: 0, misses: 0 };
+        for shard in &self.shards {
+            totals.entries += shard.cache.entries;
+            totals.capacity += shard.cache.capacity;
+            totals.hits += shard.cache.hits;
+            totals.misses += shard.cache.misses;
+        }
+        totals
+    }
+}
+
+/// One shard's state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Worker threads inside the shard's engine.
+    pub threads: usize,
+    /// The shard engine's memoisation-cache snapshot.
+    pub cache: CacheStats,
+}
+
+/// One calibration catalogue listing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CatalogueEntry {
+    /// Fingerprint id (16 hex digits) — what [`SpaceSpec::Catalogue`] takes.
+    pub id: String,
+    /// Application name.
+    pub name: String,
+    /// Fitted growth-function label.
+    pub growth: String,
+    /// Parallel fraction of the calibration.
+    pub f: f64,
+    /// Root-mean-square residual of the growth fit.
+    pub fit_rmse: f64,
+}
+
+/// An [`EvalRecord`] in wire form: `[index, speedup, cores, area]` with the
+/// floats as 16-digit hex bit patterns (see the module docs for why).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireRecord(pub EvalRecord);
+
+impl From<EvalRecord> for WireRecord {
+    fn from(record: EvalRecord) -> Self {
+        WireRecord(record)
+    }
+}
+
+impl From<WireRecord> for EvalRecord {
+    fn from(wire: WireRecord) -> Self {
+        wire.0
+    }
+}
+
+/// Convert records to wire form.
+pub fn to_wire(records: &[EvalRecord]) -> Vec<WireRecord> {
+    records.iter().copied().map(WireRecord).collect()
+}
+
+/// Convert wire records back to engine records.
+pub fn from_wire(records: &[WireRecord]) -> Vec<EvalRecord> {
+    records.iter().map(|w| w.0).collect()
+}
+
+impl Serialize for WireRecord {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Arr(vec![
+            serde::Value::Num(self.0.index as f64),
+            serde::Value::Str(format!("{:016x}", self.0.speedup.to_bits())),
+            serde::Value::Str(format!("{:016x}", self.0.cores.to_bits())),
+            serde::Value::Str(format!("{:016x}", self.0.area.to_bits())),
+        ])
+    }
+}
+
+impl Deserialize for WireRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let arr = v.as_arr().ok_or_else(|| serde::Error::new("expected wire-record array"))?;
+        if arr.len() != 4 {
+            return Err(serde::Error::new("wire record must have 4 elements"));
+        }
+        let index = arr[0]
+            .as_f64()
+            .ok_or_else(|| serde::Error::new("wire record index must be a number"))?
+            as usize;
+        let mut bits = [0u64; 3];
+        for (slot, value) in bits.iter_mut().zip(&arr[1..]) {
+            let hex =
+                value.as_str().ok_or_else(|| serde::Error::new("expected hex-bits string"))?;
+            *slot = u64::from_str_radix(hex, 16)
+                .map_err(|_| serde::Error::new("malformed hex-bits string"))?;
+        }
+        Ok(WireRecord(EvalRecord {
+            index,
+            speedup: f64::from_bits(bits[0]),
+            cores: f64::from_bits(bits[1]),
+            area: f64::from_bits(bits[2]),
+        }))
+    }
+}
+
+/// Encode one protocol message as its wire line (no trailing newline).
+pub fn encode_line<T: Serialize>(message: &T) -> String {
+    serde_json::to_string(message).expect("protocol messages always serialise")
+}
+
+/// Decode one wire line.
+pub fn decode_line<T: Deserialize>(line: &str) -> Result<T, String> {
+    serde_json::from_str(line).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_records_round_trip_bitwise_including_nan() {
+        let records = [
+            EvalRecord { index: 7, speedup: 104.53125, cores: 64.0, area: 4.0 },
+            EvalRecord { index: 8, speedup: f64::NAN, cores: 0.5, area: 300.0 },
+            EvalRecord { index: 9, speedup: 0.1 + 0.2, cores: 1.0 / 3.0, area: 1e-300 },
+        ];
+        for record in records {
+            let line = encode_line(&WireRecord(record));
+            let back: WireRecord = decode_line(&line).unwrap();
+            assert_eq!(back.0.index, record.index);
+            assert_eq!(back.0.speedup.to_bits(), record.speedup.to_bits());
+            assert_eq!(back.0.cores.to_bits(), record.cores.to_bits());
+            assert_eq!(back.0.area.to_bits(), record.area.to_bits());
+        }
+    }
+
+    #[test]
+    fn request_envelopes_round_trip() {
+        let space = ScenarioSpace::new();
+        let requests = vec![
+            Request::Ping,
+            Request::Stats,
+            Request::Catalogue,
+            Request::Shutdown,
+            Request::Sweep {
+                space: SpaceSpec::Explicit(space.clone()),
+                start: 0,
+                end: space.len(),
+                chunk: 0,
+            },
+            Request::TopK { space: SpaceSpec::Explicit(space.clone()), k: 5 },
+            Request::Pareto { space: SpaceSpec::Explicit(space.clone()), cost: CostAxis::Area },
+            Request::Curve { figure: Figure::Fig4 },
+            Request::Sweep {
+                space: SpaceSpec::Catalogue { ids: vec!["0011223344556677".into()], space },
+                start: 0,
+                end: 1,
+                chunk: 16,
+            },
+        ];
+        for (id, request) in requests.into_iter().enumerate() {
+            let envelope = RequestEnvelope { id: id as u64, request };
+            let line = encode_line(&envelope);
+            let back: RequestEnvelope = decode_line(&line).unwrap();
+            assert_eq!(back.id, envelope.id);
+            assert_eq!(encode_line(&back), line, "re-encoding must be stable");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_and_mark_terminality() {
+        let chunk = Response::SweepChunk {
+            start: 0,
+            records: vec![WireRecord(EvalRecord {
+                index: 0,
+                speedup: 2.0,
+                cores: 4.0,
+                area: 64.0,
+            })],
+        };
+        assert!(!chunk.is_terminal());
+        let done = Response::SweepDone {
+            stats: SweepStats {
+                scenarios: 1,
+                valid: 1,
+                cache_hits: 0,
+                cache_misses: 1,
+                warm_entries: 0,
+                threads: 1,
+                elapsed_seconds: 0.25,
+            },
+        };
+        assert!(done.is_terminal());
+        for (id, response) in
+            [chunk, done, Response::Error { message: "nope".into() }].into_iter().enumerate()
+        {
+            let envelope = ResponseEnvelope { id: id as u64, response };
+            let line = encode_line(&envelope);
+            let back: ResponseEnvelope = decode_line(&line).unwrap();
+            assert_eq!(encode_line(&back), line);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(decode_line::<RequestEnvelope>("not json").is_err());
+        assert!(decode_line::<RequestEnvelope>("{\"id\":1}").is_err());
+        assert!(decode_line::<WireRecord>("[1,\"zz\",\"00\",\"00\"]").is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! Socket front-end: line-delimited JSON over TCP or Unix-domain sockets.
+//!
+//! One accept loop, one handler thread per connection. Each request's
+//! responses are written (and flushed) line by line as they are produced, so
+//! a large sweep streams its chunks instead of buffering the whole answer.
+//! A [`Request::Shutdown`] from any connection is acknowledged, then stops
+//! the accept loop (the handler pokes the listener with a throwaway
+//! connection so a blocked `accept` observes the flag).
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::protocol::{
+    decode_line, encode_line, Request, RequestEnvelope, Response, ResponseEnvelope,
+};
+use crate::service::SweepService;
+
+/// Where a server listens (or a client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address, e.g. `127.0.0.1:7077` (port `0` picks a free port).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix://{}", path.display()),
+        }
+    }
+}
+
+/// A connected stream of either flavour.
+pub enum Stream {
+    /// TCP connection.
+    Tcp(TcpStream),
+    /// Unix-domain connection.
+    Unix(UnixStream),
+}
+
+impl Stream {
+    /// Connect to `endpoint`.
+    pub fn connect(endpoint: &Endpoint) -> std::io::Result<Stream> {
+        match endpoint {
+            Endpoint::Tcp(addr) => TcpStream::connect(addr.as_str()).map(Stream::Tcp),
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+        }
+    }
+
+    /// An independently-owned handle to the same connection (for split
+    /// read/write halves).
+    pub fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Tcp(stream) => stream.try_clone().map(Stream::Tcp),
+            Stream::Unix(stream) => stream.try_clone().map(Stream::Unix),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(stream) => stream.read(buf),
+            Stream::Unix(stream) => stream.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(stream) => stream.write(buf),
+            Stream::Unix(stream) => stream.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(stream) => stream.flush(),
+            Stream::Unix(stream) => stream.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Tcp(listener) => listener.accept().map(|(stream, _)| Stream::Tcp(stream)),
+            Listener::Unix(listener) => listener.accept().map(|(stream, _)| Stream::Unix(stream)),
+        }
+    }
+}
+
+/// A listening server bound to an endpoint. [`Server::run`] consumes it and
+/// blocks until a shutdown request arrives.
+pub struct Server {
+    listener: Listener,
+    endpoint: Endpoint,
+    service: Arc<SweepService>,
+    shutdown: Arc<AtomicBool>,
+    /// Unix socket path to unlink when the server stops.
+    cleanup: Option<PathBuf>,
+}
+
+impl Server {
+    /// Bind to `endpoint`. For TCP port `0` the resolved endpoint (with the
+    /// kernel-assigned port) is what [`Server::endpoint`] reports. A
+    /// pre-existing Unix socket file is an error — two servers must not race
+    /// for one path; remove stale files explicitly.
+    pub fn bind(endpoint: &Endpoint, service: Arc<SweepService>) -> std::io::Result<Server> {
+        let (listener, endpoint, cleanup) = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                let actual = Endpoint::Tcp(listener.local_addr()?.to_string());
+                (Listener::Tcp(listener), actual, None)
+            }
+            Endpoint::Unix(path) => {
+                let listener = UnixListener::bind(path)?;
+                (Listener::Unix(listener), Endpoint::Unix(path.clone()), Some(path.clone()))
+            }
+        };
+        Ok(Server {
+            listener,
+            endpoint,
+            service,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            cleanup,
+        })
+    }
+
+    /// The bound endpoint (with the real port for TCP port-0 binds).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Accept and serve connections until a shutdown request arrives.
+    /// Connection handlers run on their own threads; `run` joins none of
+    /// them on exit beyond the one that requested the shutdown, but every
+    /// handler holds only `Arc`s, so late writers fail harmlessly. A Unix
+    /// socket file is unlinked on exit — graceful or not — so a crashed
+    /// accept loop never leaves the endpoint permanently unbindable.
+    pub fn run(self) -> std::io::Result<()> {
+        let result = self.accept_loop();
+        if let Some(path) = &self.cleanup {
+            let _ = std::fs::remove_file(path);
+        }
+        result
+    }
+
+    fn accept_loop(&self) -> std::io::Result<()> {
+        // Transient accept errors (a client resetting a queued connection,
+        // momentary fd exhaustion from many handlers) must not kill a
+        // resident service with clients in flight; only a persistently
+        // failing listener gives up. Success resets the budget.
+        let mut consecutive_errors = 0usize;
+        loop {
+            let stream = match self.listener.accept() {
+                Ok(stream) => {
+                    consecutive_errors = 0;
+                    stream
+                }
+                Err(e) => {
+                    consecutive_errors += 1;
+                    if consecutive_errors >= 64 {
+                        return Err(e);
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    continue;
+                }
+            };
+            if self.shutdown.load(Ordering::Acquire) {
+                return Ok(());
+            }
+            let service = Arc::clone(&self.service);
+            let shutdown = Arc::clone(&self.shutdown);
+            let endpoint = self.endpoint.clone();
+            std::thread::Builder::new()
+                .name("mp-serve-conn".to_string())
+                .spawn(move || {
+                    // A connection failing mid-stream only ends that client.
+                    let _ = serve_connection(stream, &service, &shutdown, &endpoint);
+                })
+                .expect("failed to spawn connection handler");
+        }
+    }
+}
+
+/// Serve one connection: read request lines, stream response lines. Each
+/// response line is written and flushed as the service produces it, so a
+/// sweep's chunks reach the client one at a time instead of buffering the
+/// whole answer.
+fn serve_connection(
+    stream: Stream,
+    service: &SweepService,
+    shutdown: &AtomicBool,
+    endpoint: &Endpoint,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match decode_line::<RequestEnvelope>(&line) {
+            // Enforce the protocol's id reservation: a request on id 0 would
+            // be indistinguishable from server parse-error responses.
+            Ok(envelope) if envelope.id == 0 => {
+                write_response(
+                    &mut writer,
+                    0,
+                    Response::Error {
+                        message: "request id 0 is reserved for server errors; use ids >= 1"
+                            .to_string(),
+                    },
+                )?;
+            }
+            Ok(envelope) => {
+                let id = envelope.id;
+                service.handle_streaming(&envelope.request, &mut |response| {
+                    write_response(&mut writer, id, response)
+                })?;
+                if matches!(envelope.request, Request::Shutdown) {
+                    shutdown.store(true, Ordering::Release);
+                    // Unblock the accept loop so it can observe the flag.
+                    let _ = Stream::connect(endpoint);
+                    return Ok(());
+                }
+            }
+            // Unparseable line: answer on id 0 — reserved for exactly this,
+            // see the protocol module docs — and keep the connection going.
+            Err(message) => {
+                write_response(&mut writer, 0, Response::Error { message })?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Write one response line and flush it, so chunked answers stream.
+fn write_response(writer: &mut impl Write, id: u64, response: Response) -> std::io::Result<()> {
+    let line = encode_line(&ResponseEnvelope { id, response });
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    Ok(())
+}

@@ -1,0 +1,657 @@
+//! The resident sweep service: sharded engines behind admission queues.
+//!
+//! A [`SweepService`] owns `shards` long-lived [`Engine`]s, each with its own
+//! lock-free memoisation cache and worker pool, fed by one admission queue
+//! per shard. A sweep query is split along the space's flat index order into
+//! the shards' static **bands** (shard `i` always owns the `i`-th contiguous
+//! slice of a given space), so repeated or overlapping queries land every
+//! scenario on the shard that cached it — the warm-cache hit rate survives
+//! sharding. Partial results merge back in index order, which makes a
+//! sharded service answer **bit-identical** to a direct [`Engine::sweep`]
+//! over the same space: every scenario's value is a deterministic function
+//! of the scenario and backend alone, independent of batch or shard
+//! boundaries.
+//!
+//! Prepared sweeps ([`SweepHandle`]: the space plus its columnar
+//! [`SpaceTables`]) are cached by content fingerprint and shared across
+//! requests and shards, so a repeated query pays neither the table
+//! precomputation nor — thanks to the per-shard caches — the evaluation.
+//!
+//! [`SpaceTables`]: mp_dse::tables::SpaceTables
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+
+use mp_dse::analysis::{pareto_frontier, top_k, CostAxis};
+use mp_dse::backend::EvalBackend;
+use mp_dse::curves::{figure_curves, Figure};
+use mp_dse::engine::{Engine, EvalRecord, SweepConfig, SweepHandle, SweepResult, SweepStats};
+use mp_dse::scenario::ScenarioSpace;
+use mp_model::catalogue::CatalogueRegistry;
+use mp_model::explore::Curve;
+use mp_model::fingerprint::Fnv64;
+use mp_par::pool::chunk_range;
+
+use crate::protocol::{
+    to_wire, CatalogueEntry, Request, Response, ServiceStats, ShardStats, SpaceSpec, DEFAULT_CHUNK,
+    PROTOCOL_VERSION,
+};
+
+/// Construction knobs of a [`SweepService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Number of shards (each an independent engine + cache). Must be ≥ 1.
+    pub shards: usize,
+    /// Worker threads inside each shard's engine. Must be ≥ 1.
+    pub threads_per_shard: usize,
+    /// Sweep batch size handed to the engines.
+    pub batch_size: usize,
+    /// Whether shard engines memoise evaluations.
+    pub use_cache: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { shards: 1, threads_per_shard: 1, batch_size: 1024, use_cache: true }
+    }
+}
+
+/// Error produced by a service query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError(pub String);
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+fn err(message: impl Into<String>) -> ServeError {
+    ServeError(message.into())
+}
+
+/// One sweep assignment for a shard worker.
+struct ShardJob {
+    handle: Arc<SweepHandle<'static>>,
+    range: Range<usize>,
+    config: SweepConfig,
+    reply: Sender<(usize, SweepResult)>,
+}
+
+/// One shard: a long-lived engine plus its admission queue.
+struct Shard {
+    engine: Arc<Engine>,
+    queue: Sender<ShardJob>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Maximum prepared sweep snapshots kept resident. The cache key (the query
+/// space) is client-controlled, so without a cap a client iterating distinct
+/// spaces would grow the service's memory without bound; beyond the cap the
+/// least-recently-used snapshot is evicted (in-flight sweeps keep theirs
+/// alive through their `Arc`).
+const MAX_PREPARED: usize = 32;
+
+/// The prepared-handle cache: fingerprint-keyed, LRU-bounded.
+#[derive(Default)]
+struct PreparedCache {
+    handles: HashMap<u64, Arc<SweepHandle<'static>>>,
+    /// Keys in use order, least recently used first.
+    order: Vec<u64>,
+}
+
+impl PreparedCache {
+    fn touch(&mut self, key: u64) {
+        self.order.retain(|&k| k != key);
+        self.order.push(key);
+    }
+
+    fn insert(&mut self, key: u64, handle: Arc<SweepHandle<'static>>) {
+        self.handles.insert(key, handle);
+        self.touch(key);
+        while self.handles.len() > MAX_PREPARED {
+            let evict = self.order.remove(0);
+            self.handles.remove(&evict);
+        }
+    }
+}
+
+/// The resident, sharded sweep service. See the module docs.
+pub struct SweepService {
+    backend: Arc<dyn EvalBackend + Send + Sync>,
+    shards: Vec<Shard>,
+    prepared: Mutex<PreparedCache>,
+    registry: CatalogueRegistry,
+    sweep_config: SweepConfig,
+    queries: AtomicU64,
+    started: Instant,
+}
+
+impl std::fmt::Debug for SweepService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepService")
+            .field("backend", &self.backend.name())
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl SweepService {
+    /// Start a service evaluating with `backend`: spawns one admission-queue
+    /// worker per shard, each owning an engine with
+    /// [`ServiceConfig::threads_per_shard`] sweep workers.
+    pub fn new(backend: Arc<dyn EvalBackend + Send + Sync>, config: &ServiceConfig) -> Self {
+        assert!(config.shards > 0, "service needs at least one shard");
+        assert!(config.threads_per_shard > 0, "shards need at least one thread");
+        assert!(config.batch_size > 0, "batch size must be positive");
+        let backend_for_shards = Arc::clone(&backend);
+        let shards = (0..config.shards)
+            .map(|index| {
+                let engine = Arc::new(Engine::new(config.threads_per_shard));
+                let (queue, jobs) = unbounded::<ShardJob>();
+                let worker_engine = Arc::clone(&engine);
+                let worker_backend = Arc::clone(&backend_for_shards);
+                let worker = std::thread::Builder::new()
+                    .name(format!("mp-serve-shard-{index}"))
+                    .spawn(move || {
+                        while let Ok(job) = jobs.recv() {
+                            let result = worker_engine.sweep_range(
+                                &job.handle,
+                                worker_backend.as_ref(),
+                                &job.config,
+                                job.range.clone(),
+                            );
+                            // A dropped reply receiver just means the querying
+                            // connection went away mid-sweep.
+                            let _ = job.reply.send((job.range.start, result));
+                        }
+                    })
+                    .expect("failed to spawn shard worker");
+                Shard { engine, queue, worker: Some(worker) }
+            })
+            .collect();
+        SweepService {
+            backend,
+            shards,
+            prepared: Mutex::new(PreparedCache::default()),
+            registry: CatalogueRegistry::new(),
+            sweep_config: SweepConfig {
+                batch_size: config.batch_size,
+                use_cache: config.use_cache,
+            },
+            queries: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Attach a calibration catalogue (what [`SpaceSpec::Catalogue`] resolves
+    /// against and [`Request::Catalogue`] lists).
+    pub fn with_registry(mut self, registry: CatalogueRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// The backend's stable name.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Resolve a wire-level space spec into a concrete space.
+    pub fn resolve_space(&self, spec: &SpaceSpec) -> Result<ScenarioSpace, ServeError> {
+        match spec {
+            SpaceSpec::Explicit(space) => Ok(space.clone()),
+            SpaceSpec::Catalogue { ids, space } => {
+                if ids.is_empty() {
+                    return Err(err("catalogue space needs at least one id"));
+                }
+                let mut apps = Vec::with_capacity(ids.len());
+                for id in ids {
+                    let parsed = CatalogueRegistry::parse_id(id)
+                        .ok_or_else(|| err(format!("malformed catalogue id `{id}`")))?;
+                    let calibration = self
+                        .registry
+                        .get(parsed)
+                        .ok_or_else(|| err(format!("unknown catalogue id `{id}`")))?;
+                    apps.push(calibration.app_params().clone());
+                }
+                Ok(space.clone().with_apps(apps))
+            }
+        }
+    }
+
+    /// The prepared (tables-built) handle for `space`, shared across
+    /// requests and LRU-bounded to [`MAX_PREPARED`] snapshots. Keyed by
+    /// content fingerprint; an (astronomically unlikely) fingerprint
+    /// collision falls back to a fresh uncached handle rather than
+    /// answering for the wrong space.
+    ///
+    /// The cache mutex is held only for the lookup and the insert, never
+    /// while the [`SpaceTables`] are built — a first query over a large new
+    /// space must not head-of-line-block queries over already-prepared
+    /// spaces. Two clients racing on the same new space may both build it;
+    /// the loser's copy just gets dropped.
+    ///
+    /// [`SpaceTables`]: mp_dse::tables::SpaceTables
+    fn prepared(&self, space: &ScenarioSpace) -> Arc<SweepHandle<'static>> {
+        let key = space_fingerprint(space);
+        {
+            let mut prepared = self.prepared.lock();
+            if let Some(handle) = prepared.handles.get(&key) {
+                if handle.space() == space {
+                    let handle = Arc::clone(handle);
+                    prepared.touch(key);
+                    return handle;
+                }
+                return Arc::new(SweepHandle::owned(space.clone()));
+            }
+        }
+        let handle = Arc::new(SweepHandle::owned(space.clone()));
+        let mut prepared = self.prepared.lock();
+        match prepared.handles.get(&key) {
+            // A racing builder published first (and content matches): share
+            // theirs so every in-flight sweep converges on one snapshot.
+            Some(existing) if existing.space() == space => {
+                let existing = Arc::clone(existing);
+                prepared.touch(key);
+                existing
+            }
+            _ => {
+                prepared.insert(key, Arc::clone(&handle));
+                handle
+            }
+        }
+    }
+
+    /// Evaluate `range` of `space` (`None` = the whole space) across the
+    /// shards, returning merged records in index order plus summed stats.
+    pub fn sweep(
+        &self,
+        space: &ScenarioSpace,
+        range: Option<Range<usize>>,
+    ) -> Result<SweepResult, ServeError> {
+        let started = Instant::now();
+        let n = space.len();
+        let range = range.unwrap_or(0..n);
+        if range.start > range.end || range.end > n {
+            return Err(err(format!(
+                "sweep range {}..{} exceeds the {n}-scenario space",
+                range.start, range.end
+            )));
+        }
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let handle = self.prepared(space);
+
+        // Intersect the request with each shard's static band of the full
+        // space, so a scenario always lands on the same shard's cache no
+        // matter how the request is windowed.
+        let shards = self.shards.len();
+        let (reply, replies) = unbounded();
+        let mut outstanding = 0usize;
+        for (index, shard) in self.shards.iter().enumerate() {
+            let band = chunk_range(index, shards, n);
+            let slice = band.start.max(range.start)..band.end.min(range.end);
+            if slice.is_empty() {
+                continue;
+            }
+            shard
+                .queue
+                .send(ShardJob {
+                    handle: Arc::clone(&handle),
+                    range: slice,
+                    config: self.sweep_config,
+                    reply: reply.clone(),
+                })
+                .map_err(|_| err("shard worker has exited"))?;
+            outstanding += 1;
+        }
+        drop(reply);
+
+        let mut partials: Vec<(usize, SweepResult)> = Vec::with_capacity(outstanding);
+        for _ in 0..outstanding {
+            partials.push(replies.recv().map_err(|_| err("shard worker dropped a sweep reply"))?);
+        }
+        partials.sort_by_key(|(start, _)| *start);
+
+        let mut records: Vec<EvalRecord> = Vec::with_capacity(range.len());
+        let mut stats = SweepStats {
+            scenarios: 0,
+            valid: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            warm_entries: 0,
+            threads: 0,
+            elapsed_seconds: 0.0,
+        };
+        for (_, partial) in partials {
+            records.extend_from_slice(&partial.records);
+            stats.scenarios += partial.stats.scenarios;
+            stats.valid += partial.stats.valid;
+            stats.cache_hits += partial.stats.cache_hits;
+            stats.cache_misses += partial.stats.cache_misses;
+            stats.warm_entries += partial.stats.warm_entries;
+            stats.threads += partial.stats.threads;
+        }
+        stats.elapsed_seconds = started.elapsed().as_secs_f64();
+        debug_assert_eq!(stats.scenarios, range.len());
+        Ok(SweepResult { records, stats })
+    }
+
+    /// The `k` highest-speedup records of a full sweep of `space`.
+    pub fn top_k(&self, space: &ScenarioSpace, k: usize) -> Result<Vec<EvalRecord>, ServeError> {
+        Ok(top_k(&self.sweep(space, None)?.records, k))
+    }
+
+    /// The Pareto frontier (speedup vs `cost`) of a full sweep of `space`.
+    pub fn pareto(
+        &self,
+        space: &ScenarioSpace,
+        cost: CostAxis,
+    ) -> Result<Vec<EvalRecord>, ServeError> {
+        Ok(pareto_frontier(&self.sweep(space, None)?.records, cost))
+    }
+
+    /// The engine-reproduced curve family of one paper figure.
+    pub fn curves(&self, figure: Figure) -> Result<Vec<Curve>, ServeError> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        figure_curves(figure).map_err(|e| err(format!("figure {figure} failed: {e}")))
+    }
+
+    /// Aggregate service statistics.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            backend: self.backend.name().to_string(),
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(index, shard)| ShardStats {
+                    shard: index,
+                    threads: shard.engine.threads(),
+                    cache: shard.engine.cache().stats(),
+                })
+                .collect(),
+            queries: self.queries.load(Ordering::Relaxed),
+            prepared_spaces: self.prepared.lock().handles.len(),
+            uptime_seconds: self.started.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// The calibration catalogue in wire form.
+    pub fn catalogue_entries(&self) -> Vec<CatalogueEntry> {
+        self.registry
+            .entries()
+            .iter()
+            .map(|calibration| CatalogueEntry {
+                id: CatalogueRegistry::format_id(calibration.fingerprint()),
+                name: calibration.app_params().name.clone(),
+                growth: calibration.growth().label(),
+                f: calibration.app_params().f,
+                fit_rmse: calibration.fit_rmse(),
+            })
+            .collect()
+    }
+
+    /// Answer one protocol request, emitting responses through `emit` as
+    /// they are produced: a sweep's chunks are built (records → wire form)
+    /// and emitted **one at a time**, so beyond the sweep result itself at
+    /// most one chunk's wire copy is ever alive — the server writes and
+    /// flushes each line before the next is built. An `Err` from `emit`
+    /// (a dead connection) aborts the remaining chunks.
+    /// [`Request::Shutdown`] is acknowledged here but acted on by the
+    /// server loop.
+    pub fn handle_streaming(
+        &self,
+        request: &Request,
+        emit: &mut dyn FnMut(Response) -> std::io::Result<()>,
+    ) -> std::io::Result<()> {
+        match request {
+            Request::Ping => emit(Response::Pong { version: PROTOCOL_VERSION.to_string() }),
+            Request::Stats => emit(Response::Stats(self.stats())),
+            Request::Catalogue => emit(Response::Catalogue { entries: self.catalogue_entries() }),
+            Request::Shutdown => emit(Response::ShuttingDown),
+            Request::Sweep { space, start, end, chunk } => {
+                let space = match self.resolve_space(space) {
+                    Ok(space) => space,
+                    Err(e) => return emit(Response::Error { message: e.0 }),
+                };
+                match self.sweep(&space, Some(*start..*end)) {
+                    Ok(result) => {
+                        let chunk = if *chunk == 0 { DEFAULT_CHUNK } else { *chunk };
+                        for slice in result.records.chunks(chunk) {
+                            emit(Response::SweepChunk {
+                                start: slice[0].index,
+                                records: to_wire(slice),
+                            })?;
+                        }
+                        emit(Response::SweepDone { stats: result.stats })
+                    }
+                    Err(e) => emit(Response::Error { message: e.0 }),
+                }
+            }
+            Request::TopK { space, k } => {
+                self.record_query(space, |records| top_k(records, *k), emit)
+            }
+            Request::Pareto { space, cost } => {
+                self.record_query(space, |records| pareto_frontier(records, *cost), emit)
+            }
+            Request::Curve { figure } => match self.curves(*figure) {
+                Ok(curves) => emit(Response::Curves { curves }),
+                Err(e) => emit(Response::Error { message: e.0 }),
+            },
+        }
+    }
+
+    /// [`SweepService::handle_streaming`] with the responses collected into
+    /// a vector — the convenient form for in-process use and tests.
+    pub fn handle(&self, request: &Request) -> Vec<Response> {
+        let mut responses = Vec::new();
+        self.handle_streaming(request, &mut |response| {
+            responses.push(response);
+            Ok(())
+        })
+        .expect("collecting emitter never fails");
+        responses
+    }
+
+    /// Shared resolve → sweep → analyse path of the record-returning queries.
+    fn record_query(
+        &self,
+        spec: &SpaceSpec,
+        analyse: impl FnOnce(&[EvalRecord]) -> Vec<EvalRecord>,
+        emit: &mut dyn FnMut(Response) -> std::io::Result<()>,
+    ) -> std::io::Result<()> {
+        let space = match self.resolve_space(spec) {
+            Ok(space) => space,
+            Err(e) => return emit(Response::Error { message: e.0 }),
+        };
+        match self.sweep(&space, None) {
+            Ok(result) => emit(Response::Records { records: to_wire(&analyse(&result.records)) }),
+            Err(e) => emit(Response::Error { message: e.0 }),
+        }
+    }
+}
+
+impl Drop for SweepService {
+    fn drop(&mut self) {
+        // Closing the admission queues lets the shard workers drain and exit.
+        for shard in &mut self.shards {
+            shard.queue = closed_sender();
+        }
+        for shard in &mut self.shards {
+            if let Some(worker) = shard.worker.take() {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+/// A sender whose receiver is already gone, used to drop a shard's live queue
+/// in place (plain `drop(shard.queue)` is impossible on a borrowed field).
+fn closed_sender<T>() -> Sender<T> {
+    let (sender, _) = unbounded();
+    sender
+}
+
+/// Content fingerprint of a space: FNV over its canonical JSON form. Axis
+/// *values* (bit-exact — the JSON printer is shortest-round-trip) and axis
+/// order both contribute, matching [`ScenarioSpace`] equality.
+fn space_fingerprint(space: &ScenarioSpace) -> u64 {
+    let mut hasher = Fnv64::new();
+    hasher.write_str(&serde_json::to_string(space).expect("spaces always serialise"));
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_dse::backend::AnalyticBackend;
+    use mp_model::params::AppParams;
+
+    fn space() -> ScenarioSpace {
+        ScenarioSpace::new()
+            .with_apps(AppParams::table2_all())
+            .clear_designs()
+            .add_symmetric_grid((0..40).map(|i| 1.0 + i as f64 * 3.0))
+            .add_asymmetric_grid([1.0, 4.0], [4.0, 16.0, 64.0])
+    }
+
+    fn service(shards: usize) -> SweepService {
+        SweepService::new(
+            Arc::new(AnalyticBackend),
+            &ServiceConfig { shards, threads_per_shard: 2, ..ServiceConfig::default() },
+        )
+    }
+
+    #[test]
+    fn sharded_sweep_is_bit_identical_to_a_direct_engine_sweep() {
+        let space = space();
+        let direct = Engine::new(2).sweep(&space, &AnalyticBackend, &SweepConfig::default());
+        for shards in [1usize, 3] {
+            let service = service(shards);
+            let served = service.sweep(&space, None).unwrap();
+            assert_eq!(served.records.len(), direct.records.len());
+            for (a, b) in served.records.iter().zip(direct.records.iter()) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+            }
+            assert_eq!(served.stats.scenarios, space.len());
+        }
+    }
+
+    #[test]
+    fn range_queries_intersect_the_static_shard_bands() {
+        let space = space();
+        let service = service(4);
+        let full = service.sweep(&space, None).unwrap();
+        let n = space.len();
+        let windows = [0..n / 5, n / 5..n - 3, n - 3..n, 0..0];
+        for window in windows {
+            let part = service.sweep(&space, Some(window.clone())).unwrap();
+            assert_eq!(part.records.len(), window.len());
+            for (record, truth) in part.records.iter().zip(&full.records[window]) {
+                assert_eq!(record.index, truth.index);
+                assert_eq!(record.speedup.to_bits(), truth.speedup.to_bits());
+            }
+        }
+        assert!(service.sweep(&space, Some(0..n + 1)).is_err());
+    }
+
+    #[test]
+    fn prepared_handle_cache_is_lru_bounded() {
+        let service = service(1);
+        // One more distinct space than the cap: the oldest must be evicted.
+        for designs in 1..=(MAX_PREPARED + 1) {
+            let space = ScenarioSpace::new()
+                .clear_designs()
+                .add_symmetric_grid((0..designs).map(|i| 1.0 + i as f64));
+            service.sweep(&space, None).unwrap();
+        }
+        assert_eq!(service.stats().prepared_spaces, MAX_PREPARED);
+        // Re-querying a recent space is still a handle hit (count unchanged);
+        // the evicted first space gets re-prepared without growing past the
+        // cap.
+        let recent = ScenarioSpace::new()
+            .clear_designs()
+            .add_symmetric_grid((0..MAX_PREPARED + 1).map(|i| 1.0 + i as f64));
+        service.sweep(&recent, None).unwrap();
+        assert_eq!(service.stats().prepared_spaces, MAX_PREPARED);
+        let evicted = ScenarioSpace::new().clear_designs().add_symmetric_grid([1.0]);
+        service.sweep(&evicted, None).unwrap();
+        assert_eq!(service.stats().prepared_spaces, MAX_PREPARED);
+    }
+
+    #[test]
+    fn warm_repeat_queries_hit_the_shard_caches() {
+        let space = space();
+        let service = service(4);
+        let first = service.sweep(&space, None).unwrap();
+        assert_eq!(first.stats.cache_hits, 0);
+        let second = service.sweep(&space, None).unwrap();
+        assert_eq!(second.stats.cache_hits, space.len() as u64);
+        assert_eq!(second.stats.cache_misses, 0);
+        assert!(second.stats.warm_entries > 0);
+        let totals = service.stats().cache_totals();
+        assert_eq!(totals.entries, space.len());
+        assert!(totals.hits >= space.len() as u64);
+        // The prepared handle was reused, not rebuilt.
+        assert_eq!(service.stats().prepared_spaces, 1);
+        assert_eq!(service.stats().queries, 2);
+    }
+
+    #[test]
+    fn analysis_queries_match_direct_analysis() {
+        let space = space();
+        let service = service(2);
+        let direct = Engine::new(1).sweep(&space, &AnalyticBackend, &SweepConfig::default());
+        let top = service.top_k(&space, 5).unwrap();
+        assert_eq!(top, top_k(&direct.records, 5));
+        let frontier = service.pareto(&space, CostAxis::Cores).unwrap();
+        assert_eq!(frontier, pareto_frontier(&direct.records, CostAxis::Cores));
+    }
+
+    #[test]
+    fn protocol_dispatch_streams_chunks_and_reports_errors() {
+        let space = space();
+        let service = service(2);
+        let responses = service.handle(&Request::Sweep {
+            space: SpaceSpec::Explicit(space.clone()),
+            start: 0,
+            end: space.len(),
+            chunk: 64,
+        });
+        let terminal = responses.last().unwrap();
+        assert!(matches!(terminal, Response::SweepDone { .. }));
+        let chunks = responses.len() - 1;
+        assert_eq!(chunks, space.len().div_ceil(64));
+        assert!(responses[..chunks].iter().all(|r| !r.is_terminal()));
+
+        let bad = service.handle(&Request::Sweep {
+            space: SpaceSpec::Explicit(space.clone()),
+            start: 5,
+            end: 1,
+            chunk: 0,
+        });
+        assert!(matches!(bad.as_slice(), [Response::Error { .. }]));
+
+        let unknown = service.handle(&Request::Sweep {
+            space: SpaceSpec::Catalogue { ids: vec!["0123456789abcdef".into()], space },
+            start: 0,
+            end: 1,
+            chunk: 0,
+        });
+        assert!(matches!(unknown.as_slice(), [Response::Error { .. }]));
+    }
+}

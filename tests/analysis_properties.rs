@@ -1,0 +1,125 @@
+//! Property tests of the sweep analysis invariants, driven by
+//! proptest-generated scenario spaces evaluated through the real engine
+//! (not synthetic record clouds):
+//!
+//! * the Pareto frontier is **mutually non-dominated** and **complete** —
+//!   every valid record that no other record dominates appears in the
+//!   frontier (up to exact `(cost, speedup)` duplicates, of which the
+//!   frontier keeps one);
+//! * `top_k` is a **sorted prefix of the full ranking**: extending `k` never
+//!   reorders earlier entries, and the ranking is speedup-descending with
+//!   deterministic tie-breaks.
+
+use merging_phases::dse::prelude::*;
+use merging_phases::prelude::*;
+use proptest::prelude::*;
+
+fn arb_space() -> impl Strategy<Value = ScenarioSpace> {
+    (
+        proptest::collection::vec((0.9f64..=0.9999, 0.1f64..=0.9, 0.0f64..=2.0), 1..4),
+        1usize..40,
+        prop_oneof![Just(64.0f64), Just(256.0), Just(1024.0)],
+        prop_oneof![
+            Just(vec![GrowthFunction::Linear]),
+            Just(vec![GrowthFunction::Linear, GrowthFunction::Logarithmic]),
+            Just(vec![GrowthFunction::Superlinear(1.55)]),
+        ],
+    )
+        .prop_map(|(app_params, sym_designs, budget, growths)| {
+            let apps: Vec<AppParams> = app_params
+                .into_iter()
+                .enumerate()
+                .map(|(i, (f, fcon, fored))| {
+                    AppParams::new(format!("app{i}"), f, fcon, fored, 0.0).unwrap()
+                })
+                .collect();
+            // A mix of fitting and non-fitting designs, so invalid (NaN)
+            // records flow through the analyses too.
+            ScenarioSpace::new()
+                .with_apps(apps)
+                .with_budgets(vec![budget])
+                .clear_designs()
+                .add_symmetric_grid((0..sym_designs).map(|i| 1.0 + i as f64 * 7.0))
+                .add_asymmetric_grid([1.0, 4.0], [4.0, 64.0, 512.0])
+                .with_growths(growths)
+        })
+}
+
+fn sweep(space: &ScenarioSpace) -> Vec<EvalRecord> {
+    Engine::new(1).sweep(space, &AnalyticBackend, &SweepConfig::default()).records
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pareto: mutual non-domination plus completeness, on both cost axes.
+    #[test]
+    fn pareto_front_is_mutually_nondominated_and_complete(space in arb_space()) {
+        let records = sweep(&space);
+        for cost in [CostAxis::Cores, CostAxis::Area] {
+            let frontier = pareto_frontier(&records, cost);
+            // Mutually non-dominated (and all valid).
+            for a in &frontier {
+                prop_assert!(a.is_valid());
+                for b in &frontier {
+                    if a.index != b.index {
+                        prop_assert!(
+                            !dominates(a, b, cost),
+                            "frontier point {} dominates {} on {}", a.index, b.index, cost.name()
+                        );
+                    }
+                }
+            }
+            // Complete: every valid record no other valid record dominates is
+            // on the frontier, up to exact (cost, speedup) duplicates.
+            let valid: Vec<&EvalRecord> = records.iter().filter(|r| r.is_valid()).collect();
+            for record in &valid {
+                let dominated = valid
+                    .iter()
+                    .any(|other| other.index != record.index && dominates(other, record, cost));
+                if !dominated {
+                    prop_assert!(
+                        frontier.iter().any(|f| {
+                            f.speedup.to_bits() == record.speedup.to_bits()
+                                && cost.cost(f).to_bits() == cost.cost(record).to_bits()
+                        }),
+                        "non-dominated record {} (speedup {}, {} {}) missing from the {} frontier",
+                        record.index, record.speedup, cost.name(), cost.cost(record), cost.name()
+                    );
+                }
+            }
+            // And conversely the frontier only contains non-dominated records.
+            for f in &frontier {
+                prop_assert!(
+                    !valid.iter().any(|other| other.index != f.index && dominates(other, f, cost)),
+                    "frontier point {} is dominated", f.index
+                );
+            }
+        }
+    }
+
+    /// top-k: a sorted prefix of the full ranking, for every k.
+    #[test]
+    fn top_k_is_a_sorted_prefix_of_the_full_ranking(space in arb_space()) {
+        let records = sweep(&space);
+        let valid = records.iter().filter(|r| r.is_valid()).count();
+        let ranking = top_k(&records, usize::MAX);
+        // The full ranking holds every valid record.
+        prop_assert_eq!(ranking.len(), valid);
+        // Sorted: speedup descending, ties toward fewer cores then lower index.
+        for pair in ranking.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            prop_assert!(
+                a.speedup > b.speedup
+                    || (a.speedup == b.speedup
+                        && (a.cores < b.cores || (a.cores == b.cores && a.index < b.index))),
+                "ranking misordered at indices {} / {}", a.index, b.index
+            );
+        }
+        // Prefix: every k returns exactly the first k entries of the ranking.
+        for k in [0usize, 1, 2, 5, valid / 2, valid, valid + 7] {
+            let top = top_k(&records, k);
+            prop_assert_eq!(&top[..], &ranking[..k.min(valid)]);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Golden-file regression tests for the paper's engine-reproduced figure
+//! curves (Figures 3, 4, 5 and 7, via `mp_dse::curves::figure_curves`).
+//!
+//! Each figure's full curve family is serialised to JSON and compared
+//! **byte-for-byte** against a checked-in snapshot under `tests/golden/`.
+//! The workspace JSON printer emits every `f64` in its shortest
+//! round-trippable form, so byte equality of the serialisation is exactly
+//! bit equality of every speedup — any change to the models, the engine, the
+//! backends or the batched evaluation path that perturbs a single mantissa
+//! bit fails these tests.
+//!
+//! ## Regenerating the snapshots
+//!
+//! After an *intentional* numeric change, regenerate and commit the files:
+//!
+//! ```text
+//! REGEN_GOLDEN=1 cargo test --test golden_curves
+//! git diff tests/golden/   # review every changed number!
+//! ```
+//!
+//! The regeneration path never deletes: it rewrites the four files and the
+//! test passes, so a forgotten `REGEN_GOLDEN` in CI would still pin the
+//! committed state on the next plain run.
+
+use std::path::PathBuf;
+
+use merging_phases::dse::curves::{figure_curves, Figure};
+
+fn golden_path(figure: Figure) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/golden/{figure}.json"))
+}
+
+fn check(figure: Figure) {
+    let curves = figure_curves(figure).expect("paper figures always evaluate");
+    let rendered = serde_json::to_string_pretty(&curves).expect("curves serialise");
+    let path = golden_path(figure);
+    if std::env::var("REGEN_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::write(&path, rendered.as_bytes()).expect("golden file is writable");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run `REGEN_GOLDEN=1 cargo test --test golden_curves`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "{figure} diverged from its golden snapshot; if the change is intentional, regenerate \
+         with `REGEN_GOLDEN=1 cargo test --test golden_curves` and review the diff"
+    );
+}
+
+#[test]
+fn fig3_scalability_curves_match_golden() {
+    check(Figure::Fig3);
+}
+
+#[test]
+fn fig4_symmetric_design_space_matches_golden() {
+    check(Figure::Fig4);
+}
+
+#[test]
+fn fig5_asymmetric_design_space_matches_golden() {
+    check(Figure::Fig5);
+}
+
+#[test]
+fn fig7_communication_model_matches_golden() {
+    check(Figure::Fig7);
+}
+
+/// The snapshot mechanism itself: golden JSON round-trips to the exact
+/// in-memory curves, so byte equality really is bit equality.
+#[test]
+fn golden_serialisation_round_trips_bitwise() {
+    for figure in Figure::ALL {
+        let curves = figure_curves(figure).expect("paper figures always evaluate");
+        let rendered = serde_json::to_string_pretty(&curves).expect("curves serialise");
+        let parsed: Vec<merging_phases::model::explore::Curve> =
+            serde_json::from_str(&rendered).expect("golden JSON parses");
+        assert_eq!(parsed.len(), curves.len());
+        for (a, b) in parsed.iter().zip(curves.iter()) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.points.len(), b.points.len());
+            for (p, q) in a.points.iter().zip(b.points.iter()) {
+                assert_eq!(p.area.to_bits(), q.area.to_bits());
+                assert_eq!(p.cores.to_bits(), q.cores.to_bits());
+                assert_eq!(p.speedup.to_bits(), q.speedup.to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Differential tests of the mp-serve service: every query answer must be
+//! **bit-identical** to a direct `Engine::sweep` over the same space —
+//! across shard counts, cold and warm caches, the in-process API and the
+//! real socket protocol (where records additionally survive the hex-bits
+//! wire encoding).
+
+use std::sync::Arc;
+
+use merging_phases::dse::prelude::*;
+use merging_phases::model::params::AppParams;
+use mp_serve::prelude::*;
+
+fn space() -> ScenarioSpace {
+    // Small-budget points make some designs unfit, so NaN records cross the
+    // wire too.
+    ScenarioSpace::new()
+        .with_apps(AppParams::table2_all())
+        .with_budgets(vec![64.0, 256.0])
+        .clear_designs()
+        .add_symmetric_grid((0..48).map(|i| 1.0 + i as f64 * 2.5))
+        .add_asymmetric_grid([1.0, 4.0], [4.0, 16.0, 64.0, 128.0])
+        .with_growths(vec![
+            merging_phases::model::growth::GrowthFunction::Linear,
+            merging_phases::model::growth::GrowthFunction::Logarithmic,
+        ])
+}
+
+fn direct_sweep(space: &ScenarioSpace) -> SweepResult {
+    Engine::new(2).sweep(space, &AnalyticBackend, &SweepConfig::default())
+}
+
+fn assert_records_identical(got: &[EvalRecord], want: &[EvalRecord], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: record count");
+    for (a, b) in got.iter().zip(want.iter()) {
+        assert_eq!(a.index, b.index, "{what}: index order");
+        assert_eq!(a.speedup.to_bits(), b.speedup.to_bits(), "{what}: speedup @{}", a.index);
+        assert_eq!(a.cores.to_bits(), b.cores.to_bits(), "{what}: cores @{}", a.index);
+        assert_eq!(a.area.to_bits(), b.area.to_bits(), "{what}: area @{}", a.index);
+    }
+}
+
+fn service(shards: usize) -> SweepService {
+    SweepService::new(
+        Arc::new(AnalyticBackend),
+        &ServiceConfig { shards, threads_per_shard: 2, ..ServiceConfig::default() },
+    )
+}
+
+#[test]
+fn in_process_queries_are_bit_identical_across_shard_counts_and_cache_states() {
+    let space = space();
+    let direct = direct_sweep(&space);
+    let direct_top = top_k(&direct.records, 12);
+    let direct_pareto = pareto_frontier(&direct.records, CostAxis::Cores);
+
+    for shards in [1usize, 4] {
+        let service = service(shards);
+        // Cold pass.
+        let cold = service.sweep(&space, None).unwrap();
+        assert_records_identical(&cold.records, &direct.records, &format!("{shards}-shard cold"));
+        assert_eq!(cold.stats.cache_hits, 0, "{shards}-shard cold pass must not hit");
+        // Warm pass: answered from the shard caches, still bit-identical.
+        let warm = service.sweep(&space, None).unwrap();
+        assert_records_identical(&warm.records, &direct.records, &format!("{shards}-shard warm"));
+        assert_eq!(warm.stats.cache_hits, space.len() as u64);
+        assert_eq!(warm.stats.cache_misses, 0);
+        // Analysis queries on both cache states.
+        assert_records_identical(
+            &service.top_k(&space, 12).unwrap(),
+            &direct_top,
+            &format!("{shards}-shard top_k"),
+        );
+        assert_records_identical(
+            &service.pareto(&space, CostAxis::Cores).unwrap(),
+            &direct_pareto,
+            &format!("{shards}-shard pareto"),
+        );
+    }
+}
+
+#[test]
+fn socket_protocol_preserves_bit_identity_across_shard_counts_and_cache_states() {
+    let space = space();
+    let direct = direct_sweep(&space);
+    let direct_top = top_k(&direct.records, 7);
+    let direct_pareto = pareto_frontier(&direct.records, CostAxis::Area);
+
+    for shards in [1usize, 4] {
+        let server =
+            Server::bind(&Endpoint::Tcp("127.0.0.1:0".into()), Arc::new(service(shards))).unwrap();
+        let endpoint = server.endpoint().clone();
+        let serving = std::thread::spawn(move || server.run().unwrap());
+
+        let mut client = Client::connect(&endpoint).unwrap();
+        assert_eq!(client.ping().unwrap(), PROTOCOL_VERSION);
+
+        for pass in ["cold", "warm"] {
+            let what = format!("{shards}-shard {pass} socket");
+            // Tiny chunk size so reassembly of many streamed chunks is
+            // exercised, not just the single-chunk path.
+            let (records, stats) = client.sweep(&space, None, 100).unwrap();
+            assert_records_identical(&records, &direct.records, &what);
+            assert_eq!(stats.scenarios, space.len());
+            if pass == "warm" {
+                assert_eq!(stats.cache_hits, space.len() as u64, "{what}");
+            }
+            assert_records_identical(&client.top_k(&space, 7).unwrap(), &direct_top, &what);
+            assert_records_identical(
+                &client.pareto(&space, CostAxis::Area).unwrap(),
+                &direct_pareto,
+                &what,
+            );
+        }
+
+        // Sub-range sweeps (the incremental/resumable path) over the wire.
+        let n = space.len();
+        for window in [0..n / 3, n / 3..n - 1, n - 1..n] {
+            let (records, _) = client.sweep(&space, Some(window.clone()), 64).unwrap();
+            assert_records_identical(
+                &records,
+                &direct.records[window],
+                &format!("{shards}-shard range sweep"),
+            );
+        }
+
+        client.shutdown().unwrap();
+        serving.join().unwrap();
+    }
+}
+
+#[test]
+fn concurrent_socket_clients_all_observe_identical_answers() {
+    let space = space();
+    let direct = Arc::new(direct_sweep(&space));
+    let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into()), Arc::new(service(4))).unwrap();
+    let endpoint = server.endpoint().clone();
+    let serving = std::thread::spawn(move || server.run().unwrap());
+
+    std::thread::scope(|scope| {
+        for client_index in 0..8 {
+            let endpoint = endpoint.clone();
+            let space = &space;
+            let direct = Arc::clone(&direct);
+            scope.spawn(move || {
+                let mut client = Client::connect(&endpoint).unwrap();
+                for _ in 0..3 {
+                    let (records, _) = client.sweep(space, None, 0).unwrap();
+                    assert_records_identical(
+                        &records,
+                        &direct.records,
+                        &format!("concurrent client {client_index}"),
+                    );
+                }
+            });
+        }
+    });
+
+    let mut control = Client::connect(&endpoint).unwrap();
+    let stats = control.stats().unwrap();
+    assert_eq!(stats.shards.len(), 4);
+    assert!(stats.queries >= 24);
+    let totals = stats.cache_totals();
+    assert!(totals.hits > 0, "repeat queries must hit the shard caches");
+    control.shutdown().unwrap();
+    serving.join().unwrap();
+}
+
+#[test]
+fn curve_queries_match_the_figure_family_bitwise() {
+    let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into()), Arc::new(service(1))).unwrap();
+    let endpoint = server.endpoint().clone();
+    let serving = std::thread::spawn(move || server.run().unwrap());
+    let mut client = Client::connect(&endpoint).unwrap();
+    for figure in Figure::ALL {
+        let served = client.curves(figure).unwrap();
+        let local = figure_curves(figure).unwrap();
+        assert_eq!(served.len(), local.len(), "{figure}");
+        for (a, b) in served.iter().zip(local.iter()) {
+            assert_eq!(a.label, b.label);
+            for (p, q) in a.points.iter().zip(b.points.iter()) {
+                assert_eq!(p.speedup.to_bits(), q.speedup.to_bits(), "{figure}: {}", a.label);
+            }
+        }
+    }
+    client.shutdown().unwrap();
+    serving.join().unwrap();
+}
+
+#[test]
+fn unix_socket_transport_behaves_like_tcp() {
+    let dir = std::env::temp_dir().join(format!("mp-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("parity.sock");
+    let _ = std::fs::remove_file(&path);
+    let server = Server::bind(&Endpoint::Unix(path.clone()), Arc::new(service(2))).unwrap();
+    let endpoint = server.endpoint().clone();
+    let serving = std::thread::spawn(move || server.run().unwrap());
+
+    let space = space();
+    let direct = direct_sweep(&space);
+    let mut client = Client::connect(&endpoint).unwrap();
+    let (records, _) = client.sweep(&space, None, 0).unwrap();
+    assert_records_identical(&records, &direct.records, "unix socket");
+    client.shutdown().unwrap();
+    serving.join().unwrap();
+    assert!(!path.exists(), "server unlinks its socket on shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
