@@ -132,10 +132,10 @@ fn usage() {
         "       repro calibrate [--threads N] [--out DIR] [--top K] [--quick] [--exact] [--json]"
     );
     eprintln!(
-        "       repro serve [--addr HOST:PORT | --socket PATH] [--shards N] [--threads N] [--backend B] [--no-cache]"
+        "       repro serve [--addr HOST:PORT | --socket PATH] [--shards N] [--threads N] [--backend B] [--no-cache] [--loops N] [--executors N] [--queue N]"
     );
     eprintln!(
-        "       repro load [--addr HOST:PORT | --socket PATH] [--clients N] [--requests N] [--quick] [--json] [--spawn]"
+        "       repro load [--addr HOST:PORT | --socket PATH] [--clients N] [--requests N] [--pipelined] [--depth N] [--no-prepare] [--quick] [--json] [--spawn]"
     );
     eprintln!("experiments:");
     for e in EXPERIMENTS {

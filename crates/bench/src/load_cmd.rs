@@ -1,20 +1,29 @@
 //! The `repro load` subcommand: a closed-loop load generator for `repro
 //! serve`.
 //!
-//! Drives N concurrent clients (default 16) against a running sweep service
-//! for two passes — `cold`, then `warm` — of mixed queries (full sweeps,
-//! index-range sweeps, top-k, Pareto), and reports queries/s, tail latency
-//! percentiles and the per-pass cache hit rate. Every response is checked
-//! **bit-identical** against a direct local `Engine::sweep` of the same
-//! space with the same backend, so the run doubles as a differential test;
-//! the command exits non-zero on any parity failure, or when the warm pass's
-//! hit rate is not above 90%.
+//! Drives N concurrent connections (default 16) against a running sweep
+//! service for two passes — `cold`, then `warm` — of mixed queries (full
+//! sweeps, index-range sweeps, top-k, Pareto), and reports queries/s, tail
+//! latency percentiles, a log-scale latency histogram and the per-pass cache
+//! hit rate. Every response is checked **bit-identical** against a direct
+//! local `Engine::sweep` of the same space with the same backend, so the run
+//! doubles as a differential test; the command exits non-zero on any parity
+//! failure, or when the warm pass's hit rate is not above 90%.
+//!
+//! `--pipelined` switches each connection to the v2 protocol's pipelined
+//! mode: `--depth` requests are written back-to-back before any response is
+//! read, exercising the server's ordered in-flight queue. Connections are
+//! multiplexed over a bounded worker-thread pool, so `--clients 2048` costs
+//! the generator 64 threads, not 2048 — the *server* is the side that has to
+//! scale. `busy` admission rejections are retried (and counted) rather than
+//! failed.
 //!
 //! `--spawn` makes the command self-contained: it launches `repro serve` as
 //! a child process on a free port, waits for its readiness line, runs the
 //! load, then shuts the child down — this is what the CI smoke step runs.
 
 use std::io::BufRead;
+use std::ops::Range;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
@@ -28,8 +37,26 @@ use crate::cli;
 
 /// The `load` flags that consume a value token (see
 /// [`crate::dse_cmd::VALUE_FLAGS`] for why this lives next to `parse`).
-pub const VALUE_FLAGS: &[&str] =
-    &["--addr", "--socket", "--clients", "--requests", "--shards", "--backend", "--chunk"];
+pub const VALUE_FLAGS: &[&str] = &[
+    "--addr",
+    "--socket",
+    "--clients",
+    "--requests",
+    "--shards",
+    "--backend",
+    "--chunk",
+    "--depth",
+];
+
+/// Deepest supported pipeline. Must stay safely below the server's
+/// per-connection pipeline cap (128): a client that writes more requests
+/// than the server is willing to buffer — while itself not reading
+/// responses — deadlocks on its own socket, by design.
+const MAX_DEPTH: usize = 64;
+
+/// Attempts per query before a persistent `busy` rejection counts as a
+/// failure.
+const BUSY_RETRIES: usize = 200;
 
 #[derive(Debug)]
 struct Options {
@@ -44,6 +71,9 @@ struct Options {
     backend: String,
     shutdown: bool,
     chunk: usize,
+    pipelined: bool,
+    depth: usize,
+    prepare: bool,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -59,6 +89,9 @@ fn parse(args: &[String]) -> Result<Options, String> {
         backend: "analytic".to_string(),
         shutdown: false,
         chunk: 0,
+        pipelined: false,
+        depth: 8,
+        prepare: true,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -81,6 +114,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 "--shards" => options.shards = cli::parse_parallelism(arg, &value)?,
                 "--backend" => options.backend = value,
                 "--chunk" => options.chunk = cli::parse_count(arg, &value, 1, cli::MAX_COUNT)?,
+                "--depth" => options.depth = cli::parse_count(arg, &value, 1, MAX_DEPTH)?,
                 other => unreachable!("{other} is listed in VALUE_FLAGS but unhandled"),
             }
         } else {
@@ -89,6 +123,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 "--json" => options.json = true,
                 "--spawn" => options.spawn = true,
                 "--shutdown" => options.shutdown = true,
+                "--pipelined" => options.pipelined = true,
+                "--no-prepare" => options.prepare = false,
                 other => return Err(format!("unknown load option `{other}`")),
             }
         }
@@ -153,6 +189,61 @@ fn percentile(sorted: &[f64], fraction: f64) -> f64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
+/// Upper bucket bounds of the latency histogram, in milliseconds.
+const HISTOGRAM_BOUNDS_MS: [f64; 14] =
+    [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 2048.0, 8192.0];
+
+/// A fixed log-scale latency histogram (final bucket is `+inf`).
+#[derive(Debug, Clone)]
+struct Histogram {
+    counts: [u64; HISTOGRAM_BOUNDS_MS.len() + 1],
+}
+
+impl Histogram {
+    fn from_latencies(latencies_s: &[f64]) -> Histogram {
+        let mut counts = [0u64; HISTOGRAM_BOUNDS_MS.len() + 1];
+        for &latency in latencies_s {
+            let ms = latency * 1e3;
+            let bucket = HISTOGRAM_BOUNDS_MS
+                .iter()
+                .position(|&bound| ms <= bound)
+                .unwrap_or(HISTOGRAM_BOUNDS_MS.len());
+            counts[bucket] += 1;
+        }
+        Histogram { counts }
+    }
+
+    fn json(&self) -> String {
+        let buckets: Vec<String> = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(bucket, count)| {
+                let bound = HISTOGRAM_BOUNDS_MS
+                    .get(bucket)
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "\"inf\"".to_string());
+                format!("{{\"le_ms\":{bound},\"count\":{count}}}")
+            })
+            .collect();
+        format!("[{}]", buckets.join(","))
+    }
+
+    fn render(&self) -> String {
+        let mut parts = Vec::new();
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            match HISTOGRAM_BOUNDS_MS.get(bucket) {
+                Some(bound) => parts.push(format!("<={bound}ms: {count}")),
+                None => parts.push(format!(">{}ms: {count}", HISTOGRAM_BOUNDS_MS.last().unwrap())),
+            }
+        }
+        parts.join("  ")
+    }
+}
+
 /// Outcome of one load pass.
 struct PassReport {
     name: &'static str,
@@ -164,15 +255,18 @@ struct PassReport {
     p99_ms: f64,
     max_ms: f64,
     parity_failures: usize,
+    busy_retries: u64,
+    busy_exhausted: usize,
     cache_hits: u64,
     cache_misses: u64,
     hit_rate: f64,
+    histogram: Histogram,
 }
 
 impl PassReport {
     fn json(&self) -> String {
         format!(
-            "{{\"name\":\"{}\",\"requests\":{},\"elapsed_seconds\":{},\"queries_per_second\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"max_ms\":{},\"parity_failures\":{},\"cache_hits\":{},\"cache_misses\":{},\"hit_rate\":{}}}",
+            "{{\"name\":\"{}\",\"requests\":{},\"elapsed_seconds\":{},\"queries_per_second\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"max_ms\":{},\"parity_failures\":{},\"busy_retries\":{},\"busy_exhausted\":{},\"cache_hits\":{},\"cache_misses\":{},\"hit_rate\":{},\"latency_histogram\":{}}}",
             self.name,
             self.requests,
             self.elapsed_seconds,
@@ -182,9 +276,12 @@ impl PassReport {
             self.p99_ms,
             self.max_ms,
             self.parity_failures,
+            self.busy_retries,
+            self.busy_exhausted,
             self.cache_hits,
             self.cache_misses,
             self.hit_rate,
+            self.histogram.json(),
         )
     }
 }
@@ -198,81 +295,267 @@ struct Reference {
     frontier_area: Vec<EvalRecord>,
 }
 
-/// Run one pass of `clients × requests` mixed queries; returns latencies and
-/// the parity failure count.
+/// One query of the deterministic per-(connection, request) mix.
+#[derive(Debug, Clone)]
+enum Query {
+    Full,
+    Window(Range<usize>),
+    Top,
+    Frontier(CostAxis),
+}
+
+impl Query {
+    /// The same mixed workload shape the v1 generator used, deterministic in
+    /// (connection, request index) so reruns are reproducible.
+    fn for_slot(connection: usize, request: usize, n: usize) -> Query {
+        match request % 3 {
+            0 => Query::Full,
+            1 => {
+                let start = (connection * 7919 + request * 104_729) % n;
+                let end = (start + n / 4 + 1).min(n);
+                Query::Window(start..end)
+            }
+            _ => {
+                if connection % 2 == 0 {
+                    Query::Top
+                } else if request % 2 == 0 {
+                    Query::Frontier(CostAxis::Cores)
+                } else {
+                    Query::Frontier(CostAxis::Area)
+                }
+            }
+        }
+    }
+
+    fn request(&self, reference: &Reference, spec: &SpaceSpec, chunk: usize) -> Request {
+        let space = spec.clone();
+        match self {
+            Query::Full => Request::Sweep { space, start: 0, end: reference.space.len(), chunk },
+            Query::Window(window) => {
+                Request::Sweep { space, start: window.start, end: window.end, chunk }
+            }
+            Query::Top => Request::TopK { space, k: 10 },
+            Query::Frontier(cost) => Request::Pareto { space, cost: *cost },
+        }
+    }
+
+    /// Check one query's collected responses against the local ground
+    /// truth. `Ok(parity_held)`, or `Err(())` when the server reported
+    /// `busy` (not a parity verdict — retry).
+    fn verify(&self, responses: Vec<Response>, reference: &Reference) -> Result<bool, ()> {
+        if responses.iter().any(|r| matches!(r, Response::Busy { .. })) {
+            return Err(());
+        }
+        match self {
+            Query::Full => Ok(assemble_sweep(responses, &(0..reference.space.len()))
+                .map(|(records, stats)| {
+                    stats.scenarios == reference.space.len()
+                        && records_identical(&records, &reference.records)
+                })
+                .unwrap_or(false)),
+            Query::Window(window) => Ok(assemble_sweep(responses, window)
+                .map(|(records, _)| records_identical(&records, &reference.records[window.clone()]))
+                .unwrap_or(false)),
+            Query::Top | Query::Frontier(_) => {
+                let truth = match self {
+                    Query::Top => &reference.top,
+                    Query::Frontier(CostAxis::Cores) => &reference.frontier_cores,
+                    _ => &reference.frontier_area,
+                };
+                match responses.as_slice() {
+                    [Response::Records { records }] => {
+                        Ok(records_identical(&from_wire(records), truth))
+                    }
+                    _ => Ok(false),
+                }
+            }
+        }
+    }
+}
+
+/// What one query ultimately amounted to.
+enum QueryOutcome {
+    /// A response arrived and matched the local ground truth bitwise.
+    Verified,
+    /// A response arrived and did **not** match — a real parity failure.
+    Mismatch,
+    /// The server was still rejecting with `busy` after the whole retry
+    /// budget: the query was never answered, so it is server saturation,
+    /// not a parity verdict. Counted (and failed) separately so the
+    /// differential-test report stays truthful.
+    BusyExhausted,
+}
+
+/// Run one query with bounded busy-retry. Returns the outcome plus how many
+/// busy rejections were absorbed.
+fn run_query(
+    client: &mut Client,
+    query: &Query,
+    reference: &Reference,
+    spec: &SpaceSpec,
+    chunk: usize,
+) -> Result<(QueryOutcome, u64), String> {
+    let mut retries = 0u64;
+    loop {
+        let responses =
+            client.call(query.request(reference, spec, chunk)).map_err(|e| format!("call: {e}"))?;
+        match query.verify(responses, reference) {
+            Ok(true) => return Ok((QueryOutcome::Verified, retries)),
+            Ok(false) => return Ok((QueryOutcome::Mismatch, retries)),
+            Err(()) => {
+                retries += 1;
+                if retries as usize > BUSY_RETRIES {
+                    return Ok((QueryOutcome::BusyExhausted, retries));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+/// Aggregated outcome of one pass.
+struct PassOutcome {
+    latencies: Vec<f64>,
+    failures: usize,
+    busy_retries: u64,
+    busy_exhausted: usize,
+}
+
+/// Run one pass of `clients × requests` mixed queries. Connections are
+/// multiplexed over at most 64 generator threads. In pipelined mode each
+/// connection sends `depth` requests back-to-back per wave and the recorded
+/// latencies are wave-completion times; otherwise one latency per request.
 fn run_pass(
     endpoint: &Endpoint,
     reference: &Reference,
-    clients: usize,
-    requests: usize,
-    chunk: usize,
-) -> Result<(Vec<f64>, usize), String> {
+    options: &Options,
+) -> Result<PassOutcome, String> {
+    let clients = options.clients;
+    let requests = options.requests;
+    let threads = clients.min(64);
     let failures = std::sync::atomic::AtomicUsize::new(0);
+    let busy_retries = std::sync::atomic::AtomicU64::new(0);
+    let busy_exhausted = std::sync::atomic::AtomicUsize::new(0);
     let latencies = std::sync::Mutex::new(Vec::with_capacity(clients * requests));
     let n = reference.space.len();
     std::thread::scope(|scope| -> Result<(), String> {
-        let mut handles = Vec::with_capacity(clients);
-        for client_index in 0..clients {
+        let mut handles = Vec::with_capacity(threads);
+        for thread_index in 0..threads {
             let failures = &failures;
+            let busy_retries = &busy_retries;
+            let busy_exhausted = &busy_exhausted;
             let latencies = &latencies;
             handles.push(scope.spawn(move || -> Result<(), String> {
-                let mut client = Client::connect(endpoint)
-                    .map_err(|e| format!("client {client_index}: connect failed: {e}"))?;
-                let mut local: Vec<f64> = Vec::with_capacity(requests);
-                for request in 0..requests {
-                    let started = Instant::now();
-                    let ok = match request % 3 {
-                        0 => {
-                            let (records, stats) = client
-                                .sweep(&reference.space, None, chunk)
-                                .map_err(|e| format!("client {client_index}: sweep: {e}"))?;
-                            stats.scenarios == n && records_identical(&records, &reference.records)
+                // This thread's share of the connection ids.
+                let mine: Vec<usize> = (thread_index..clients).step_by(threads).collect();
+                let mut conns = Vec::with_capacity(mine.len());
+                for &connection in &mine {
+                    let mut client = Client::connect(endpoint)
+                        .map_err(|e| format!("connection {connection}: connect failed: {e}"))?;
+                    // Prepared mode: register the space once per connection
+                    // and address it by id afterwards, the way a resident
+                    // DSE client would; --no-prepare ships the space's JSON
+                    // with every request instead (the v1 protocol shape).
+                    let spec = if options.prepare {
+                        let (id, scenarios) = client
+                            .prepare(&reference.space)
+                            .map_err(|e| format!("connection {connection}: prepare: {e}"))?;
+                        if scenarios != n {
+                            return Err(format!(
+                                "connection {connection}: prepared space has {scenarios} of {n} scenarios"
+                            ));
                         }
-                        1 => {
-                            // A deterministic per-(client, request) window, so
-                            // reruns are reproducible and windows differ.
-                            let start = (client_index * 7919 + request * 104_729) % n;
-                            let end = (start + n / 4 + 1).min(n);
-                            let (records, _) = client
-                                .sweep(&reference.space, Some(start..end), chunk)
-                                .map_err(|e| format!("client {client_index}: range sweep: {e}"))?;
-                            records_identical(&records, &reference.records[start..end])
-                        }
-                        _ => {
-                            if client_index % 2 == 0 {
-                                let top = client
-                                    .top_k(&reference.space, 10)
-                                    .map_err(|e| format!("client {client_index}: top_k: {e}"))?;
-                                records_identical(&top, &reference.top)
-                            } else {
-                                let cost = if request % 2 == 0 {
-                                    (CostAxis::Cores, &reference.frontier_cores)
-                                } else {
-                                    (CostAxis::Area, &reference.frontier_area)
-                                };
-                                let frontier = client
-                                    .pareto(&reference.space, cost.0)
-                                    .map_err(|e| format!("client {client_index}: pareto: {e}"))?;
-                                records_identical(&frontier, cost.1)
+                        SpaceSpec::Prepared { id }
+                    } else {
+                        SpaceSpec::Explicit(reference.space.clone())
+                    };
+                    conns.push((connection, client, spec));
+                }
+                let mut local_lat: Vec<f64> = Vec::new();
+                let mut local_fail = 0usize;
+                let mut local_busy = 0u64;
+                let mut local_exhausted = 0usize;
+
+                if options.pipelined {
+                    let mut sent = 0usize;
+                    while sent < requests {
+                        let wave = options.depth.min(requests - sent);
+                        for (connection, client, spec) in conns.iter_mut() {
+                            let queries: Vec<Query> = (sent..sent + wave)
+                                .map(|request| Query::for_slot(*connection, request, n))
+                                .collect();
+                            let wire: Vec<Request> = queries
+                                .iter()
+                                .map(|q| q.request(reference, spec, options.chunk))
+                                .collect();
+                            let started = Instant::now();
+                            let responses = client.call_pipelined(wire).map_err(|e| {
+                                format!("connection {connection}: pipelined wave: {e}")
+                            })?;
+                            local_lat.push(started.elapsed().as_secs_f64());
+                            for (query, answer) in queries.iter().zip(responses) {
+                                match query.verify(answer, reference) {
+                                    Ok(true) => {}
+                                    Ok(false) => local_fail += 1,
+                                    Err(()) => {
+                                        // Busy mid-pipeline: retry solo.
+                                        let (outcome, retries) = run_query(
+                                            client,
+                                            query,
+                                            reference,
+                                            spec,
+                                            options.chunk,
+                                        )?;
+                                        local_busy += 1 + retries;
+                                        match outcome {
+                                            QueryOutcome::Verified => {}
+                                            QueryOutcome::Mismatch => local_fail += 1,
+                                            QueryOutcome::BusyExhausted => local_exhausted += 1,
+                                        }
+                                    }
+                                }
                             }
                         }
-                    };
-                    local.push(started.elapsed().as_secs_f64());
-                    if !ok {
-                        failures.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        sent += wave;
+                    }
+                } else {
+                    for request in 0..requests {
+                        for (connection, client, spec) in conns.iter_mut() {
+                            let query = Query::for_slot(*connection, request, n);
+                            let started = Instant::now();
+                            let (outcome, retries) =
+                                run_query(client, &query, reference, spec, options.chunk)
+                                    .map_err(|e| format!("connection {connection}: {e}"))?;
+                            local_lat.push(started.elapsed().as_secs_f64());
+                            local_busy += retries;
+                            match outcome {
+                                QueryOutcome::Verified => {}
+                                QueryOutcome::Mismatch => local_fail += 1,
+                                QueryOutcome::BusyExhausted => local_exhausted += 1,
+                            }
+                        }
                     }
                 }
-                latencies.lock().unwrap_or_else(|e| e.into_inner()).extend(local);
+
+                failures.fetch_add(local_fail, std::sync::atomic::Ordering::Relaxed);
+                busy_retries.fetch_add(local_busy, std::sync::atomic::Ordering::Relaxed);
+                busy_exhausted.fetch_add(local_exhausted, std::sync::atomic::Ordering::Relaxed);
+                latencies.lock().unwrap_or_else(|e| e.into_inner()).extend(local_lat);
                 Ok(())
             }));
         }
         for handle in handles {
-            handle.join().map_err(|_| "a load client panicked".to_string())??;
+            handle.join().map_err(|_| "a load thread panicked".to_string())??;
         }
         Ok(())
     })?;
     let latencies = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
-    Ok((latencies, failures.into_inner()))
+    Ok(PassOutcome {
+        latencies,
+        failures: failures.into_inner(),
+        busy_retries: busy_retries.into_inner(),
+        busy_exhausted: busy_exhausted.into_inner(),
+    })
 }
 
 /// Spawn `repro serve` as a child on a free port and wait for its readiness
@@ -333,7 +616,7 @@ pub fn run(args: &[String]) -> ExitCode {
             eprintln!(
                 "usage: repro load [--addr HOST:PORT | --socket PATH] [--clients N] [--requests N] \
                  [--backend analytic|comm|sim|measured] [--chunk N] [--shards N (with --spawn)] \
-                 [--quick] [--json] [--spawn] [--shutdown]"
+                 [--pipelined] [--depth N] [--no-prepare] [--quick] [--json] [--spawn] [--shutdown]"
             );
             return ExitCode::FAILURE;
         }
@@ -430,18 +713,20 @@ fn drive(
 
     let mut reports = Vec::with_capacity(2);
     let mut parity_failures = 0usize;
+    let mut busy_exhausted = 0usize;
     for pass in ["cold", "warm"] {
         let before = control.stats().map_err(|e| format!("stats failed: {e}"))?.cache_totals();
         let started = Instant::now();
-        let (mut latencies, failures) =
-            run_pass(endpoint, &reference, options.clients, options.requests, options.chunk)?;
+        let outcome = run_pass(endpoint, &reference, options)?;
         let elapsed = started.elapsed().as_secs_f64();
         let after = control.stats().map_err(|e| format!("stats failed: {e}"))?.cache_totals();
+        let mut latencies = outcome.latencies;
         latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
         let requests = options.clients * options.requests;
         let hits = after.hits - before.hits;
         let misses = after.misses - before.misses;
-        parity_failures += failures;
+        parity_failures += outcome.failures;
+        busy_exhausted += outcome.busy_exhausted;
         reports.push(PassReport {
             name: pass,
             requests,
@@ -451,17 +736,20 @@ fn drive(
             p95_ms: percentile(&latencies, 0.95) * 1e3,
             p99_ms: percentile(&latencies, 0.99) * 1e3,
             max_ms: latencies.last().copied().unwrap_or(0.0) * 1e3,
-            parity_failures: failures,
+            parity_failures: outcome.failures,
+            busy_retries: outcome.busy_retries,
+            busy_exhausted: outcome.busy_exhausted,
             cache_hits: hits,
             cache_misses: misses,
             hit_rate: if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 },
+            histogram: Histogram::from_latencies(&latencies),
         });
     }
 
     let warm = reports.last().expect("two passes ran");
     let warm_hit_rate = warm.hit_rate;
     let nonzero_hits = warm.cache_hits > 0;
-    let ok = parity_failures == 0 && warm_hit_rate > 0.9 && nonzero_hits;
+    let ok = parity_failures == 0 && busy_exhausted == 0 && warm_hit_rate > 0.9 && nonzero_hits;
 
     if options.shutdown || options.spawn {
         control.shutdown().map_err(|e| format!("shutdown failed: {e}"))?;
@@ -470,24 +758,36 @@ fn drive(
     if options.json {
         let passes: Vec<String> = reports.iter().map(PassReport::json).collect();
         println!(
-            "{{\"experiment\":\"load\",\"endpoint\":\"{endpoint}\",\"protocol\":\"{version}\",\"backend\":\"{}\",\"clients\":{},\"requests_per_client\":{},\"scenarios_per_sweep\":{},\"passes\":[{}],\"parity_failures\":{parity_failures},\"warm_hit_rate\":{warm_hit_rate},\"ok\":{ok}}}",
+            "{{\"experiment\":\"load\",\"endpoint\":\"{endpoint}\",\"protocol\":\"{version}\",\"backend\":\"{}\",\"clients\":{},\"requests_per_client\":{},\"pipelined\":{},\"depth\":{},\"prepared_spaces\":{},\"scenarios_per_sweep\":{},\"passes\":[{}],\"parity_failures\":{parity_failures},\"busy_exhausted\":{busy_exhausted},\"warm_hit_rate\":{warm_hit_rate},\"ok\":{ok}}}",
             backend.name(),
             options.clients,
             options.requests,
+            options.pipelined,
+            if options.pipelined { options.depth } else { 1 },
+            options.prepare,
             reference.space.len(),
             passes.join(","),
         );
     } else {
-        println!("closed-loop load against {endpoint} ({version}, backend `{}`)", backend.name());
         println!(
-            "  {} clients x {} requests/pass over a {}-scenario space",
+            "closed-loop load against {endpoint} ({version}, backend `{}`{})",
+            backend.name(),
+            if options.pipelined {
+                format!(", pipelined depth {}", options.depth)
+            } else {
+                String::new()
+            },
+        );
+        println!(
+            "  {} connections x {} requests/pass over a {}-scenario space",
             options.clients,
             options.requests,
             reference.space.len(),
         );
+        let latency_unit = if options.pipelined { "wave" } else { "request" };
         for report in &reports {
             println!(
-                "  {:<4} pass: {:>7.1} queries/s | latency p50 {:>7.1}ms p95 {:>7.1}ms p99 {:>7.1}ms max {:>7.1}ms | cache {} hits / {} misses ({:.1}% hit rate)",
+                "  {:<4} pass: {:>7.1} queries/s | {latency_unit} latency p50 {:>7.1}ms p95 {:>7.1}ms p99 {:>7.1}ms max {:>7.1}ms | cache {} hits / {} misses ({:.1}% hit rate){}",
                 report.name,
                 report.queries_per_second,
                 report.p50_ms,
@@ -497,14 +797,27 @@ fn drive(
                 report.cache_hits,
                 report.cache_misses,
                 report.hit_rate * 100.0,
+                if report.busy_retries > 0 {
+                    format!(" | {} busy retries", report.busy_retries)
+                } else {
+                    String::new()
+                },
             );
+            println!("       histogram: {}", report.histogram.render());
         }
         println!(
-            "  parity: {} | warm hit rate {:.1}% ({}) ",
+            "  parity: {}{} | warm hit rate {:.1}% ({}) ",
             if parity_failures == 0 {
                 "every response bit-identical to Engine::sweep".to_string()
             } else {
                 format!("{parity_failures} FAILURES")
+            },
+            if busy_exhausted == 0 {
+                String::new()
+            } else {
+                // Saturation, not a correctness verdict: these queries were
+                // never answered, so they are reported apart from parity.
+                format!(" | {busy_exhausted} queries unanswered after busy-retry budget")
             },
             warm_hit_rate * 100.0,
             if ok { "PASS" } else { "FAIL" },
@@ -522,15 +835,26 @@ mod tests {
         let options = parse(&[]).unwrap();
         assert_eq!(options.clients, 16, "acceptance floor: >= 16 concurrent clients");
         assert_eq!(options.shards, 4);
+        assert!(!options.pipelined);
+        assert_eq!(options.depth, 8);
         assert!(parse(&["--clients".to_string(), "0".to_string()]).is_err());
         assert!(parse(&["--requests".to_string(), "0".to_string()]).is_err());
         assert!(parse(&["--chunk".to_string(), "0".to_string()]).is_err());
+        assert!(parse(&["--depth".to_string(), "0".to_string()]).is_err());
+        assert!(
+            parse(&["--depth".to_string(), "65".to_string()]).is_err(),
+            "depth must stay below the server's pipeline cap"
+        );
         assert!(parse(&["--bogus".to_string()]).is_err());
         assert!(cli::backend_by_name("nope").is_err());
         let conflict =
             parse(&["--spawn".to_string(), "--addr".to_string(), "1.2.3.4:1".to_string()])
                 .unwrap_err();
         assert!(conflict.contains("cannot be combined"), "{conflict}");
+        let pipelined =
+            parse(&["--pipelined".to_string(), "--depth".to_string(), "4".to_string()]).unwrap();
+        assert!(pipelined.pipelined);
+        assert_eq!(pipelined.depth, 4);
     }
 
     #[test]
@@ -540,6 +864,31 @@ mod tests {
         assert_eq!(percentile(&sorted, 1.0), 99.0);
         assert!(percentile(&sorted, 0.5) <= percentile(&sorted, 0.95));
         assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_all_latencies() {
+        let latencies = [0.0001, 0.001, 0.050, 1.0, 100.0];
+        let histogram = Histogram::from_latencies(&latencies);
+        assert_eq!(histogram.counts.iter().sum::<u64>(), latencies.len() as u64);
+        assert_eq!(*histogram.counts.last().unwrap(), 1, "100s lands in +inf");
+        assert!(histogram.json().contains("\"le_ms\":0.25"));
+        assert!(!histogram.render().is_empty());
+    }
+
+    #[test]
+    fn query_mix_is_deterministic_and_windows_stay_in_bounds() {
+        let n = 1000;
+        for connection in 0..20 {
+            for request in 0..12 {
+                let a = Query::for_slot(connection, request, n);
+                let b = Query::for_slot(connection, request, n);
+                assert_eq!(format!("{a:?}"), format!("{b:?}"));
+                if let Query::Window(window) = a {
+                    assert!(window.start < window.end && window.end <= n);
+                }
+            }
+        }
     }
 
     #[test]

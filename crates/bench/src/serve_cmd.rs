@@ -18,8 +18,17 @@ use crate::cli;
 
 /// The `serve` flags that consume a value token (see
 /// [`crate::dse_cmd::VALUE_FLAGS`] for why this lives next to `parse`).
-pub const VALUE_FLAGS: &[&str] =
-    &["--addr", "--socket", "--shards", "--threads", "--backend", "--batch"];
+pub const VALUE_FLAGS: &[&str] = &[
+    "--addr",
+    "--socket",
+    "--shards",
+    "--threads",
+    "--backend",
+    "--batch",
+    "--loops",
+    "--executors",
+    "--queue",
+];
 
 /// Options of one `serve` invocation.
 pub struct Options {
@@ -30,6 +39,12 @@ pub struct Options {
     backend: String,
     batch_size: usize,
     use_cache: bool,
+    /// Reactor event-loop threads (`0` = auto).
+    event_loops: usize,
+    /// Reactor executor threads (`0` = auto).
+    executors: usize,
+    /// Admission cap: sweeps in flight per shard before `busy`.
+    queue_capacity: usize,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -40,6 +55,9 @@ fn parse(args: &[String]) -> Result<Options, String> {
         backend: "analytic".to_string(),
         batch_size: 1024,
         use_cache: true,
+        event_loops: 0,
+        executors: 0,
+        queue_capacity: ServiceConfig::default().queue_capacity,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -54,6 +72,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 "--backend" => options.backend = value,
                 "--batch" => {
                     options.batch_size = cli::parse_count(arg, &value, 1, cli::MAX_COUNT)?;
+                }
+                "--loops" => options.event_loops = cli::parse_parallelism(arg, &value)?,
+                "--executors" => options.executors = cli::parse_parallelism(arg, &value)?,
+                "--queue" => {
+                    options.queue_capacity = cli::parse_count(arg, &value, 1, cli::MAX_COUNT)?;
                 }
                 other => unreachable!("{other} is listed in VALUE_FLAGS but unhandled"),
             }
@@ -86,6 +109,7 @@ pub fn build_service(options: &Options) -> Result<SweepService, String> {
         threads_per_shard,
         batch_size: options.batch_size,
         use_cache: options.use_cache,
+        queue_capacity: options.queue_capacity,
     };
     Ok(SweepService::new(backend, &config).with_registry(registry))
 }
@@ -98,7 +122,8 @@ pub fn run(args: &[String]) -> ExitCode {
             eprintln!("{message}");
             eprintln!(
                 "usage: repro serve [--addr HOST:PORT | --socket PATH] [--shards N] [--threads N] \
-                 [--backend analytic|comm|sim|measured] [--batch N] [--no-cache]"
+                 [--backend analytic|comm|sim|measured] [--batch N] [--no-cache] [--loops N] \
+                 [--executors N] [--queue N]"
             );
             return ExitCode::FAILURE;
         }
@@ -110,7 +135,11 @@ pub fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let server = match Server::bind(&options.endpoint, Arc::clone(&service)) {
+    let server = match Server::bind_with(
+        &options.endpoint,
+        Arc::clone(&service),
+        ServerConfig { event_loops: options.event_loops, executors: options.executors },
+    ) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("failed to bind {}: {e}", options.endpoint);
@@ -166,6 +195,19 @@ mod tests {
         assert!(parse(&["--shards".to_string(), "0".to_string()]).is_err());
         assert!(parse(&["--threads".to_string(), "0".to_string()]).is_err());
         assert!(parse(&["--batch".to_string(), "0".to_string()]).is_err());
+        assert!(parse(&["--loops".to_string(), "0".to_string()]).is_err());
+        assert!(parse(&["--executors".to_string(), "0".to_string()]).is_err());
+        assert!(parse(&["--queue".to_string(), "0".to_string()]).is_err());
+        let sized = parse(&[
+            "--loops".to_string(),
+            "2".to_string(),
+            "--executors".to_string(),
+            "6".to_string(),
+            "--queue".to_string(),
+            "32".to_string(),
+        ])
+        .unwrap();
+        assert_eq!((sized.event_loops, sized.executors, sized.queue_capacity), (2, 6, 32));
         assert!(parse(&["--bogus".to_string()]).is_err());
         assert!(
             build_service(&parse(&["--backend".to_string(), "nope".to_string()]).unwrap()).is_err()

@@ -333,11 +333,76 @@ impl<'a> SweepHandle<'a> {
     pub fn is_empty(&self) -> bool {
         self.space.is_empty()
     }
+
+    /// A resumable cursor over `range` of this prepared sweep, consumed in
+    /// `step`-sized windows (see [`RangeCursor`]).
+    pub fn cursor(&self, range: std::ops::Range<usize>, step: usize) -> RangeCursor {
+        assert!(range.end <= self.len(), "cursor range {range:?} exceeds the space");
+        RangeCursor::new(range, step)
+    }
 }
 
 impl std::fmt::Debug for SweepHandle<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SweepHandle").field("scenarios", &self.len()).finish()
+    }
+}
+
+/// A resumable position inside one prepared sweep: the remaining part of a
+/// `[start, end)` index range, consumed in `step`-sized windows.
+///
+/// This is what lets a resident service stream a large sweep **pull-based**:
+/// each [`RangeCursor::next_window`] yields the next contiguous sub-range to
+/// hand to [`Engine::sweep_range`], and the cursor can sit parked for as long
+/// as the consumer (a slow socket, a paused client) needs — no partial
+/// results are buffered, because none are computed until pulled. Windows are
+/// always `step`-aligned relative to `start`, so the chunk boundaries of a
+/// windowed sweep coincide with those of a one-shot sweep chunked at any
+/// divisor of `step`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeCursor {
+    end: usize,
+    step: usize,
+    pos: usize,
+}
+
+impl RangeCursor {
+    /// A cursor over `range`, advancing `step` scenarios per window.
+    pub fn new(range: std::ops::Range<usize>, step: usize) -> Self {
+        assert!(step > 0, "cursor step must be positive");
+        assert!(range.start <= range.end, "cursor range must be ordered");
+        RangeCursor { end: range.end, step, pos: range.start }
+    }
+
+    /// The next window (empty ranges never come back), or `None` once the
+    /// whole range has been handed out.
+    pub fn next_window(&mut self) -> Option<std::ops::Range<usize>> {
+        if self.pos >= self.end {
+            return None;
+        }
+        let start = self.pos;
+        self.pos = (start + self.step).min(self.end);
+        Some(start..self.pos)
+    }
+
+    /// First index not yet handed out.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Scenarios not yet handed out.
+    pub fn remaining(&self) -> usize {
+        self.end - self.pos
+    }
+
+    /// Whether every window has been handed out.
+    pub fn is_done(&self) -> bool {
+        self.pos >= self.end
+    }
+
+    /// The window size.
+    pub fn step(&self) -> usize {
+        self.step
     }
 }
 
@@ -822,6 +887,42 @@ mod tests {
             for (a, b) in first.records.iter().zip(second.records.iter()) {
                 assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn range_cursor_windows_tile_the_range_exactly_once() {
+        let mut cursor = RangeCursor::new(3..20, 5);
+        let windows: Vec<_> = std::iter::from_fn(|| cursor.next_window()).collect();
+        assert_eq!(windows, vec![3..8, 8..13, 13..18, 18..20]);
+        assert!(cursor.is_done());
+        assert_eq!(cursor.remaining(), 0);
+        assert_eq!(cursor.next_window(), None, "exhausted cursors stay exhausted");
+
+        let mut empty = RangeCursor::new(7..7, 4);
+        assert!(empty.is_done());
+        assert_eq!(empty.next_window(), None);
+    }
+
+    #[test]
+    fn windowed_cursor_sweeps_are_bit_identical_to_one_shot_sweeps() {
+        let space = space();
+        let handle = SweepHandle::new(&space);
+        let engine = Engine::new(2);
+        let config = SweepConfig { batch_size: 16, use_cache: false };
+        let full = engine.sweep(&space, &AnalyticBackend, &config);
+        // A ragged window size that does not divide the range.
+        let range = 5..handle.len() - 3;
+        let mut cursor = handle.cursor(range.clone(), 37);
+        let mut windowed = Vec::new();
+        while let Some(window) = cursor.next_window() {
+            assert_eq!(cursor.position(), window.end);
+            windowed.extend(engine.sweep_range(&handle, &AnalyticBackend, &config, window).records);
+        }
+        assert_eq!(windowed.len(), range.len());
+        for (record, truth) in windowed.iter().zip(&full.records[range]) {
+            assert_eq!(record.index, truth.index);
+            assert_eq!(record.speedup.to_bits(), truth.speedup.to_bits());
         }
     }
 

@@ -77,7 +77,7 @@ pub mod prelude {
     pub use crate::cache::{CacheStats, EvalCache};
     pub use crate::curves::{figure_curves, Figure};
     pub use crate::engine::{
-        Engine, EvalRecord, SweepConfig, SweepHandle, SweepResult, SweepStats,
+        Engine, EvalRecord, RangeCursor, SweepConfig, SweepHandle, SweepResult, SweepStats,
     };
     pub use crate::export::{write_csv, write_json};
     pub use crate::scenario::{

@@ -1,7 +1,17 @@
 //! A small blocking client for the serve protocol, used by the `repro load`
 //! generator and the differential tests.
+//!
+//! The read path is incremental: responses are reassembled from whatever
+//! pieces the socket yields through the same [`LineDecoder`] the server
+//! uses, so a line split across reads — or a read containing several
+//! pipelined responses — decodes identically. A connection that closes in
+//! the middle of a line is a transport error, never a truncated parse.
+//!
+//! [`Client::call_pipelined`] issues many requests back-to-back on one
+//! connection (one write, one flush) and then collects every answer in
+//! request order — the client side of the server's pipelined protocol.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::ops::Range;
 
 use mp_dse::analysis::CostAxis;
@@ -11,19 +21,32 @@ use mp_dse::scenario::ScenarioSpace;
 use mp_model::explore::Curve;
 
 use crate::protocol::{
-    decode_line, encode_line, CatalogueEntry, Request, RequestEnvelope, Response, ResponseEnvelope,
-    ServiceStats,
+    decode_chunk_line, decode_line, encode_line, CatalogueEntry, LineDecoder, Request,
+    RequestEnvelope, Response, ResponseEnvelope, ServiceStats,
 };
 use crate::server::{Endpoint, Stream};
 
 /// Error produced by a client call: transport failure, protocol violation or
 /// a server-reported error.
 #[derive(Debug)]
-pub struct ClientError(pub String);
+pub struct ClientError {
+    /// Human-readable reason.
+    pub message: String,
+    /// Whether the server rejected the request with a retryable
+    /// [`Response::Busy`] (admission control) rather than failing it.
+    pub busy: bool,
+}
+
+impl ClientError {
+    /// Whether the failure is a retryable admission rejection.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+}
 
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
@@ -31,18 +54,22 @@ impl std::error::Error for ClientError {}
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
-        ClientError(format!("transport error: {e}"))
+        err(format!("transport error: {e}"))
     }
 }
 
 fn err(message: impl Into<String>) -> ClientError {
-    ClientError(message.into())
+    ClientError { message: message.into(), busy: false }
 }
+
+/// No cap on response lines: the server is trusted and a sweep chunk line is
+/// legitimately hundreds of kilobytes.
+const MAX_RESPONSE_LINE: usize = usize::MAX / 2;
 
 /// A blocking connection to a sweep service.
 pub struct Client {
-    reader: BufReader<Stream>,
-    writer: Stream,
+    stream: Stream,
+    decoder: LineDecoder,
     next_id: u64,
 }
 
@@ -50,27 +77,44 @@ impl Client {
     /// Connect to a server.
     pub fn connect(endpoint: &Endpoint) -> std::io::Result<Client> {
         let stream = Stream::connect(endpoint)?;
-        Ok(Client { reader: BufReader::new(stream.try_clone()?), writer: stream, next_id: 1 })
+        Ok(Client { stream, decoder: LineDecoder::new(MAX_RESPONSE_LINE), next_id: 1 })
     }
 
-    /// Send one request and collect its responses through the terminal one.
-    /// Responses for other ids are a protocol violation (this client keeps
-    /// one request in flight at a time).
-    pub fn call(&mut self, request: Request) -> Result<Vec<Response>, ClientError> {
-        let id = self.next_id;
-        self.next_id += 1;
-        let line = encode_line(&RequestEnvelope { id, request });
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
+    /// One complete response line, reassembled across however many reads the
+    /// transport needs. EOF with a partial line buffered is reported as a
+    /// mid-line close, not parsed as a (truncated) response.
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            match self.decoder.next_line() {
+                Some(Ok(line)) => return Ok(line),
+                Some(Err(message)) => return Err(err(format!("malformed response: {message}"))),
+                None => {}
+            }
+            let read = self.stream.read(&mut buf)?;
+            if read == 0 {
+                return Err(if self.decoder.buffered() > 0 {
+                    err("server closed the connection mid-line")
+                } else {
+                    err("server closed the connection mid-request")
+                });
+            }
+            self.decoder.push(&buf[..read]);
+        }
+    }
 
+    /// Read responses for request `id` through its terminal one.
+    fn collect(&mut self, id: u64) -> Result<Vec<Response>, ClientError> {
         let mut responses = Vec::new();
         loop {
-            let mut line = String::new();
-            if self.reader.read_line(&mut line)? == 0 {
-                return Err(err("server closed the connection mid-request"));
-            }
-            let envelope: ResponseEnvelope = decode_line(line.trim_end()).map_err(err)?;
+            let line = self.read_line()?;
+            // Sweep chunks dominate the stream; their dedicated parser skips
+            // the generic value-tree path and declines (to the fallback) on
+            // anything that is not exactly a chunk line.
+            let envelope: ResponseEnvelope = match decode_chunk_line(&line) {
+                Some(envelope) => envelope,
+                None => decode_line(&line).map_err(|e| err(format!("malformed response: {e}")))?,
+            };
             if envelope.id != id {
                 return Err(err(format!(
                     "response id {} does not match request id {id}",
@@ -85,15 +129,46 @@ impl Client {
         }
     }
 
+    /// Send one request and collect its responses through the terminal one.
+    /// Responses for other ids are a protocol violation (this method keeps
+    /// one request in flight at a time).
+    pub fn call(&mut self, request: Request) -> Result<Vec<Response>, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut line = encode_line(&RequestEnvelope { id, request }).into_bytes();
+        line.push(b'\n');
+        self.stream.write_all(&line)?;
+        self.stream.flush()?;
+        self.collect(id)
+    }
+
+    /// Pipeline `requests` on this connection: every request line is written
+    /// (one buffered write, one flush) **before** any response is read, then
+    /// the answers are collected strictly in request order — the server
+    /// guarantees that ordering. Returns one response list per request.
+    pub fn call_pipelined(
+        &mut self,
+        requests: Vec<Request>,
+    ) -> Result<Vec<Vec<Response>>, ClientError> {
+        let first_id = self.next_id;
+        let mut wire = Vec::new();
+        for request in requests {
+            let id = self.next_id;
+            self.next_id += 1;
+            wire.extend_from_slice(encode_line(&RequestEnvelope { id, request }).as_bytes());
+            wire.push(b'\n');
+        }
+        self.stream.write_all(&wire)?;
+        self.stream.flush()?;
+        (first_id..self.next_id).map(|id| self.collect(id)).collect()
+    }
+
     fn single(&mut self, request: Request) -> Result<Response, ClientError> {
         let mut responses = self.call(request)?;
         if responses.len() != 1 {
             return Err(err(format!("expected one response, got {}", responses.len())));
         }
-        match responses.pop().expect("length checked") {
-            Response::Error { message } => Err(err(format!("server error: {message}"))),
-            response => Ok(response),
-        }
+        check_single(responses.pop().expect("length checked"))
     }
 
     /// Liveness probe; returns the server's protocol version.
@@ -120,6 +195,63 @@ impl Client {
         }
     }
 
+    /// Register `space` server-side; returns the prepared id (for
+    /// [`SpaceSpec::Prepared`] queries via the `*_prepared` methods) and the
+    /// space's scenario count.
+    ///
+    /// [`SpaceSpec::Prepared`]: crate::protocol::SpaceSpec::Prepared
+    pub fn prepare(&mut self, space: &ScenarioSpace) -> Result<(String, usize), ClientError> {
+        let request =
+            Request::Prepare { space: super::protocol::SpaceSpec::Explicit(space.clone()) };
+        match self.single(request)? {
+            Response::Prepared { id, scenarios } => Ok((id, scenarios)),
+            other => Err(unexpected("Prepared", &other)),
+        }
+    }
+
+    /// [`Client::sweep`] against a prepared space id — the request is a few
+    /// dozen bytes instead of the space's JSON.
+    pub fn sweep_prepared(
+        &mut self,
+        id: &str,
+        range: Range<usize>,
+        chunk: usize,
+    ) -> Result<(Vec<EvalRecord>, SweepStats), ClientError> {
+        let responses = self.call(Request::Sweep {
+            space: super::protocol::SpaceSpec::Prepared { id: id.to_string() },
+            start: range.start,
+            end: range.end,
+            chunk,
+        })?;
+        assemble_sweep(responses, &range)
+    }
+
+    /// [`Client::top_k`] against a prepared space id.
+    pub fn top_k_prepared(&mut self, id: &str, k: usize) -> Result<Vec<EvalRecord>, ClientError> {
+        let request =
+            Request::TopK { space: super::protocol::SpaceSpec::Prepared { id: id.to_string() }, k };
+        match self.single(request)? {
+            Response::Records { records } => Ok(super::protocol::from_wire(&records)),
+            other => Err(unexpected("Records", &other)),
+        }
+    }
+
+    /// [`Client::pareto`] against a prepared space id.
+    pub fn pareto_prepared(
+        &mut self,
+        id: &str,
+        cost: CostAxis,
+    ) -> Result<Vec<EvalRecord>, ClientError> {
+        let request = Request::Pareto {
+            space: super::protocol::SpaceSpec::Prepared { id: id.to_string() },
+            cost,
+        };
+        match self.single(request)? {
+            Response::Records { records } => Ok(super::protocol::from_wire(&records)),
+            other => Err(unexpected("Records", &other)),
+        }
+    }
+
     /// Sweep `range` of `space` (`None` = the whole space), reassembling the
     /// streamed chunks. Records come back in index order with global indices.
     pub fn sweep(
@@ -135,33 +267,7 @@ impl Client {
             end: range.end,
             chunk,
         })?;
-        let mut records: Vec<EvalRecord> = Vec::with_capacity(range.len());
-        let mut stats = None;
-        for response in responses {
-            match response {
-                Response::SweepChunk { start, records: wire } => {
-                    if records.len() + range.start != start {
-                        return Err(err(format!(
-                            "out-of-order sweep chunk: expected start {}, got {start}",
-                            records.len() + range.start
-                        )));
-                    }
-                    records.extend(wire.into_iter().map(EvalRecord::from));
-                }
-                Response::SweepDone { stats: s } => stats = Some(s),
-                Response::Error { message } => return Err(err(format!("server error: {message}"))),
-                other => return Err(unexpected("SweepChunk/SweepDone", &other)),
-            }
-        }
-        let stats = stats.ok_or_else(|| err("sweep ended without a SweepDone"))?;
-        if records.len() != range.len() {
-            return Err(err(format!(
-                "sweep returned {} of {} records",
-                records.len(),
-                range.len()
-            )));
-        }
-        Ok((records, stats))
+        assemble_sweep(responses, &range)
     }
 
     /// The `k` best records of a full sweep of `space`.
@@ -209,6 +315,52 @@ impl Client {
     }
 }
 
+/// Map server-reported failures of a single-response call to errors.
+fn check_single(response: Response) -> Result<Response, ClientError> {
+    match response {
+        Response::Error { message } => Err(err(format!("server error: {message}"))),
+        Response::Busy { message } => {
+            Err(ClientError { message: format!("server busy: {message}"), busy: true })
+        }
+        response => Ok(response),
+    }
+}
+
+/// Reassemble one sweep's streamed responses (chunks in index order, then
+/// `SweepDone`) into records plus statistics. Shared by the one-shot and
+/// pipelined sweep paths.
+pub fn assemble_sweep(
+    responses: Vec<Response>,
+    range: &Range<usize>,
+) -> Result<(Vec<EvalRecord>, SweepStats), ClientError> {
+    let mut records: Vec<EvalRecord> = Vec::with_capacity(range.len());
+    let mut stats = None;
+    for response in responses {
+        match response {
+            Response::SweepChunk { start, records: wire } => {
+                if records.len() + range.start != start {
+                    return Err(err(format!(
+                        "out-of-order sweep chunk: expected start {}, got {start}",
+                        records.len() + range.start
+                    )));
+                }
+                records.extend(wire.into_iter().map(EvalRecord::from));
+            }
+            Response::SweepDone { stats: s } => stats = Some(s),
+            Response::Error { message } => return Err(err(format!("server error: {message}"))),
+            Response::Busy { message } => {
+                return Err(ClientError { message: format!("server busy: {message}"), busy: true })
+            }
+            other => return Err(unexpected("SweepChunk/SweepDone", &other)),
+        }
+    }
+    let stats = stats.ok_or_else(|| err("sweep ended without a SweepDone"))?;
+    if records.len() != range.len() {
+        return Err(err(format!("sweep returned {} of {} records", records.len(), range.len())));
+    }
+    Ok((records, stats))
+}
+
 fn unexpected(wanted: &str, got: &Response) -> ClientError {
     let label = match got {
         Response::Pong { .. } => "Pong",
@@ -219,7 +371,9 @@ fn unexpected(wanted: &str, got: &Response) -> ClientError {
         Response::SweepDone { .. } => "SweepDone",
         Response::Records { .. } => "Records",
         Response::Curves { .. } => "Curves",
+        Response::Prepared { .. } => "Prepared",
         Response::Error { .. } => "Error",
+        Response::Busy { .. } => "Busy",
     };
     err(format!("expected {wanted} response, got {label}"))
 }

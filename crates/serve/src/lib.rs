@@ -18,10 +18,22 @@
 //!   `catalogue` (fingerprint-keyed calibration addressing), `ping`,
 //!   `shutdown`. Records travel as hex bit patterns, so responses are
 //!   bit-exact down to the engine's `NaN` markers.
-//! * [`server`] — TCP / Unix-domain listeners, one handler thread per
-//!   connection, per-line flushing so large sweeps stream.
-//! * [`client`] — a small blocking client (what `repro load` and the
-//!   differential tests drive).
+//! * [`server`] — an **event-driven reactor** (serve v2): a small pool of
+//!   epoll event loops owns every accepted socket (edge-triggered,
+//!   non-blocking, raw `epoll`/`eventfd` via [`reactor`]), parses requests
+//!   incrementally, **pipelines** (many in-flight requests per connection,
+//!   responses strictly in request order) and applies **backpressure**
+//!   (bounded per-shard admission queues answering `busy`, plus write-side
+//!   watermarks that park a streaming sweep's [`RangeCursor`] until
+//!   `EPOLLOUT` drains the outbox — a slow client costs a parked cursor,
+//!   not a pinned thread or an unbounded buffer).
+//! * [`client`] — a blocking client with an incremental (short-read-proof)
+//!   decode path, [`Client::call_pipelined`], and prepared-space queries
+//!   (`prepare` once, then address the space by 16-hex id — the protocol's
+//!   prepared-statement analogue).
+//!
+//! [`RangeCursor`]: mp_dse::engine::RangeCursor
+//! [`Client::call_pipelined`]: client::Client::call_pipelined
 //!
 //! ## Quick example (in-process)
 //!
@@ -47,20 +59,25 @@
 #![warn(rust_2018_idioms)]
 
 pub mod client;
+mod conn;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 pub mod service;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::client::{Client, ClientError};
+    pub use crate::client::{assemble_sweep, Client, ClientError};
     pub use crate::protocol::{
-        decode_line, encode_line, from_wire, to_wire, CatalogueEntry, Request, RequestEnvelope,
-        Response, ResponseEnvelope, ServiceStats, ShardStats, SpaceSpec, WireRecord, DEFAULT_CHUNK,
+        decode_chunk_line, decode_line, encode_chunk_line, encode_line, from_wire, to_wire,
+        CatalogueEntry, LineDecoder, Request, RequestEnvelope, Response, ResponseEnvelope,
+        ServiceStats, ShardStats, SpaceSpec, WireRecord, DEFAULT_CHUNK, MAX_REQUEST_LINE,
         PROTOCOL_VERSION,
     };
-    pub use crate::server::{Endpoint, Server, Stream};
-    pub use crate::service::{ServeError, ServiceConfig, SweepService};
+    pub use crate::server::{Endpoint, Server, ServerConfig, Stream};
+    pub use crate::service::{
+        ServeError, ServeErrorKind, ServiceConfig, SweepService, SweepTicket,
+    };
 }
 
 pub use prelude::*;

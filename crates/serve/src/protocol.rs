@@ -35,10 +35,20 @@ use mp_dse::scenario::ScenarioSpace;
 use mp_model::explore::Curve;
 
 /// Protocol identity reported by `ping`; bump on incompatible changes.
-pub const PROTOCOL_VERSION: &str = "mp-serve/1";
+/// `mp-serve/2` adds pipelining (multiple in-flight requests per connection,
+/// responses strictly in request order) and the [`Response::Busy`] admission
+/// signal; every `mp-serve/1` exchange is still valid.
+pub const PROTOCOL_VERSION: &str = "mp-serve/2";
 
 /// Default scenario count per streamed sweep chunk.
 pub const DEFAULT_CHUNK: usize = 8192;
+
+/// Longest request line the server accepts, in bytes. A line that grows past
+/// this without a newline is answered with an id-0 [`Response::Error`] and
+/// discarded up to its terminating newline; the connection survives. The cap
+/// is what keeps one connection's receive buffer bounded no matter what the
+/// client sends.
+pub const MAX_REQUEST_LINE: usize = 4 << 20;
 
 /// One client request, tagged with a client-chosen correlation id.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -65,6 +75,16 @@ pub enum SpaceSpec {
         ids: Vec<String>,
         /// The remaining axes (its own application axis is ignored).
         space: ScenarioSpace,
+    },
+    /// A space previously registered with [`Request::Prepare`], addressed by
+    /// the 16-hex-digit id the server returned. The request is ~60 bytes
+    /// instead of the space's whole JSON, and the server skips the parse,
+    /// clone and fingerprint work on every query — the protocol's
+    /// prepared-statement analogue. Ids are served LRU: a long-evicted id
+    /// answers with an error and the client re-prepares.
+    Prepared {
+        /// The id from [`Response::Prepared`].
+        id: String,
     },
 }
 
@@ -110,6 +130,14 @@ pub enum Request {
     Curve {
         /// Which figure.
         figure: Figure,
+    },
+    /// Register a space server-side and get back a [`SpaceSpec::Prepared`]
+    /// id for it: the space is resolved, its columnar tables are built (or
+    /// found warm) and pinned in the prepared-handle cache, and subsequent
+    /// queries can address it by id instead of shipping it.
+    Prepare {
+        /// The space to prepare.
+        space: SpaceSpec,
     },
 }
 
@@ -162,9 +190,24 @@ pub enum Response {
         /// The figure's curve family.
         curves: Vec<Curve>,
     },
+    /// Answer to [`Request::Prepare`].
+    Prepared {
+        /// The id [`SpaceSpec::Prepared`] takes (16 hex digits).
+        id: String,
+        /// Scenario count of the prepared space (what range queries are
+        /// validated against).
+        scenarios: usize,
+    },
     /// The request failed; no further responses follow.
     Error {
         /// Human-readable reason.
+        message: String,
+    },
+    /// The service's admission queues are full; the request was **not**
+    /// executed and can be retried. Terminal, like [`Response::Error`], but
+    /// distinguishable so clients can back off instead of giving up.
+    Busy {
+        /// Human-readable reason (which queue rejected the request).
         message: String,
     },
 }
@@ -298,9 +341,266 @@ impl Deserialize for WireRecord {
     }
 }
 
+/// Incremental splitter of a byte stream into protocol lines.
+///
+/// This is the reactor's per-connection receive state: bytes arrive in
+/// whatever pieces the socket produces ([`LineDecoder::push`]), and
+/// [`LineDecoder::next_line`] drains complete newline-terminated lines as
+/// they become available — a line split across any number of reads, or many
+/// lines in one read, decode identically. The buffer is bounded: a line
+/// longer than `max_line` yields one error and is then discarded up to its
+/// terminating newline, after which decoding resumes cleanly — one abusive
+/// (or corrupted) line costs one error response, not the connection or the
+/// server's memory. Bytes that are not valid UTF-8 likewise yield an error
+/// for that line only.
+///
+/// Empty and whitespace-only lines are skipped, matching the blocking
+/// server's behaviour since protocol v1.
+#[derive(Debug)]
+pub struct LineDecoder {
+    buf: Vec<u8>,
+    /// Bytes before `start` have been consumed.
+    start: usize,
+    /// Scan for the next newline resumes here (never rescans consumed bytes).
+    scanned: usize,
+    max_line: usize,
+    /// An oversized line is being discarded up to its newline; the error has
+    /// already been emitted.
+    skipping: bool,
+}
+
+impl LineDecoder {
+    /// A decoder that rejects lines longer than `max_line` bytes.
+    pub fn new(max_line: usize) -> Self {
+        assert!(max_line > 0, "line limit must be positive");
+        LineDecoder { buf: Vec::new(), start: 0, scanned: 0, max_line, skipping: false }
+    }
+
+    /// Append newly received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (diagnostics; bounded by `max_line` plus one
+    /// read's worth).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// The next complete line, `Err` for a line that cannot become a request
+    /// (oversized or not UTF-8), or `None` when more bytes are needed.
+    pub fn next_line(&mut self) -> Option<Result<String, String>> {
+        loop {
+            let newline = self.buf[self.scanned..].iter().position(|&b| b == b'\n');
+            match newline {
+                Some(offset) => {
+                    let end = self.scanned + offset;
+                    let line_start = self.start;
+                    self.start = end + 1;
+                    self.scanned = self.start;
+                    if self.skipping {
+                        // The tail of a line already reported as oversized.
+                        self.skipping = false;
+                        continue;
+                    }
+                    let raw = &self.buf[line_start..end];
+                    if raw.len() > self.max_line {
+                        // The whole over-limit line (newline included)
+                        // arrived inside one read, so the no-newline cap
+                        // check never fired; the limit must not depend on
+                        // how TCP happened to segment the bytes.
+                        return Some(Err(format!(
+                            "request line exceeds the {}-byte limit",
+                            self.max_line
+                        )));
+                    }
+                    if raw.iter().all(|b| b.is_ascii_whitespace()) {
+                        continue;
+                    }
+                    return Some(
+                        std::str::from_utf8(raw)
+                            .map(|s| s.trim_end_matches('\r').to_string())
+                            .map_err(|_| "request line is not valid UTF-8".to_string()),
+                    );
+                }
+                None => {
+                    self.scanned = self.buf.len();
+                    if self.skipping {
+                        // Still inside a line already reported as oversized:
+                        // discard its continuation *now*, not at the
+                        // newline — otherwise a client streaming a
+                        // newline-free torrent would grow this buffer
+                        // without bound despite the cap.
+                        self.start = self.buf.len();
+                        return None;
+                    }
+                    let pending = self.buf.len() - self.start;
+                    if pending <= self.max_line {
+                        return None;
+                    }
+                    // Discard the oversized prefix now (the bytes can never
+                    // be part of a valid line) and keep discarding until the
+                    // newline arrives.
+                    self.start = self.buf.len();
+                    self.skipping = true;
+                    return Some(Err(format!(
+                        "request line exceeds the {}-byte limit",
+                        self.max_line
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Drop consumed bytes once they dominate the buffer, so the allocation
+    /// tracks the *unconsumed* tail instead of growing with connection
+    /// lifetime.
+    fn compact(&mut self) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+            self.scanned = 0;
+        } else if self.start > 4096 && self.start >= self.buf.len() / 2 {
+            self.buf.drain(..self.start);
+            self.scanned -= self.start;
+            self.start = 0;
+        }
+    }
+}
+
 /// Encode one protocol message as its wire line (no trailing newline).
 pub fn encode_line<T: Serialize>(message: &T) -> String {
     serde_json::to_string(message).expect("protocol messages always serialise")
+}
+
+/// Replicate the workspace JSON printer's number formatting exactly (whole
+/// numbers as integers, otherwise shortest round-trip), appending without
+/// intermediate allocation. Byte-identity with [`encode_line`] is what lets
+/// the fast chunk path below coexist with the generic one.
+fn push_number(out: &mut String, n: f64) {
+    use std::fmt::Write;
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == 0.0 {
+        out.push_str(if n.is_sign_negative() { "-0.0" } else { "0" });
+    } else if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+/// Fast encoder for the protocol's dominant line — a sweep chunk — building
+/// the JSON text directly instead of materialising the intermediate value
+/// tree (which costs ~8 heap allocations *per record* in the workspace's
+/// offline serde). Produces **byte-identical** output to
+/// `encode_line(&ResponseEnvelope { id, response: Response::SweepChunk {
+/// start, records: to_wire(records) } })`; a test pins that equivalence.
+pub fn encode_chunk_line(id: u64, start: usize, records: &[EvalRecord]) -> String {
+    use std::fmt::Write;
+    // ~64 bytes of fixed framing + ~70 bytes per encoded record.
+    let mut out = String::with_capacity(80 + records.len() * 72);
+    out.push_str("{\"id\":");
+    push_number(&mut out, id as f64);
+    out.push_str(",\"response\":{\"SweepChunk\":{\"start\":");
+    push_number(&mut out, start as f64);
+    out.push_str(",\"records\":[");
+    for (offset, record) in records.iter().enumerate() {
+        if offset > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        push_number(&mut out, record.index as f64);
+        let _ = write!(
+            out,
+            ",\"{:016x}\",\"{:016x}\",\"{:016x}\"]",
+            record.speedup.to_bits(),
+            record.cores.to_bits(),
+            record.area.to_bits(),
+        );
+    }
+    out.push_str("]}}}");
+    out
+}
+
+/// Fast decoder for lines produced by [`encode_chunk_line`] (or the generic
+/// encoder — same bytes). Returns `None` for anything that is not exactly a
+/// compact sweep-chunk envelope, in which case the caller falls back to the
+/// generic parser; the fast path can therefore never *mis*parse, only
+/// decline.
+pub fn decode_chunk_line(line: &str) -> Option<ResponseEnvelope> {
+    let rest = line.strip_prefix("{\"id\":")?;
+    let (id, rest) = take_integer(rest)?;
+    let rest = rest.strip_prefix(",\"response\":{\"SweepChunk\":{\"start\":")?;
+    let (start, rest) = take_integer(rest)?;
+    let mut rest = rest.strip_prefix(",\"records\":[")?;
+    let mut records = Vec::new();
+    if let Some(closed) = rest.strip_prefix(']') {
+        if closed != "}}}" {
+            return None;
+        }
+        return Some(ResponseEnvelope {
+            id: id as u64,
+            response: Response::SweepChunk { start: start as usize, records },
+        });
+    }
+    loop {
+        let body = rest.strip_prefix('[')?;
+        let (index, body) = take_integer(body)?;
+        let (speedup, body) = take_hex_field(body)?;
+        let (cores, body) = take_hex_field(body)?;
+        let (area, body) = take_hex_field(body)?;
+        let body = body.strip_prefix(']')?;
+        records.push(WireRecord(EvalRecord {
+            index: index as usize,
+            speedup: f64::from_bits(speedup),
+            cores: f64::from_bits(cores),
+            area: f64::from_bits(area),
+        }));
+        match body.as_bytes().first()? {
+            b',' => rest = &body[1..],
+            b']' => {
+                if &body[1..] != "}}}" {
+                    return None;
+                }
+                return Some(ResponseEnvelope {
+                    id: id as u64,
+                    response: Response::SweepChunk { start: start as usize, records },
+                });
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Parse a plain non-negative decimal integer prefix (the only form the
+/// compact printer emits for ids, starts and indices).
+fn take_integer(s: &str) -> Option<(u128, &str)> {
+    let bytes = s.as_bytes();
+    let mut end = 0;
+    let mut value: u128 = 0;
+    while end < bytes.len() && bytes[end].is_ascii_digit() {
+        value = value.checked_mul(10)?.checked_add((bytes[end] - b'0') as u128)?;
+        end += 1;
+    }
+    // Reject empty matches, and any value past f64's exact-integer range —
+    // the generic path round-trips numbers through f64, so the fast path
+    // only accepts what both paths decode identically.
+    if end == 0 || value >= (1u128 << 53) {
+        return None;
+    }
+    Some((value, &s[end..]))
+}
+
+/// Parse `,"<16 hex digits>"`.
+fn take_hex_field(s: &str) -> Option<(u64, &str)> {
+    let rest = s.strip_prefix(",\"")?;
+    let bytes = rest.as_bytes();
+    if bytes.len() < 17 || bytes[16] != b'"' || !bytes[..16].iter().all(u8::is_ascii_hexdigit) {
+        return None;
+    }
+    Some((u64::from_str_radix(&rest[..16], 16).ok()?, &rest[17..]))
 }
 
 /// Decode one wire line.
@@ -393,6 +693,137 @@ mod tests {
             let line = encode_line(&envelope);
             let back: ResponseEnvelope = decode_line(&line).unwrap();
             assert_eq!(encode_line(&back), line);
+        }
+    }
+
+    #[test]
+    fn busy_responses_are_terminal_and_round_trip() {
+        let busy = Response::Busy { message: "shard queue full".into() };
+        assert!(busy.is_terminal());
+        let line = encode_line(&ResponseEnvelope { id: 9, response: busy });
+        let back: ResponseEnvelope = decode_line(&line).unwrap();
+        assert_eq!(encode_line(&back), line);
+        assert!(matches!(back.response, Response::Busy { .. }));
+    }
+
+    #[test]
+    fn line_decoder_reassembles_split_lines_and_survives_oversize() {
+        let mut decoder = LineDecoder::new(32);
+        decoder.push(b"{\"id\":1}\n  \n{\"id");
+        assert_eq!(decoder.next_line().unwrap().unwrap(), "{\"id\":1}");
+        assert!(decoder.next_line().is_none(), "partial line waits for more bytes");
+        decoder.push(b"\":2}\n");
+        assert_eq!(decoder.next_line().unwrap().unwrap(), "{\"id\":2}");
+        assert!(decoder.next_line().is_none());
+
+        // An oversized line errors once, then the stream resyncs.
+        decoder.push(&[b'x'; 40]);
+        let err = decoder.next_line().unwrap().unwrap_err();
+        assert!(err.contains("32-byte"), "{err}");
+        decoder.push(b"tail\n{\"id\":3}\n");
+        assert_eq!(decoder.next_line().unwrap().unwrap(), "{\"id\":3}");
+        assert!(decoder.buffered() < 16, "consumed bytes are reclaimed");
+
+        // Invalid UTF-8 poisons only its own line.
+        decoder.push(&[0xff, 0xfe, b'\n']);
+        decoder.push(b"{\"id\":4}\n");
+        assert!(decoder.next_line().unwrap().is_err());
+        assert_eq!(decoder.next_line().unwrap().unwrap(), "{\"id\":4}");
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_regardless_of_read_segmentation() {
+        // The whole over-limit line, newline included, in a single push:
+        // the cap must hold exactly as it does when the line dribbles in.
+        let mut one_shot = LineDecoder::new(32);
+        let mut wire = vec![b'a'; 40];
+        wire.push(b'\n');
+        wire.extend_from_slice(b"{\"id\":1}\n");
+        one_shot.push(&wire);
+        let rejected = one_shot.next_line().unwrap().unwrap_err();
+        assert!(rejected.contains("32-byte"), "{rejected}");
+        assert_eq!(one_shot.next_line().unwrap().unwrap(), "{\"id\":1}");
+
+        // A line of exactly the cap still passes.
+        let mut at_cap = LineDecoder::new(32);
+        at_cap.push(&[b'b'; 32]);
+        at_cap.push(b"\n");
+        assert_eq!(at_cap.next_line().unwrap().unwrap(), "b".repeat(32));
+    }
+
+    #[test]
+    fn skipped_oversized_lines_discard_their_continuation_incrementally() {
+        // One error for the oversized line, then a newline-free torrent:
+        // the buffer must stay bounded the whole way, not wait for the
+        // newline to reclaim.
+        let mut decoder = LineDecoder::new(64);
+        decoder.push(&[b'x'; 100]);
+        assert!(decoder.next_line().unwrap().is_err());
+        for _ in 0..1000 {
+            decoder.push(&[b'y'; 1024]);
+            assert!(decoder.next_line().is_none());
+            assert!(
+                decoder.buffered() <= 2048,
+                "skipping mode must not retain bytes: {}",
+                decoder.buffered()
+            );
+        }
+        // The eventual newline ends the skip and decoding resumes cleanly.
+        decoder.push(b"tail\n{\"id\":5}\n");
+        assert_eq!(decoder.next_line().unwrap().unwrap(), "{\"id\":5}");
+    }
+
+    #[test]
+    fn fast_chunk_codec_is_byte_identical_to_the_generic_path() {
+        let records = vec![
+            EvalRecord { index: 0, speedup: 104.53125, cores: 64.0, area: 4.0 },
+            EvalRecord { index: 1, speedup: f64::NAN, cores: -0.0, area: 1e-300 },
+            EvalRecord { index: 2, speedup: 0.1 + 0.2, cores: 1.0 / 3.0, area: f64::INFINITY },
+        ];
+        for (id, start) in [(1u64, 0usize), (9999, 123_456), (1 << 40, (1 << 40) + 7)] {
+            let fast = encode_chunk_line(id, start, &records);
+            let generic = encode_line(&ResponseEnvelope {
+                id,
+                response: Response::SweepChunk { start, records: to_wire(&records) },
+            });
+            assert_eq!(fast, generic, "fast encoder must match the generic printer");
+            // Both decoders agree on both encodings.
+            let via_fast = decode_chunk_line(&fast).expect("fast decode accepts its own output");
+            assert_eq!(via_fast.id, id);
+            let Response::SweepChunk { start: got_start, records: got } = via_fast.response else {
+                panic!("fast decode must yield a chunk");
+            };
+            assert_eq!(got_start, start);
+            for (a, b) in from_wire(&got).iter().zip(&records) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.speedup.to_bits(), b.speedup.to_bits(), "NaN-safe compare");
+                assert_eq!(a.cores.to_bits(), b.cores.to_bits());
+                assert_eq!(a.area.to_bits(), b.area.to_bits());
+            }
+            let via_generic: ResponseEnvelope = decode_line(&fast).unwrap();
+            assert_eq!(encode_line(&via_generic), fast);
+        }
+        // Empty chunks (never sent, but the shape must still agree).
+        let empty_fast = encode_chunk_line(3, 5, &[]);
+        let empty_generic = encode_line(&ResponseEnvelope {
+            id: 3,
+            response: Response::SweepChunk { start: 5, records: Vec::new() },
+        });
+        assert_eq!(empty_fast, empty_generic);
+        assert!(decode_chunk_line(&empty_fast).is_some());
+    }
+
+    #[test]
+    fn fast_chunk_decoder_declines_everything_else() {
+        for line in [
+            "",
+            "not json",
+            "{\"id\":1,\"response\":{\"Pong\":{\"version\":\"x\"}}}",
+            "{\"id\":1,\"response\":{\"SweepChunk\":{\"start\":0,\"records\":[[1,\"00\",\"00\",\"00\"]]}}}",
+            "{\"id\":1,\"response\":{\"SweepChunk\":{\"start\":0,\"records\":[]}}} trailing",
+            "{\"id\":18446744073709551615,\"response\":{\"SweepChunk\":{\"start\":0,\"records\":[]}}}",
+        ] {
+            assert!(decode_chunk_line(line).is_none(), "must decline: {line}");
         }
     }
 

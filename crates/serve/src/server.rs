@@ -1,23 +1,57 @@
-//! Socket front-end: line-delimited JSON over TCP or Unix-domain sockets.
+//! Socket front-end: an event-driven reactor serving line-delimited JSON
+//! over TCP or Unix-domain sockets.
 //!
-//! One accept loop, one handler thread per connection. Each request's
-//! responses are written (and flushed) line by line as they are produced, so
-//! a large sweep streams its chunks instead of buffering the whole answer.
-//! A [`Request::Shutdown`] from any connection is acknowledged, then stops
-//! the accept loop (the handler pokes the listener with a throwaway
-//! connection so a blocked `accept` observes the flag).
+//! ## Architecture (serve v2)
+//!
+//! The v1 server spent a thread per connection — fine for tens of clients,
+//! a synchronisation-and-scheduling tax at thousands (exactly the serial
+//! bottleneck the underlying paper is about). v2 is a reactor:
+//!
+//! * An **accept thread** (the caller of [`Server::run`]) hands accepted
+//!   sockets round-robin to a small pool of **event-loop threads**.
+//! * Each event loop owns its connections outright: an epoll instance
+//!   ([`Poller`]) with every socket registered edge-triggered and
+//!   non-blocking, a per-connection incremental line parser, a pipelined
+//!   request queue, and an ordered write buffer with backpressure
+//!   watermarks (see the crate-private `conn` module).
+//! * Requests never execute on an event loop. The loop hands the head of a
+//!   connection's pipeline to a pool of **executor threads** (which may
+//!   block on the service's shard engines) and keeps polling; the
+//!   completion comes back over a channel plus an eventfd [`Waker`].
+//!   Responses are written strictly in request order per connection —
+//!   that ordering is what makes pipelining safe for clients.
+//! * Streaming sweeps are **pull-based**: an executor computes one window
+//!   of the sweep at a time ([`SweepService::next_window`]); between
+//!   windows the connection holds only a range cursor. If the client stops
+//!   draining, the sweep parks at the outbox high watermark and `EPOLLOUT`
+//!   re-arms it — a slow client costs a parked cursor, not a pinned thread
+//!   or an unbounded buffer.
+//!
+//! A [`Request::Shutdown`] is acknowledged, the acknowledgement is flushed,
+//! and then the whole reactor — accept loop, event loops, executors — winds
+//! down; [`Server::run`] returns `Ok`.
+//!
+//! [`SweepService::next_window`]: crate::service::SweepService::next_window
+//! [`Request::Shutdown`]: crate::protocol::Request::Shutdown
 
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::conn::{Conn, InFlight, HIGH_WATERMARK, LOW_WATERMARK};
 use crate::protocol::{
-    decode_line, encode_line, Request, RequestEnvelope, Response, ResponseEnvelope,
+    decode_line, encode_chunk_line, encode_line, Request, RequestEnvelope, Response,
+    ResponseEnvelope,
 };
-use crate::service::SweepService;
+use crate::reactor::{Poller, Waker, EPOLLET, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::service::{SweepService, SweepTicket};
 
 /// Where a server listens (or a client connects).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +96,23 @@ impl Stream {
             Stream::Unix(stream) => stream.try_clone().map(Stream::Unix),
         }
     }
+
+    /// Switch the socket between blocking and non-blocking mode.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(stream) => stream.set_nonblocking(nonblocking),
+            Stream::Unix(stream) => stream.set_nonblocking(nonblocking),
+        }
+    }
+}
+
+impl AsRawFd for Stream {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Stream::Tcp(stream) => stream.as_raw_fd(),
+            Stream::Unix(stream) => stream.as_raw_fd(),
+        }
+    }
 }
 
 impl Read for Stream {
@@ -103,23 +154,45 @@ impl Listener {
     }
 }
 
+/// Reactor sizing. `0` means *auto* for both knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerConfig {
+    /// Event-loop threads (socket I/O only, never blocking work).
+    /// Auto: `min(4, available cores)`.
+    pub event_loops: usize,
+    /// Executor threads (request parsing/encoding and service calls; these
+    /// block on the shard engines). Auto: `max(2, shards)`.
+    pub executors: usize,
+}
+
 /// A listening server bound to an endpoint. [`Server::run`] consumes it and
 /// blocks until a shutdown request arrives.
 pub struct Server {
     listener: Listener,
     endpoint: Endpoint,
     service: Arc<SweepService>,
+    config: ServerConfig,
     shutdown: Arc<AtomicBool>,
     /// Unix socket path to unlink when the server stops.
     cleanup: Option<PathBuf>,
 }
 
 impl Server {
-    /// Bind to `endpoint`. For TCP port `0` the resolved endpoint (with the
-    /// kernel-assigned port) is what [`Server::endpoint`] reports. A
-    /// pre-existing Unix socket file is an error — two servers must not race
-    /// for one path; remove stale files explicitly.
+    /// Bind to `endpoint` with default reactor sizing. For TCP port `0` the
+    /// resolved endpoint (with the kernel-assigned port) is what
+    /// [`Server::endpoint`] reports. A pre-existing Unix socket file is an
+    /// error — two servers must not race for one path; remove stale files
+    /// explicitly.
     pub fn bind(endpoint: &Endpoint, service: Arc<SweepService>) -> std::io::Result<Server> {
+        Server::bind_with(endpoint, service, ServerConfig::default())
+    }
+
+    /// [`Server::bind`] with explicit reactor sizing.
+    pub fn bind_with(
+        endpoint: &Endpoint,
+        service: Arc<SweepService>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         let (listener, endpoint, cleanup) = match endpoint {
             Endpoint::Tcp(addr) => {
                 let listener = TcpListener::bind(addr.as_str())?;
@@ -135,6 +208,7 @@ impl Server {
             listener,
             endpoint,
             service,
+            config,
             shutdown: Arc::new(AtomicBool::new(false)),
             cleanup,
         })
@@ -145,26 +219,116 @@ impl Server {
         &self.endpoint
     }
 
-    /// Accept and serve connections until a shutdown request arrives.
-    /// Connection handlers run on their own threads; `run` joins none of
-    /// them on exit beyond the one that requested the shutdown, but every
-    /// handler holds only `Arc`s, so late writers fail harmlessly. A Unix
+    /// The resolved reactor sizing (auto knobs filled in).
+    fn sizing(&self) -> (usize, usize) {
+        let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let loops = match self.config.event_loops {
+            0 => cores.min(4),
+            n => n,
+        };
+        let executors = match self.config.executors {
+            0 => self.service.shards().max(2),
+            n => n,
+        };
+        (loops.max(1), executors.max(1))
+    }
+
+    /// Accept and serve connections until a shutdown request arrives: spawn
+    /// the event loops and executors, then run the accept loop on the
+    /// calling thread. Returns once the whole reactor has wound down. A Unix
     /// socket file is unlinked on exit — graceful or not — so a crashed
     /// accept loop never leaves the endpoint permanently unbindable.
     pub fn run(self) -> std::io::Result<()> {
-        let result = self.accept_loop();
+        let result = self.serve();
         if let Some(path) = &self.cleanup {
             let _ = std::fs::remove_file(path);
         }
         result
     }
 
-    fn accept_loop(&self) -> std::io::Result<()> {
+    fn serve(&self) -> std::io::Result<()> {
+        let (loops, executors) = self.sizing();
+        let (exec_tx, exec_rx) = unbounded::<ExecJob>();
+
+        // Create every loop's mailbox + waker up front: any loop must be
+        // able to wake every other on shutdown.
+        let mut mailboxes = Vec::with_capacity(loops);
+        let mut wakers = Vec::with_capacity(loops);
+        for _ in 0..loops {
+            let (tx, rx) = unbounded::<LoopMsg>();
+            mailboxes.push((tx, Some(rx)));
+            wakers.push(Arc::new(Waker::new()?));
+        }
+        let wakers: Vec<Arc<Waker>> = wakers;
+
+        let mut loop_threads = Vec::with_capacity(loops);
+        for (index, (tx, rx)) in mailboxes.iter_mut().enumerate() {
+            let event_loop = EventLoop {
+                poller: Poller::new()?,
+                waker: Arc::clone(&wakers[index]),
+                inbox: rx.take().expect("receiver taken once"),
+                tx: tx.clone(),
+                exec: exec_tx.clone(),
+                stop: Arc::clone(&self.shutdown),
+                all_wakers: wakers.clone(),
+                endpoint: self.endpoint.clone(),
+                conns: HashMap::new(),
+                next_token: FIRST_CONN_TOKEN,
+            };
+            loop_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("mp-serve-loop-{index}"))
+                    .spawn(move || event_loop.run())
+                    .expect("failed to spawn event loop"),
+            );
+        }
+
+        let mut exec_threads = Vec::with_capacity(executors);
+        for index in 0..executors {
+            let jobs = exec_rx.clone();
+            let service = Arc::clone(&self.service);
+            exec_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("mp-serve-exec-{index}"))
+                    .spawn(move || run_executor(&service, &jobs))
+                    .expect("failed to spawn executor"),
+            );
+        }
+        drop(exec_rx);
+
+        let handles: Vec<(Sender<LoopMsg>, Arc<Waker>)> = mailboxes
+            .iter()
+            .zip(&wakers)
+            .map(|((tx, _), waker)| (tx.clone(), Arc::clone(waker)))
+            .collect();
+        let result = self.accept_loop(&handles);
+
+        // Wind down: stop flag, wake every loop, then let the executor
+        // channel disconnect once the loops (and our own clone) have dropped
+        // their senders.
+        self.shutdown.store(true, Ordering::Release);
+        for waker in &wakers {
+            waker.wake();
+        }
+        drop(handles);
+        drop(mailboxes);
+        for thread in loop_threads {
+            let _ = thread.join();
+        }
+        drop(exec_tx);
+        for thread in exec_threads {
+            let _ = thread.join();
+        }
+        result
+    }
+
+    fn accept_loop(&self, handles: &[(Sender<LoopMsg>, Arc<Waker>)]) -> std::io::Result<()> {
         // Transient accept errors (a client resetting a queued connection,
         // momentary fd exhaustion from many handlers) must not kill a
         // resident service with clients in flight; only a persistently
         // failing listener gives up. Success resets the budget.
         let mut consecutive_errors = 0usize;
+        let mut next = 0usize;
         loop {
             let stream = match self.listener.accept() {
                 Ok(stream) => {
@@ -172,6 +336,9 @@ impl Server {
                     stream
                 }
                 Err(e) => {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return Ok(());
+                    }
                     consecutive_errors += 1;
                     if consecutive_errors >= 64 {
                         return Err(e);
@@ -183,77 +350,380 @@ impl Server {
             if self.shutdown.load(Ordering::Acquire) {
                 return Ok(());
             }
-            let service = Arc::clone(&self.service);
-            let shutdown = Arc::clone(&self.shutdown);
-            let endpoint = self.endpoint.clone();
-            std::thread::Builder::new()
-                .name("mp-serve-conn".to_string())
-                .spawn(move || {
-                    // A connection failing mid-stream only ends that client.
-                    let _ = serve_connection(stream, &service, &shutdown, &endpoint);
-                })
-                .expect("failed to spawn connection handler");
+            let (tx, waker) = &handles[next % handles.len()];
+            next += 1;
+            if tx.send(LoopMsg::Accept(stream)).is_ok() {
+                waker.wake();
+            }
         }
     }
 }
 
-/// Serve one connection: read request lines, stream response lines. Each
-/// response line is written and flushed as the service produces it, so a
-/// sweep's chunks reach the client one at a time instead of buffering the
-/// whole answer.
-fn serve_connection(
-    stream: Stream,
-    service: &SweepService,
-    shutdown: &AtomicBool,
-    endpoint: &Endpoint,
-) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+/// Token reserved for the loop's waker eventfd.
+const WAKER_TOKEN: u64 = 0;
+/// First token handed to a connection.
+const FIRST_CONN_TOKEN: u64 = 1;
+
+/// Mail addressed to one event loop.
+enum LoopMsg {
+    /// A freshly accepted connection to adopt.
+    Accept(Stream),
+    /// An executor finished a job for one of this loop's connections.
+    Done(JobDone),
+}
+
+/// One unit of work for the executor pool.
+struct ExecJob {
+    /// The origin loop's mailbox (completions go back where the conn lives).
+    reply: Sender<LoopMsg>,
+    /// The origin loop's waker.
+    waker: Arc<Waker>,
+    token: u64,
+    seq: u64,
+    kind: JobKind,
+}
+
+enum JobKind {
+    /// One received line: parse, execute, encode. `Err` carries a
+    /// receive-side error (oversized / non-UTF-8 line) to report on id 0.
+    Line(Result<String, String>),
+    /// Pull the next window of a parked streaming sweep.
+    Window {
+        /// Correlation id of the sweep request.
+        id: u64,
+        /// The resumable sweep state.
+        ticket: Box<SweepTicket>,
+    },
+}
+
+/// An executor's completion: encoded response bytes plus what (if anything)
+/// remains of the request.
+struct JobDone {
+    token: u64,
+    seq: u64,
+    /// Encoded response lines, ready for the outbox.
+    bytes: Vec<u8>,
+    /// A streaming sweep with windows still to pull (`None` = request
+    /// complete).
+    next: Option<(u64, Box<SweepTicket>)>,
+    /// The request was a shutdown: flush, then stop the server.
+    shutdown: bool,
+}
+
+/// One event-loop thread: owns a poller, a waker, and a set of connections.
+struct EventLoop {
+    poller: Poller,
+    waker: Arc<Waker>,
+    inbox: Receiver<LoopMsg>,
+    tx: Sender<LoopMsg>,
+    exec: Sender<ExecJob>,
+    stop: Arc<AtomicBool>,
+    all_wakers: Vec<Arc<Waker>>,
+    endpoint: Endpoint,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        if self.poller.add(self.waker.raw_fd(), WAKER_TOKEN, EPOLLIN).is_err() {
+            return;
         }
-        match decode_line::<RequestEnvelope>(&line) {
-            // Enforce the protocol's id reservation: a request on id 0 would
-            // be indistinguishable from server parse-error responses.
-            Ok(envelope) if envelope.id == 0 => {
-                write_response(
-                    &mut writer,
-                    0,
-                    Response::Error {
-                        message: "request id 0 is reserved for server errors; use ids >= 1"
-                            .to_string(),
-                    },
-                )?;
+        let mut events = Vec::new();
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                return;
             }
-            Ok(envelope) => {
-                let id = envelope.id;
-                service.handle_streaming(&envelope.request, &mut |response| {
-                    write_response(&mut writer, id, response)
-                })?;
-                if matches!(envelope.request, Request::Shutdown) {
-                    shutdown.store(true, Ordering::Release);
-                    // Unblock the accept loop so it can observe the flag.
-                    let _ = Stream::connect(endpoint);
-                    return Ok(());
+            if self.poller.wait(&mut events).is_err() {
+                return;
+            }
+            // Drain the batch by value: handlers mutate the connection map.
+            for event in events.drain(..) {
+                if event.token == WAKER_TOKEN {
+                    self.waker.drain();
+                    if self.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    while let Ok(message) = self.inbox.try_recv() {
+                        self.handle_message(message);
+                    }
+                } else {
+                    self.handle_io(event);
                 }
             }
-            // Unparseable line: answer on id 0 — reserved for exactly this,
-            // see the protocol module docs — and keep the connection going.
-            Err(message) => {
-                write_response(&mut writer, 0, Response::Error { message })?;
+        }
+    }
+
+    fn handle_message(&mut self, message: LoopMsg) {
+        match message {
+            LoopMsg::Accept(stream) => {
+                if stream.set_nonblocking(true).is_err() {
+                    return;
+                }
+                if let Stream::Tcp(tcp) = &stream {
+                    // Responses are written in coalesced bursts; never trade
+                    // latency for Nagle batching on top of that.
+                    let _ = tcp.set_nodelay(true);
+                }
+                let token = self.next_token;
+                self.next_token += 1;
+                let interest = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
+                if self.poller.add(stream.as_raw_fd(), token, interest).is_err() {
+                    return;
+                }
+                let mut conn = Conn::new(stream);
+                // Bytes may already be waiting (pipelined clients write
+                // eagerly); the edge for them fired before registration.
+                conn.fill();
+                self.conns.insert(token, conn);
+                self.pump(token);
+            }
+            LoopMsg::Done(done) => {
+                let Some(conn) = self.conns.get_mut(&done.token) else {
+                    // The connection died while the executor worked; the
+                    // ticket (if any) is dropped with the completion.
+                    return;
+                };
+                match conn.inflight {
+                    InFlight::Dispatched { seq } if seq == done.seq => {}
+                    // A completion that does not match the in-flight job
+                    // (impossible by construction — one job per connection).
+                    _ => return,
+                }
+                conn.enqueue(&done.bytes);
+                if done.shutdown {
+                    conn.close_after_flush = true;
+                    conn.shutdown_origin = true;
+                }
+                conn.inflight = match done.next {
+                    Some((id, ticket)) => InFlight::Parked { id, ticket },
+                    None => InFlight::Idle,
+                };
+                conn.flush_out();
+                self.pump(done.token);
             }
         }
     }
-    Ok(())
+
+    fn handle_io(&mut self, event: crate::reactor::Event) {
+        let Some(conn) = self.conns.get_mut(&event.token) else {
+            return;
+        };
+        if event.hangup {
+            conn.dead = true;
+        }
+        if event.readable && !conn.read_paused {
+            conn.fill();
+        }
+        if event.writable {
+            conn.flush_out();
+        }
+        self.pump(event.token);
+    }
+
+    /// Drive one connection forward: re-arm parked sweeps, dispatch the next
+    /// pipelined request, resume paused reads, and retire the connection
+    /// when it is finished or dead.
+    fn pump(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+
+        if !conn.dead {
+            // Re-arm a parked streaming sweep once the outbox has drained —
+            // this is the EPOLLOUT-driven pull that keeps slow readers from
+            // buffering whole sweeps.
+            if matches!(conn.inflight, InFlight::Parked { .. })
+                && conn.pending_out() < LOW_WATERMARK
+            {
+                let InFlight::Parked { id, ticket } =
+                    std::mem::replace(&mut conn.inflight, InFlight::Idle)
+                else {
+                    unreachable!("matched Parked above");
+                };
+                let seq = conn.take_seq();
+                conn.inflight = InFlight::Dispatched { seq };
+                let job = ExecJob {
+                    reply: self.tx.clone(),
+                    waker: Arc::clone(&self.waker),
+                    token,
+                    seq,
+                    kind: JobKind::Window { id, ticket },
+                };
+                if self.exec.send(job).is_err() {
+                    conn.dead = true;
+                }
+            }
+
+            // Dispatch the head of the pipeline. Only ever one job in
+            // flight per connection: that is what guarantees responses in
+            // request order. Production is additionally gated on the outbox
+            // watermark, so a non-draining client stops consuming executor
+            // time entirely.
+            if matches!(conn.inflight, InFlight::Idle) && conn.pending_out() < HIGH_WATERMARK {
+                if let Some(line) = conn.pipeline.pop_front() {
+                    let seq = conn.take_seq();
+                    conn.inflight = InFlight::Dispatched { seq };
+                    let job = ExecJob {
+                        reply: self.tx.clone(),
+                        waker: Arc::clone(&self.waker),
+                        token,
+                        seq,
+                        kind: JobKind::Line(line),
+                    };
+                    if self.exec.send(job).is_err() {
+                        conn.dead = true;
+                    }
+                }
+            }
+
+            // Resume reading once the pipeline has drained (and dispatch
+            // again if that produced work for an idle connection).
+            if conn.should_resume_read() {
+                conn.read_paused = false;
+                conn.fill();
+                if matches!(conn.inflight, InFlight::Idle) && !conn.pipeline.is_empty() {
+                    self.pump(token);
+                    return;
+                }
+            }
+        }
+
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.dead {
+            let shutdown_origin = conn.shutdown_origin;
+            self.close(token);
+            if shutdown_origin {
+                self.trigger_shutdown();
+            }
+            return;
+        }
+        if conn.close_after_flush && conn.pending_out() == 0 {
+            let shutdown_origin = conn.shutdown_origin;
+            self.close(token);
+            if shutdown_origin {
+                self.trigger_shutdown();
+            }
+            return;
+        }
+        if conn.drained() {
+            self.close(token);
+        }
+    }
+
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.poller.remove(conn.stream.as_raw_fd());
+        }
+    }
+
+    /// Stop the whole server: flag, wake every loop, and poke the listener
+    /// so a blocked `accept` observes the flag.
+    fn trigger_shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        for waker in &self.all_wakers {
+            waker.wake();
+        }
+        let _ = Stream::connect(&self.endpoint);
+    }
 }
 
-/// Write one response line and flush it, so chunked answers stream.
-fn write_response(writer: &mut impl Write, id: u64, response: Response) -> std::io::Result<()> {
-    let line = encode_line(&ResponseEnvelope { id, response });
-    writer.write_all(line.as_bytes())?;
-    writer.write_all(b"\n")?;
-    writer.flush()?;
-    Ok(())
+impl Drop for EventLoop {
+    fn drop(&mut self) {
+        // Sockets close with their `Conn`s; nothing else to unwind.
+        self.conns.clear();
+    }
+}
+
+/// Executor thread body: pull jobs, run them against the service, post the
+/// completion back to the origin loop.
+fn run_executor(service: &SweepService, jobs: &Receiver<ExecJob>) {
+    while let Ok(job) = jobs.recv() {
+        let done = execute(service, job.token, job.seq, job.kind);
+        // A dropped mailbox just means the loop (or whole server) wound
+        // down while this job ran.
+        if job.reply.send(LoopMsg::Done(done)).is_ok() {
+            job.waker.wake();
+        }
+    }
+}
+
+/// Run one job to completion-or-parking, encoding every produced response.
+fn execute(service: &SweepService, token: u64, seq: u64, kind: JobKind) -> JobDone {
+    let mut done = JobDone { token, seq, bytes: Vec::new(), next: None, shutdown: false };
+    match kind {
+        JobKind::Line(Err(message)) => push_line(&mut done.bytes, 0, Response::Error { message }),
+        JobKind::Line(Ok(line)) => match decode_line::<RequestEnvelope>(&line) {
+            Err(message) => push_line(&mut done.bytes, 0, Response::Error { message }),
+            // Enforce the protocol's id reservation: a request on id 0 would
+            // be indistinguishable from server parse-error responses.
+            Ok(envelope) if envelope.id == 0 => push_line(
+                &mut done.bytes,
+                0,
+                Response::Error {
+                    message: "request id 0 is reserved for server errors; use ids >= 1".to_string(),
+                },
+            ),
+            Ok(envelope) => {
+                let id = envelope.id;
+                match envelope.request {
+                    Request::Sweep { space, start, end, chunk } => {
+                        match service.resolve_handle(&space).and_then(|handle| {
+                            service.begin_sweep_handle(handle, start..end, chunk)
+                        }) {
+                            Ok(ticket) => stream_window(service, id, Box::new(ticket), &mut done),
+                            Err(e) => push_line(&mut done.bytes, id, e.into_response()),
+                        }
+                    }
+                    Request::Shutdown => {
+                        push_line(&mut done.bytes, id, Response::ShuttingDown);
+                        done.shutdown = true;
+                    }
+                    request => {
+                        for response in service.handle(&request) {
+                            push_line(&mut done.bytes, id, response);
+                        }
+                    }
+                }
+            }
+        },
+        JobKind::Window { id, ticket } => stream_window(service, id, ticket, &mut done),
+    }
+    done
+}
+
+/// Pull one window of a streaming sweep: encode its chunks, then either
+/// finish the request (`SweepDone`) or hand the ticket back for parking.
+fn stream_window(
+    service: &SweepService,
+    id: u64,
+    mut ticket: Box<SweepTicket>,
+    done: &mut JobDone,
+) {
+    match service.next_window(&mut ticket) {
+        Ok(Some(records)) => {
+            for slice in records.chunks(ticket.chunk()) {
+                // The dominant line of the protocol: encoded by the direct
+                // (value-tree-free) fast path, byte-identical to push_line.
+                done.bytes
+                    .extend_from_slice(encode_chunk_line(id, slice[0].index, slice).as_bytes());
+                done.bytes.push(b'\n');
+            }
+            if ticket.is_done() {
+                push_line(&mut done.bytes, id, Response::SweepDone { stats: ticket.stats() });
+            } else {
+                done.next = Some((id, ticket));
+            }
+        }
+        Ok(None) => push_line(&mut done.bytes, id, Response::SweepDone { stats: ticket.stats() }),
+        Err(e) => push_line(&mut done.bytes, id, e.into_response()),
+    }
+}
+
+/// Append one encoded response line (with its newline) to an output buffer.
+fn push_line(bytes: &mut Vec<u8>, id: u64, response: Response) {
+    bytes.extend_from_slice(encode_line(&ResponseEnvelope { id, response }).as_bytes());
+    bytes.push(b'\n');
 }

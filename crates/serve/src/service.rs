@@ -31,7 +31,9 @@ use parking_lot::Mutex;
 use mp_dse::analysis::{pareto_frontier, top_k, CostAxis};
 use mp_dse::backend::EvalBackend;
 use mp_dse::curves::{figure_curves, Figure};
-use mp_dse::engine::{Engine, EvalRecord, SweepConfig, SweepHandle, SweepResult, SweepStats};
+use mp_dse::engine::{
+    Engine, EvalRecord, RangeCursor, SweepConfig, SweepHandle, SweepResult, SweepStats,
+};
 use mp_dse::scenario::ScenarioSpace;
 use mp_model::catalogue::CatalogueRegistry;
 use mp_model::explore::Curve;
@@ -54,28 +56,75 @@ pub struct ServiceConfig {
     pub batch_size: usize,
     /// Whether shard engines memoise evaluations.
     pub use_cache: bool,
+    /// Admission cap: sweeps in flight (queued or running) per shard before
+    /// new queries are rejected with a retryable [`Response::Busy`] instead
+    /// of growing the queue. Must be ≥ 1.
+    pub queue_capacity: usize,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { shards: 1, threads_per_shard: 1, batch_size: 1024, use_cache: true }
+        ServiceConfig {
+            shards: 1,
+            threads_per_shard: 1,
+            batch_size: 1024,
+            use_cache: true,
+            queue_capacity: 1024,
+        }
     }
+}
+
+/// What kind of failure a [`ServeError`] is — the wire protocol reports the
+/// two differently ([`Response::Busy`] is retryable, [`Response::Error`] is
+/// not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeErrorKind {
+    /// The request itself is unanswerable (bad range, unknown catalogue id,
+    /// dead shard worker).
+    Invalid,
+    /// The service's admission queues are full; the request was not executed
+    /// and may be retried.
+    Busy,
 }
 
 /// Error produced by a service query.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ServeError(pub String);
+pub struct ServeError {
+    /// Whether the failure is retryable.
+    pub kind: ServeErrorKind,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl ServeError {
+    /// Whether this is an admission rejection (retryable).
+    pub fn is_busy(&self) -> bool {
+        self.kind == ServeErrorKind::Busy
+    }
+
+    /// The terminal wire response reporting this error.
+    pub fn into_response(self) -> Response {
+        match self.kind {
+            ServeErrorKind::Busy => Response::Busy { message: self.message },
+            ServeErrorKind::Invalid => Response::Error { message: self.message },
+        }
+    }
+}
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
 impl std::error::Error for ServeError {}
 
 fn err(message: impl Into<String>) -> ServeError {
-    ServeError(message.into())
+    ServeError { kind: ServeErrorKind::Invalid, message: message.into() }
+}
+
+fn busy(message: impl Into<String>) -> ServeError {
+    ServeError { kind: ServeErrorKind::Busy, message: message.into() }
 }
 
 /// One sweep assignment for a shard worker.
@@ -90,6 +139,9 @@ struct ShardJob {
 struct Shard {
     engine: Arc<Engine>,
     queue: Sender<ShardJob>,
+    /// Sweeps queued or running on this shard — the admission-control gauge.
+    /// Incremented at enqueue, decremented by the worker after it replies.
+    depth: Arc<std::sync::atomic::AtomicUsize>,
     worker: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -131,6 +183,7 @@ pub struct SweepService {
     prepared: Mutex<PreparedCache>,
     registry: CatalogueRegistry,
     sweep_config: SweepConfig,
+    queue_capacity: usize,
     queries: AtomicU64,
     started: Instant,
 }
@@ -152,13 +205,16 @@ impl SweepService {
         assert!(config.shards > 0, "service needs at least one shard");
         assert!(config.threads_per_shard > 0, "shards need at least one thread");
         assert!(config.batch_size > 0, "batch size must be positive");
+        assert!(config.queue_capacity > 0, "admission queue capacity must be positive");
         let backend_for_shards = Arc::clone(&backend);
         let shards = (0..config.shards)
             .map(|index| {
                 let engine = Arc::new(Engine::new(config.threads_per_shard));
                 let (queue, jobs) = unbounded::<ShardJob>();
+                let depth = Arc::new(std::sync::atomic::AtomicUsize::new(0));
                 let worker_engine = Arc::clone(&engine);
                 let worker_backend = Arc::clone(&backend_for_shards);
+                let worker_depth = Arc::clone(&depth);
                 let worker = std::thread::Builder::new()
                     .name(format!("mp-serve-shard-{index}"))
                     .spawn(move || {
@@ -172,10 +228,11 @@ impl SweepService {
                             // A dropped reply receiver just means the querying
                             // connection went away mid-sweep.
                             let _ = job.reply.send((job.range.start, result));
+                            worker_depth.fetch_sub(1, Ordering::Release);
                         }
                     })
                     .expect("failed to spawn shard worker");
-                Shard { engine, queue, worker: Some(worker) }
+                Shard { engine, queue, depth, worker: Some(worker) }
             })
             .collect();
         SweepService {
@@ -187,6 +244,7 @@ impl SweepService {
                 batch_size: config.batch_size,
                 use_cache: config.use_cache,
             },
+            queue_capacity: config.queue_capacity,
             queries: AtomicU64::new(0),
             started: Instant::now(),
         }
@@ -209,10 +267,52 @@ impl SweepService {
         self.shards.len()
     }
 
+    /// Resolve a wire-level space spec into a prepared sweep handle — the
+    /// form every query path consumes. [`SpaceSpec::Prepared`] ids hit the
+    /// handle cache directly (no parse, clone or fingerprint work);
+    /// everything else resolves to a space and goes through the prepared
+    /// handle cache.
+    pub fn resolve_handle(
+        &self,
+        spec: &SpaceSpec,
+    ) -> Result<Arc<SweepHandle<'static>>, ServeError> {
+        match spec {
+            SpaceSpec::Prepared { id } => self.lookup_prepared(id),
+            SpaceSpec::Explicit(space) => Ok(self.prepared(space)),
+            SpaceSpec::Catalogue { .. } => Ok(self.prepared(&self.resolve_space(spec)?)),
+        }
+    }
+
+    /// Register a space and return its prepared id plus scenario count
+    /// (the [`Request::Prepare`] implementation).
+    pub fn prepare_spec(&self, spec: &SpaceSpec) -> Result<(String, usize), ServeError> {
+        let handle = self.resolve_handle(spec)?;
+        let id = CatalogueRegistry::format_id(space_fingerprint(handle.space()));
+        Ok((id, handle.len()))
+    }
+
+    /// Look a prepared id up in the handle cache.
+    fn lookup_prepared(&self, id: &str) -> Result<Arc<SweepHandle<'static>>, ServeError> {
+        let key = CatalogueRegistry::parse_id(id)
+            .ok_or_else(|| err(format!("malformed prepared-space id `{id}`")))?;
+        let mut prepared = self.prepared.lock();
+        match prepared.handles.get(&key) {
+            Some(handle) => {
+                let handle = Arc::clone(handle);
+                prepared.touch(key);
+                Ok(handle)
+            }
+            None => Err(err(format!(
+                "unknown prepared-space id `{id}` (expired from the LRU cache? re-prepare)"
+            ))),
+        }
+    }
+
     /// Resolve a wire-level space spec into a concrete space.
     pub fn resolve_space(&self, spec: &SpaceSpec) -> Result<ScenarioSpace, ServeError> {
         match spec {
             SpaceSpec::Explicit(space) => Ok(space.clone()),
+            SpaceSpec::Prepared { id } => Ok(self.lookup_prepared(id)?.space().clone()),
             SpaceSpec::Catalogue { ids, space } => {
                 if ids.is_empty() {
                     return Err(err("catalogue space needs at least one id"));
@@ -277,44 +377,98 @@ impl SweepService {
 
     /// Evaluate `range` of `space` (`None` = the whole space) across the
     /// shards, returning merged records in index order plus summed stats.
+    /// Subject to admission control: when any participating shard already
+    /// has [`ServiceConfig::queue_capacity`] sweeps in flight, the query is
+    /// rejected with a retryable busy error instead of queued.
     pub fn sweep(
         &self,
         space: &ScenarioSpace,
         range: Option<Range<usize>>,
     ) -> Result<SweepResult, ServeError> {
-        let started = Instant::now();
-        let n = space.len();
-        let range = range.unwrap_or(0..n);
-        if range.start > range.end || range.end > n {
-            return Err(err(format!(
-                "sweep range {}..{} exceeds the {n}-scenario space",
-                range.start, range.end
-            )));
-        }
-        self.queries.fetch_add(1, Ordering::Relaxed);
-        let handle = self.prepared(space);
+        self.sweep_handle(&self.prepared(space), range)
+    }
 
+    /// [`SweepService::sweep`] over an already-prepared handle (what the
+    /// wire paths use — a [`SpaceSpec::Prepared`] query never touches the
+    /// space itself).
+    pub fn sweep_handle(
+        &self,
+        handle: &Arc<SweepHandle<'static>>,
+        range: Option<Range<usize>>,
+    ) -> Result<SweepResult, ServeError> {
+        let n = handle.len();
+        let range = range.unwrap_or(0..n);
+        check_range(&range, n)?;
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.admit(handle, &range)?;
+        self.sweep_prepared(handle, range)
+    }
+
+    /// The shards participating in `range` of an `n`-scenario space: each
+    /// shard's static band intersected with the query range, empty
+    /// intersections skipped. Admission, job submission and cache
+    /// reservation all walk this one decomposition, so the three can never
+    /// drift apart on what "participating" means.
+    fn band_slices<'a>(
+        &'a self,
+        n: usize,
+        range: &'a Range<usize>,
+    ) -> impl Iterator<Item = (usize, &'a Shard, Range<usize>)> + 'a {
+        let shards = self.shards.len();
+        self.shards.iter().enumerate().filter_map(move |(index, shard)| {
+            let band = chunk_range(index, shards, n);
+            let slice = band.start.max(range.start)..band.end.min(range.end);
+            (!slice.is_empty()).then_some((index, shard, slice))
+        })
+    }
+
+    /// The admission gate: reject (busy) when any shard whose static band
+    /// intersects `range` is already at the in-flight cap. Checked once per
+    /// *query* — the windows of an admitted streaming sweep are never
+    /// rejected mid-answer, they just queue behind other admitted work.
+    fn admit(&self, handle: &SweepHandle<'static>, range: &Range<usize>) -> Result<(), ServeError> {
+        for (index, shard, _) in self.band_slices(handle.len(), range) {
+            let depth = shard.depth.load(Ordering::Acquire);
+            if depth >= self.queue_capacity {
+                return Err(busy(format!(
+                    "shard {index} admission queue is full ({depth} sweeps in flight, cap {})",
+                    self.queue_capacity
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The banded sweep core: split `range` along the shards' static bands,
+    /// enqueue one job per participating shard, merge the partial results
+    /// back in index order. No admission check — callers gate first.
+    fn sweep_prepared(
+        &self,
+        handle: &Arc<SweepHandle<'static>>,
+        range: Range<usize>,
+    ) -> Result<SweepResult, ServeError> {
+        let started = Instant::now();
+        let n = handle.len();
         // Intersect the request with each shard's static band of the full
         // space, so a scenario always lands on the same shard's cache no
         // matter how the request is windowed.
-        let shards = self.shards.len();
         let (reply, replies) = unbounded();
         let mut outstanding = 0usize;
-        for (index, shard) in self.shards.iter().enumerate() {
-            let band = chunk_range(index, shards, n);
-            let slice = band.start.max(range.start)..band.end.min(range.end);
-            if slice.is_empty() {
-                continue;
-            }
-            shard
+        for (_, shard, slice) in self.band_slices(n, &range) {
+            shard.depth.fetch_add(1, Ordering::AcqRel);
+            if shard
                 .queue
                 .send(ShardJob {
-                    handle: Arc::clone(&handle),
+                    handle: Arc::clone(handle),
                     range: slice,
                     config: self.sweep_config,
                     reply: reply.clone(),
                 })
-                .map_err(|_| err("shard worker has exited"))?;
+                .is_err()
+            {
+                shard.depth.fetch_sub(1, Ordering::Release);
+                return Err(err("shard worker has exited"));
+            }
             outstanding += 1;
         }
         drop(reply);
@@ -347,6 +501,92 @@ impl SweepService {
         stats.elapsed_seconds = started.elapsed().as_secs_f64();
         debug_assert_eq!(stats.scenarios, range.len());
         Ok(SweepResult { records, stats })
+    }
+
+    /// Open a **pull-based** streaming sweep over `range` of `space`:
+    /// validates and admits the query once, prepares (or reuses) the
+    /// [`SweepHandle`], and returns a [`SweepTicket`] whose windows are
+    /// computed only when [`SweepService::next_window`] pulls them — nothing
+    /// is evaluated or buffered for a consumer that has stopped draining.
+    /// `chunk` is the response chunk size (`0` = [`DEFAULT_CHUNK`]); windows
+    /// are chunk-aligned so streamed chunk boundaries are identical to a
+    /// one-shot sweep's.
+    pub fn begin_sweep(
+        &self,
+        space: &ScenarioSpace,
+        range: Range<usize>,
+        chunk: usize,
+    ) -> Result<SweepTicket, ServeError> {
+        self.begin_sweep_handle(self.prepared(space), range, chunk)
+    }
+
+    /// [`SweepService::begin_sweep`] over an already-prepared handle.
+    pub fn begin_sweep_handle(
+        &self,
+        handle: Arc<SweepHandle<'static>>,
+        range: Range<usize>,
+        chunk: usize,
+    ) -> Result<SweepTicket, ServeError> {
+        check_range(&range, handle.len())?;
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.admit(&handle, &range)?;
+        // Size each participating shard's cache for its whole share of the
+        // sweep up front — exactly what a one-shot `Engine::sweep` does —
+        // so the window-by-window inserts never rehash (and transiently
+        // double) a table mid-stream.
+        if self.sweep_config.use_cache {
+            for (_, shard, slice) in self.band_slices(handle.len(), &range) {
+                shard.engine.cache().reserve(slice.len());
+            }
+        }
+        let chunk = if chunk == 0 { DEFAULT_CHUNK } else { chunk };
+        // Pull windows of roughly DEFAULT_CHUNK scenarios, rounded to a
+        // whole number of response chunks so boundaries stay aligned.
+        let window = (DEFAULT_CHUNK / chunk).max(1) * chunk;
+        let cursor = handle.cursor(range, window);
+        Ok(SweepTicket {
+            handle,
+            cursor,
+            chunk,
+            stats: SweepStats {
+                scenarios: 0,
+                valid: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                warm_entries: 0,
+                threads: 0,
+                elapsed_seconds: 0.0,
+            },
+            started: Instant::now(),
+            first_window: true,
+        })
+    }
+
+    /// Pull the next window of an open streaming sweep: evaluates it across
+    /// the shards and returns its records (global indices, index order), or
+    /// `None` once the ticket's range is exhausted — read the final merged
+    /// statistics from [`SweepTicket::stats`] then.
+    pub fn next_window(
+        &self,
+        ticket: &mut SweepTicket,
+    ) -> Result<Option<Vec<EvalRecord>>, ServeError> {
+        let Some(window) = ticket.cursor.next_window() else {
+            return Ok(None);
+        };
+        let result = self.sweep_prepared(&ticket.handle, window)?;
+        ticket.stats.scenarios += result.stats.scenarios;
+        ticket.stats.valid += result.stats.valid;
+        ticket.stats.cache_hits += result.stats.cache_hits;
+        ticket.stats.cache_misses += result.stats.cache_misses;
+        // Later windows see the entries the earlier ones just inserted; only
+        // the first window's count is the sweep's true warm-start budget.
+        if ticket.first_window {
+            ticket.stats.warm_entries = result.stats.warm_entries;
+            ticket.first_window = false;
+        }
+        ticket.stats.threads = ticket.stats.threads.max(result.stats.threads);
+        ticket.stats.elapsed_seconds = ticket.started.elapsed().as_secs_f64();
+        Ok(Some(result.records))
     }
 
     /// The `k` highest-speedup records of a full sweep of `space`.
@@ -423,22 +663,27 @@ impl SweepService {
             Request::Catalogue => emit(Response::Catalogue { entries: self.catalogue_entries() }),
             Request::Shutdown => emit(Response::ShuttingDown),
             Request::Sweep { space, start, end, chunk } => {
-                let space = match self.resolve_space(space) {
-                    Ok(space) => space,
-                    Err(e) => return emit(Response::Error { message: e.0 }),
+                let handle = match self.resolve_handle(space) {
+                    Ok(handle) => handle,
+                    Err(e) => return emit(e.into_response()),
                 };
-                match self.sweep(&space, Some(*start..*end)) {
-                    Ok(result) => {
-                        let chunk = if *chunk == 0 { DEFAULT_CHUNK } else { *chunk };
-                        for slice in result.records.chunks(chunk) {
-                            emit(Response::SweepChunk {
-                                start: slice[0].index,
-                                records: to_wire(slice),
-                            })?;
+                let mut ticket = match self.begin_sweep_handle(handle, *start..*end, *chunk) {
+                    Ok(ticket) => ticket,
+                    Err(e) => return emit(e.into_response()),
+                };
+                loop {
+                    match self.next_window(&mut ticket) {
+                        Ok(Some(records)) => {
+                            for slice in records.chunks(ticket.chunk()) {
+                                emit(Response::SweepChunk {
+                                    start: slice[0].index,
+                                    records: to_wire(slice),
+                                })?;
+                            }
                         }
-                        emit(Response::SweepDone { stats: result.stats })
+                        Ok(None) => return emit(Response::SweepDone { stats: ticket.stats() }),
+                        Err(e) => return emit(e.into_response()),
                     }
-                    Err(e) => emit(Response::Error { message: e.0 }),
                 }
             }
             Request::TopK { space, k } => {
@@ -449,7 +694,11 @@ impl SweepService {
             }
             Request::Curve { figure } => match self.curves(*figure) {
                 Ok(curves) => emit(Response::Curves { curves }),
-                Err(e) => emit(Response::Error { message: e.0 }),
+                Err(e) => emit(e.into_response()),
+            },
+            Request::Prepare { space } => match self.prepare_spec(space) {
+                Ok((id, scenarios)) => emit(Response::Prepared { id, scenarios }),
+                Err(e) => emit(e.into_response()),
             },
         }
     }
@@ -473,13 +722,13 @@ impl SweepService {
         analyse: impl FnOnce(&[EvalRecord]) -> Vec<EvalRecord>,
         emit: &mut dyn FnMut(Response) -> std::io::Result<()>,
     ) -> std::io::Result<()> {
-        let space = match self.resolve_space(spec) {
-            Ok(space) => space,
-            Err(e) => return emit(Response::Error { message: e.0 }),
+        let handle = match self.resolve_handle(spec) {
+            Ok(handle) => handle,
+            Err(e) => return emit(e.into_response()),
         };
-        match self.sweep(&space, None) {
+        match self.sweep_handle(&handle, None) {
             Ok(result) => emit(Response::Records { records: to_wire(&analyse(&result.records)) }),
-            Err(e) => emit(Response::Error { message: e.0 }),
+            Err(e) => emit(e.into_response()),
         }
     }
 }
@@ -503,6 +752,56 @@ impl Drop for SweepService {
 fn closed_sender<T>() -> Sender<T> {
     let (sender, _) = unbounded();
     sender
+}
+
+/// Validate a sweep range against a space length.
+fn check_range(range: &Range<usize>, n: usize) -> Result<(), ServeError> {
+    if range.start > range.end || range.end > n {
+        return Err(err(format!(
+            "sweep range {}..{} exceeds the {n}-scenario space",
+            range.start, range.end
+        )));
+    }
+    Ok(())
+}
+
+/// An open, admitted streaming sweep: the prepared handle plus a
+/// [`RangeCursor`] over the not-yet-pulled remainder and the statistics
+/// accumulated so far. Holding a ticket costs one `Arc` on the prepared
+/// snapshot — no records are computed or buffered until
+/// [`SweepService::next_window`] pulls them, which is what lets the reactor
+/// park a sweep for a slow connection and re-arm it from `EPOLLOUT`.
+#[derive(Debug)]
+pub struct SweepTicket {
+    handle: Arc<SweepHandle<'static>>,
+    cursor: RangeCursor,
+    chunk: usize,
+    stats: SweepStats,
+    started: Instant,
+    first_window: bool,
+}
+
+impl SweepTicket {
+    /// The response chunk size the query asked for (normalised, never 0).
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// Scenarios not yet pulled.
+    pub fn remaining(&self) -> usize {
+        self.cursor.remaining()
+    }
+
+    /// Whether every window has been pulled.
+    pub fn is_done(&self) -> bool {
+        self.cursor.is_done()
+    }
+
+    /// Statistics accumulated over the windows pulled so far (the final
+    /// sweep statistics once [`SweepTicket::is_done`]).
+    pub fn stats(&self) -> SweepStats {
+        self.stats
+    }
 }
 
 /// Content fingerprint of a space: FNV over its canonical JSON form. Axis
@@ -620,6 +919,41 @@ mod tests {
         assert_eq!(top, top_k(&direct.records, 5));
         let frontier = service.pareto(&space, CostAxis::Cores).unwrap();
         assert_eq!(frontier, pareto_frontier(&direct.records, CostAxis::Cores));
+    }
+
+    #[test]
+    fn pulled_windows_are_bit_identical_to_a_blocking_sweep() {
+        let space = space();
+        let service = service(3);
+        let blocking = service.sweep(&space, None).unwrap();
+        // A ragged sub-range and a chunk size that does not divide it.
+        let range = 7..space.len() - 5;
+        let mut ticket = service.begin_sweep(&space, range.clone(), 100).unwrap();
+        assert_eq!(ticket.chunk(), 100);
+        assert_eq!(ticket.remaining(), range.len());
+        let mut pulled = Vec::new();
+        while let Some(records) = service.next_window(&mut ticket).unwrap() {
+            assert!(records.len() <= 8100, "windows pull at most ~DEFAULT_CHUNK scenarios");
+            if !ticket.is_done() {
+                assert_eq!(records.len() % 100, 0, "non-final windows are chunk-aligned");
+            }
+            pulled.extend(records);
+        }
+        assert!(ticket.is_done());
+        let stats = ticket.stats();
+        assert_eq!(stats.scenarios, range.len());
+        assert_eq!(pulled.len(), range.len());
+        for (record, truth) in pulled.iter().zip(&blocking.records[range]) {
+            assert_eq!(record.index, truth.index);
+            assert_eq!(record.speedup.to_bits(), truth.speedup.to_bits());
+        }
+        // The ticket pulled everything warm (the blocking sweep filled the
+        // caches), so hits account for every scenario.
+        assert_eq!(stats.cache_hits, stats.scenarios as u64);
+
+        // Range validation happens at begin time.
+        let bad = service.begin_sweep(&space, 0..space.len() + 1, 0).unwrap_err();
+        assert!(!bad.is_busy());
     }
 
     #[test]

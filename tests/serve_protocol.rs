@@ -1,0 +1,321 @@
+//! Deterministic torture tests of the serve wire protocol: the incremental
+//! parser fed byte-at-a-time and split at arbitrary boundaries, oversized
+//! and garbage lines, interleaved pipelined exchanges over a real socket,
+//! and property-based round-trips of the request/response encoding —
+//! including the 16-hex-digit float bit patterns that carry `NaN` markers.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use merging_phases::dse::prelude::*;
+use mp_serve::prelude::*;
+use proptest::prelude::*;
+
+fn request_lines() -> Vec<String> {
+    let space = ScenarioSpace::new()
+        .clear_designs()
+        .add_symmetric_grid([1.0, 2.0, 4.0])
+        .add_asymmetric_grid([1.0], [4.0, 16.0]);
+    let requests = vec![
+        Request::Ping,
+        Request::Stats,
+        Request::Sweep {
+            space: SpaceSpec::Explicit(space.clone()),
+            start: 0,
+            end: space.len(),
+            chunk: 2,
+        },
+        Request::TopK { space: SpaceSpec::Explicit(space.clone()), k: 3 },
+        Request::Pareto { space: SpaceSpec::Explicit(space), cost: CostAxis::Area },
+        Request::Catalogue,
+    ];
+    requests
+        .into_iter()
+        .enumerate()
+        .map(|(index, request)| encode_line(&RequestEnvelope { id: index as u64 + 1, request }))
+        .collect()
+}
+
+#[test]
+fn byte_at_a_time_feeding_recovers_every_line_exactly() {
+    let lines = request_lines();
+    let wire: Vec<u8> =
+        lines.iter().flat_map(|line| line.bytes().chain(std::iter::once(b'\n'))).collect();
+    let mut decoder = LineDecoder::new(MAX_REQUEST_LINE);
+    let mut recovered = Vec::new();
+    for &byte in &wire {
+        decoder.push(std::slice::from_ref(&byte));
+        while let Some(line) = decoder.next_line() {
+            recovered.push(line.expect("valid lines decode"));
+        }
+    }
+    assert_eq!(recovered, lines);
+    assert_eq!(decoder.buffered(), 0);
+}
+
+#[test]
+fn every_split_point_of_a_two_line_stream_decodes_identically() {
+    let lines = request_lines();
+    let wire: Vec<u8> = format!("{}\n{}\n", lines[2], lines[0]).into_bytes();
+    for split in 0..=wire.len() {
+        let mut decoder = LineDecoder::new(MAX_REQUEST_LINE);
+        let mut recovered = Vec::new();
+        decoder.push(&wire[..split]);
+        while let Some(line) = decoder.next_line() {
+            recovered.push(line.unwrap());
+        }
+        decoder.push(&wire[split..]);
+        while let Some(line) = decoder.next_line() {
+            recovered.push(line.unwrap());
+        }
+        assert_eq!(recovered, vec![lines[2].clone(), lines[0].clone()], "split at {split}");
+    }
+}
+
+#[test]
+fn oversized_garbage_and_empty_lines_never_desync_the_stream() {
+    let lines = request_lines();
+    let mut decoder = LineDecoder::new(256);
+    // Oversized line delivered in pieces, then an empty line, then garbage
+    // bytes, then a real request.
+    decoder.push(&[b'{'; 200]);
+    assert!(decoder.next_line().is_none(), "under the cap: keep waiting");
+    decoder.push(&[b'{'; 200]);
+    let oversized = decoder.next_line().unwrap().unwrap_err();
+    assert!(oversized.contains("256-byte"), "{oversized}");
+    assert!(decoder.next_line().is_none(), "still discarding the tail");
+    decoder.push(b"{{{\n\r\n");
+    assert!(decoder.next_line().is_none(), "tail + blank lines are consumed");
+    decoder.push(&[0xC0, 0xAF, b'\n']); // invalid UTF-8
+    assert!(decoder.next_line().unwrap().is_err());
+    decoder.push(format!("{}\n", lines[0]).as_bytes());
+    assert_eq!(decoder.next_line().unwrap().unwrap(), lines[0]);
+    assert!(decoder.buffered() <= 512, "buffer stays bounded near the cap: {}", decoder.buffered());
+}
+
+/// Drive a real server over TCP with hand-built wire bytes, split
+/// mid-request across writes, and two requests pipelined back-to-back in a
+/// single write. The server must answer both, in order, on their own ids.
+#[test]
+fn interleaved_pipelined_requests_split_across_writes_answer_in_order() {
+    let service = Arc::new(SweepService::new(
+        Arc::new(AnalyticBackend),
+        &ServiceConfig { shards: 2, ..ServiceConfig::default() },
+    ));
+    let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into()), service).unwrap();
+    let endpoint = server.endpoint().clone();
+    let serving = std::thread::spawn(move || server.run().unwrap());
+
+    let space =
+        ScenarioSpace::new().clear_designs().add_symmetric_grid((0..12).map(|i| 1.0 + i as f64));
+    let sweep = encode_line(&RequestEnvelope {
+        id: 7,
+        request: Request::Sweep {
+            space: SpaceSpec::Explicit(space.clone()),
+            start: 0,
+            end: space.len(),
+            chunk: 5,
+        },
+    });
+    let ping = encode_line(&RequestEnvelope { id: 8, request: Request::Ping });
+    // Garbage between pipelined requests must produce an id-0 error in
+    // stream position, without touching either request.
+    let wire = format!("{sweep}\nnot json at all\n{ping}\n").into_bytes();
+
+    let mut stream = Stream::connect(&endpoint).unwrap();
+    // Write in three odd-sized pieces with pauses, splitting the sweep
+    // request mid-JSON.
+    let first = wire.len() / 3;
+    let second = (2 * wire.len() / 3 + 1).min(wire.len());
+    for piece in [&wire[..first], &wire[first..second], &wire[second..]] {
+        stream.write_all(piece).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    // Collect responses: sweep chunks + done on id 7, then the id-0 parse
+    // error, then the pong on id 8 — strictly in that order.
+    let mut decoder = LineDecoder::new(usize::MAX / 2);
+    let mut envelopes: Vec<ResponseEnvelope> = Vec::new();
+    let mut buf = [0u8; 4096];
+    while envelopes.iter().filter(|e| e.response.is_terminal()).count() < 3 {
+        let n = stream.read(&mut buf).unwrap();
+        assert!(n > 0, "server closed early");
+        decoder.push(&buf[..n]);
+        while let Some(line) = decoder.next_line() {
+            envelopes.push(decode_line(&line.unwrap()).unwrap());
+        }
+    }
+    let ids: Vec<u64> = envelopes.iter().map(|e| e.id).collect();
+    let chunks = space.len().div_ceil(5);
+    let mut expected = vec![7u64; chunks + 1];
+    expected.push(0);
+    expected.push(8);
+    assert_eq!(ids, expected, "responses arrive strictly in request order");
+    assert!(matches!(envelopes[chunks].response, Response::SweepDone { .. }));
+    assert!(matches!(envelopes[chunks + 1].response, Response::Error { .. }));
+    assert!(matches!(envelopes.last().unwrap().response, Response::Pong { .. }));
+
+    // And the sweep itself is bit-identical to the direct engine answer.
+    let direct = Engine::new(1).sweep(&space, &AnalyticBackend, &SweepConfig::default());
+    let responses: Vec<Response> =
+        envelopes.iter().take(chunks + 1).map(|e| e.response.clone()).collect();
+    let (records, _) = assemble_sweep(responses, &(0..space.len())).unwrap();
+    for (a, b) in records.iter().zip(direct.records.iter()) {
+        assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+    }
+
+    let mut control = Client::connect(&endpoint).unwrap();
+    control.shutdown().unwrap();
+    serving.join().unwrap();
+}
+
+/// Regression for the v1 client: responses arriving in arbitrary pieces
+/// (short reads) must reassemble, and a connection closed mid-line must be
+/// a clean transport error, never a truncated parse.
+#[test]
+fn client_tolerates_short_reads_and_reports_mid_line_closes() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let fake_server = std::thread::spawn(move || {
+        let (mut socket, _) = listener.accept().unwrap();
+        let mut request = Vec::new();
+        let mut byte = [0u8; 1];
+        // Read the ping request line.
+        loop {
+            socket.read_exact(&mut byte).unwrap();
+            if byte[0] == b'\n' {
+                break;
+            }
+            request.push(byte[0]);
+        }
+        let envelope: RequestEnvelope =
+            decode_line(std::str::from_utf8(&request).unwrap()).unwrap();
+        let response = encode_line(&ResponseEnvelope {
+            id: envelope.id,
+            response: Response::Pong { version: PROTOCOL_VERSION.to_string() },
+        });
+        // Dribble the response out in 3-byte pieces.
+        let wire = format!("{response}\n").into_bytes();
+        for piece in wire.chunks(3) {
+            socket.write_all(piece).unwrap();
+            socket.flush().unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        // Second request: answer with half a line, then slam the door.
+        loop {
+            socket.read_exact(&mut byte).unwrap();
+            if byte[0] == b'\n' {
+                break;
+            }
+        }
+        socket.write_all(&wire[..wire.len() / 2]).unwrap();
+        socket.flush().unwrap();
+        drop(socket);
+    });
+
+    let mut client = Client::connect(&Endpoint::Tcp(addr)).unwrap();
+    assert_eq!(client.ping().unwrap(), PROTOCOL_VERSION, "short reads reassemble");
+    let error = client.ping().unwrap_err();
+    assert!(
+        error.message.contains("mid-line"),
+        "mid-line close is a clean transport error: {error}"
+    );
+    fake_server.join().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Wire records round-trip bitwise for arbitrary bit patterns — every
+    /// NaN payload, signed zero, subnormal and infinity included.
+    #[test]
+    fn wire_records_round_trip_any_bit_pattern(
+        // Indices travel as JSON numbers (f64): exact for every index the
+        // engine can produce (spaces are RAM-bounded), i.e. below 2^53.
+        index in 0usize..(1usize << 53),
+        speedup_bits in 0u64..u64::MAX,
+        cores_bits in 0u64..u64::MAX,
+        area_bits in 0u64..u64::MAX,
+    ) {
+        let record = EvalRecord {
+            index,
+            speedup: f64::from_bits(speedup_bits),
+            cores: f64::from_bits(cores_bits),
+            area: f64::from_bits(area_bits),
+        };
+        let line = encode_line(&WireRecord(record));
+        let back: WireRecord = decode_line(&line).unwrap();
+        prop_assert_eq!(back.0.index, index);
+        prop_assert_eq!(back.0.speedup.to_bits(), speedup_bits);
+        prop_assert_eq!(back.0.cores.to_bits(), cores_bits);
+        prop_assert_eq!(back.0.area.to_bits(), area_bits);
+        // Re-encoding is stable (what the golden files rely on).
+        prop_assert_eq!(encode_line(&back), line);
+    }
+
+    /// Response envelopes round-trip through the wire for generated sweep
+    /// chunk payloads.
+    #[test]
+    fn response_envelopes_round_trip(
+        // Ids are JSON numbers too: exact below 2^53, and clients assign
+        // small sequential ids.
+        id in 1u64..(1u64 << 53),
+        start in 0usize..1_000_000usize,
+        bits in proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..20),
+    ) {
+        let records: Vec<WireRecord> = bits
+            .iter()
+            .enumerate()
+            .map(|(offset, (a, b))| WireRecord(EvalRecord {
+                index: start + offset,
+                speedup: f64::from_bits(*a),
+                cores: f64::from_bits(*b),
+                area: 1.0,
+            }))
+            .collect();
+        let envelope = ResponseEnvelope {
+            id,
+            response: Response::SweepChunk { start, records: records.clone() },
+        };
+        let line = encode_line(&envelope);
+        let back: ResponseEnvelope = decode_line(&line).unwrap();
+        prop_assert_eq!(back.id, id);
+        prop_assert_eq!(encode_line(&back), line.clone());
+        // The dedicated chunk codec agrees with the generic path on every
+        // generated payload: identical bytes out, identical records back.
+        let plain = from_wire(&records);
+        prop_assert_eq!(&encode_chunk_line(id, start, &plain), &line);
+        let fast = decode_chunk_line(&line).expect("fast decoder accepts generic encoding");
+        prop_assert_eq!(fast.id, id);
+        match fast.response {
+            Response::SweepChunk { start: got_start, records: got } => {
+                prop_assert_eq!(got_start, start);
+                prop_assert_eq!(encode_line(&ResponseEnvelope {
+                    id,
+                    response: Response::SweepChunk { start: got_start, records: got },
+                }), line);
+            }
+            other => return Err(format!("fast decode yielded {other:?}")),
+        }
+    }
+
+    /// Random byte streams never panic the decoder, and whatever it yields
+    /// respects the size cap.
+    #[test]
+    fn arbitrary_bytes_never_break_the_decoder(
+        bytes in proptest::collection::vec(0u8..=u8::MAX, 0..2048),
+        cap in 16usize..512usize,
+    ) {
+        let mut decoder = LineDecoder::new(cap);
+        for piece in bytes.chunks(7) {
+            decoder.push(piece);
+            while let Some(line) = decoder.next_line() {
+                if let Ok(line) = line {
+                    prop_assert!(line.len() <= cap);
+                }
+            }
+        }
+        prop_assert!(decoder.buffered() <= cap + 2048);
+    }
+}
