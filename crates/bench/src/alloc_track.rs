@@ -98,10 +98,23 @@ pub fn peak_live_bytes() -> i64 {
     PEAK.load(Ordering::Relaxed)
 }
 
-/// Restart peak tracking from the current live level, so a test can measure
-/// the high-water mark of one region of interest.
+/// Restart peak tracking from the current live level, so a test or a load
+/// pass can measure the high-water mark of one region of interest without
+/// inheriting an earlier region's peak.
 pub fn reset_peak() {
     PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Register the allocator's gauges with the process-wide mp-obs registry —
+/// `alloc_live_bytes`, `alloc_peak_bytes` (both tracking [`reset_peak`]) and
+/// `alloc_allocations` — sampled at snapshot time, so the serve `metrics`
+/// verb and the soak tests read the exact numbers this module reports.
+/// Idempotent: re-registering replaces the sampled gauges with equivalents.
+pub fn register_metrics() {
+    let registry = mp_obs::registry();
+    registry.gauge_sampled("alloc_live_bytes", live_bytes);
+    registry.gauge_sampled("alloc_peak_bytes", peak_live_bytes);
+    registry.gauge_sampled("alloc_allocations", || allocation_count() as i64);
 }
 
 #[cfg(test)]
@@ -114,6 +127,16 @@ mod tests {
         let _v: Vec<u64> = (0..1000).collect();
         let b = super::allocation_count();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn registered_gauges_appear_in_the_registry_snapshot() {
+        super::register_metrics();
+        super::register_metrics(); // idempotent
+        let snapshot = mp_obs::registry().snapshot();
+        assert!(snapshot.gauge("alloc_live_bytes").is_some());
+        assert!(snapshot.gauge("alloc_peak_bytes").is_some());
+        assert!(snapshot.gauge("alloc_allocations").is_some());
     }
 
     #[test]

@@ -126,7 +126,7 @@ fn generate(name: &str, quick: bool) -> Vec<TableRow> {
 fn usage() {
     eprintln!("usage: repro [--json] [--quick] <experiment>... | all");
     eprintln!(
-        "       repro dse [--backend analytic|comm|sim|measured] [--out DIR] [--top K] [--threads N] [--quick] [--json] [--profile]"
+        "       repro dse [--backend analytic|comm|sim|measured] [--out DIR] [--top K] [--threads N] [--trace PATH] [--quick] [--json] [--profile]"
     );
     eprintln!(
         "       repro calibrate [--threads N] [--out DIR] [--top K] [--quick] [--exact] [--json]"
@@ -148,6 +148,9 @@ fn usage() {
 }
 
 fn main() -> ExitCode {
+    // Every subcommand (including a spawned `repro serve`) exposes the
+    // allocator gauges through the one metrics registry.
+    mp_bench::alloc_track::register_metrics();
     let args: Vec<String> = std::env::args().skip(1).collect();
 
     // `repro dse [...]` and `repro calibrate [...]` are subcommands with

@@ -30,7 +30,7 @@ use crate::alloc_track;
 /// The `dse` flags that consume a value token. The `repro` binary's
 /// subcommand scanner uses this to step over flag values when the flags
 /// precede the subcommand name, so the list lives here next to `parse`.
-pub const VALUE_FLAGS: &[&str] = &["--backend", "--out", "--top", "--threads"];
+pub const VALUE_FLAGS: &[&str] = &["--backend", "--out", "--top", "--threads", "--trace"];
 
 /// Options of one `dse` invocation.
 #[derive(Debug)]
@@ -42,6 +42,7 @@ struct Options {
     profile: bool,
     threads: Option<usize>,
     top_k: usize,
+    trace: Option<PathBuf>,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -53,6 +54,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         profile: false,
         threads: None,
         top_k: 10,
+        trace: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -72,6 +74,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 "--threads" => {
                     options.threads = Some(crate::cli::parse_parallelism(arg, &value)?);
                 }
+                "--trace" => options.trace = Some(PathBuf::from(value)),
                 other => unreachable!("{other} is listed in VALUE_FLAGS but unhandled"),
             }
         } else {
@@ -213,7 +216,7 @@ pub fn run(args: &[String]) -> ExitCode {
         Ok(options) => options,
         Err(message) => {
             eprintln!("{message}");
-            eprintln!("usage: repro dse [--backend analytic|comm|sim|measured] [--out DIR] [--top K] [--threads N] [--quick] [--json] [--profile]");
+            eprintln!("usage: repro dse [--backend analytic|comm|sim|measured] [--out DIR] [--top K] [--threads N] [--trace PATH] [--quick] [--json] [--profile]");
             return ExitCode::FAILURE;
         }
     };
@@ -256,6 +259,12 @@ pub fn run(args: &[String]) -> ExitCode {
         }
     }
 
+    // Profiling is opt-in per run: spans cost an allocation each, so the
+    // recorder only arms when an export path was requested.
+    if options.trace.is_some() {
+        mp_obs::profile::Profiler::global().set_enabled(true);
+    }
+
     let allocs_before_first = alloc_track::allocation_count();
     let first = engine.sweep(&space, backend.as_ref(), &config);
     let allocs_first = alloc_track::allocation_count() - allocs_before_first;
@@ -274,6 +283,27 @@ pub fn run(args: &[String]) -> ExitCode {
     let top = top_k(&first.records, options.top_k);
     let optima = per_axis_optima(&space, &first.records);
     let frontier = pareto_frontier(&first.records, CostAxis::Cores);
+
+    if let Some(trace_path) = &options.trace {
+        // Both passes' spans (per-window batches, table builds, cached
+        // re-sweep) in one timeline, viewable at chrome://tracing or Perfetto.
+        let profiler = mp_obs::profile::Profiler::global();
+        profiler.set_enabled(false);
+        let spans = profiler.take();
+        if let Some(parent) = trace_path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("trace export failed: cannot create {}: {e}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = std::fs::write(trace_path, mp_obs::profile::chrome_trace_json(&spans)) {
+            eprintln!("trace export failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !options.json {
+            println!("  trace: {} spans exported to {}", spans.len(), trace_path.display());
+        }
+    }
 
     if let Err(e) = export_sweep(&options.out_dir, &space, &first) {
         eprintln!("export failed: {e}");
@@ -445,6 +475,9 @@ mod tests {
             parse(&["--backend".to_string(), "sim".to_string(), "--quick".to_string()]).unwrap();
         assert_eq!(options.backend, "sim");
         assert!(options.quick);
+        assert!(options.trace.is_none());
+        let options = parse(&["--trace".to_string(), "target/trace.json".to_string()]).unwrap();
+        assert_eq!(options.trace.as_deref(), Some(Path::new("target/trace.json")));
     }
 
     #[test]

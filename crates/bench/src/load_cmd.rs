@@ -31,9 +31,10 @@ use std::time::Instant;
 use mp_dse::backend::EvalBackend;
 use mp_dse::prelude::*;
 use mp_model::params::AppClass;
+use mp_obs::hist::{percentile_of_sorted, HistogramSnapshot, LATENCY_BOUNDS_MS};
 use mp_serve::prelude::*;
 
-use crate::cli;
+use crate::{alloc_track, cli};
 
 /// The `load` flags that consume a value token (see
 /// [`crate::dse_cmd::VALUE_FLAGS`] for why this lives next to `parse`).
@@ -180,68 +181,78 @@ fn records_identical(a: &[EvalRecord], b: &[EvalRecord]) -> bool {
         })
 }
 
-/// Latency percentile (sorted input, fraction in `[0, 1]`).
-fn percentile(sorted: &[f64], fraction: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted.len() as f64 - 1.0) * fraction).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+/// Look one series up in a metrics-snapshot JSON value
+/// (`{"counters":{..},"gauges":{..},"histograms":{..}}`).
+fn metrics_series<'a>(
+    value: &'a serde_json::Value,
+    section: &str,
+    name: &str,
+) -> Option<&'a serde_json::Value> {
+    let section = value.as_map()?.iter().find(|(key, _)| key == section)?;
+    section.1.as_map()?.iter().find(|(key, _)| key == name).map(|(_, entry)| entry)
 }
 
-/// Upper bucket bounds of the latency histogram, in milliseconds.
-const HISTOGRAM_BOUNDS_MS: [f64; 14] =
-    [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 2048.0, 8192.0];
+/// Verify the server's `metrics` snapshot carries the core series — and
+/// that they are nonzero where this load's shape guarantees activity.
+/// Returns the problems found (empty = pass); the CI smoke steps fail on
+/// any. The check runs against the *server's* registry (over the wire), so
+/// with `--spawn` it exercises the whole export path end to end.
+fn check_metrics(metrics_json: &str, options: &Options) -> Vec<String> {
+    let mut problems = Vec::new();
+    let value = match serde_json::parse(metrics_json) {
+        Ok(value) => value,
+        Err(e) => return vec![format!("metrics response is not valid JSON: {e}")],
+    };
 
-/// A fixed log-scale latency histogram (final bucket is `+inf`).
-#[derive(Debug, Clone)]
-struct Histogram {
-    counts: [u64; HISTOGRAM_BOUNDS_MS.len() + 1],
+    let mut nonzero_counters =
+        vec!["requests_total_ping", "requests_total_stats", "requests_total_sweep", "cache_hits"];
+    if options.prepare {
+        nonzero_counters.push("requests_total_prepare");
+    }
+    if options.clients >= 2 && options.requests >= 3 {
+        // The deterministic query mix covers top-k (even connections) and
+        // Pareto (odd connections) from the third request on.
+        nonzero_counters.push("requests_total_top_k");
+        nonzero_counters.push("requests_total_pareto");
+    }
+    for name in nonzero_counters {
+        match metrics_series(&value, "counters", name).and_then(|v| v.as_f64()) {
+            Some(count) if count > 0.0 => {}
+            Some(_) => problems.push(format!("counter `{name}` is zero under guaranteed load")),
+            None => problems.push(format!("counter `{name}` is missing")),
+        }
+    }
+    for name in ["busy_rejections"] {
+        if metrics_series(&value, "counters", name).and_then(|v| v.as_f64()).is_none() {
+            problems.push(format!("counter `{name}` is missing"));
+        }
+    }
+    for name in ["executor_queue_depth", "alloc_live_bytes", "alloc_peak_bytes"] {
+        if metrics_series(&value, "gauges", name).and_then(|v| v.as_f64()).is_none() {
+            problems.push(format!("gauge `{name}` is missing"));
+        }
+    }
+    for name in
+        ["serve_request_ms_sweep", "serve_queue_wait_ms", "serve_pipeline_depth", "dse_batch_ms"]
+    {
+        let count = metrics_series(&value, "histograms", name)
+            .and_then(|h| h.as_map()?.iter().find(|(key, _)| key == "count").map(|(_, v)| v))
+            .and_then(|v| v.as_f64());
+        match count {
+            Some(count) if count > 0.0 => {}
+            Some(_) => problems.push(format!("histogram `{name}` is empty under guaranteed load")),
+            None => problems.push(format!("histogram `{name}` is missing")),
+        }
+    }
+    problems
 }
 
-impl Histogram {
-    fn from_latencies(latencies_s: &[f64]) -> Histogram {
-        let mut counts = [0u64; HISTOGRAM_BOUNDS_MS.len() + 1];
-        for &latency in latencies_s {
-            let ms = latency * 1e3;
-            let bucket = HISTOGRAM_BOUNDS_MS
-                .iter()
-                .position(|&bound| ms <= bound)
-                .unwrap_or(HISTOGRAM_BOUNDS_MS.len());
-            counts[bucket] += 1;
-        }
-        Histogram { counts }
-    }
-
-    fn json(&self) -> String {
-        let buckets: Vec<String> = self
-            .counts
-            .iter()
-            .enumerate()
-            .map(|(bucket, count)| {
-                let bound = HISTOGRAM_BOUNDS_MS
-                    .get(bucket)
-                    .map(|b| b.to_string())
-                    .unwrap_or_else(|| "\"inf\"".to_string());
-                format!("{{\"le_ms\":{bound},\"count\":{count}}}")
-            })
-            .collect();
-        format!("[{}]", buckets.join(","))
-    }
-
-    fn render(&self) -> String {
-        let mut parts = Vec::new();
-        for (bucket, &count) in self.counts.iter().enumerate() {
-            if count == 0 {
-                continue;
-            }
-            match HISTOGRAM_BOUNDS_MS.get(bucket) {
-                Some(bound) => parts.push(format!("<={bound}ms: {count}")),
-                None => parts.push(format!(">{}ms: {count}", HISTOGRAM_BOUNDS_MS.last().unwrap())),
-            }
-        }
-        parts.join("  ")
-    }
+/// The pass's latency histogram: the shared mp-obs snapshot type over the
+/// canonical [`LATENCY_BOUNDS_MS`] buckets (bit-identical bounds and JSON
+/// layout to the hand-rolled histogram this harness used to carry).
+fn latency_histogram(latencies_s: &[f64]) -> HistogramSnapshot {
+    let latencies_ms: Vec<f64> = latencies_s.iter().map(|s| s * 1e3).collect();
+    HistogramSnapshot::from_values(&LATENCY_BOUNDS_MS, &latencies_ms)
 }
 
 /// Outcome of one load pass.
@@ -260,7 +271,7 @@ struct PassReport {
     cache_hits: u64,
     cache_misses: u64,
     hit_rate: f64,
-    histogram: Histogram,
+    histogram: HistogramSnapshot,
 }
 
 impl PassReport {
@@ -281,7 +292,7 @@ impl PassReport {
             self.cache_hits,
             self.cache_misses,
             self.hit_rate,
-            self.histogram.json(),
+            self.histogram.json_buckets(),
         )
     }
 }
@@ -715,6 +726,10 @@ fn drive(
     let mut parity_failures = 0usize;
     let mut busy_exhausted = 0usize;
     for pass in ["cold", "warm"] {
+        // Each pass measures its own allocator high-water mark; without the
+        // reset the warm pass would inherit (and report) the cold pass's
+        // peak forever.
+        alloc_track::reset_peak();
         let before = control.stats().map_err(|e| format!("stats failed: {e}"))?.cache_totals();
         let started = Instant::now();
         let outcome = run_pass(endpoint, &reference, options)?;
@@ -732,9 +747,9 @@ fn drive(
             requests,
             elapsed_seconds: elapsed,
             queries_per_second: requests as f64 / elapsed.max(1e-9),
-            p50_ms: percentile(&latencies, 0.50) * 1e3,
-            p95_ms: percentile(&latencies, 0.95) * 1e3,
-            p99_ms: percentile(&latencies, 0.99) * 1e3,
+            p50_ms: percentile_of_sorted(&latencies, 0.50) * 1e3,
+            p95_ms: percentile_of_sorted(&latencies, 0.95) * 1e3,
+            p99_ms: percentile_of_sorted(&latencies, 0.99) * 1e3,
             max_ms: latencies.last().copied().unwrap_or(0.0) * 1e3,
             parity_failures: outcome.failures,
             busy_retries: outcome.busy_retries,
@@ -742,14 +757,27 @@ fn drive(
             cache_hits: hits,
             cache_misses: misses,
             hit_rate: if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 },
-            histogram: Histogram::from_latencies(&latencies),
+            histogram: latency_histogram(&latencies),
         });
     }
 
     let warm = reports.last().expect("two passes ran");
     let warm_hit_rate = warm.hit_rate;
     let nonzero_hits = warm.cache_hits > 0;
-    let ok = parity_failures == 0 && busy_exhausted == 0 && warm_hit_rate > 0.9 && nonzero_hits;
+
+    // Observability smoke: the server's `metrics` snapshot (fetched over the
+    // wire, so with `--spawn` this is the child process's registry) must
+    // carry the core series, nonzero where this load guarantees activity.
+    let (metrics_json, _prometheus) =
+        control.metrics().map_err(|e| format!("metrics failed: {e}"))?;
+    let metrics_problems = check_metrics(&metrics_json, options);
+    let metrics_ok = metrics_problems.is_empty();
+
+    let ok = parity_failures == 0
+        && busy_exhausted == 0
+        && warm_hit_rate > 0.9
+        && nonzero_hits
+        && metrics_ok;
 
     if options.shutdown || options.spawn {
         control.shutdown().map_err(|e| format!("shutdown failed: {e}"))?;
@@ -758,7 +786,7 @@ fn drive(
     if options.json {
         let passes: Vec<String> = reports.iter().map(PassReport::json).collect();
         println!(
-            "{{\"experiment\":\"load\",\"endpoint\":\"{endpoint}\",\"protocol\":\"{version}\",\"backend\":\"{}\",\"clients\":{},\"requests_per_client\":{},\"pipelined\":{},\"depth\":{},\"prepared_spaces\":{},\"scenarios_per_sweep\":{},\"passes\":[{}],\"parity_failures\":{parity_failures},\"busy_exhausted\":{busy_exhausted},\"warm_hit_rate\":{warm_hit_rate},\"ok\":{ok}}}",
+            "{{\"experiment\":\"load\",\"endpoint\":\"{endpoint}\",\"protocol\":\"{version}\",\"backend\":\"{}\",\"clients\":{},\"requests_per_client\":{},\"pipelined\":{},\"depth\":{},\"prepared_spaces\":{},\"scenarios_per_sweep\":{},\"passes\":[{}],\"parity_failures\":{parity_failures},\"busy_exhausted\":{busy_exhausted},\"warm_hit_rate\":{warm_hit_rate},\"metrics_ok\":{metrics_ok},\"metrics_problems\":[{}],\"ok\":{ok}}}",
             backend.name(),
             options.clients,
             options.requests,
@@ -767,6 +795,11 @@ fn drive(
             options.prepare,
             reference.space.len(),
             passes.join(","),
+            metrics_problems
+                .iter()
+                .map(|p| format!("\"{}\"", p.replace('"', "'")))
+                .collect::<Vec<_>>()
+                .join(","),
         );
     } else {
         println!(
@@ -804,6 +837,13 @@ fn drive(
                 },
             );
             println!("       histogram: {}", report.histogram.render());
+        }
+        if metrics_ok {
+            println!("  metrics: all core series present and active");
+        } else {
+            for problem in &metrics_problems {
+                println!("  metrics: {problem}");
+            }
         }
         println!(
             "  parity: {}{} | warm hit rate {:.1}% ({}) ",
@@ -860,20 +900,57 @@ mod tests {
     #[test]
     fn percentiles_are_monotone() {
         let sorted: Vec<f64> = (0..100).map(|i| i as f64).collect();
-        assert_eq!(percentile(&sorted, 0.0), 0.0);
-        assert_eq!(percentile(&sorted, 1.0), 99.0);
-        assert!(percentile(&sorted, 0.5) <= percentile(&sorted, 0.95));
-        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile_of_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(percentile_of_sorted(&sorted, 1.0), 99.0);
+        assert!(percentile_of_sorted(&sorted, 0.5) <= percentile_of_sorted(&sorted, 0.95));
+        assert_eq!(percentile_of_sorted(&[], 0.5), 0.0);
     }
 
     #[test]
     fn histogram_buckets_cover_all_latencies() {
+        // Latencies arrive in seconds; the shared snapshot type buckets them
+        // in milliseconds over the canonical bounds.
         let latencies = [0.0001, 0.001, 0.050, 1.0, 100.0];
-        let histogram = Histogram::from_latencies(&latencies);
-        assert_eq!(histogram.counts.iter().sum::<u64>(), latencies.len() as u64);
+        let histogram = latency_histogram(&latencies);
+        assert_eq!(histogram.count(), latencies.len() as u64);
         assert_eq!(*histogram.counts.last().unwrap(), 1, "100s lands in +inf");
-        assert!(histogram.json().contains("\"le_ms\":0.25"));
+        assert!(histogram.json_buckets().contains("\"le_ms\":0.25"));
         assert!(!histogram.render().is_empty());
+    }
+
+    #[test]
+    fn metrics_check_flags_missing_and_zero_series() {
+        let options = parse(&[]).unwrap();
+        assert!(
+            !check_metrics("not json", &options).is_empty(),
+            "malformed payloads must be reported"
+        );
+        let empty = r#"{"counters":{},"gauges":{},"histograms":{}}"#;
+        let problems = check_metrics(empty, &options);
+        assert!(problems.iter().any(|p| p.contains("requests_total_sweep")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("executor_queue_depth")), "{problems:?}");
+
+        // A snapshot with every required series present and active passes.
+        let hist = r#"{"count":3,"sum":1.5,"buckets":[]}"#;
+        let good = format!(
+            concat!(
+                "{{\"counters\":{{\"requests_total_ping\":2,\"requests_total_stats\":4,",
+                "\"requests_total_sweep\":8,\"requests_total_prepare\":1,",
+                "\"requests_total_top_k\":3,\"requests_total_pareto\":3,",
+                "\"cache_hits\":100,\"busy_rejections\":0}},",
+                "\"gauges\":{{\"executor_queue_depth\":0,\"alloc_live_bytes\":10,",
+                "\"alloc_peak_bytes\":20}},",
+                "\"histograms\":{{\"serve_request_ms_sweep\":{h},",
+                "\"serve_queue_wait_ms\":{h},\"serve_pipeline_depth\":{h},",
+                "\"dse_batch_ms\":{h}}}}}"
+            ),
+            h = hist
+        );
+        assert_eq!(check_metrics(&good, &options), Vec::<String>::new());
+
+        // Zero where load guarantees activity is a failure, not a pass.
+        let zeroed = good.replace("\"cache_hits\":100", "\"cache_hits\":0");
+        assert!(check_metrics(&zeroed, &options).iter().any(|p| p.contains("cache_hits")));
     }
 
     #[test]

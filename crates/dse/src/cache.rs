@@ -37,6 +37,23 @@
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use mp_obs::metrics::Counter;
+
+/// Process-wide cache metrics in the global mp-obs registry, mirroring the
+/// per-instance counters across every live cache. Only cold/bulk paths
+/// touch them (migrations, inserts); per-probe traffic is mirrored at batch
+/// granularity by the engine.
+fn obs_inserts() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    CELL.get_or_init(|| mp_obs::counter("cache_inserts"))
+}
+
+fn obs_migrations() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    CELL.get_or_init(|| mp_obs::counter("cache_migrations"))
+}
 
 /// Number of independent shards (power of two). Shards only gate the cold
 /// grow/migrate paths — probes and inserts are per-slot atomics — so the
@@ -208,6 +225,8 @@ struct Shard {
     /// recomputes a deterministic value.
     migrating: AtomicBool,
     grow: Mutex<Vec<*mut Table>>,
+    /// Completed table migrations (growth events) of this shard.
+    migrations: AtomicU64,
 }
 
 impl Shard {
@@ -216,6 +235,7 @@ impl Shard {
             current: AtomicPtr::new(Box::into_raw(Table::with_capacity(INITIAL_SLOTS))),
             migrating: AtomicBool::new(false),
             grow: Mutex::new(Vec::new()),
+            migrations: AtomicU64::new(0),
         }
     }
 
@@ -287,6 +307,8 @@ impl Shard {
         self.current.store(new_ptr, Ordering::SeqCst);
         self.migrating.store(false, Ordering::SeqCst);
         retired.push(old_ptr);
+        self.migrations.fetch_add(1, Ordering::Relaxed);
+        obs_migrations().inc();
     }
 }
 
@@ -300,6 +322,9 @@ pub struct EvalCache {
     shards: Vec<Shard>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Misses recorded without a probe (the engine's cold-start bypass).
+    bypassed: AtomicU64,
+    inserts: AtomicU64,
 }
 
 /// Snapshot of a cache's warm-start state — see [`EvalCache::stats`].
@@ -313,6 +338,14 @@ pub struct CacheStats {
     pub hits: u64,
     /// Probes that missed since construction / the last reset.
     pub misses: u64,
+    /// Slot probes actually performed (`hits + misses` minus the cold-start
+    /// bypassed lookups, which are counted as misses but never walk a table).
+    pub probes: u64,
+    /// Entries stored (single and batched) since construction / the last
+    /// reset.
+    pub inserts: u64,
+    /// Shard-table migrations (growth events) since construction.
+    pub migrations: u64,
 }
 
 impl CacheStats {
@@ -359,10 +392,17 @@ impl std::fmt::Debug for EvalCache {
 impl EvalCache {
     /// An empty cache.
     pub fn new() -> Self {
+        // Touch the registry-backed counters now: their first use allocates
+        // (registry entry + Arc), and the probe/insert paths are covered by
+        // a zero-allocation acceptance test.
+        obs_inserts();
+        obs_migrations();
         EvalCache {
             shards: (0..SHARDS).map(|_| Shard::new()).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            bypassed: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
         }
     }
 
@@ -441,6 +481,8 @@ impl EvalCache {
 
     /// Store an evaluated speedup (bit pattern preserved, NaNs included).
     pub fn insert(&self, key: (u64, u64), speedup: f64) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        obs_inserts().inc();
         self.shard(key).insert(key, speedup.to_bits());
     }
 
@@ -452,6 +494,8 @@ impl EvalCache {
     /// slices differ in length.
     pub fn insert_batch(&self, keys: &[(u64, u64)], speedups: &[f64]) {
         assert_eq!(keys.len(), speedups.len(), "one speedup per key");
+        self.inserts.fetch_add(keys.len() as u64, Ordering::Relaxed);
+        obs_inserts().add(keys.len() as u64);
         self.prefetch(keys);
         // The table pointer each shard's inserts went through (null =
         // untouched). If the post-fence check finds a shard migrated (or
@@ -529,12 +573,35 @@ impl EvalCache {
     /// the sweeps that filled the cache.
     pub fn record_bypassed_misses(&self, n: u64) {
         self.misses.fetch_add(n, Ordering::Relaxed);
+        self.bypassed.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Reset the hit/miss counters (entries are kept).
+    /// Slot probes actually performed: every [`EvalCache::get`] call, i.e.
+    /// `hits + misses` minus the bypassed cold-start misses (which are
+    /// counted as misses without walking a table).
+    pub fn probes(&self) -> u64 {
+        (self.hits() + self.misses()).saturating_sub(self.bypassed.load(Ordering::Relaxed))
+    }
+
+    /// Entries stored (single and batched) since construction / the last
+    /// reset. Counts insert *calls*; overwrites of duplicate keys are not
+    /// distinguished.
+    pub fn inserts(&self) -> u64 {
+        self.inserts.load(Ordering::Relaxed)
+    }
+
+    /// Completed shard-table migrations (growth events) since construction.
+    pub fn migrations(&self) -> u64 {
+        self.shards.iter().map(|s| s.migrations.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Reset the hit/miss/probe/insert counters (entries — and the
+    /// structural migration count — are kept).
     pub fn reset_counters(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.bypassed.store(0, Ordering::Relaxed);
+        self.inserts.store(0, Ordering::Relaxed);
     }
 
     /// One consistent-enough snapshot of the cache's warm-start state:
@@ -548,6 +615,9 @@ impl EvalCache {
             capacity: self.capacity(),
             hits: self.hits(),
             misses: self.misses(),
+            probes: self.probes(),
+            inserts: self.inserts(),
+            migrations: self.migrations(),
         }
     }
 

@@ -17,8 +17,11 @@
 use std::borrow::Cow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+use mp_obs::hist::Histogram;
+use mp_obs::metrics::Counter;
+use mp_obs::profile::{thread_lane, Profiler};
 use mp_par::ThreadPool;
 use serde::{Deserialize, Serialize};
 
@@ -26,6 +29,35 @@ use crate::backend::EvalBackend;
 use crate::cache::EvalCache;
 use crate::scenario::{Scenario, ScenarioSpace};
 use crate::tables::SpaceTables;
+
+/// Process-wide engine metrics in the global mp-obs registry (see the
+/// README's observability catalogue). Handles are cached in `OnceLock`s so
+/// the hot path pays one acquire load plus a relaxed sharded `fetch_add`
+/// per *batch*, never a registry lookup.
+fn obs_scenarios() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    CELL.get_or_init(|| mp_obs::counter("dse_scenarios_evaluated"))
+}
+
+fn obs_cache_hits() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    CELL.get_or_init(|| mp_obs::counter("cache_hits"))
+}
+
+fn obs_cache_misses() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    CELL.get_or_init(|| mp_obs::counter("cache_misses"))
+}
+
+fn obs_batch_ms() -> &'static Histogram {
+    static CELL: OnceLock<Arc<Histogram>> = OnceLock::new();
+    CELL.get_or_init(|| mp_obs::histogram_ms("dse_batch_ms"))
+}
+
+fn obs_table_build_ms() -> &'static Histogram {
+    static CELL: OnceLock<Arc<Histogram>> = OnceLock::new();
+    CELL.get_or_init(|| mp_obs::histogram_ms("dse_table_build_ms"))
+}
 
 /// One evaluated scenario of a sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -306,12 +338,12 @@ pub struct SweepHandle<'a> {
 impl<'a> SweepHandle<'a> {
     /// Prepare a sweep over a borrowed space.
     pub fn new(space: &'a ScenarioSpace) -> Self {
-        SweepHandle { tables: SpaceTables::new(space), space: Cow::Borrowed(space) }
+        SweepHandle { tables: build_tables(space), space: Cow::Borrowed(space) }
     }
 
     /// Prepare a sweep that owns its space (`'static`: storable in caches).
     pub fn owned(space: ScenarioSpace) -> SweepHandle<'static> {
-        SweepHandle { tables: SpaceTables::new(&space), space: Cow::Owned(space) }
+        SweepHandle { tables: build_tables(&space), space: Cow::Owned(space) }
     }
 
     /// The prepared space.
@@ -340,6 +372,19 @@ impl<'a> SweepHandle<'a> {
         assert!(range.end <= self.len(), "cursor range {range:?} exceeds the space");
         RangeCursor::new(range, step)
     }
+}
+
+/// Build the columnar tables for `space`, feeding the table-build timing
+/// into the metrics registry (and the profiler when one is recording).
+fn build_tables(space: &ScenarioSpace) -> SpaceTables {
+    let profiler = Profiler::global();
+    let _span = profiler
+        .is_enabled()
+        .then(|| profiler.span(&format!("table_build ({})", space.len()), "engine", thread_lane()));
+    let started = std::time::Instant::now();
+    let tables = SpaceTables::new(space);
+    obs_table_build_ms().record(started.elapsed().as_secs_f64() * 1e3);
+    tables
 }
 
 impl std::fmt::Debug for SweepHandle<'_> {
@@ -579,6 +624,11 @@ fn process_batch(
 ) {
     debug_assert_eq!(out.len(), range.len());
     let len = range.len();
+    let profiler = Profiler::global();
+    let _span = profiler.is_enabled().then(|| {
+        profiler.span(&format!("batch {}..{}", range.start, range.end), "engine", thread_lane())
+    });
+    let batch_started = std::time::Instant::now();
     scratch.reset(len);
 
     match cache {
@@ -590,6 +640,7 @@ fn process_batch(
                 &mut scratch.speedups[..],
             );
             misses.fetch_add(len as u64, Ordering::Relaxed);
+            obs_cache_misses().add(len as u64);
         }
         Some(cache) => {
             let missing = {
@@ -610,6 +661,7 @@ fn process_batch(
                     // cache's memory traffic for the back-fill.
                     backend.evaluate_batch_prepared(space, tables, range.clone(), speedups);
                     misses.fetch_add(len as u64, Ordering::Relaxed);
+                    obs_cache_misses().add(len as u64);
                     cache.record_bypassed_misses(len as u64);
                     cache.insert_batch(keys, speedups);
                     None
@@ -628,6 +680,7 @@ fn process_batch(
                         }
                     }
                     hits.fetch_add((len - missing) as u64, Ordering::Relaxed);
+                    obs_cache_hits().add((len - missing) as u64);
                     Some(missing)
                 }
             };
@@ -646,6 +699,9 @@ fn process_batch(
             }
         }
     }
+
+    obs_scenarios().add(len as u64);
+    obs_batch_ms().record(batch_started.elapsed().as_secs_f64() * 1e3);
 
     // Records read their geometry from the precomputed columns — no
     // per-scenario decode, derivation or scenario materialisation. The
@@ -690,6 +746,7 @@ fn process_batch_holes(
         // Cold batch: take the backend's columnar fast path.
         backend.evaluate_batch_prepared(space, tables, range.clone(), speedups);
         misses.fetch_add(len as u64, Ordering::Relaxed);
+        obs_cache_misses().add(len as u64);
         cache.insert_batch(keys, speedups);
     } else if missing > 0 {
         // Mixed batch: evaluate only the first-probe holes. A hole's
@@ -724,6 +781,8 @@ fn process_batch_holes(
         });
         hits.fetch_add(peeked, Ordering::Relaxed);
         misses.fetch_add(evaluated, Ordering::Relaxed);
+        obs_cache_hits().add(peeked);
+        obs_cache_misses().add(evaluated);
     }
 }
 

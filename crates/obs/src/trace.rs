@@ -1,0 +1,179 @@
+//! Per-request tracing: a trace id minted when the request line is decoded,
+//! a timestamp per pipeline stage, and a bounded [`TraceLog`] of completed
+//! requests.
+//!
+//! The serve stack stamps each request at five points as it crosses
+//! threads — [`Stage::Decode`] on the event loop when the line parser
+//! completes a request line, [`Stage::Queue`] when an executor picks the
+//! job up (ending its queue wait), [`Stage::Evaluate`] when the service
+//! call returns, [`Stage::Encode`] when the response bytes exist, and
+//! [`Stage::Flush`] when the event loop hands them to the socket. All
+//! stamps come from the one process-wide monotonic clock
+//! ([`monotonic_ns`](crate::monotonic_ns)), so a completed trace's stages
+//! are non-decreasing by construction.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One pipeline stage of a request's life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// The request line was decoded from the byte stream (trace id minted).
+    Decode,
+    /// An executor dequeued the job (queue wait over).
+    Queue,
+    /// The service evaluated the request.
+    Evaluate,
+    /// The response was encoded to bytes.
+    Encode,
+    /// The response bytes were handed to the socket.
+    Flush,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 5] =
+        [Stage::Decode, Stage::Queue, Stage::Evaluate, Stage::Encode, Stage::Flush];
+
+    /// The stage's index in pipeline order.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The stage's lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Decode => "decode",
+            Stage::Queue => "queue",
+            Stage::Evaluate => "evaluate",
+            Stage::Encode => "encode",
+            Stage::Flush => "flush",
+        }
+    }
+}
+
+/// One request's trace: its id, verb, and a monotonic-clock stamp per
+/// stage (nanoseconds; `0` marks a stage never reached).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestTrace {
+    /// Server-side trace id, unique per process (minted at decode).
+    pub id: u64,
+    /// The request verb (`"ping"`, `"sweep"`, …), `"invalid"` for lines
+    /// that failed to parse.
+    pub verb: &'static str,
+    /// Nanosecond stamp per stage, indexed by [`Stage::index`].
+    pub stage_ns: [u64; 5],
+}
+
+impl RequestTrace {
+    /// A fresh trace for `id`, stamped at [`Stage::Decode`] with `now_ns`.
+    pub fn begin(id: u64, now_ns: u64) -> RequestTrace {
+        let mut trace = RequestTrace { id, verb: "unknown", stage_ns: [0; 5] };
+        trace.stage_ns[Stage::Decode.index()] = now_ns;
+        trace
+    }
+
+    /// Record `stage` at `now_ns`.
+    pub fn stamp(&mut self, stage: Stage, now_ns: u64) {
+        self.stage_ns[stage.index()] = now_ns;
+    }
+
+    /// Decode-to-flush latency in milliseconds (`None` until flushed).
+    pub fn total_ms(&self) -> Option<f64> {
+        let decode = self.stage_ns[Stage::Decode.index()];
+        let flush = self.stage_ns[Stage::Flush.index()];
+        if flush == 0 {
+            None
+        } else {
+            Some((flush.saturating_sub(decode)) as f64 / 1e6)
+        }
+    }
+}
+
+/// A bounded ring of completed [`RequestTrace`]s plus the process-wide
+/// trace-id mint. Push and snapshot take a mutex — both happen once per
+/// request (completion) or per inspection, never per byte.
+pub struct TraceLog {
+    capacity: usize,
+    entries: Mutex<VecDeque<RequestTrace>>,
+}
+
+/// Mint a fresh process-unique trace id (starting at 1; 0 is never used).
+pub fn mint_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl TraceLog {
+    /// A log keeping the most recent `capacity` completed traces.
+    pub fn new(capacity: usize) -> TraceLog {
+        TraceLog { capacity: capacity.max(1), entries: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Commit a completed trace, evicting the oldest past capacity.
+    pub fn push(&self, trace: RequestTrace) {
+        let mut entries = self.entries.lock().expect("trace log poisoned");
+        if entries.len() == self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(trace);
+    }
+
+    /// Completed traces, oldest first.
+    pub fn snapshot(&self) -> Vec<RequestTrace> {
+        self.entries.lock().expect("trace log poisoned").iter().cloned().collect()
+    }
+
+    /// Number of retained traces.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("trace log poisoned").len()
+    }
+
+    /// Whether no trace has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_stamp_in_order_and_total_is_decode_to_flush() {
+        let mut trace = RequestTrace::begin(mint_id(), 1_000_000);
+        assert_eq!(trace.total_ms(), None);
+        for (offset, stage) in Stage::ALL.iter().skip(1).enumerate() {
+            trace.stamp(*stage, 1_000_000 + (offset as u64 + 1) * 500_000);
+        }
+        assert!(trace.stage_ns.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(trace.total_ms(), Some(2.0));
+    }
+
+    #[test]
+    fn minted_ids_are_unique_across_threads() {
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            handles.push(std::thread::spawn(|| (0..1000).map(|_| mint_id()).collect::<Vec<_>>()));
+        }
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), before);
+        assert!(!all.contains(&0));
+    }
+
+    #[test]
+    fn log_keeps_the_most_recent_capacity_traces() {
+        let log = TraceLog::new(3);
+        assert!(log.is_empty());
+        for id in 1..=5 {
+            log.push(RequestTrace::begin(id, id * 10));
+        }
+        let kept: Vec<u64> = log.snapshot().iter().map(|t| t.id).collect();
+        assert_eq!(kept, vec![3, 4, 5]);
+        assert_eq!(log.len(), 3);
+    }
+}

@@ -187,6 +187,16 @@ impl Client {
         }
     }
 
+    /// Fetch the server's metrics-registry snapshot: `(json, prometheus)`,
+    /// the same snapshot rendered as one JSON object and as Prometheus
+    /// exposition text.
+    pub fn metrics(&mut self) -> Result<(String, String), ClientError> {
+        match self.single(Request::Metrics)? {
+            Response::Metrics { json, prometheus } => Ok((json, prometheus)),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
+
     /// List the service's calibration catalogue.
     pub fn catalogue(&mut self) -> Result<Vec<CatalogueEntry>, ClientError> {
         match self.single(Request::Catalogue)? {
@@ -365,6 +375,7 @@ fn unexpected(wanted: &str, got: &Response) -> ClientError {
     let label = match got {
         Response::Pong { .. } => "Pong",
         Response::Stats(_) => "Stats",
+        Response::Metrics { .. } => "Metrics",
         Response::Catalogue { .. } => "Catalogue",
         Response::ShuttingDown => "ShuttingDown",
         Response::SweepChunk { .. } => "SweepChunk",

@@ -20,10 +20,28 @@
 
 use std::collections::VecDeque;
 use std::io::{Read, Write};
+use std::sync::{Arc, OnceLock};
+
+use mp_obs::metrics::Counter;
+use mp_obs::trace::{mint_id, RequestTrace};
 
 use crate::protocol::{LineDecoder, MAX_REQUEST_LINE};
 use crate::server::Stream;
 use crate::service::SweepTicket;
+
+/// Times a connection's reads were paused because its pipeline hit
+/// [`MAX_PIPELINE`] (TCP backpressure engaged).
+fn obs_read_pauses() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    CELL.get_or_init(|| mp_obs::counter("serve_read_pauses"))
+}
+
+/// Times a connection's outbox crossed [`HIGH_WATERMARK`] from below
+/// (response production about to stop for that connection).
+fn obs_outbox_high_water() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    CELL.get_or_init(|| mp_obs::counter("serve_outbox_high_water"))
+}
 
 /// Stop producing response bytes for a connection whose outbox holds at
 /// least this much; the overshoot above the watermark is bounded by one
@@ -68,8 +86,11 @@ pub(crate) struct Conn {
     /// Prefix of `outbox` already written.
     written: usize,
     /// Parsed request lines (or receive-side errors to report) awaiting
-    /// dispatch, oldest first.
-    pub pipeline: VecDeque<Result<String, String>>,
+    /// dispatch, oldest first, each paired with its request trace (id minted
+    /// and [`Stage::Decode`] stamped when the line left the decoder).
+    ///
+    /// [`Stage::Decode`]: mp_obs::trace::Stage::Decode
+    pub pipeline: VecDeque<(Result<String, String>, RequestTrace)>,
     pub inflight: InFlight,
     /// Reading is suspended because the pipeline is full.
     pub read_paused: bool,
@@ -139,10 +160,12 @@ impl Conn {
     /// further reads, it never drops input).
     fn drain_lines(&mut self) {
         while let Some(line) = self.decoder.next_line() {
-            self.pipeline.push_back(line);
+            let trace = RequestTrace::begin(mint_id(), mp_obs::monotonic_ns());
+            self.pipeline.push_back((line, trace));
         }
-        if self.pipeline.len() >= MAX_PIPELINE {
+        if self.pipeline.len() >= MAX_PIPELINE && !self.read_paused {
             self.read_paused = true;
+            obs_read_pauses().inc();
         }
     }
 
@@ -157,7 +180,11 @@ impl Conn {
 
     /// Queue encoded response bytes for writing.
     pub fn enqueue(&mut self, bytes: &[u8]) {
+        let before = self.pending_out();
         self.outbox.extend_from_slice(bytes);
+        if before < HIGH_WATERMARK && self.pending_out() >= HIGH_WATERMARK {
+            obs_outbox_high_water().inc();
+        }
     }
 
     /// Response bytes not yet accepted by the kernel.

@@ -95,6 +95,9 @@ pub enum Request {
     Ping,
     /// Service, shard and cache statistics.
     Stats,
+    /// The process-wide metrics-registry snapshot (counters, gauges,
+    /// latency histograms) as JSON plus Prometheus exposition text.
+    Metrics,
     /// List the service's calibration catalogue.
     Catalogue,
     /// Stop accepting connections and exit the serve loop.
@@ -141,6 +144,26 @@ pub enum Request {
     },
 }
 
+impl Request {
+    /// The request's stable verb name: the label used for per-verb metric
+    /// series (`requests_total_<verb>`, `serve_request_ms_<verb>`) and for
+    /// request traces.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Catalogue => "catalogue",
+            Request::Shutdown => "shutdown",
+            Request::Sweep { .. } => "sweep",
+            Request::TopK { .. } => "top_k",
+            Request::Pareto { .. } => "pareto",
+            Request::Curve { .. } => "curve",
+            Request::Prepare { .. } => "prepare",
+        }
+    }
+}
+
 /// One service response, tagged with the originating request's id.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ResponseEnvelope {
@@ -161,6 +184,14 @@ pub enum Response {
     },
     /// Answer to [`Request::Stats`].
     Stats(ServiceStats),
+    /// Answer to [`Request::Metrics`].
+    Metrics {
+        /// The registry snapshot as one JSON object
+        /// (`{"counters":{..},"gauges":{..},"histograms":{..}}`).
+        json: String,
+        /// The same snapshot as Prometheus exposition text.
+        prometheus: String,
+    },
     /// Answer to [`Request::Catalogue`].
     Catalogue {
         /// Every registered calibration.
@@ -235,17 +266,31 @@ pub struct ServiceStats {
     pub prepared_spaces: usize,
     /// Seconds since the service started.
     pub uptime_seconds: f64,
+    /// The process-wide metrics-registry snapshot at stats time, as one
+    /// JSON object (same shape as [`Response::Metrics`]'s `json`).
+    pub metrics: String,
 }
 
 impl ServiceStats {
     /// Cache totals summed over every shard.
     pub fn cache_totals(&self) -> CacheStats {
-        let mut totals = CacheStats { entries: 0, capacity: 0, hits: 0, misses: 0 };
+        let mut totals = CacheStats {
+            entries: 0,
+            capacity: 0,
+            hits: 0,
+            misses: 0,
+            probes: 0,
+            inserts: 0,
+            migrations: 0,
+        };
         for shard in &self.shards {
             totals.entries += shard.cache.entries;
             totals.capacity += shard.cache.capacity;
             totals.hits += shard.cache.hits;
             totals.misses += shard.cache.misses;
+            totals.probes += shard.cache.probes;
+            totals.inserts += shard.cache.inserts;
+            totals.migrations += shard.cache.migrations;
         }
         totals
     }
@@ -635,6 +680,7 @@ mod tests {
         let requests = vec![
             Request::Ping,
             Request::Stats,
+            Request::Metrics,
             Request::Catalogue,
             Request::Shutdown,
             Request::Sweep {
@@ -694,6 +740,24 @@ mod tests {
             let back: ResponseEnvelope = decode_line(&line).unwrap();
             assert_eq!(encode_line(&back), line);
         }
+    }
+
+    #[test]
+    fn metrics_responses_are_terminal_and_round_trip() {
+        let metrics = Response::Metrics {
+            json: "{\"counters\":{\"requests_total_ping\":1},\"gauges\":{},\"histograms\":{}}"
+                .into(),
+            prometheus: "# TYPE requests_total_ping counter\nrequests_total_ping 1\n".into(),
+        };
+        assert!(metrics.is_terminal());
+        let line = encode_line(&ResponseEnvelope { id: 4, response: metrics });
+        let back: ResponseEnvelope = decode_line(&line).unwrap();
+        assert_eq!(encode_line(&back), line);
+        let Response::Metrics { json, prometheus } = back.response else {
+            panic!("metrics response must survive the round trip");
+        };
+        assert!(json.contains("requests_total_ping"));
+        assert!(prometheus.contains("# TYPE"));
     }
 
     #[test]

@@ -41,9 +41,12 @@ use std::os::fd::{AsRawFd, RawFd};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use mp_obs::hist::Histogram;
+use mp_obs::metrics::Counter;
+use mp_obs::trace::{RequestTrace, Stage, TraceLog};
 
 use crate::conn::{Conn, InFlight, HIGH_WATERMARK, LOW_WATERMARK};
 use crate::protocol::{
@@ -51,7 +54,29 @@ use crate::protocol::{
     ResponseEnvelope,
 };
 use crate::reactor::{Poller, Waker, EPOLLET, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
-use crate::service::{SweepService, SweepTicket};
+use crate::service::{count_request, SweepService, SweepTicket};
+
+/// Completed request traces retained per server (oldest evicted first).
+pub const TRACE_LOG_CAPACITY: usize = 4096;
+
+/// Bucket bounds for the pipeline-depth histogram: powers of two up to
+/// [`MAX_PIPELINE`](crate::conn::MAX_PIPELINE).
+static PIPELINE_DEPTH_BOUNDS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// Returns from `epoll_wait` summed across every event-loop thread.
+fn obs_epoll_wakeups() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    CELL.get_or_init(|| mp_obs::counter("serve_epoll_wakeups"))
+}
+
+/// Pipelined depth (requests queued plus the one being dispatched) observed
+/// at each dispatch.
+fn obs_pipeline_depth() -> &'static Histogram {
+    static CELL: OnceLock<Arc<Histogram>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        mp_obs::registry().histogram("serve_pipeline_depth", &PIPELINE_DEPTH_BOUNDS)
+    })
+}
 
 /// Where a server listens (or a client connects).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -175,6 +200,8 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     /// Unix socket path to unlink when the server stops.
     cleanup: Option<PathBuf>,
+    /// Completed request traces, newest [`TRACE_LOG_CAPACITY`] retained.
+    trace_log: Arc<TraceLog>,
 }
 
 impl Server {
@@ -211,12 +238,21 @@ impl Server {
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
             cleanup,
+            trace_log: Arc::new(TraceLog::new(TRACE_LOG_CAPACITY)),
         })
     }
 
     /// The bound endpoint (with the real port for TCP port-0 binds).
     pub fn endpoint(&self) -> &Endpoint {
         &self.endpoint
+    }
+
+    /// The server's request-trace log: every completed request's per-stage
+    /// timestamps, newest [`TRACE_LOG_CAPACITY`] retained. Clone the handle
+    /// before [`Server::run`] consumes the server to inspect traces while
+    /// (or after) it serves.
+    pub fn trace_log(&self) -> Arc<TraceLog> {
+        Arc::clone(&self.trace_log)
     }
 
     /// The resolved reactor sizing (auto knobs filled in).
@@ -274,6 +310,8 @@ impl Server {
                 endpoint: self.endpoint.clone(),
                 conns: HashMap::new(),
                 next_token: FIRST_CONN_TOKEN,
+                trace_log: Arc::clone(&self.trace_log),
+                verb_hists: HashMap::new(),
             };
             loop_threads.push(
                 std::thread::Builder::new()
@@ -381,6 +419,10 @@ struct ExecJob {
     token: u64,
     seq: u64,
     kind: JobKind,
+    /// The request's trace (minted at decode). `None` for the continuation
+    /// jobs of a parked streaming sweep — the sweep's trace completed with
+    /// its first window's flush.
+    trace: Option<RequestTrace>,
 }
 
 enum JobKind {
@@ -408,6 +450,9 @@ struct JobDone {
     next: Option<(u64, Box<SweepTicket>)>,
     /// The request was a shutdown: flush, then stop the server.
     shutdown: bool,
+    /// The request's trace, stamped through [`Stage::Encode`]; the event
+    /// loop stamps [`Stage::Flush`] and commits it.
+    trace: Option<RequestTrace>,
 }
 
 /// One event-loop thread: owns a poller, a waker, and a set of connections.
@@ -422,6 +467,10 @@ struct EventLoop {
     endpoint: Endpoint,
     conns: HashMap<u64, Conn>,
     next_token: u64,
+    trace_log: Arc<TraceLog>,
+    /// Per-verb request-latency histograms (`serve_request_ms_<verb>`),
+    /// cached so the flush path never takes the registry lock.
+    verb_hists: HashMap<&'static str, Arc<Histogram>>,
 }
 
 impl EventLoop {
@@ -437,6 +486,7 @@ impl EventLoop {
             if self.poller.wait(&mut events).is_err() {
                 return;
             }
+            obs_epoll_wakeups().inc();
             // Drain the batch by value: handlers mutate the connection map.
             for event in events.drain(..) {
                 if event.token == WAKER_TOKEN {
@@ -500,6 +550,10 @@ impl EventLoop {
                     None => InFlight::Idle,
                 };
                 conn.flush_out();
+                if let Some(mut trace) = done.trace {
+                    trace.stamp(Stage::Flush, mp_obs::monotonic_ns());
+                    self.commit_trace(trace);
+                }
                 self.pump(done.token);
             }
         }
@@ -549,6 +603,7 @@ impl EventLoop {
                     token,
                     seq,
                     kind: JobKind::Window { id, ticket },
+                    trace: None,
                 };
                 if self.exec.send(job).is_err() {
                     conn.dead = true;
@@ -561,7 +616,8 @@ impl EventLoop {
             // watermark, so a non-draining client stops consuming executor
             // time entirely.
             if matches!(conn.inflight, InFlight::Idle) && conn.pending_out() < HIGH_WATERMARK {
-                if let Some(line) = conn.pipeline.pop_front() {
+                if let Some((line, trace)) = conn.pipeline.pop_front() {
+                    obs_pipeline_depth().record((conn.pipeline.len() + 1) as f64);
                     let seq = conn.take_seq();
                     conn.inflight = InFlight::Dispatched { seq };
                     let job = ExecJob {
@@ -570,6 +626,7 @@ impl EventLoop {
                         token,
                         seq,
                         kind: JobKind::Line(line),
+                        trace: Some(trace),
                     };
                     if self.exec.send(job).is_err() {
                         conn.dead = true;
@@ -619,6 +676,18 @@ impl EventLoop {
         }
     }
 
+    /// Commit a flushed trace: record its decode-to-flush latency on the
+    /// verb's histogram and push it into the server's trace log.
+    fn commit_trace(&mut self, trace: RequestTrace) {
+        if let Some(total_ms) = trace.total_ms() {
+            let histogram = self.verb_hists.entry(trace.verb).or_insert_with(|| {
+                mp_obs::registry().histogram_ms(&format!("serve_request_ms_{}", trace.verb))
+            });
+            histogram.record(total_ms);
+        }
+        self.trace_log.push(trace);
+    }
+
     /// Stop the whole server: flag, wake every loop, and poke the listener
     /// so a blocked `accept` observes the flag.
     fn trigger_shutdown(&self) {
@@ -640,8 +709,11 @@ impl Drop for EventLoop {
 /// Executor thread body: pull jobs, run them against the service, post the
 /// completion back to the origin loop.
 fn run_executor(service: &SweepService, jobs: &Receiver<ExecJob>) {
-    while let Ok(job) = jobs.recv() {
-        let done = execute(service, job.token, job.seq, job.kind);
+    while let Ok(mut job) = jobs.recv() {
+        if let Some(trace) = &mut job.trace {
+            trace.stamp(Stage::Queue, mp_obs::monotonic_ns());
+        }
+        let done = execute(service, job.token, job.seq, job.kind, job.trace);
         // A dropped mailbox just means the loop (or whole server) wound
         // down while this job ran.
         if job.reply.send(LoopMsg::Done(done)).is_ok() {
@@ -651,47 +723,109 @@ fn run_executor(service: &SweepService, jobs: &Receiver<ExecJob>) {
 }
 
 /// Run one job to completion-or-parking, encoding every produced response.
-fn execute(service: &SweepService, token: u64, seq: u64, kind: JobKind) -> JobDone {
-    let mut done = JobDone { token, seq, bytes: Vec::new(), next: None, shutdown: false };
+/// The trace (if any) gets its verb and its [`Stage::Evaluate`] /
+/// [`Stage::Encode`] stamps here and rides back on the completion.
+fn execute(
+    service: &SweepService,
+    token: u64,
+    seq: u64,
+    kind: JobKind,
+    mut trace: Option<RequestTrace>,
+) -> JobDone {
+    let mut done =
+        JobDone { token, seq, bytes: Vec::new(), next: None, shutdown: false, trace: None };
     match kind {
-        JobKind::Line(Err(message)) => push_line(&mut done.bytes, 0, Response::Error { message }),
+        JobKind::Line(Err(message)) => {
+            if let Some(t) = &mut trace {
+                t.verb = "invalid";
+            }
+            push_line(&mut done.bytes, 0, Response::Error { message })
+        }
         JobKind::Line(Ok(line)) => match decode_line::<RequestEnvelope>(&line) {
-            Err(message) => push_line(&mut done.bytes, 0, Response::Error { message }),
+            Err(message) => {
+                if let Some(t) = &mut trace {
+                    t.verb = "invalid";
+                }
+                push_line(&mut done.bytes, 0, Response::Error { message })
+            }
             // Enforce the protocol's id reservation: a request on id 0 would
             // be indistinguishable from server parse-error responses.
-            Ok(envelope) if envelope.id == 0 => push_line(
-                &mut done.bytes,
-                0,
-                Response::Error {
-                    message: "request id 0 is reserved for server errors; use ids >= 1".to_string(),
-                },
-            ),
+            Ok(envelope) if envelope.id == 0 => {
+                if let Some(t) = &mut trace {
+                    t.verb = "invalid";
+                }
+                push_line(
+                    &mut done.bytes,
+                    0,
+                    Response::Error {
+                        message: "request id 0 is reserved for server errors; use ids >= 1"
+                            .to_string(),
+                    },
+                )
+            }
             Ok(envelope) => {
                 let id = envelope.id;
+                if let Some(t) = &mut trace {
+                    t.verb = envelope.request.verb();
+                }
+                // The sweep and shutdown arms answer without going through
+                // `handle_streaming` (which counts every request it sees),
+                // so their per-verb series are counted here.
+                if matches!(envelope.request, Request::Sweep { .. } | Request::Shutdown) {
+                    count_request(&envelope.request);
+                }
                 match envelope.request {
                     Request::Sweep { space, start, end, chunk } => {
                         match service.resolve_handle(&space).and_then(|handle| {
                             service.begin_sweep_handle(handle, start..end, chunk)
                         }) {
-                            Ok(ticket) => stream_window(service, id, Box::new(ticket), &mut done),
-                            Err(e) => push_line(&mut done.bytes, id, e.into_response()),
+                            Ok(ticket) => stream_window(
+                                service,
+                                id,
+                                Box::new(ticket),
+                                &mut done,
+                                trace.as_mut(),
+                            ),
+                            Err(e) => {
+                                stamp_evaluate(trace.as_mut());
+                                push_line(&mut done.bytes, id, e.into_response())
+                            }
                         }
                     }
                     Request::Shutdown => {
+                        stamp_evaluate(trace.as_mut());
                         push_line(&mut done.bytes, id, Response::ShuttingDown);
                         done.shutdown = true;
                     }
                     request => {
-                        for response in service.handle(&request) {
+                        let responses = service.handle(&request);
+                        stamp_evaluate(trace.as_mut());
+                        for response in responses {
                             push_line(&mut done.bytes, id, response);
                         }
                     }
                 }
             }
         },
-        JobKind::Window { id, ticket } => stream_window(service, id, ticket, &mut done),
+        JobKind::Window { id, ticket } => stream_window(service, id, ticket, &mut done, None),
+    }
+    if let Some(mut t) = trace {
+        // Error paths above answer without a service call; give them an
+        // evaluate stamp so completed traces are stage-monotonic throughout.
+        if t.stage_ns[Stage::Evaluate.index()] == 0 {
+            t.stamp(Stage::Evaluate, mp_obs::monotonic_ns());
+        }
+        t.stamp(Stage::Encode, mp_obs::monotonic_ns());
+        done.trace = Some(t);
     }
     done
+}
+
+/// Stamp [`Stage::Evaluate`] on a trace (no-op for untraced jobs).
+fn stamp_evaluate(trace: Option<&mut RequestTrace>) {
+    if let Some(t) = trace {
+        t.stamp(Stage::Evaluate, mp_obs::monotonic_ns());
+    }
 }
 
 /// Pull one window of a streaming sweep: encode its chunks, then either
@@ -701,8 +835,11 @@ fn stream_window(
     id: u64,
     mut ticket: Box<SweepTicket>,
     done: &mut JobDone,
+    trace: Option<&mut RequestTrace>,
 ) {
-    match service.next_window(&mut ticket) {
+    let result = service.next_window(&mut ticket);
+    stamp_evaluate(trace);
+    match result {
         Ok(Some(records)) => {
             for slice in records.chunks(ticket.chunk()) {
                 // The dominant line of the protocol: encoded by the direct

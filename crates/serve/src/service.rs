@@ -22,10 +22,13 @@
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Sender};
+use mp_obs::hist::Histogram;
+use mp_obs::metrics::{Counter, Gauge};
+use mp_obs::profile::{thread_lane, Profiler};
 use parking_lot::Mutex;
 
 use mp_dse::analysis::{pareto_frontier, top_k, CostAxis};
@@ -44,6 +47,58 @@ use crate::protocol::{
     to_wire, CatalogueEntry, Request, Response, ServiceStats, ShardStats, SpaceSpec, DEFAULT_CHUNK,
     PROTOCOL_VERSION,
 };
+
+/// Queries rejected by admission control with a retryable
+/// [`Response::Busy`].
+fn obs_busy_rejections() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    CELL.get_or_init(|| mp_obs::counter("busy_rejections"))
+}
+
+/// Sweeps queued or running across every shard's admission queue (the sum
+/// of the per-shard depth gauges the admission gate reads).
+fn obs_queue_depth() -> &'static Gauge {
+    static CELL: OnceLock<Arc<Gauge>> = OnceLock::new();
+    CELL.get_or_init(|| mp_obs::gauge("executor_queue_depth"))
+}
+
+/// Time a shard job spent in its admission queue before a worker picked it
+/// up, milliseconds.
+fn obs_queue_wait_ms() -> &'static Histogram {
+    static CELL: OnceLock<Arc<Histogram>> = OnceLock::new();
+    CELL.get_or_init(|| mp_obs::histogram_ms("serve_queue_wait_ms"))
+}
+
+/// Per-verb request counter (`requests_total_<verb>`), counted once per
+/// protocol request at dispatch — socket-served and in-process alike.
+fn obs_requests(request: &Request) -> &'static Counter {
+    macro_rules! verb_counter {
+        ($verb:literal) => {{
+            static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+            CELL.get_or_init(|| mp_obs::counter(concat!("requests_total_", $verb)))
+        }};
+    }
+    match request {
+        Request::Ping => verb_counter!("ping"),
+        Request::Stats => verb_counter!("stats"),
+        Request::Metrics => verb_counter!("metrics"),
+        Request::Catalogue => verb_counter!("catalogue"),
+        Request::Shutdown => verb_counter!("shutdown"),
+        Request::Sweep { .. } => verb_counter!("sweep"),
+        Request::TopK { .. } => verb_counter!("top_k"),
+        Request::Pareto { .. } => verb_counter!("pareto"),
+        Request::Curve { .. } => verb_counter!("curve"),
+        Request::Prepare { .. } => verb_counter!("prepare"),
+    }
+}
+
+/// Count one request on its per-verb series. The socket path calls this for
+/// the verbs it answers without delegating to
+/// [`SweepService::handle_streaming`] (sweeps and shutdowns), so every
+/// request is counted exactly once on either path.
+pub(crate) fn count_request(request: &Request) {
+    obs_requests(request).inc();
+}
 
 /// Construction knobs of a [`SweepService`].
 #[derive(Debug, Clone, Copy)]
@@ -133,6 +188,9 @@ struct ShardJob {
     range: Range<usize>,
     config: SweepConfig,
     reply: Sender<(usize, SweepResult)>,
+    /// When the job entered the admission queue ([`mp_obs::monotonic_ns`]),
+    /// for the queue-wait histogram.
+    enqueued_ns: u64,
 }
 
 /// One shard: a long-lived engine plus its admission queue.
@@ -206,6 +264,12 @@ impl SweepService {
         assert!(config.threads_per_shard > 0, "shards need at least one thread");
         assert!(config.batch_size > 0, "batch size must be positive");
         assert!(config.queue_capacity > 0, "admission queue capacity must be positive");
+        // Register the core series now: a scrape must see `busy_rejections`
+        // at zero on an idle server, not have the series appear at the first
+        // rejection.
+        obs_busy_rejections();
+        obs_queue_depth();
+        obs_queue_wait_ms();
         let backend_for_shards = Arc::clone(&backend);
         let shards = (0..config.shards)
             .map(|index| {
@@ -219,6 +283,19 @@ impl SweepService {
                     .name(format!("mp-serve-shard-{index}"))
                     .spawn(move || {
                         while let Ok(job) = jobs.recv() {
+                            let waited_ns = mp_obs::monotonic_ns().saturating_sub(job.enqueued_ns);
+                            obs_queue_wait_ms().record(waited_ns as f64 / 1e6);
+                            let profiler = Profiler::global();
+                            let _span = profiler.is_enabled().then(|| {
+                                profiler.span(
+                                    &format!(
+                                        "shard {index} sweep {}..{}",
+                                        job.range.start, job.range.end
+                                    ),
+                                    "serve",
+                                    index as u64,
+                                )
+                            });
                             let result = worker_engine.sweep_range(
                                 &job.handle,
                                 worker_backend.as_ref(),
@@ -229,6 +306,7 @@ impl SweepService {
                             // connection went away mid-sweep.
                             let _ = job.reply.send((job.range.start, result));
                             worker_depth.fetch_sub(1, Ordering::Release);
+                            obs_queue_depth().sub(1);
                         }
                     })
                     .expect("failed to spawn shard worker");
@@ -430,6 +508,7 @@ impl SweepService {
         for (index, shard, _) in self.band_slices(handle.len(), range) {
             let depth = shard.depth.load(Ordering::Acquire);
             if depth >= self.queue_capacity {
+                obs_busy_rejections().inc();
                 return Err(busy(format!(
                     "shard {index} admission queue is full ({depth} sweeps in flight, cap {})",
                     self.queue_capacity
@@ -456,6 +535,7 @@ impl SweepService {
         let mut outstanding = 0usize;
         for (_, shard, slice) in self.band_slices(n, &range) {
             shard.depth.fetch_add(1, Ordering::AcqRel);
+            obs_queue_depth().add(1);
             if shard
                 .queue
                 .send(ShardJob {
@@ -463,10 +543,12 @@ impl SweepService {
                     range: slice,
                     config: self.sweep_config,
                     reply: reply.clone(),
+                    enqueued_ns: mp_obs::monotonic_ns(),
                 })
                 .is_err()
             {
                 shard.depth.fetch_sub(1, Ordering::Release);
+                obs_queue_depth().sub(1);
                 return Err(err("shard worker has exited"));
             }
             outstanding += 1;
@@ -573,6 +655,14 @@ impl SweepService {
         let Some(window) = ticket.cursor.next_window() else {
             return Ok(None);
         };
+        let profiler = Profiler::global();
+        let _span = profiler.is_enabled().then(|| {
+            profiler.span(
+                &format!("window {}..{}", window.start, window.end),
+                "serve",
+                thread_lane(),
+            )
+        });
         let result = self.sweep_prepared(&ticket.handle, window)?;
         ticket.stats.scenarios += result.stats.scenarios;
         ticket.stats.valid += result.stats.valid;
@@ -626,6 +716,7 @@ impl SweepService {
             queries: self.queries.load(Ordering::Relaxed),
             prepared_spaces: self.prepared.lock().handles.len(),
             uptime_seconds: self.started.elapsed().as_secs_f64(),
+            metrics: mp_obs::registry().snapshot().to_json(),
         }
     }
 
@@ -657,9 +748,17 @@ impl SweepService {
         request: &Request,
         emit: &mut dyn FnMut(Response) -> std::io::Result<()>,
     ) -> std::io::Result<()> {
+        obs_requests(request).inc();
         match request {
             Request::Ping => emit(Response::Pong { version: PROTOCOL_VERSION.to_string() }),
             Request::Stats => emit(Response::Stats(self.stats())),
+            Request::Metrics => {
+                let snapshot = mp_obs::registry().snapshot();
+                emit(Response::Metrics {
+                    json: snapshot.to_json(),
+                    prometheus: snapshot.to_prometheus(),
+                })
+            }
             Request::Catalogue => emit(Response::Catalogue { entries: self.catalogue_entries() }),
             Request::Shutdown => emit(Response::ShuttingDown),
             Request::Sweep { space, start, end, chunk } => {

@@ -1,0 +1,167 @@
+//! Observability tests of the serve stack: the protocol v2 `metrics` verb
+//! round-trips the registry snapshot through the real client across shard
+//! counts, the `stats` response carries the same snapshot, and every socket
+//! request leaves exactly one trace with monotone stage timestamps.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use merging_phases::dse::prelude::*;
+use merging_phases::model::params::AppParams;
+use mp_obs::trace::Stage;
+use mp_serve::prelude::*;
+
+fn space() -> ScenarioSpace {
+    ScenarioSpace::new()
+        .with_apps(AppParams::table2_all())
+        .with_budgets(vec![256.0])
+        .clear_designs()
+        .add_symmetric_grid((0..32).map(|i| 1.0 + i as f64 * 4.0))
+        .with_growths(vec![merging_phases::model::growth::GrowthFunction::Linear])
+}
+
+fn service(shards: usize) -> SweepService {
+    SweepService::new(
+        Arc::new(AnalyticBackend),
+        &ServiceConfig { shards, threads_per_shard: 2, ..ServiceConfig::default() },
+    )
+}
+
+/// Pull one named series out of a metrics-snapshot JSON document.
+fn series(json: &str, section: &str, name: &str) -> Option<f64> {
+    let value = serde_json::parse(json).expect("metrics json parses");
+    let section = value.as_map()?.iter().find(|(key, _)| key == section)?.1.clone();
+    section.as_map()?.iter().find(|(key, _)| key == name)?.1.as_f64()
+}
+
+/// A histogram series' total observation count (histograms export as
+/// `{"count":..,"sum":..,"buckets":[..]}` objects, not bare numbers).
+fn histogram_count(json: &str, name: &str) -> Option<f64> {
+    let value = serde_json::parse(json).expect("metrics json parses");
+    let section = value.as_map()?.iter().find(|(key, _)| key == "histograms")?.1.clone();
+    let entry = section.as_map()?.iter().find(|(key, _)| key == name)?.1.clone();
+    entry.as_map()?.iter().find(|(key, _)| key == "count")?.1.as_f64()
+}
+
+#[test]
+fn metrics_verb_round_trips_through_the_real_client() {
+    // The registry is process-global, so assert *deltas* across the driven
+    // load rather than absolute values other tests may have contributed to.
+    for shards in [1usize, 4] {
+        let server =
+            Server::bind(&Endpoint::Tcp("127.0.0.1:0".into()), Arc::new(service(shards))).unwrap();
+        let endpoint = server.endpoint().clone();
+        let serving = std::thread::spawn(move || server.run().unwrap());
+        let mut client = Client::connect(&endpoint).unwrap();
+
+        let (before_json, _) = client.metrics().unwrap();
+        let count = |json: &str, name: &str| series(json, "counters", name).unwrap_or(0.0);
+
+        let space = space();
+        client.ping().unwrap();
+        let (cold, _) = client.sweep(&space, None, 0).unwrap();
+        let (warm, _) = client.sweep(&space, None, 0).unwrap();
+        assert_eq!(cold.len(), space.len());
+        assert_eq!(warm.len(), space.len());
+        client.top_k(&space, 5).unwrap();
+
+        let (after_json, prometheus) = client.metrics().unwrap();
+        let delta = |name: &str| count(&after_json, name) - count(&before_json, name);
+        assert_eq!(delta("requests_total_ping"), 1.0, "shards={shards}");
+        assert_eq!(delta("requests_total_sweep"), 2.0, "shards={shards}");
+        assert_eq!(delta("requests_total_top_k"), 1.0, "shards={shards}");
+        assert!(delta("cache_hits") >= space.len() as f64, "shards={shards}: warm pass hits");
+        assert!(
+            series(&after_json, "gauges", "executor_queue_depth").is_some(),
+            "shards={shards}: queue depth gauge exported"
+        );
+        let sweep_latency = histogram_count(&after_json, "serve_request_ms_sweep");
+        assert!(
+            sweep_latency.unwrap_or(0.0) >= 2.0,
+            "shards={shards}: per-verb latency histogram counts both sweeps"
+        );
+
+        // The Prometheus rendering carries the same series under the
+        // scrape-friendly names.
+        assert!(prometheus.contains("requests_total_sweep"), "shards={shards}");
+        assert!(prometheus.contains("serve_request_ms_sweep"), "shards={shards}");
+
+        // `stats` embeds the very same snapshot shape.
+        let stats = client.stats().unwrap();
+        assert!(
+            series(&stats.metrics, "counters", "requests_total_sweep").unwrap_or(0.0)
+                >= count(&after_json, "requests_total_sweep"),
+            "shards={shards}: stats carries the registry snapshot"
+        );
+
+        client.shutdown().unwrap();
+        serving.join().unwrap();
+    }
+}
+
+#[test]
+fn every_request_traces_exactly_once_with_monotone_stages() {
+    let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into()), Arc::new(service(2))).unwrap();
+    let endpoint = server.endpoint().clone();
+    let trace_log = server.trace_log();
+    let serving = std::thread::spawn(move || server.run().unwrap());
+
+    // Drive a mixed load over two connections; every socket request must
+    // produce exactly one trace.
+    let space = space();
+    let mut requests = 0usize;
+    for _ in 0..2 {
+        let mut client = Client::connect(&endpoint).unwrap();
+        client.ping().unwrap();
+        client.stats().unwrap();
+        client.sweep(&space, None, 0).unwrap();
+        client.top_k(&space, 3).unwrap();
+        client.metrics().unwrap();
+        requests += 5;
+    }
+    let mut control = Client::connect(&endpoint).unwrap();
+    control.shutdown().unwrap();
+    requests += 1;
+    serving.join().unwrap();
+
+    let traces = trace_log.snapshot();
+    assert_eq!(traces.len(), requests, "one trace per socket request");
+
+    let mut seen: HashMap<u64, usize> = HashMap::new();
+    for trace in &traces {
+        *seen.entry(trace.id).or_default() += 1;
+    }
+    for (id, occurrences) in &seen {
+        assert_eq!(*occurrences, 1, "request id {id} traced more than once");
+    }
+
+    let mut verbs: HashMap<&str, usize> = HashMap::new();
+    for trace in &traces {
+        *verbs.entry(trace.verb).or_default() += 1;
+        // Stage timestamps are stamped off one monotonic clock in pipeline
+        // order; every stamped stage must be >= the stages before it.
+        let mut previous = 0u64;
+        for stage in Stage::ALL {
+            let at = trace.stage_ns[stage.index()];
+            if at != 0 {
+                assert!(
+                    at >= previous,
+                    "request {} verb {}: stage {} at {at} precedes {previous}",
+                    trace.id,
+                    trace.verb,
+                    stage.name(),
+                );
+                previous = at;
+            }
+        }
+        // A completed request carries the full pipeline: decode and flush
+        // are stamped for everything the server answered.
+        assert!(trace.stage_ns[Stage::Decode.index()] > 0, "decode stamped");
+        assert!(trace.stage_ns[Stage::Flush.index()] > 0, "flush stamped");
+        assert!(trace.total_ms().unwrap() >= 0.0);
+    }
+    assert_eq!(verbs.get("ping"), Some(&2));
+    assert_eq!(verbs.get("sweep"), Some(&2));
+    assert_eq!(verbs.get("metrics"), Some(&2));
+    assert_eq!(verbs.get("shutdown"), Some(&1));
+}

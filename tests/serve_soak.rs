@@ -283,11 +283,22 @@ fn slow_reader_memory_stays_bounded_by_the_watermarks() {
         let warm = slow_reader_fast(&endpoint, &space);
         assert_eq!(warm, n);
 
+        // Read the allocator through the metrics registry — the same sampled
+        // gauges the serve `metrics` verb exports — so this bound holds for
+        // exactly the numbers an operator would scrape.
+        alloc_track::register_metrics();
         alloc_track::reset_peak();
-        let before = alloc_track::live_bytes();
+        let before = mp_obs::registry()
+            .snapshot()
+            .gauge("alloc_live_bytes")
+            .expect("alloc gauges registered");
         let stats = slow_reader(&endpoint, &space, 512);
         assert_eq!(stats.scenarios, n);
-        let peak_growth = alloc_track::peak_live_bytes() - before;
+        let peak_growth = mp_obs::registry()
+            .snapshot()
+            .gauge("alloc_peak_bytes")
+            .expect("alloc gauges registered")
+            - before;
 
         // The server produced (and this process briefly held) tens of
         // megabytes of wire data, but never more than the watermark-bounded
