@@ -21,6 +21,15 @@
 //! `--spawn` makes the command self-contained: it launches `repro serve` as
 //! a child process on a free port, waits for its readiness line, runs the
 //! load, then shuts the child down — this is what the CI smoke step runs.
+//!
+//! `--overlap` switches the workload to the planner's worst-friendly case:
+//! every client issues the *same* full sweep concurrently, so in-flight
+//! windows coalesce. The report then carries per-pass planner deltas read
+//! from the server's own metrics — scenarios evaluated per distinct
+//! scenario, coalesced requests, shared scenarios — and the run fails
+//! unless coalescing actually happened (pair with `--no-coalesce`, which
+//! spawns the server with its planner's coalescing table disabled, to
+//! measure the uncoalesced baseline).
 
 use std::io::BufRead;
 use std::ops::Range;
@@ -75,6 +84,10 @@ struct Options {
     pipelined: bool,
     depth: usize,
     prepare: bool,
+    overlap: bool,
+    /// `--no-coalesce` (with `--spawn`): start the server with its planner's
+    /// coalescing disabled — the uncoalesced baseline for `--overlap` runs.
+    coalesce: bool,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -93,6 +106,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
         pipelined: false,
         depth: 8,
         prepare: true,
+        overlap: false,
+        coalesce: true,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -126,6 +141,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 "--shutdown" => options.shutdown = true,
                 "--pipelined" => options.pipelined = true,
                 "--no-prepare" => options.prepare = false,
+                "--overlap" => options.overlap = true,
+                "--no-coalesce" => options.coalesce = false,
                 other => return Err(format!("unknown load option `{other}`")),
             }
         }
@@ -136,6 +153,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
              --addr or --socket (drop --spawn to load an existing server)"
                 .to_string(),
         );
+    }
+    if !options.coalesce && !options.spawn {
+        return Err("--no-coalesce configures the *spawned* server's planner and needs --spawn \
+             (an external server's coalescing is set by its own `repro serve --no-coalesce`)"
+            .to_string());
     }
     Ok(options)
 }
@@ -209,9 +231,10 @@ fn check_metrics(metrics_json: &str, options: &Options) -> Vec<String> {
     if options.prepare {
         nonzero_counters.push("requests_total_prepare");
     }
-    if options.clients >= 2 && options.requests >= 3 {
+    if options.clients >= 2 && options.requests >= 3 && !options.overlap {
         // The deterministic query mix covers top-k (even connections) and
-        // Pareto (odd connections) from the third request on.
+        // Pareto (odd connections) from the third request on — except in
+        // overlap mode, whose workload is all duplicate full sweeps.
         nonzero_counters.push("requests_total_top_k");
         nonzero_counters.push("requests_total_pareto");
     }
@@ -222,7 +245,15 @@ fn check_metrics(metrics_json: &str, options: &Options) -> Vec<String> {
             None => problems.push(format!("counter `{name}` is missing")),
         }
     }
-    for name in ["busy_rejections"] {
+    // The planner's series are registered unconditionally; coalescing and
+    // rejection counts depend on the workload shape, so presence (not
+    // activity) is what every load shape can assert.
+    for name in [
+        "busy_rejections",
+        "planner_coalesced_requests",
+        "planner_shared_scenarios",
+        "planner_cost_rejections",
+    ] {
         if metrics_series(&value, "counters", name).and_then(|v| v.as_f64()).is_none() {
             problems.push(format!("counter `{name}` is missing"));
         }
@@ -232,9 +263,15 @@ fn check_metrics(metrics_json: &str, options: &Options) -> Vec<String> {
             problems.push(format!("gauge `{name}` is missing"));
         }
     }
-    for name in
-        ["serve_request_ms_sweep", "serve_queue_wait_ms", "serve_pipeline_depth", "dse_batch_ms"]
-    {
+    for name in [
+        "serve_request_ms_sweep",
+        "serve_queue_wait_ms",
+        "serve_pipeline_depth",
+        "dse_batch_ms",
+        // Every banded sweep times its Merge-Path recombination, so the load
+        // guarantees this histogram is live too.
+        "planner_merge_ms",
+    ] {
         let count = metrics_series(&value, "histograms", name)
             .and_then(|h| h.as_map()?.iter().find(|(key, _)| key == "count").map(|(_, v)| v))
             .and_then(|v| v.as_f64());
@@ -247,12 +284,66 @@ fn check_metrics(metrics_json: &str, options: &Options) -> Vec<String> {
     problems
 }
 
+/// One snapshot of the server-side counters the overlap report tracks.
+struct PlannerCounters {
+    scenarios_evaluated: f64,
+    coalesced_requests: f64,
+    shared_scenarios: f64,
+}
+
+/// Read the planner-relevant counters from the server's live metrics
+/// (absent series read as zero, so deltas stay well-defined on old servers).
+fn planner_counters(control: &mut Client) -> Result<PlannerCounters, String> {
+    let (json, _) = control.metrics().map_err(|e| format!("metrics failed: {e}"))?;
+    let value = serde_json::parse(&json).map_err(|e| format!("metrics response: {e}"))?;
+    let counter = |name: &str| {
+        metrics_series(&value, "counters", name).and_then(|v| v.as_f64()).unwrap_or(0.0)
+    };
+    Ok(PlannerCounters {
+        scenarios_evaluated: counter("dse_scenarios_evaluated"),
+        coalesced_requests: counter("planner_coalesced_requests"),
+        shared_scenarios: counter("planner_shared_scenarios"),
+    })
+}
+
 /// The pass's latency histogram: the shared mp-obs snapshot type over the
 /// canonical [`LATENCY_BOUNDS_MS`] buckets (bit-identical bounds and JSON
 /// layout to the hand-rolled histogram this harness used to carry).
 fn latency_histogram(latencies_s: &[f64]) -> HistogramSnapshot {
     let latencies_ms: Vec<f64> = latencies_s.iter().map(|s| s * 1e3).collect();
     HistogramSnapshot::from_values(&LATENCY_BOUNDS_MS, &latencies_ms)
+}
+
+/// Per-pass planner activity, read as counter deltas from the *server's*
+/// metrics registry (over the wire, so `--spawn` measures the child).
+struct OverlapStats {
+    /// Scenarios in one distinct sweep of the driven space.
+    distinct_scenarios: usize,
+    /// `dse_scenarios_evaluated` delta: scenarios the shard engines
+    /// processed (cache-served ones included — the cache removes backend
+    /// calls, the coalescing planner removes whole duplicate engine passes).
+    scenarios_evaluated: u64,
+    /// Engine passes per distinct scenario — the overlap benchmark's cost
+    /// metric (1.0 = perfect sharing; K duplicate sweeps with coalescing
+    /// disabled score K).
+    evals_per_distinct: f64,
+    /// `planner_coalesced_requests` delta.
+    coalesced_requests: u64,
+    /// `planner_shared_scenarios` delta.
+    shared_scenarios: u64,
+}
+
+impl OverlapStats {
+    fn json(&self) -> String {
+        format!(
+            "{{\"distinct_scenarios\":{},\"scenarios_evaluated\":{},\"evals_per_distinct\":{},\"coalesced_requests\":{},\"shared_scenarios\":{}}}",
+            self.distinct_scenarios,
+            self.scenarios_evaluated,
+            self.evals_per_distinct,
+            self.coalesced_requests,
+            self.shared_scenarios,
+        )
+    }
 }
 
 /// Outcome of one load pass.
@@ -272,12 +363,14 @@ struct PassReport {
     cache_misses: u64,
     hit_rate: f64,
     histogram: HistogramSnapshot,
+    /// Planner deltas (overlap mode only).
+    overlap: Option<OverlapStats>,
 }
 
 impl PassReport {
     fn json(&self) -> String {
         format!(
-            "{{\"name\":\"{}\",\"requests\":{},\"elapsed_seconds\":{},\"queries_per_second\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"max_ms\":{},\"parity_failures\":{},\"busy_retries\":{},\"busy_exhausted\":{},\"cache_hits\":{},\"cache_misses\":{},\"hit_rate\":{},\"latency_histogram\":{}}}",
+            "{{\"name\":\"{}\",\"requests\":{},\"elapsed_seconds\":{},\"queries_per_second\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"max_ms\":{},\"parity_failures\":{},\"busy_retries\":{},\"busy_exhausted\":{},\"cache_hits\":{},\"cache_misses\":{},\"hit_rate\":{},\"latency_histogram\":{}{}}}",
             self.name,
             self.requests,
             self.elapsed_seconds,
@@ -293,6 +386,10 @@ impl PassReport {
             self.cache_misses,
             self.hit_rate,
             self.histogram.json_buckets(),
+            match &self.overlap {
+                Some(overlap) => format!(",\"overlap\":{}", overlap.json()),
+                None => String::new(),
+            },
         )
     }
 }
@@ -316,6 +413,17 @@ enum Query {
 }
 
 impl Query {
+    /// The query for one (connection, request) slot. Overlap mode sends the
+    /// identical full sweep from every slot — maximum in-flight duplication,
+    /// the shape the planner's coalescing table exists for.
+    fn for_options(connection: usize, request: usize, n: usize, options: &Options) -> Query {
+        if options.overlap {
+            Query::Full
+        } else {
+            Query::for_slot(connection, request, n)
+        }
+    }
+
     /// The same mixed workload shape the v1 generator used, deterministic in
     /// (connection, request index) so reruns are reproducible.
     fn for_slot(connection: usize, request: usize, n: usize) -> Query {
@@ -493,7 +601,7 @@ fn run_pass(
                         let wave = options.depth.min(requests - sent);
                         for (connection, client, spec) in conns.iter_mut() {
                             let queries: Vec<Query> = (sent..sent + wave)
-                                .map(|request| Query::for_slot(*connection, request, n))
+                                .map(|request| Query::for_options(*connection, request, n, options))
                                 .collect();
                             let wire: Vec<Request> = queries
                                 .iter()
@@ -532,7 +640,7 @@ fn run_pass(
                 } else {
                     for request in 0..requests {
                         for (connection, client, spec) in conns.iter_mut() {
-                            let query = Query::for_slot(*connection, request, n);
+                            let query = Query::for_options(*connection, request, n, options);
                             let started = Instant::now();
                             let (outcome, retries) =
                                 run_query(client, &query, reference, spec, options.chunk)
@@ -573,16 +681,20 @@ fn run_pass(
 /// line. Returns the child and the endpoint it listens on.
 fn spawn_server(options: &Options) -> Result<(std::process::Child, Endpoint), String> {
     let exe = std::env::current_exe().map_err(|e| format!("cannot locate repro binary: {e}"))?;
+    let mut args = vec![
+        "serve".to_string(),
+        "--addr".to_string(),
+        "127.0.0.1:0".to_string(),
+        "--shards".to_string(),
+        options.shards.to_string(),
+        "--backend".to_string(),
+        options.backend.clone(),
+    ];
+    if !options.coalesce {
+        args.push("--no-coalesce".to_string());
+    }
     let mut child = std::process::Command::new(exe)
-        .args([
-            "serve",
-            "--addr",
-            "127.0.0.1:0",
-            "--shards",
-            &options.shards.to_string(),
-            "--backend",
-            &options.backend,
-        ])
+        .args(&args)
         .stdout(std::process::Stdio::piped())
         .spawn()
         .map_err(|e| format!("failed to spawn repro serve: {e}"))?;
@@ -627,7 +739,8 @@ pub fn run(args: &[String]) -> ExitCode {
             eprintln!(
                 "usage: repro load [--addr HOST:PORT | --socket PATH] [--clients N] [--requests N] \
                  [--backend analytic|comm|sim|measured] [--chunk N] [--shards N (with --spawn)] \
-                 [--pipelined] [--depth N] [--no-prepare] [--quick] [--json] [--spawn] [--shutdown]"
+                 [--pipelined] [--depth N] [--no-prepare] [--overlap] \
+                 [--no-coalesce (with --spawn)] [--quick] [--json] [--spawn] [--shutdown]"
             );
             return ExitCode::FAILURE;
         }
@@ -678,7 +791,10 @@ pub fn run(args: &[String]) -> ExitCode {
             if ok {
                 ExitCode::SUCCESS
             } else {
-                eprintln!("load run failed its acceptance checks (parity and >90% warm hit rate)");
+                eprintln!(
+                    "load run failed its acceptance checks (parity, >90% warm hit rate, live \
+                     metrics, and — under --overlap — observed coalescing)"
+                );
                 ExitCode::FAILURE
             }
         }
@@ -731,10 +847,33 @@ fn drive(
         // peak forever.
         alloc_track::reset_peak();
         let before = control.stats().map_err(|e| format!("stats failed: {e}"))?.cache_totals();
+        let planner_before =
+            if options.overlap { Some(planner_counters(&mut control)?) } else { None };
         let started = Instant::now();
         let outcome = run_pass(endpoint, &reference, options)?;
         let elapsed = started.elapsed().as_secs_f64();
         let after = control.stats().map_err(|e| format!("stats failed: {e}"))?.cache_totals();
+        let overlap = match &planner_before {
+            Some(planner_before) => {
+                let planner_after = planner_counters(&mut control)?;
+                let evaluated = (planner_after.scenarios_evaluated
+                    - planner_before.scenarios_evaluated)
+                    .max(0.0) as u64;
+                let distinct = reference.space.len();
+                Some(OverlapStats {
+                    distinct_scenarios: distinct,
+                    scenarios_evaluated: evaluated,
+                    evals_per_distinct: evaluated as f64 / distinct.max(1) as f64,
+                    coalesced_requests: (planner_after.coalesced_requests
+                        - planner_before.coalesced_requests)
+                        .max(0.0) as u64,
+                    shared_scenarios: (planner_after.shared_scenarios
+                        - planner_before.shared_scenarios)
+                        .max(0.0) as u64,
+                })
+            }
+            None => None,
+        };
         let mut latencies = outcome.latencies;
         latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
         let requests = options.clients * options.requests;
@@ -758,6 +897,7 @@ fn drive(
             cache_misses: misses,
             hit_rate: if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 },
             histogram: latency_histogram(&latencies),
+            overlap,
         });
     }
 
@@ -773,11 +913,19 @@ fn drive(
     let metrics_problems = check_metrics(&metrics_json, options);
     let metrics_ok = metrics_problems.is_empty();
 
+    // Overlap acceptance: with coalescing enabled, the all-duplicate
+    // workload must actually coalesce — a run where no request ever shared
+    // an in-flight evaluation means the planner was not exercised.
+    let coalesced_total: u64 =
+        reports.iter().filter_map(|r| r.overlap.as_ref()).map(|o| o.coalesced_requests).sum();
+    let coalesce_ok = !options.overlap || !options.coalesce || coalesced_total > 0;
+
     let ok = parity_failures == 0
         && busy_exhausted == 0
         && warm_hit_rate > 0.9
         && nonzero_hits
-        && metrics_ok;
+        && metrics_ok
+        && coalesce_ok;
 
     if options.shutdown || options.spawn {
         control.shutdown().map_err(|e| format!("shutdown failed: {e}"))?;
@@ -786,13 +934,15 @@ fn drive(
     if options.json {
         let passes: Vec<String> = reports.iter().map(PassReport::json).collect();
         println!(
-            "{{\"experiment\":\"load\",\"endpoint\":\"{endpoint}\",\"protocol\":\"{version}\",\"backend\":\"{}\",\"clients\":{},\"requests_per_client\":{},\"pipelined\":{},\"depth\":{},\"prepared_spaces\":{},\"scenarios_per_sweep\":{},\"passes\":[{}],\"parity_failures\":{parity_failures},\"busy_exhausted\":{busy_exhausted},\"warm_hit_rate\":{warm_hit_rate},\"metrics_ok\":{metrics_ok},\"metrics_problems\":[{}],\"ok\":{ok}}}",
+            "{{\"experiment\":\"load\",\"endpoint\":\"{endpoint}\",\"protocol\":\"{version}\",\"backend\":\"{}\",\"clients\":{},\"requests_per_client\":{},\"pipelined\":{},\"depth\":{},\"prepared_spaces\":{},\"overlap_mode\":{},\"coalesce\":{},\"scenarios_per_sweep\":{},\"passes\":[{}],\"parity_failures\":{parity_failures},\"busy_exhausted\":{busy_exhausted},\"warm_hit_rate\":{warm_hit_rate},\"metrics_ok\":{metrics_ok},\"metrics_problems\":[{}],\"ok\":{ok}}}",
             backend.name(),
             options.clients,
             options.requests,
             options.pipelined,
             if options.pipelined { options.depth } else { 1 },
             options.prepare,
+            options.overlap,
+            options.coalesce,
             reference.space.len(),
             passes.join(","),
             metrics_problems
@@ -837,6 +987,24 @@ fn drive(
                 },
             );
             println!("       histogram: {}", report.histogram.render());
+            if let Some(overlap) = &report.overlap {
+                println!(
+                    "       overlap: {:.2} evaluations per distinct scenario ({} evaluated / {} distinct) | {} coalesced requests | {} shared scenarios",
+                    overlap.evals_per_distinct,
+                    overlap.scenarios_evaluated,
+                    overlap.distinct_scenarios,
+                    overlap.coalesced_requests,
+                    overlap.shared_scenarios,
+                );
+            }
+        }
+        if options.overlap {
+            println!(
+                "  overlap: planner coalescing {} | {} coalesced requests across both passes{}",
+                if options.coalesce { "enabled" } else { "disabled (baseline)" },
+                coalesced_total,
+                if coalesce_ok { "" } else { " — FAIL: duplicate sweeps never coalesced" },
+            );
         }
         if metrics_ok {
             println!("  metrics: all core series present and active");
@@ -895,6 +1063,36 @@ mod tests {
             parse(&["--pipelined".to_string(), "--depth".to_string(), "4".to_string()]).unwrap();
         assert!(pipelined.pipelined);
         assert_eq!(pipelined.depth, 4);
+
+        // Overlap mode and the coalescing toggle.
+        assert!(!parse(&[]).unwrap().overlap);
+        assert!(parse(&[]).unwrap().coalesce);
+        let overlap = parse(&["--overlap".to_string()]).unwrap();
+        assert!(overlap.overlap && overlap.coalesce);
+        let baseline =
+            parse(&["--overlap".to_string(), "--no-coalesce".to_string(), "--spawn".to_string()])
+                .unwrap();
+        assert!(baseline.overlap && !baseline.coalesce && baseline.spawn);
+        let orphan = parse(&["--no-coalesce".to_string()]).unwrap_err();
+        assert!(orphan.contains("--spawn"), "{orphan}");
+    }
+
+    #[test]
+    fn overlap_mode_sends_the_identical_full_sweep_from_every_slot() {
+        let overlap = parse(&["--overlap".to_string()]).unwrap();
+        let mixed = parse(&[]).unwrap();
+        let n = 500;
+        for connection in 0..8 {
+            for request in 0..6 {
+                assert!(matches!(
+                    Query::for_options(connection, request, n, &overlap),
+                    Query::Full
+                ));
+            }
+        }
+        // The mixed shape still rotates through windows and analyses.
+        assert!(matches!(Query::for_options(0, 1, n, &mixed), Query::Window(_)));
+        assert!(matches!(Query::for_options(0, 2, n, &mixed), Query::Top));
     }
 
     #[test]
@@ -937,12 +1135,14 @@ mod tests {
                 "{{\"counters\":{{\"requests_total_ping\":2,\"requests_total_stats\":4,",
                 "\"requests_total_sweep\":8,\"requests_total_prepare\":1,",
                 "\"requests_total_top_k\":3,\"requests_total_pareto\":3,",
-                "\"cache_hits\":100,\"busy_rejections\":0}},",
+                "\"cache_hits\":100,\"busy_rejections\":0,",
+                "\"planner_coalesced_requests\":0,\"planner_shared_scenarios\":0,",
+                "\"planner_cost_rejections\":0}},",
                 "\"gauges\":{{\"executor_queue_depth\":0,\"alloc_live_bytes\":10,",
                 "\"alloc_peak_bytes\":20}},",
                 "\"histograms\":{{\"serve_request_ms_sweep\":{h},",
                 "\"serve_queue_wait_ms\":{h},\"serve_pipeline_depth\":{h},",
-                "\"dse_batch_ms\":{h}}}}}"
+                "\"dse_batch_ms\":{h},\"planner_merge_ms\":{h}}}}}"
             ),
             h = hist
         );
@@ -951,6 +1151,22 @@ mod tests {
         // Zero where load guarantees activity is a failure, not a pass.
         let zeroed = good.replace("\"cache_hits\":100", "\"cache_hits\":0");
         assert!(check_metrics(&zeroed, &options).iter().any(|p| p.contains("cache_hits")));
+
+        // The planner series must be exported even at zero activity...
+        let no_planner = good.replace("\"planner_coalesced_requests\":0,", "");
+        assert!(check_metrics(&no_planner, &options)
+            .iter()
+            .any(|p| p.contains("planner_coalesced_requests")));
+        // ...and overlap mode does not demand the mixed-workload verbs the
+        // all-duplicate-sweeps shape never sends.
+        let overlap = parse(&["--overlap".to_string()]).unwrap();
+        let no_mix = good
+            .replace("\"requests_total_top_k\":3,", "\"requests_total_top_k\":0,")
+            .replace("\"requests_total_pareto\":3,", "\"requests_total_pareto\":0,");
+        assert_eq!(check_metrics(&no_mix, &overlap), Vec::<String>::new());
+        assert!(check_metrics(&no_mix, &options)
+            .iter()
+            .any(|p| p.contains("requests_total_top_k")));
     }
 
     #[test]

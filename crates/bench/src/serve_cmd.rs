@@ -28,6 +28,7 @@ pub const VALUE_FLAGS: &[&str] = &[
     "--loops",
     "--executors",
     "--queue",
+    "--cost-budget",
 ];
 
 /// Options of one `serve` invocation.
@@ -45,6 +46,11 @@ pub struct Options {
     executors: usize,
     /// Admission cap: sweeps in flight per shard before `busy`.
     queue_capacity: usize,
+    /// Planner admission budget: estimated pending milliseconds per shard.
+    cost_budget_ms: f64,
+    /// Whether the planner coalesces overlapping in-flight sweeps
+    /// (`--no-coalesce` turns it off for uncoalesced baselines).
+    coalesce: bool,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -58,6 +64,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
         event_loops: 0,
         executors: 0,
         queue_capacity: ServiceConfig::default().queue_capacity,
+        cost_budget_ms: ServiceConfig::default().cost_budget_ms,
+        coalesce: true,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -78,11 +86,21 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 "--queue" => {
                     options.queue_capacity = cli::parse_count(arg, &value, 1, cli::MAX_COUNT)?;
                 }
+                "--cost-budget" => {
+                    options.cost_budget_ms = value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|ms| *ms > 0.0 && ms.is_finite())
+                        .ok_or_else(|| {
+                            format!("{arg} needs a positive budget in milliseconds, got `{value}`")
+                        })?;
+                }
                 other => unreachable!("{other} is listed in VALUE_FLAGS but unhandled"),
             }
         } else {
             match arg {
                 "--no-cache" => options.use_cache = false,
+                "--no-coalesce" => options.coalesce = false,
                 other => return Err(format!("unknown serve option `{other}`")),
             }
         }
@@ -110,6 +128,9 @@ pub fn build_service(options: &Options) -> Result<SweepService, String> {
         batch_size: options.batch_size,
         use_cache: options.use_cache,
         queue_capacity: options.queue_capacity,
+        cost_budget_ms: options.cost_budget_ms,
+        cost_per_scenario_ms: None,
+        coalesce: options.coalesce,
     };
     Ok(SweepService::new(backend, &config).with_registry(registry))
 }
@@ -123,7 +144,7 @@ pub fn run(args: &[String]) -> ExitCode {
             eprintln!(
                 "usage: repro serve [--addr HOST:PORT | --socket PATH] [--shards N] [--threads N] \
                  [--backend analytic|comm|sim|measured] [--batch N] [--no-cache] [--loops N] \
-                 [--executors N] [--queue N]"
+                 [--executors N] [--queue N] [--cost-budget MS] [--no-coalesce]"
             );
             return ExitCode::FAILURE;
         }
@@ -208,6 +229,15 @@ mod tests {
         ])
         .unwrap();
         assert_eq!((sized.event_loops, sized.executors, sized.queue_capacity), (2, 6, 32));
+        assert!(sized.coalesce, "coalescing defaults on");
+
+        let planned =
+            parse(&["--cost-budget".to_string(), "1500".to_string(), "--no-coalesce".to_string()])
+                .unwrap();
+        assert_eq!(planned.cost_budget_ms, 1500.0);
+        assert!(!planned.coalesce);
+        assert!(parse(&["--cost-budget".to_string(), "0".to_string()]).is_err());
+        assert!(parse(&["--cost-budget".to_string(), "soon".to_string()]).is_err());
         assert!(parse(&["--bogus".to_string()]).is_err());
         assert!(
             build_service(&parse(&["--backend".to_string(), "nope".to_string()]).unwrap()).is_err()

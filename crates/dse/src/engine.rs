@@ -112,6 +112,12 @@ pub struct SweepStats {
     pub warm_entries: usize,
     /// Worker threads that participated.
     pub threads: usize,
+    /// Whether this result was shared from a coalesced in-flight evaluation
+    /// rather than evaluated for this subscriber alone. The engine itself
+    /// never coalesces (`false` here); the serve-layer planner marks the
+    /// stats it fans out to follower subscribers, so aggregators summing
+    /// per-response stats can count each shared evaluation once.
+    pub coalesced: bool,
     /// Wall-clock duration of the sweep in seconds.
     pub elapsed_seconds: f64,
 }
@@ -317,9 +323,54 @@ impl Engine {
                 cache_misses: misses.load(Ordering::Relaxed),
                 warm_entries,
                 threads: workers,
+                coalesced: false,
                 elapsed_seconds: started.elapsed().as_secs_f64(),
             },
         }
+    }
+
+    /// Evaluate several **disjoint** index ranges of a prepared sweep and
+    /// merge their records back into one index-ordered result via the
+    /// Merge-Path partitioned merge ([`crate::merge::merge_runs`]) — the
+    /// same recombination the serve layer applies to per-shard band results.
+    /// Records are bit-identical to the corresponding slices of a full
+    /// [`Engine::sweep_range`]; statistics sum across the ranges
+    /// (`warm_entries` and `threads` take the per-range maximum — the cache
+    /// is one table and the pool is one pool).
+    pub fn sweep_ranges(
+        &self,
+        handle: &SweepHandle<'_>,
+        backend: &dyn EvalBackend,
+        config: &SweepConfig,
+        ranges: &[std::ops::Range<usize>],
+    ) -> SweepResult {
+        let started = std::time::Instant::now();
+        let partials: Vec<SweepResult> = ranges
+            .iter()
+            .map(|range| self.sweep_range(handle, backend, config, range.clone()))
+            .collect();
+        let runs: Vec<&[EvalRecord]> = partials.iter().map(|p| p.records.as_slice()).collect();
+        let records = crate::merge::merge_runs(&runs, self.threads);
+        let mut stats = SweepStats {
+            scenarios: 0,
+            valid: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            warm_entries: 0,
+            threads: 0,
+            coalesced: false,
+            elapsed_seconds: 0.0,
+        };
+        for partial in &partials {
+            stats.scenarios += partial.stats.scenarios;
+            stats.valid += partial.stats.valid;
+            stats.cache_hits += partial.stats.cache_hits;
+            stats.cache_misses += partial.stats.cache_misses;
+            stats.warm_entries = stats.warm_entries.max(partial.stats.warm_entries);
+            stats.threads = stats.threads.max(partial.stats.threads);
+        }
+        stats.elapsed_seconds = started.elapsed().as_secs_f64();
+        SweepResult { records, stats }
     }
 }
 
@@ -333,17 +384,35 @@ impl Engine {
 pub struct SweepHandle<'a> {
     space: Cow<'a, ScenarioSpace>,
     tables: SpaceTables,
+    /// Content fingerprint of the space, computed lazily on first use (the
+    /// one-shot sweep path never needs it) and cached — planner keys read
+    /// it once per query, not once per serialisation.
+    fingerprint: OnceLock<u64>,
 }
 
 impl<'a> SweepHandle<'a> {
     /// Prepare a sweep over a borrowed space.
     pub fn new(space: &'a ScenarioSpace) -> Self {
-        SweepHandle { tables: build_tables(space), space: Cow::Borrowed(space) }
+        SweepHandle {
+            tables: build_tables(space),
+            space: Cow::Borrowed(space),
+            fingerprint: OnceLock::new(),
+        }
     }
 
     /// Prepare a sweep that owns its space (`'static`: storable in caches).
     pub fn owned(space: ScenarioSpace) -> SweepHandle<'static> {
-        SweepHandle { tables: build_tables(&space), space: Cow::Owned(space) }
+        SweepHandle {
+            tables: build_tables(&space),
+            space: Cow::Owned(space),
+            fingerprint: OnceLock::new(),
+        }
+    }
+
+    /// Content fingerprint of the prepared space
+    /// ([`space_fingerprint`]), computed on first call and cached.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| space_fingerprint(self.space()))
     }
 
     /// The prepared space.
@@ -372,6 +441,17 @@ impl<'a> SweepHandle<'a> {
         assert!(range.end <= self.len(), "cursor range {range:?} exceeds the space");
         RangeCursor::new(range, step)
     }
+}
+
+/// Content fingerprint of a space: FNV-64 over its canonical JSON form.
+/// Axis *values* (bit-exact — the JSON printer is shortest-round-trip) and
+/// axis order both contribute, matching [`ScenarioSpace`] equality. This is
+/// the key the serve layer uses for its prepared-handle cache and the
+/// planner's coalescing table.
+pub fn space_fingerprint(space: &ScenarioSpace) -> u64 {
+    let mut hasher = mp_model::fingerprint::Fnv64::new();
+    hasher.write_str(&serde_json::to_string(space).expect("spaces always serialise"));
+    hasher.finish()
 }
 
 /// Build the columnar tables for `space`, feeding the table-build timing

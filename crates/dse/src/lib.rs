@@ -25,6 +25,9 @@
 //!   sweeps are bit-identical, large sweeps reserve their size up front so
 //!   the table never rehashes mid-run, and the cache serialises to JSON for
 //!   cross-process warm starts.
+//! * [`merge`] — Merge-Path even-partition merging of index-sorted record
+//!   runs: per-shard band results recombine in parallel, bit-identical to a
+//!   stable sequential k-way merge.
 //! * [`analysis`] — top-k designs, per-axis optima and 2-D Pareto frontiers
 //!   of speedup against cores or area.
 //! * [`export`] — streaming JSON / CSV writers.
@@ -63,6 +66,7 @@ pub mod curves;
 pub mod engine;
 pub mod export;
 mod mem;
+pub mod merge;
 pub mod scenario;
 pub mod tables;
 
@@ -80,6 +84,7 @@ pub mod prelude {
         Engine, EvalRecord, RangeCursor, SweepConfig, SweepHandle, SweepResult, SweepStats,
     };
     pub use crate::export::{write_csv, write_json};
+    pub use crate::merge::{merge_runs, sequential_merge};
     pub use crate::scenario::{
         CanonicalKeyPrefix, ChipSpec, Scenario, ScenarioIndex, ScenarioSpace,
     };

@@ -12,8 +12,8 @@
 //!   print as JSON and as Prometheus exposition text.
 //! * [`trace`] — per-request traces: an id minted when the request line is
 //!   decoded, stamped at each pipeline stage
-//!   (`decode → queue → evaluate → encode → flush`) and committed to a
-//!   bounded [`TraceLog`](trace::TraceLog).
+//!   (`decode → queue → plan → evaluate → encode → flush`) and committed to
+//!   a bounded [`TraceLog`](trace::TraceLog).
 //! * [`profile`] — a sweep [`Profiler`](profile::Profiler) recording
 //!   per-batch / per-shard / per-window spans, exported as
 //!   chrome://tracing-compatible JSON (load the file in `about:tracing` or

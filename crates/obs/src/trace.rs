@@ -2,10 +2,12 @@
 //! a timestamp per pipeline stage, and a bounded [`TraceLog`] of completed
 //! requests.
 //!
-//! The serve stack stamps each request at five points as it crosses
+//! The serve stack stamps each request at six points as it crosses
 //! threads — [`Stage::Decode`] on the event loop when the line parser
 //! completes a request line, [`Stage::Queue`] when an executor picks the
-//! job up (ending its queue wait), [`Stage::Evaluate`] when the service
+//! job up (ending its queue wait), [`Stage::Plan`] when the query planner
+//! has resolved, costed and admitted the query (stamped for planned verbs
+//! only; `0` otherwise), [`Stage::Evaluate`] when the service
 //! call returns, [`Stage::Encode`] when the response bytes exist, and
 //! [`Stage::Flush`] when the event loop hands them to the socket. All
 //! stamps come from the one process-wide monotonic clock
@@ -23,6 +25,9 @@ pub enum Stage {
     Decode,
     /// An executor dequeued the job (queue wait over).
     Queue,
+    /// The query planner resolved, costed and admitted the query (stamped
+    /// for planned verbs — sweeps — only; `0` for unplanned requests).
+    Plan,
     /// The service evaluated the request.
     Evaluate,
     /// The response was encoded to bytes.
@@ -33,8 +38,8 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 5] =
-        [Stage::Decode, Stage::Queue, Stage::Evaluate, Stage::Encode, Stage::Flush];
+    pub const ALL: [Stage; 6] =
+        [Stage::Decode, Stage::Queue, Stage::Plan, Stage::Evaluate, Stage::Encode, Stage::Flush];
 
     /// The stage's index in pipeline order.
     pub fn index(self) -> usize {
@@ -46,6 +51,7 @@ impl Stage {
         match self {
             Stage::Decode => "decode",
             Stage::Queue => "queue",
+            Stage::Plan => "plan",
             Stage::Evaluate => "evaluate",
             Stage::Encode => "encode",
             Stage::Flush => "flush",
@@ -63,13 +69,13 @@ pub struct RequestTrace {
     /// that failed to parse.
     pub verb: &'static str,
     /// Nanosecond stamp per stage, indexed by [`Stage::index`].
-    pub stage_ns: [u64; 5],
+    pub stage_ns: [u64; 6],
 }
 
 impl RequestTrace {
     /// A fresh trace for `id`, stamped at [`Stage::Decode`] with `now_ns`.
     pub fn begin(id: u64, now_ns: u64) -> RequestTrace {
-        let mut trace = RequestTrace { id, verb: "unknown", stage_ns: [0; 5] };
+        let mut trace = RequestTrace { id, verb: "unknown", stage_ns: [0; 6] };
         trace.stage_ns[Stage::Decode.index()] = now_ns;
         trace
     }
@@ -148,7 +154,7 @@ mod tests {
             trace.stamp(*stage, 1_000_000 + (offset as u64 + 1) * 500_000);
         }
         assert!(trace.stage_ns.windows(2).all(|w| w[0] <= w[1]));
-        assert_eq!(trace.total_ms(), Some(2.0));
+        assert_eq!(trace.total_ms(), Some(2.5));
     }
 
     #[test]

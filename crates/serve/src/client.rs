@@ -329,8 +329,8 @@ impl Client {
 fn check_single(response: Response) -> Result<Response, ClientError> {
     match response {
         Response::Error { message } => Err(err(format!("server error: {message}"))),
-        Response::Busy { message } => {
-            Err(ClientError { message: format!("server busy: {message}"), busy: true })
+        Response::Busy { message, estimated_cost_ms } => {
+            Err(busy_error(&message, estimated_cost_ms))
         }
         response => Ok(response),
     }
@@ -358,8 +358,8 @@ pub fn assemble_sweep(
             }
             Response::SweepDone { stats: s } => stats = Some(s),
             Response::Error { message } => return Err(err(format!("server error: {message}"))),
-            Response::Busy { message } => {
-                return Err(ClientError { message: format!("server busy: {message}"), busy: true })
+            Response::Busy { message, estimated_cost_ms } => {
+                return Err(busy_error(&message, estimated_cost_ms))
             }
             other => return Err(unexpected("SweepChunk/SweepDone", &other)),
         }
@@ -369,6 +369,17 @@ pub fn assemble_sweep(
         return Err(err(format!("sweep returned {} of {} records", records.len(), range.len())));
     }
     Ok((records, stats))
+}
+
+/// A busy rejection as a retryable client error, carrying the planner's
+/// cost estimate when the server supplied one.
+fn busy_error(message: &str, estimated_cost_ms: f64) -> ClientError {
+    let message = if estimated_cost_ms > 0.0 {
+        format!("server busy: {message} (estimated query cost {estimated_cost_ms:.1} ms)")
+    } else {
+        format!("server busy: {message}")
+    };
+    ClientError { message, busy: true }
 }
 
 fn unexpected(wanted: &str, got: &Response) -> ClientError {

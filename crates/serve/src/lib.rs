@@ -60,6 +60,7 @@
 
 pub mod client;
 mod conn;
+pub mod planner;
 pub mod protocol;
 pub mod reactor;
 pub mod server;

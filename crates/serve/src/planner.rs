@@ -1,0 +1,326 @@
+//! The multi-query planner: in-flight coalescing and cost-based admission.
+//!
+//! Sits between the executor pool and the shard engines. Three concerns:
+//!
+//! * **Coalescing** (`Coalescer`) — a table of in-flight evaluations
+//!   keyed by `(prepared-space fingerprint, normalized range)`. The first
+//!   query to arrive for a key becomes the **leader** and evaluates as
+//!   usual; queries that arrive while it is in flight become **followers**,
+//!   block until the leader publishes, and receive the shared result — one
+//!   evaluation, fanned back out per subscriber. Pull-based streaming
+//!   sweeps request deterministic chunk-aligned windows, so overlapping
+//!   full sweeps coalesce window by window without any range arithmetic.
+//! * **Cost model** ([`CostModel`]) — estimates a query's evaluation cost
+//!   in milliseconds from the per-scenario cost observed by the engine's
+//!   always-on `dse_batch_ms` histogram and `dse_scenarios_evaluated`
+//!   counter (per-backend by construction: a service owns one backend, and
+//!   the calibration is read at admission time so it tracks the live
+//!   warm/cold mix). A seeded default covers the pre-calibration window.
+//! * **Metrics** — the planner's own always-registered series:
+//!   `planner_coalesced_requests`, `planner_shared_scenarios`,
+//!   `planner_cost_rejections` counters and the `planner_merge_ms`
+//!   histogram timing the Merge-Path band recombination.
+//!
+//! **Why followers can always block.** A follower waits on the leader of
+//! the *same window*, and leadership is taken inside the evaluation path —
+//! the leader is by definition already running on an executor (or a caller
+//! thread) and proceeds through the shard workers, which never coalesce.
+//! There is no waits-for cycle: followers wait on a leader, leaders wait
+//! only on shard workers.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use mp_obs::hist::Histogram;
+use mp_obs::metrics::Counter;
+
+use mp_dse::engine::{SweepHandle, SweepResult};
+
+use crate::service::ServeError;
+
+/// Requests answered from another request's in-flight evaluation (follower
+/// side of a coalesced window).
+pub(crate) fn obs_coalesced_requests() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    CELL.get_or_init(|| mp_obs::counter("planner_coalesced_requests"))
+}
+
+/// Scenario results fanned out to followers without re-evaluation (the
+/// evaluations saved by coalescing).
+pub(crate) fn obs_shared_scenarios() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    CELL.get_or_init(|| mp_obs::counter("planner_shared_scenarios"))
+}
+
+/// Queries rejected by the estimated-cost admission gate (a subset of
+/// `busy_rejections`).
+pub(crate) fn obs_cost_rejections() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    CELL.get_or_init(|| mp_obs::counter("planner_cost_rejections"))
+}
+
+/// Time spent in the Merge-Path recombination of per-shard band results,
+/// milliseconds per banded sweep.
+pub(crate) fn obs_merge_ms() -> &'static Histogram {
+    static CELL: OnceLock<Arc<Histogram>> = OnceLock::new();
+    CELL.get_or_init(|| mp_obs::histogram_ms("planner_merge_ms"))
+}
+
+/// The engine-side calibration series the cost model reads (the same global
+/// series `mp_dse`'s engine records into, resolved by name).
+fn obs_dse_scenarios() -> &'static Counter {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    CELL.get_or_init(|| mp_obs::counter("dse_scenarios_evaluated"))
+}
+
+fn obs_dse_batch_ms() -> &'static Histogram {
+    static CELL: OnceLock<Arc<Histogram>> = OnceLock::new();
+    CELL.get_or_init(|| mp_obs::histogram_ms("dse_batch_ms"))
+}
+
+/// Seeded per-scenario cost before enough engine data exists to calibrate
+/// (2 µs — the right order for the analytic backend on one core).
+const DEFAULT_COST_PER_SCENARIO_MS: f64 = 0.002;
+
+/// Scenarios the engine must have processed before the live calibration is
+/// trusted over the seed — below this, one pathological batch (a test
+/// backend blocking inside an evaluation, say) would dominate the mean.
+const MIN_CALIBRATION_SCENARIOS: u64 = 4096;
+
+/// Calibration sanity clamp, ms per scenario. Guards the admission gate
+/// against a polluted global histogram; a real backend above the ceiling is
+/// indistinguishable from one at it as far as "this query is enormous"
+/// goes.
+const COST_CLAMP_MS: (f64, f64) = (1e-6, 100.0);
+
+/// The planner's per-backend evaluation cost model. See the module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Fixed per-scenario cost override (tests and benches); `None` reads
+    /// the live engine calibration.
+    override_ms: Option<f64>,
+}
+
+impl CostModel {
+    /// A model calibrating from the engine's global metrics, or pinned to
+    /// `override_ms` when given.
+    pub fn new(override_ms: Option<f64>) -> CostModel {
+        CostModel { override_ms }
+    }
+
+    /// The current estimated cost of evaluating one scenario, milliseconds:
+    /// total engine batch time over total scenarios processed, seeded with
+    /// `DEFAULT_COST_PER_SCENARIO_MS` until enough data exists. This is a
+    /// deliberately *mean* cost across the live warm/cold mix — admission
+    /// budgets queued work, and queued work arrives in the same mix.
+    pub fn cost_per_scenario_ms(&self) -> f64 {
+        if let Some(ms) = self.override_ms {
+            return ms;
+        }
+        let scenarios = obs_dse_scenarios().value();
+        if scenarios < MIN_CALIBRATION_SCENARIOS {
+            return DEFAULT_COST_PER_SCENARIO_MS;
+        }
+        (obs_dse_batch_ms().snapshot().sum / scenarios as f64)
+            .clamp(COST_CLAMP_MS.0, COST_CLAMP_MS.1)
+    }
+
+    /// Estimated evaluation cost of a `scenarios`-sized query, milliseconds.
+    pub fn estimate_ms(&self, scenarios: usize) -> f64 {
+        scenarios as f64 * self.cost_per_scenario_ms()
+    }
+}
+
+/// A coalescing-table key: which prepared space, which exact index range.
+/// Streaming windows are chunk-aligned and deterministic, so overlapping
+/// sweeps of the same space produce *equal* keys window by window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct PlanKey {
+    /// Content fingerprint of the prepared space.
+    pub fingerprint: u64,
+    /// Window start (inclusive).
+    pub start: usize,
+    /// Window end (exclusive).
+    pub end: usize,
+}
+
+/// One in-flight shared evaluation: the slot the leader publishes into and
+/// followers wait on.
+pub(crate) struct InflightSweep {
+    done: Mutex<Option<Result<Arc<SweepResult>, ServeError>>>,
+    ready: Condvar,
+}
+
+impl InflightSweep {
+    fn new() -> InflightSweep {
+        InflightSweep { done: Mutex::new(None), ready: Condvar::new() }
+    }
+
+    /// Block until the leader publishes, then return the shared result.
+    pub(crate) fn wait(&self) -> Result<Arc<SweepResult>, ServeError> {
+        let mut done = self.done.lock().expect("planner locks are never poisoned");
+        while done.is_none() {
+            done = self.ready.wait(done).expect("planner locks are never poisoned");
+        }
+        done.as_ref().expect("checked above").clone()
+    }
+}
+
+/// What [`Coalescer::join`] assigned the calling query.
+pub(crate) enum Role {
+    /// First in: evaluate, then [`Coalescer::publish`].
+    Leader,
+    /// An equal-keyed evaluation is in flight: wait on it.
+    Follower(Arc<InflightSweep>),
+}
+
+/// The in-flight coalescing table. Entries live exactly as long as their
+/// leader's evaluation: inserted at [`Coalescer::join`], removed at
+/// [`Coalescer::publish`] — a completed result is never served to a query
+/// that arrives later (coalescing shares *in-flight* work; it is not a
+/// result cache, and subscriber-visible semantics stay identical to an
+/// uncoalesced run).
+#[derive(Default)]
+pub(crate) struct Coalescer {
+    inflight: Mutex<HashMap<PlanKey, Arc<InflightSweep>>>,
+}
+
+impl Coalescer {
+    /// Join the in-flight evaluation for `key`, becoming its leader if none
+    /// is running.
+    pub(crate) fn join(&self, key: PlanKey) -> Role {
+        let mut inflight = self.inflight.lock().expect("planner locks are never poisoned");
+        match inflight.entry(key) {
+            std::collections::hash_map::Entry::Occupied(entry) => {
+                Role::Follower(Arc::clone(entry.get()))
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Arc::new(InflightSweep::new()));
+                Role::Leader
+            }
+        }
+    }
+
+    /// Publish the leader's result for `key` and wake every follower. The
+    /// entry is removed from the table *before* the result lands, so
+    /// queries arriving from here on start a fresh evaluation.
+    pub(crate) fn publish(&self, key: &PlanKey, result: &Result<Arc<SweepResult>, ServeError>) {
+        let entry = self
+            .inflight
+            .lock()
+            .expect("planner locks are never poisoned")
+            .remove(key)
+            .expect("only the leader publishes, exactly once");
+        *entry.done.lock().expect("planner locks are never poisoned") = Some(result.clone());
+        entry.ready.notify_all();
+    }
+}
+
+/// A build-sharing table for [`SpaceTables`] construction: same leader /
+/// follower protocol as [`Coalescer`], over prepared-handle builds. Two
+/// clients racing a query over the same *new* space used to both pay the
+/// columnar precomputation (the loser's copy was dropped); with the build
+/// table the first becomes the leader and the rest wait for its handle.
+///
+/// [`SpaceTables`]: mp_dse::tables::SpaceTables
+#[derive(Default)]
+pub(crate) struct BuildTable {
+    building: Mutex<HashMap<u64, Arc<InflightBuild>>>,
+}
+
+/// One in-flight prepared-handle build.
+pub(crate) struct InflightBuild {
+    done: Mutex<Option<Arc<SweepHandle<'static>>>>,
+    ready: Condvar,
+}
+
+impl InflightBuild {
+    /// Block until the building leader publishes its handle.
+    pub(crate) fn wait(&self) -> Arc<SweepHandle<'static>> {
+        let mut done = self.done.lock().expect("planner locks are never poisoned");
+        while done.is_none() {
+            done = self.ready.wait(done).expect("planner locks are never poisoned");
+        }
+        Arc::clone(done.as_ref().expect("checked above"))
+    }
+}
+
+/// What [`BuildTable::join`] assigned the calling builder.
+pub(crate) enum BuildRole {
+    /// First in: build the tables, then [`BuildTable::publish`].
+    Leader,
+    /// The same fingerprint is being built: wait for the leader's handle.
+    Follower(Arc<InflightBuild>),
+}
+
+impl BuildTable {
+    /// Join the in-flight build for `fingerprint`, becoming the leader if
+    /// none is running.
+    pub(crate) fn join(&self, fingerprint: u64) -> BuildRole {
+        let mut building = self.building.lock().expect("planner locks are never poisoned");
+        match building.entry(fingerprint) {
+            std::collections::hash_map::Entry::Occupied(entry) => {
+                BuildRole::Follower(Arc::clone(entry.get()))
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Arc::new(InflightBuild {
+                    done: Mutex::new(None),
+                    ready: Condvar::new(),
+                }));
+                BuildRole::Leader
+            }
+        }
+    }
+
+    /// Publish the built handle for `fingerprint` and wake the waiters.
+    pub(crate) fn publish(&self, fingerprint: u64, handle: &Arc<SweepHandle<'static>>) {
+        let entry = self
+            .building
+            .lock()
+            .expect("planner locks are never poisoned")
+            .remove(&fingerprint)
+            .expect("only the build leader publishes, exactly once");
+        *entry.done.lock().expect("planner locks are never poisoned") = Some(Arc::clone(handle));
+        entry.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_model_override_pins_the_estimate() {
+        let model = CostModel::new(Some(0.5));
+        assert_eq!(model.cost_per_scenario_ms(), 0.5);
+        assert_eq!(model.estimate_ms(100), 50.0);
+    }
+
+    #[test]
+    fn calibrated_cost_stays_within_the_clamp() {
+        let model = CostModel::new(None);
+        let ms = model.cost_per_scenario_ms();
+        assert!(ms >= COST_CLAMP_MS.0 && ms <= COST_CLAMP_MS.1, "cost {ms} outside clamp");
+    }
+
+    #[test]
+    fn followers_see_exactly_the_leaders_publication() {
+        let coalescer = Coalescer::default();
+        let key = PlanKey { fingerprint: 7, start: 0, end: 4 };
+        assert!(matches!(coalescer.join(key), Role::Leader));
+        let Role::Follower(entry) = coalescer.join(key) else {
+            panic!("second join while in flight must follow");
+        };
+        let published: Result<Arc<SweepResult>, ServeError> = Err(ServeError {
+            kind: crate::service::ServeErrorKind::Invalid,
+            message: "boom".into(),
+            estimated_cost_ms: 0.0,
+        });
+        let waiter = std::thread::spawn(move || entry.wait());
+        coalescer.publish(&key, &published);
+        let got = waiter.join().unwrap();
+        assert_eq!(got.unwrap_err().message, "boom");
+        // The entry is gone: the next join leads a fresh evaluation.
+        assert!(matches!(coalescer.join(key), Role::Leader));
+    }
+}

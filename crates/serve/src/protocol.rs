@@ -37,8 +37,10 @@ use mp_model::explore::Curve;
 /// Protocol identity reported by `ping`; bump on incompatible changes.
 /// `mp-serve/2` adds pipelining (multiple in-flight requests per connection,
 /// responses strictly in request order) and the [`Response::Busy`] admission
-/// signal; every `mp-serve/1` exchange is still valid.
-pub const PROTOCOL_VERSION: &str = "mp-serve/2";
+/// signal; every `mp-serve/1` exchange is still valid. `mp-serve/3` adds the
+/// query planner: [`Response::Busy`] carries the estimated cost that was
+/// rejected and sweep statistics carry the `coalesced` marker.
+pub const PROTOCOL_VERSION: &str = "mp-serve/3";
 
 /// Default scenario count per streamed sweep chunk.
 pub const DEFAULT_CHUNK: usize = 8192;
@@ -238,8 +240,12 @@ pub enum Response {
     /// executed and can be retried. Terminal, like [`Response::Error`], but
     /// distinguishable so clients can back off instead of giving up.
     Busy {
-        /// Human-readable reason (which queue rejected the request).
+        /// Human-readable reason (which gate rejected the request).
         message: String,
+        /// The planner's cost estimate for the rejected query in
+        /// milliseconds (`0.0` when the rejection predates costing). Lets a
+        /// client scale its backoff to the work it asked for.
+        estimated_cost_ms: f64,
     },
 }
 
@@ -728,6 +734,7 @@ mod tests {
                 cache_misses: 1,
                 warm_entries: 0,
                 threads: 1,
+                coalesced: false,
                 elapsed_seconds: 0.25,
             },
         };
@@ -762,12 +769,15 @@ mod tests {
 
     #[test]
     fn busy_responses_are_terminal_and_round_trip() {
-        let busy = Response::Busy { message: "shard queue full".into() };
+        let busy = Response::Busy { message: "shard queue full".into(), estimated_cost_ms: 12.5 };
         assert!(busy.is_terminal());
         let line = encode_line(&ResponseEnvelope { id: 9, response: busy });
         let back: ResponseEnvelope = decode_line(&line).unwrap();
         assert_eq!(encode_line(&back), line);
-        assert!(matches!(back.response, Response::Busy { .. }));
+        let Response::Busy { estimated_cost_ms, .. } = back.response else {
+            panic!("busy response must survive the round trip");
+        };
+        assert_eq!(estimated_cost_ms, 12.5);
     }
 
     #[test]

@@ -776,9 +776,13 @@ fn execute(
                 }
                 match envelope.request {
                     Request::Sweep { space, start, end, chunk } => {
-                        match service.resolve_handle(&space).and_then(|handle| {
+                        let planned = service.resolve_handle(&space).and_then(|handle| {
                             service.begin_sweep_handle(handle, start..end, chunk)
-                        }) {
+                        });
+                        // The planner has now resolved the prepared space,
+                        // costed the query and ruled on admission.
+                        stamp_plan(trace.as_mut());
+                        match planned {
                             Ok(ticket) => stream_window(
                                 service,
                                 id,
@@ -825,6 +829,14 @@ fn execute(
 fn stamp_evaluate(trace: Option<&mut RequestTrace>) {
     if let Some(t) = trace {
         t.stamp(Stage::Evaluate, mp_obs::monotonic_ns());
+    }
+}
+
+/// Stamp [`Stage::Plan`] on a trace (no-op for untraced jobs). Only the
+/// planned verbs — sweeps — stamp this stage; everywhere else it stays `0`.
+fn stamp_plan(trace: Option<&mut RequestTrace>) {
+    if let Some(t) = trace {
+        t.stamp(Stage::Plan, mp_obs::monotonic_ns());
     }
 }
 

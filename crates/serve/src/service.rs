@@ -6,15 +6,27 @@
 //! the shards' static **bands** (shard `i` always owns the `i`-th contiguous
 //! slice of a given space), so repeated or overlapping queries land every
 //! scenario on the shard that cached it — the warm-cache hit rate survives
-//! sharding. Partial results merge back in index order, which makes a
+//! sharding. Partial results merge back in index order through the
+//! Merge-Path partitioned merge ([`mp_dse::merge`]), which makes a
 //! sharded service answer **bit-identical** to a direct [`Engine::sweep`]
 //! over the same space: every scenario's value is a deterministic function
 //! of the scenario and backend alone, independent of batch or shard
 //! boundaries.
 //!
+//! Between the callers and the shards sits the **query planner**
+//! ([`crate::planner`]): concurrent queries over the same prepared space
+//! and range **coalesce** onto one in-flight evaluation whose result fans
+//! back out per subscriber (byte-identical to an uncoalesced run, follower
+//! stats marked [`SweepStats::coalesced`]), and admission is **cost-based**
+//! — each shard budgets the *estimated evaluation cost* of its queued work
+//! (calibrated from the engine's live metrics) and rejects, retryably and
+//! with the estimate attached, what would blow the budget; the raw
+//! in-flight depth cap remains as a backstop.
+//!
 //! Prepared sweeps ([`SweepHandle`]: the space plus its columnar
 //! [`SpaceTables`]) are cached by content fingerprint and shared across
-//! requests and shards, so a repeated query pays neither the table
+//! requests and shards — racing first queries over the same new space share
+//! one table build — so a repeated query pays neither the table
 //! precomputation nor — thanks to the per-shard caches — the evaluation.
 //!
 //! [`SpaceTables`]: mp_dse::tables::SpaceTables
@@ -37,12 +49,13 @@ use mp_dse::curves::{figure_curves, Figure};
 use mp_dse::engine::{
     Engine, EvalRecord, RangeCursor, SweepConfig, SweepHandle, SweepResult, SweepStats,
 };
+use mp_dse::merge::merge_runs;
 use mp_dse::scenario::ScenarioSpace;
 use mp_model::catalogue::CatalogueRegistry;
 use mp_model::explore::Curve;
-use mp_model::fingerprint::Fnv64;
 use mp_par::pool::chunk_range;
 
+use crate::planner::{BuildRole, BuildTable, Coalescer, CostModel, PlanKey, Role};
 use crate::protocol::{
     to_wire, CatalogueEntry, Request, Response, ServiceStats, ShardStats, SpaceSpec, DEFAULT_CHUNK,
     PROTOCOL_VERSION,
@@ -113,8 +126,23 @@ pub struct ServiceConfig {
     pub use_cache: bool,
     /// Admission cap: sweeps in flight (queued or running) per shard before
     /// new queries are rejected with a retryable [`Response::Busy`] instead
-    /// of growing the queue. Must be ≥ 1.
+    /// of growing the queue. Must be ≥ 1. The backstop behind the primary,
+    /// cost-based gate ([`ServiceConfig::cost_budget_ms`]).
     pub queue_capacity: usize,
+    /// Cost-based admission budget: the estimated evaluation cost (ms) a
+    /// shard's queued work may reach before further queries are rejected
+    /// with a retryable [`Response::Busy`] carrying the estimate. A query
+    /// is always admitted onto an idle shard regardless of its size. Must
+    /// be positive.
+    pub cost_budget_ms: f64,
+    /// Pin the cost model's per-scenario cost (ms) instead of calibrating
+    /// from the engine's live `dse_batch_ms` / `dse_scenarios_evaluated`
+    /// metrics — deterministic admission for tests and benches.
+    pub cost_per_scenario_ms: Option<f64>,
+    /// Whether concurrent queries over the same prepared space and range
+    /// coalesce onto one shared in-flight evaluation. On by default;
+    /// disabled for uncoalesced baseline measurements.
+    pub coalesce: bool,
 }
 
 impl Default for ServiceConfig {
@@ -125,6 +153,9 @@ impl Default for ServiceConfig {
             batch_size: 1024,
             use_cache: true,
             queue_capacity: 1024,
+            cost_budget_ms: 30_000.0,
+            cost_per_scenario_ms: None,
+            coalesce: true,
         }
     }
 }
@@ -143,12 +174,16 @@ pub enum ServeErrorKind {
 }
 
 /// Error produced by a service query.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeError {
     /// Whether the failure is retryable.
     pub kind: ServeErrorKind,
     /// Human-readable reason.
     pub message: String,
+    /// The planner's estimated evaluation cost of the rejected query,
+    /// milliseconds (`0.0` when the rejection was not cost-informed —
+    /// invalid requests, dead workers).
+    pub estimated_cost_ms: f64,
 }
 
 impl ServeError {
@@ -160,7 +195,9 @@ impl ServeError {
     /// The terminal wire response reporting this error.
     pub fn into_response(self) -> Response {
         match self.kind {
-            ServeErrorKind::Busy => Response::Busy { message: self.message },
+            ServeErrorKind::Busy => {
+                Response::Busy { message: self.message, estimated_cost_ms: self.estimated_cost_ms }
+            }
             ServeErrorKind::Invalid => Response::Error { message: self.message },
         }
     }
@@ -175,11 +212,11 @@ impl std::fmt::Display for ServeError {
 impl std::error::Error for ServeError {}
 
 fn err(message: impl Into<String>) -> ServeError {
-    ServeError { kind: ServeErrorKind::Invalid, message: message.into() }
+    ServeError { kind: ServeErrorKind::Invalid, message: message.into(), estimated_cost_ms: 0.0 }
 }
 
-fn busy(message: impl Into<String>) -> ServeError {
-    ServeError { kind: ServeErrorKind::Busy, message: message.into() }
+fn busy(message: impl Into<String>, estimated_cost_ms: f64) -> ServeError {
+    ServeError { kind: ServeErrorKind::Busy, message: message.into(), estimated_cost_ms }
 }
 
 /// One sweep assignment for a shard worker.
@@ -191,6 +228,10 @@ struct ShardJob {
     /// When the job entered the admission queue ([`mp_obs::monotonic_ns`]),
     /// for the queue-wait histogram.
     enqueued_ns: u64,
+    /// The estimated cost charged against the shard's admission budget at
+    /// submit time, microseconds. Stored on the job so the worker credits
+    /// back exactly what submission debited, whatever the model says later.
+    cost_us: u64,
 }
 
 /// One shard: a long-lived engine plus its admission queue.
@@ -200,6 +241,10 @@ struct Shard {
     /// Sweeps queued or running on this shard — the admission-control gauge.
     /// Incremented at enqueue, decremented by the worker after it replies.
     depth: Arc<std::sync::atomic::AtomicUsize>,
+    /// Estimated evaluation cost of the shard's queued-or-running jobs,
+    /// microseconds — what the cost-based admission gate budgets. Debited
+    /// at enqueue, credited by the worker after it replies.
+    pending_cost_us: Arc<AtomicU64>,
     worker: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -239,9 +284,19 @@ pub struct SweepService {
     backend: Arc<dyn EvalBackend + Send + Sync>,
     shards: Vec<Shard>,
     prepared: Mutex<PreparedCache>,
+    /// In-flight table builds, so racing first queries over the same new
+    /// space share one [`SpaceTables`] construction.
+    ///
+    /// [`SpaceTables`]: mp_dse::tables::SpaceTables
+    builds: BuildTable,
+    /// The planner's in-flight coalescing table.
+    coalescer: Coalescer,
+    cost_model: CostModel,
     registry: CatalogueRegistry,
     sweep_config: SweepConfig,
     queue_capacity: usize,
+    cost_budget_ms: f64,
+    coalesce: bool,
     queries: AtomicU64,
     started: Instant,
 }
@@ -264,21 +319,28 @@ impl SweepService {
         assert!(config.threads_per_shard > 0, "shards need at least one thread");
         assert!(config.batch_size > 0, "batch size must be positive");
         assert!(config.queue_capacity > 0, "admission queue capacity must be positive");
+        assert!(config.cost_budget_ms > 0.0, "cost budget must be positive");
         // Register the core series now: a scrape must see `busy_rejections`
         // at zero on an idle server, not have the series appear at the first
-        // rejection.
+        // rejection. Same for the planner's series.
         obs_busy_rejections();
         obs_queue_depth();
         obs_queue_wait_ms();
+        crate::planner::obs_coalesced_requests();
+        crate::planner::obs_shared_scenarios();
+        crate::planner::obs_cost_rejections();
+        crate::planner::obs_merge_ms();
         let backend_for_shards = Arc::clone(&backend);
         let shards = (0..config.shards)
             .map(|index| {
                 let engine = Arc::new(Engine::new(config.threads_per_shard));
                 let (queue, jobs) = unbounded::<ShardJob>();
                 let depth = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+                let pending_cost_us = Arc::new(AtomicU64::new(0));
                 let worker_engine = Arc::clone(&engine);
                 let worker_backend = Arc::clone(&backend_for_shards);
                 let worker_depth = Arc::clone(&depth);
+                let worker_pending = Arc::clone(&pending_cost_us);
                 let worker = std::thread::Builder::new()
                     .name(format!("mp-serve-shard-{index}"))
                     .spawn(move || {
@@ -306,23 +368,29 @@ impl SweepService {
                             // connection went away mid-sweep.
                             let _ = job.reply.send((job.range.start, result));
                             worker_depth.fetch_sub(1, Ordering::Release);
+                            worker_pending.fetch_sub(job.cost_us, Ordering::Release);
                             obs_queue_depth().sub(1);
                         }
                     })
                     .expect("failed to spawn shard worker");
-                Shard { engine, queue, depth, worker: Some(worker) }
+                Shard { engine, queue, depth, pending_cost_us, worker: Some(worker) }
             })
             .collect();
         SweepService {
             backend,
             shards,
             prepared: Mutex::new(PreparedCache::default()),
+            builds: BuildTable::default(),
+            coalescer: Coalescer::default(),
+            cost_model: CostModel::new(config.cost_per_scenario_ms),
             registry: CatalogueRegistry::new(),
             sweep_config: SweepConfig {
                 batch_size: config.batch_size,
                 use_cache: config.use_cache,
             },
             queue_capacity: config.queue_capacity,
+            cost_budget_ms: config.cost_budget_ms,
+            coalesce: config.coalesce,
             queries: AtomicU64::new(0),
             started: Instant::now(),
         }
@@ -419,8 +487,10 @@ impl SweepService {
     /// The cache mutex is held only for the lookup and the insert, never
     /// while the [`SpaceTables`] are built — a first query over a large new
     /// space must not head-of-line-block queries over already-prepared
-    /// spaces. Two clients racing on the same new space may both build it;
-    /// the loser's copy just gets dropped.
+    /// spaces. Clients racing on the same new space share **one** build
+    /// through the planner's [`BuildTable`]: the first becomes the build
+    /// leader, the rest block for its handle instead of redundantly
+    /// deriving the same columns.
     ///
     /// [`SpaceTables`]: mp_dse::tables::SpaceTables
     fn prepared(&self, space: &ScenarioSpace) -> Arc<SweepHandle<'static>> {
@@ -436,19 +506,32 @@ impl SweepService {
                 return Arc::new(SweepHandle::owned(space.clone()));
             }
         }
-        let handle = Arc::new(SweepHandle::owned(space.clone()));
-        let mut prepared = self.prepared.lock();
-        match prepared.handles.get(&key) {
-            // A racing builder published first (and content matches): share
-            // theirs so every in-flight sweep converges on one snapshot.
-            Some(existing) if existing.space() == space => {
-                let existing = Arc::clone(existing);
-                prepared.touch(key);
-                existing
-            }
-            _ => {
-                prepared.insert(key, Arc::clone(&handle));
+        match self.builds.join(key) {
+            BuildRole::Leader => {
+                let handle = Arc::new(SweepHandle::owned(space.clone()));
+                {
+                    let mut prepared = self.prepared.lock();
+                    match prepared.handles.get(&key) {
+                        // A fingerprint collision landed while we built:
+                        // leave the existing snapshot alone, keep ours
+                        // uncached.
+                        Some(existing) if existing.space() != space => {}
+                        _ => prepared.insert(key, Arc::clone(&handle)),
+                    }
+                }
+                self.builds.publish(key, &handle);
                 handle
+            }
+            BuildRole::Follower(build) => {
+                let handle = build.wait();
+                if handle.space() == space {
+                    handle
+                } else {
+                    // Fingerprint collision with the leader's space: build
+                    // a fresh uncached handle rather than answer for the
+                    // wrong space.
+                    Arc::new(SweepHandle::owned(space.clone()))
+                }
             }
         }
     }
@@ -500,41 +583,119 @@ impl SweepService {
         })
     }
 
-    /// The admission gate: reject (busy) when any shard whose static band
-    /// intersects `range` is already at the in-flight cap. Checked once per
-    /// *query* — the windows of an admitted streaming sweep are never
-    /// rejected mid-answer, they just queue behind other admitted work.
+    /// The admission gate, checked once per *query* — the windows of an
+    /// admitted streaming sweep are never rejected mid-answer, they just
+    /// queue behind other admitted work. Two conditions, per participating
+    /// shard:
+    ///
+    /// * **cost budget** (primary): the estimated evaluation cost of the
+    ///   shard's queued work plus this query's slice must stay within
+    ///   [`ServiceConfig::cost_budget_ms`] — a giant sweep can no longer
+    ///   bury a queue that hundreds of cheap warm queries would sail
+    ///   through, and conversely cheap queries keep being admitted by
+    ///   *cost* where a raw depth cap would count them like giants. An
+    ///   idle (zero-pending) shard admits anything: budgets bound *waiting*
+    ///   work, they must not make oversized queries unanswerable.
+    /// * **depth cap** (backstop): at most
+    ///   [`ServiceConfig::queue_capacity`] sweeps in flight per shard,
+    ///   whatever the model thinks they cost.
+    ///
+    /// Rejections are retryable ([`Response::Busy`]) and carry the query's
+    /// estimated cost.
     fn admit(&self, handle: &SweepHandle<'static>, range: &Range<usize>) -> Result<(), ServeError> {
-        for (index, shard, _) in self.band_slices(handle.len(), range) {
+        let per_scenario_ms = self.cost_model.cost_per_scenario_ms();
+        let query_cost_ms = range.len() as f64 * per_scenario_ms;
+        for (index, shard, slice) in self.band_slices(handle.len(), range) {
             let depth = shard.depth.load(Ordering::Acquire);
             if depth >= self.queue_capacity {
                 obs_busy_rejections().inc();
-                return Err(busy(format!(
-                    "shard {index} admission queue is full ({depth} sweeps in flight, cap {})",
-                    self.queue_capacity
-                )));
+                return Err(busy(
+                    format!(
+                        "shard {index} admission queue is full ({depth} sweeps in flight, cap {})",
+                        self.queue_capacity
+                    ),
+                    query_cost_ms,
+                ));
+            }
+            let pending_ms = shard.pending_cost_us.load(Ordering::Acquire) as f64 / 1e3;
+            let slice_ms = slice.len() as f64 * per_scenario_ms;
+            if pending_ms > 0.0 && pending_ms + slice_ms > self.cost_budget_ms {
+                crate::planner::obs_cost_rejections().inc();
+                obs_busy_rejections().inc();
+                return Err(busy(
+                    format!(
+                        "shard {index} estimated backlog {pending_ms:.1} ms + this query's \
+                         {slice_ms:.1} ms exceeds the {:.0} ms admission budget",
+                        self.cost_budget_ms
+                    ),
+                    query_cost_ms,
+                ));
             }
         }
         Ok(())
     }
 
-    /// The banded sweep core: split `range` along the shards' static bands,
-    /// enqueue one job per participating shard, merge the partial results
-    /// back in index order. No admission check — callers gate first.
+    /// The planner's evaluation entry point: every query path (one-shot
+    /// sweeps, streaming windows, analysis queries) funnels its admitted,
+    /// validated ranges through here. When coalescing is on, concurrent
+    /// calls with the same `(prepared-space fingerprint, range)` key share
+    /// one banded evaluation: the first becomes the leader and evaluates,
+    /// the rest block and receive the published result — records
+    /// bit-identical, follower stats marked [`SweepStats::coalesced`] so
+    /// the shared work is counted once by aggregators but still reported to
+    /// every subscriber.
     fn sweep_prepared(
+        &self,
+        handle: &Arc<SweepHandle<'static>>,
+        range: Range<usize>,
+    ) -> Result<SweepResult, ServeError> {
+        if !self.coalesce || range.is_empty() {
+            return self.sweep_banded(handle, range);
+        }
+        let key = PlanKey { fingerprint: handle.fingerprint(), start: range.start, end: range.end };
+        match self.coalescer.join(key) {
+            Role::Leader => {
+                let result = self.sweep_banded(handle, range).map(Arc::new);
+                self.coalescer.publish(&key, &result);
+                // No follower joined: the published Arc is already dropped
+                // and the result is returned without a copy.
+                result.map(|shared| match Arc::try_unwrap(shared) {
+                    Ok(owned) => owned,
+                    Err(shared) => SweepResult::clone(&shared),
+                })
+            }
+            Role::Follower(inflight) => {
+                crate::planner::obs_coalesced_requests().inc();
+                crate::planner::obs_shared_scenarios().add(range.len() as u64);
+                let shared = inflight.wait()?;
+                let mut result = SweepResult::clone(&shared);
+                result.stats.coalesced = true;
+                Ok(result)
+            }
+        }
+    }
+
+    /// The banded sweep core: split `range` along the shards' static bands,
+    /// enqueue one job per participating shard, recombine the partial
+    /// results into index order with the Merge-Path partitioned merge. No
+    /// admission check — callers gate first.
+    fn sweep_banded(
         &self,
         handle: &Arc<SweepHandle<'static>>,
         range: Range<usize>,
     ) -> Result<SweepResult, ServeError> {
         let started = Instant::now();
         let n = handle.len();
+        let per_scenario_ms = self.cost_model.cost_per_scenario_ms();
         // Intersect the request with each shard's static band of the full
         // space, so a scenario always lands on the same shard's cache no
         // matter how the request is windowed.
         let (reply, replies) = unbounded();
         let mut outstanding = 0usize;
         for (_, shard, slice) in self.band_slices(n, &range) {
+            let cost_us = (slice.len() as f64 * per_scenario_ms * 1e3) as u64;
             shard.depth.fetch_add(1, Ordering::AcqRel);
+            shard.pending_cost_us.fetch_add(cost_us, Ordering::AcqRel);
             obs_queue_depth().add(1);
             if shard
                 .queue
@@ -544,10 +705,12 @@ impl SweepService {
                     config: self.sweep_config,
                     reply: reply.clone(),
                     enqueued_ns: mp_obs::monotonic_ns(),
+                    cost_us,
                 })
                 .is_err()
             {
                 shard.depth.fetch_sub(1, Ordering::Release);
+                shard.pending_cost_us.fetch_sub(cost_us, Ordering::Release);
                 obs_queue_depth().sub(1);
                 return Err(err("shard worker has exited"));
             }
@@ -559,9 +722,16 @@ impl SweepService {
         for _ in 0..outstanding {
             partials.push(replies.recv().map_err(|_| err("shard worker dropped a sweep reply"))?);
         }
-        partials.sort_by_key(|(start, _)| *start);
 
-        let mut records: Vec<EvalRecord> = Vec::with_capacity(range.len());
+        // Merge-Path recombination: the band runs are index-sorted and
+        // disjoint, and the partitioned merge is bit-identical to a stable
+        // sequential merge whatever order the replies arrived in.
+        let merge_started = Instant::now();
+        let runs: Vec<&[EvalRecord]> =
+            partials.iter().map(|(_, partial)| partial.records.as_slice()).collect();
+        let records = merge_runs(&runs, self.shards.len());
+        crate::planner::obs_merge_ms().record(merge_started.elapsed().as_secs_f64() * 1e3);
+
         let mut stats = SweepStats {
             scenarios: 0,
             valid: 0,
@@ -569,10 +739,10 @@ impl SweepService {
             cache_misses: 0,
             warm_entries: 0,
             threads: 0,
+            coalesced: false,
             elapsed_seconds: 0.0,
         };
-        for (_, partial) in partials {
-            records.extend_from_slice(&partial.records);
+        for (_, partial) in &partials {
             stats.scenarios += partial.stats.scenarios;
             stats.valid += partial.stats.valid;
             stats.cache_hits += partial.stats.cache_hits;
@@ -637,6 +807,7 @@ impl SweepService {
                 cache_misses: 0,
                 warm_entries: 0,
                 threads: 0,
+                coalesced: false,
                 elapsed_seconds: 0.0,
             },
             started: Instant::now(),
@@ -675,6 +846,7 @@ impl SweepService {
             ticket.first_window = false;
         }
         ticket.stats.threads = ticket.stats.threads.max(result.stats.threads);
+        ticket.stats.coalesced |= result.stats.coalesced;
         ticket.stats.elapsed_seconds = ticket.started.elapsed().as_secs_f64();
         Ok(Some(result.records))
     }
@@ -903,13 +1075,11 @@ impl SweepTicket {
     }
 }
 
-/// Content fingerprint of a space: FNV over its canonical JSON form. Axis
-/// *values* (bit-exact — the JSON printer is shortest-round-trip) and axis
-/// order both contribute, matching [`ScenarioSpace`] equality.
+/// Content fingerprint of a space: FNV over its canonical JSON form
+/// (delegates to [`mp_dse::engine::space_fingerprint`], the same hash the
+/// planner keys its coalescing table on).
 fn space_fingerprint(space: &ScenarioSpace) -> u64 {
-    let mut hasher = Fnv64::new();
-    hasher.write_str(&serde_json::to_string(space).expect("spaces always serialise"));
-    hasher.finish()
+    mp_dse::engine::space_fingerprint(space)
 }
 
 #[cfg(test)]

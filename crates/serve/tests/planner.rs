@@ -1,0 +1,218 @@
+//! Deterministic planner behaviour, pinned with a gated backend (no sleeps
+//! in the control flow — the test decides exactly when evaluations finish):
+//!
+//! * **coalescing** — overlapping in-flight sweeps share one evaluation:
+//!   the leader evaluates every scenario exactly once, followers receive a
+//!   bit-identical clone marked `stats.coalesced`, and the planner counters
+//!   account the shared work;
+//! * **cost-based admission** — a shard whose estimated pending cost would
+//!   exceed the budget rejects new queries with a busy error carrying the
+//!   query's own cost estimate, and admission reopens once the backlog
+//!   drains.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use mp_dse::backend::{DseError, EvalBackend};
+use mp_dse::scenario::{Scenario, ScenarioSpace};
+use mp_serve::prelude::*;
+
+/// A backend whose evaluations block until the test releases them. Each
+/// entry bumps `entered` (total evaluations ever started) and waits on the
+/// `release` latch.
+struct GateBackend {
+    entered: Arc<AtomicUsize>,
+    enter_signal: Arc<Condvar>,
+    enter_lock: Arc<Mutex<()>>,
+    release: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl GateBackend {
+    #[allow(clippy::type_complexity)]
+    fn new() -> (GateBackend, Arc<AtomicUsize>, Arc<(Mutex<bool>, Condvar)>) {
+        let entered = Arc::new(AtomicUsize::new(0));
+        let release = Arc::new((Mutex::new(false), Condvar::new()));
+        let backend = GateBackend {
+            entered: Arc::clone(&entered),
+            enter_signal: Arc::new(Condvar::new()),
+            enter_lock: Arc::new(Mutex::new(())),
+            release: Arc::clone(&release),
+        };
+        (backend, entered, release)
+    }
+}
+
+impl EvalBackend for GateBackend {
+    fn name(&self) -> &'static str {
+        "gate"
+    }
+
+    fn evaluate(&self, scenario: &Scenario<'_>) -> Result<f64, DseError> {
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        self.enter_signal.notify_all();
+        let (open, signal) = &*self.release;
+        let mut open = open.lock().unwrap();
+        while !*open {
+            open = signal.wait(open).unwrap();
+        }
+        drop(open);
+        let _lock = self.enter_lock.lock().unwrap();
+        // A deterministic, scenario-dependent value so reordered or
+        // misattributed records cannot cancel out in the parity checks.
+        Ok(scenario.design.area() * 2.0 + 1.0)
+    }
+}
+
+fn open(release: &Arc<(Mutex<bool>, Condvar)>) {
+    let (open, signal) = &**release;
+    *open.lock().unwrap() = true;
+    signal.notify_all();
+}
+
+/// Read a counter's current value from the global metrics registry.
+fn series(name: &str) -> u64 {
+    let json = mp_obs::registry().snapshot().to_json();
+    let marker = format!("\"{name}\":");
+    let Some(at) = json.find(&marker) else { return 0 };
+    json[at + marker.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0)
+}
+
+#[test]
+fn overlapping_inflight_sweeps_evaluate_once_and_fan_out_marked_clones() {
+    let (backend, entered, release) = GateBackend::new();
+    let space =
+        ScenarioSpace::new().clear_designs().add_symmetric_grid((0..48).map(|i| 1.0 + i as f64));
+    let service = Arc::new(SweepService::new(
+        Arc::new(backend),
+        &ServiceConfig {
+            shards: 1,
+            threads_per_shard: 1,
+            use_cache: false,
+            ..ServiceConfig::default()
+        },
+    ));
+
+    let coalesced_before = series("planner_coalesced_requests");
+    let shared_before = series("planner_shared_scenarios");
+
+    // The leader: takes the coalescing slot for the (single) window, then
+    // blocks inside the gated backend.
+    let leader = {
+        let service = Arc::clone(&service);
+        let space = space.clone();
+        std::thread::spawn(move || service.sweep(&space, None).unwrap())
+    };
+    while entered.load(Ordering::SeqCst) == 0 {
+        std::thread::yield_now();
+    }
+
+    // Followers: same space, same full range — equal plan keys. Each
+    // increments the coalesced counter *before* blocking on the leader's
+    // publication, so the counter doubles as the "all joined" signal.
+    const FOLLOWERS: usize = 4;
+    let followers: Vec<_> = (0..FOLLOWERS)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let space = space.clone();
+            std::thread::spawn(move || service.sweep(&space, None).unwrap())
+        })
+        .collect();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while series("planner_coalesced_requests") - coalesced_before < FOLLOWERS as u64 {
+        assert!(std::time::Instant::now() < deadline, "followers never joined the leader");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    open(&release);
+    let lead_result = leader.join().unwrap();
+    assert!(!lead_result.stats.coalesced, "the leader evaluated; its stats are unshared");
+    assert_eq!(lead_result.stats.scenarios, space.len());
+    for follower in followers {
+        let result = follower.join().unwrap();
+        assert!(result.stats.coalesced, "followers carry the shared-result marker");
+        assert_eq!(result.stats.scenarios, space.len(), "shared stats still cover the range");
+        assert_eq!(result.records.len(), lead_result.records.len());
+        for (a, b) in result.records.iter().zip(lead_result.records.iter()) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.speedup.to_bits(), b.speedup.to_bits(), "shared records are bit-exact");
+        }
+    }
+
+    // The whole fan-out cost exactly one evaluation per scenario, and the
+    // planner accounted the scenarios it saved.
+    assert_eq!(entered.load(Ordering::SeqCst), space.len(), "shared work is evaluated once");
+    assert_eq!(
+        series("planner_shared_scenarios") - shared_before,
+        (FOLLOWERS * space.len()) as u64
+    );
+
+    // With nothing in flight the table is empty again: a fresh sweep leads
+    // its own evaluation (total evaluations grow by the full space).
+    let again = service.sweep(&space, None).unwrap();
+    assert!(!again.stats.coalesced);
+    assert_eq!(entered.load(Ordering::SeqCst), 2 * space.len());
+}
+
+#[test]
+fn pending_cost_above_the_budget_rejects_with_the_query_estimate() {
+    let (backend, entered, release) = GateBackend::new();
+    let space =
+        ScenarioSpace::new().clear_designs().add_symmetric_grid((0..64).map(|i| 2.0 + i as f64));
+    // Each scenario is pinned at 1 ms, so the 64-scenario sweep estimates
+    // 64 ms against a 10 ms budget: admitted when the shard is idle, a cost
+    // rejection while anything is pending.
+    let service = Arc::new(SweepService::new(
+        Arc::new(backend),
+        &ServiceConfig {
+            shards: 1,
+            threads_per_shard: 1,
+            use_cache: false,
+            cost_budget_ms: 10.0,
+            cost_per_scenario_ms: Some(1.0),
+            ..ServiceConfig::default()
+        },
+    ));
+
+    let rejections_before = series("planner_cost_rejections");
+
+    // An idle shard admits even an over-budget query (work conservation:
+    // rejecting it would leave the shard idle forever).
+    let occupied = {
+        let service = Arc::clone(&service);
+        let space = space.clone();
+        std::thread::spawn(move || service.sweep(&space, None).unwrap())
+    };
+    while entered.load(Ordering::SeqCst) == 0 {
+        std::thread::yield_now();
+    }
+
+    // 64 ms pending + 64 ms new > 10 ms budget: rejected, with this query's
+    // own estimate on the error.
+    let rejected = service.sweep(&space, None).unwrap_err();
+    assert!(rejected.is_busy(), "cost rejections are retryable: {rejected}");
+    assert_eq!(rejected.kind, ServeErrorKind::Busy);
+    assert_eq!(rejected.estimated_cost_ms, 64.0, "estimate = scenarios × pinned cost");
+    assert_eq!(series("planner_cost_rejections") - rejections_before, 1);
+    // The same rejection over the protocol carries the estimate.
+    let responses =
+        service.handle(&Request::TopK { space: SpaceSpec::Explicit(space.clone()), k: 2 });
+    match responses.as_slice() {
+        [Response::Busy { estimated_cost_ms, .. }] => assert_eq!(*estimated_cost_ms, 64.0),
+        other => panic!("expected a busy response, got {other:?}"),
+    }
+
+    // Drain the backlog: pending cost returns to zero and admission reopens.
+    open(&release);
+    let first = occupied.join().unwrap();
+    assert_eq!(first.stats.scenarios, space.len());
+    let second = service.sweep(&space, None).unwrap();
+    assert_eq!(second.stats.scenarios, space.len());
+    for (a, b) in first.records.iter().zip(second.records.iter()) {
+        assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+    }
+}

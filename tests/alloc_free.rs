@@ -13,6 +13,11 @@ use mp_model::perf::PerfModel;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+/// The counter above is process-global, but the harness runs tests on
+/// parallel threads — one test's (legitimate, setup-time) allocations would
+/// race into another's counting window. Serialise the windows.
+static WINDOW: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 struct Counting;
 
 // SAFETY: delegates to `System`; counting does not affect behaviour.
@@ -58,6 +63,7 @@ fn space() -> ScenarioSpace {
 
 #[test]
 fn analytic_batched_path_allocates_nothing_per_scenario() {
+    let _window = WINDOW.lock().unwrap();
     let space = space();
     let tables = SpaceTables::new(&space);
     let n = space.len();
@@ -88,6 +94,7 @@ fn analytic_batched_path_allocates_nothing_per_scenario() {
 
 #[test]
 fn cache_probe_and_insert_allocate_nothing_after_reserve() {
+    let _window = WINDOW.lock().unwrap();
     let space = space();
     let tables = SpaceTables::new(&space);
     let n = space.len();
@@ -110,6 +117,7 @@ fn cache_probe_and_insert_allocate_nothing_after_reserve() {
 
 #[test]
 fn full_engine_sweep_allocations_do_not_scale_with_scenario_count() {
+    let _window = WINDOW.lock().unwrap();
     // The engine may allocate during setup (records vector, tables, scratch)
     // but per-scenario allocation must be zero: growing the space 16× must
     // not grow the allocation count beyond the setup's own (bounded) needs.

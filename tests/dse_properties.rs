@@ -3,6 +3,10 @@
 //! engine-backed sweeps reproduce the legacy `model::explore` loops, and the
 //! analytic and simulation backends agree where their assumptions overlap.
 
+// The `proptest!` blocks below expand deeply enough to trip the default
+// macro recursion limit.
+#![recursion_limit = "512"]
+
 use merging_phases::dse::prelude::*;
 use merging_phases::model::explore;
 use merging_phases::prelude::*;
@@ -200,4 +204,101 @@ fn comm_backend_tracks_the_paper_figure7_configuration() {
     let best = merging_phases::dse::analysis::top_k(&result.records, 1)[0];
     assert_eq!(best.area, 8.0, "peak should sit at r = 8");
     assert!((best.speedup - 46.6).abs() < 1.5, "got {}", best.speedup);
+}
+
+fn tagged_record(index: usize, run: usize, slot: usize) -> EvalRecord {
+    // The payload encodes provenance so any reordering among equal keys (or
+    // misattribution across runs) breaks bit-identity, not just ordering.
+    EvalRecord {
+        index,
+        speedup: (run * 10_000 + slot) as f64,
+        cores: run as f64,
+        area: slot as f64,
+    }
+}
+
+/// Body of (f): the Merge-Path partitioned merge is bit-identical to the
+/// stable sequential k-way merge for arbitrary run shapes — empty runs,
+/// single elements, heavy skew, duplicated keys across runs — at every
+/// partition count.
+fn check_merge_path_equals_sequential(raw: &[Vec<usize>], parts: usize) {
+    let runs_owned: Vec<Vec<EvalRecord>> = raw
+        .iter()
+        .enumerate()
+        .map(|(run, keys)| {
+            let mut keys = keys.clone();
+            keys.sort_unstable();
+            keys.iter().enumerate().map(|(slot, &k)| tagged_record(k, run, slot)).collect()
+        })
+        .collect();
+    let runs: Vec<&[EvalRecord]> = runs_owned.iter().map(|r| r.as_slice()).collect();
+    let want = sequential_merge(&runs);
+    let got = merge_runs(&runs, parts);
+    assert_eq!(got.len(), want.len());
+    for (a, b) in got.iter().zip(want.iter()) {
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.speedup.to_bits(), b.speedup.to_bits(), "stability violated");
+        assert_eq!(a.cores.to_bits(), b.cores.to_bits());
+        assert_eq!(a.area.to_bits(), b.area.to_bits());
+    }
+}
+
+/// Body of (g): `Engine::sweep_ranges` over any disjoint decomposition of a
+/// space — in any order, including empty slices — merges back to exactly
+/// the single full sweep, records and counts alike.
+fn check_sweep_ranges_recombine(mut cuts: Vec<usize>, reverse: bool) {
+    let space = ScenarioSpace::new()
+        .with_apps(AppParams::table2_all())
+        .clear_designs()
+        .add_symmetric_grid((0..18).map(|i| 1.0 + i as f64 * 6.0));
+    let n = space.len();
+    cuts.retain(|&c| c <= n);
+    cuts.push(0);
+    cuts.push(n);
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut ranges: Vec<std::ops::Range<usize>> =
+        cuts.windows(2).map(|pair| pair[0]..pair[1]).collect();
+    if reverse {
+        ranges.reverse();
+    }
+
+    let engine = Engine::new(2);
+    let config = SweepConfig { batch_size: 16, use_cache: false };
+    let handle = SweepHandle::new(&space);
+    let full = engine.sweep_range(&handle, &AnalyticBackend, &config, 0..n);
+    let pieced = engine.sweep_ranges(&handle, &AnalyticBackend, &config, &ranges);
+    assert_eq!(pieced.stats.scenarios, full.stats.scenarios);
+    assert_eq!(pieced.stats.valid, full.stats.valid);
+    assert_eq!(pieced.records.len(), full.records.len());
+    for (a, b) in pieced.records.iter().zip(full.records.iter()) {
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (f) Merge Path vs the stable sequential reference.
+    #[test]
+    fn merge_path_equals_sequential_merge_for_arbitrary_runs(
+        raw in proptest::collection::vec(proptest::collection::vec(0usize..400, 0..60), 0..6),
+        parts in 1usize..10,
+    ) {
+        check_merge_path_equals_sequential(&raw, parts);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// (g) `sweep_ranges` over arbitrary decompositions.
+    #[test]
+    fn sweep_ranges_recombines_to_the_full_sweep(
+        cuts in proptest::collection::vec(0usize..=72, 0..5),
+        reverse in proptest::bool::ANY,
+    ) {
+        check_sweep_ranges_recombine(cuts, reverse);
+    }
 }

@@ -81,10 +81,28 @@ fn metrics_verb_round_trips_through_the_real_client() {
             "shards={shards}: per-verb latency histogram counts both sweeps"
         );
 
+        // The planner's always-registered series: counters exported from
+        // service construction (zero here — one client, no overlap), and the
+        // Merge-Path histogram observed once per banded sweep (two sweeps
+        // plus top_k's internal full sweep).
+        for planner_counter in
+            ["planner_coalesced_requests", "planner_shared_scenarios", "planner_cost_rejections"]
+        {
+            assert!(
+                series(&after_json, "counters", planner_counter).is_some(),
+                "shards={shards}: {planner_counter} always exported"
+            );
+        }
+        assert_eq!(delta("planner_coalesced_requests"), 0.0, "shards={shards}: no overlap here");
+        let merges = histogram_count(&after_json, "planner_merge_ms").unwrap_or(0.0)
+            - histogram_count(&before_json, "planner_merge_ms").unwrap_or(0.0);
+        assert!(merges >= 3.0, "shards={shards}: band merges are timed, got {merges}");
+
         // The Prometheus rendering carries the same series under the
         // scrape-friendly names.
         assert!(prometheus.contains("requests_total_sweep"), "shards={shards}");
         assert!(prometheus.contains("serve_request_ms_sweep"), "shards={shards}");
+        assert!(prometheus.contains("planner_merge_ms"), "shards={shards}");
 
         // `stats` embeds the very same snapshot shape.
         let stats = client.stats().unwrap();
@@ -159,6 +177,15 @@ fn every_request_traces_exactly_once_with_monotone_stages() {
         assert!(trace.stage_ns[Stage::Decode.index()] > 0, "decode stamped");
         assert!(trace.stage_ns[Stage::Flush.index()] > 0, "flush stamped");
         assert!(trace.total_ms().unwrap() >= 0.0);
+        // The plan stage is stamped for planned verbs (sweeps) only.
+        let planned = trace.stage_ns[Stage::Plan.index()] > 0;
+        match trace.verb {
+            "sweep" => assert!(planned, "sweeps pass through the planner"),
+            "ping" | "stats" | "metrics" | "shutdown" => {
+                assert!(!planned, "{} requests are not planned", trace.verb)
+            }
+            _ => {}
+        }
     }
     assert_eq!(verbs.get("ping"), Some(&2));
     assert_eq!(verbs.get("sweep"), Some(&2));

@@ -166,6 +166,89 @@ fn concurrent_socket_clients_all_observe_identical_answers() {
 }
 
 #[test]
+fn overlapping_sweeps_coalesce_without_breaking_bit_identity() {
+    // The planner's coalescing table shares one evaluation among overlapping
+    // in-flight sweeps; every subscriber must still observe records
+    // bit-identical to a direct engine sweep — across shard counts, client
+    // counts and cache states.
+    let space = space();
+    let direct = Arc::new(direct_sweep(&space));
+
+    for shards in [1usize, 4] {
+        for clients in [2usize, 8] {
+            let service = Arc::new(service(shards));
+            for pass in ["cold", "warm"] {
+                let barrier = std::sync::Barrier::new(clients);
+                std::thread::scope(|scope| {
+                    for client_index in 0..clients {
+                        let service = Arc::clone(&service);
+                        let direct = Arc::clone(&direct);
+                        let space = &space;
+                        let barrier = &barrier;
+                        scope.spawn(move || {
+                            // Release every client at once so their windows
+                            // genuinely overlap in flight.
+                            barrier.wait();
+                            let result = service.sweep(space, None).unwrap();
+                            assert_records_identical(
+                                &result.records,
+                                &direct.records,
+                                &format!(
+                                    "{shards}-shard {pass} overlap client {client_index}/{clients}"
+                                ),
+                            );
+                            assert_eq!(result.stats.scenarios, space.len());
+                        });
+                    }
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn overlapping_socket_clients_get_identical_answers_and_shared_stats_markers() {
+    // Same property over the real protocol: concurrent duplicate sweeps,
+    // answers byte-identical to an uncoalesced run, and any response served
+    // from a shared evaluation carries `stats.coalesced` (never on the
+    // records themselves — those are always bit-exact).
+    let space = space();
+    let direct = Arc::new(direct_sweep(&space));
+    let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into()), Arc::new(service(4))).unwrap();
+    let endpoint = server.endpoint().clone();
+    let serving = std::thread::spawn(move || server.run().unwrap());
+
+    let barrier = std::sync::Barrier::new(6);
+    std::thread::scope(|scope| {
+        for client_index in 0..6 {
+            let endpoint = endpoint.clone();
+            let space = &space;
+            let direct = Arc::clone(&direct);
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut client = Client::connect(&endpoint).unwrap();
+                barrier.wait();
+                for pass in 0..2 {
+                    let (records, stats) = client.sweep(space, None, 0).unwrap();
+                    assert_records_identical(
+                        &records,
+                        &direct.records,
+                        &format!("overlap socket client {client_index} pass {pass}"),
+                    );
+                    assert_eq!(stats.scenarios, space.len());
+                }
+            });
+        }
+    });
+
+    let mut control = Client::connect(&endpoint).unwrap();
+    let stats = control.stats().unwrap();
+    assert!(stats.queries >= 12);
+    control.shutdown().unwrap();
+    serving.join().unwrap();
+}
+
+#[test]
 fn curve_queries_match_the_figure_family_bitwise() {
     let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into()), Arc::new(service(1))).unwrap();
     let endpoint = server.endpoint().clone();
