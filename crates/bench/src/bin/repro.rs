@@ -137,6 +137,9 @@ fn usage() {
     eprintln!(
         "       repro load [--addr HOST:PORT | --socket PATH] [--clients N] [--requests N] [--pipelined] [--depth N] [--no-prepare] [--quick] [--json] [--spawn]"
     );
+    eprintln!(
+        "       repro job submit|status|cancel|resume [--addr HOST:PORT | --socket PATH] [--id ID] [--chunk N] [--checkpoint-every K] [--wait SECS] [--verify] [--quick] [--dse-space]"
+    );
     eprintln!("experiments:");
     for e in EXPERIMENTS {
         eprintln!("  {:<8} {}", e.name, e.title);
@@ -145,6 +148,7 @@ fn usage() {
     eprintln!("  calibrate  run workloads, calibrate the model, sweep the design space");
     eprintln!("  serve      resident sharded sweep service (mp-serve, JSON socket protocol)");
     eprintln!("  load       closed-loop load generator + differential checker for `serve`");
+    eprintln!("  job        durable sweep jobs on a running `serve` (submit/status/cancel/resume)");
 }
 
 fn main() -> ExitCode {
@@ -166,6 +170,7 @@ fn main() -> ExitCode {
             || mp_bench::calibrate_cmd::VALUE_FLAGS.contains(&flag)
             || mp_bench::serve_cmd::VALUE_FLAGS.contains(&flag)
             || mp_bench::load_cmd::VALUE_FLAGS.contains(&flag)
+            || mp_bench::job_cmd::VALUE_FLAGS.contains(&flag)
     };
     let mut cursor = 0usize;
     while cursor < args.len() {
@@ -189,6 +194,11 @@ fn main() -> ExitCode {
                 let mut rest = args;
                 rest.remove(cursor);
                 return mp_bench::load_cmd::run(&rest);
+            }
+            "job" => {
+                let mut rest = args;
+                rest.remove(cursor);
+                return mp_bench::job_cmd::run(&rest);
             }
             flag if value_flag(flag) => cursor += 2,
             flag if flag.starts_with("--") => cursor += 1,

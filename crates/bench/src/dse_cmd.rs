@@ -125,6 +125,15 @@ pub fn synthetic_calibrations() -> Vec<CalibratedParams> {
 
 /// Build the exploration space. The full grid is ≥ 200 000 scenarios; the
 /// quick grid (used by tests) is a few thousand.
+/// The analytic exploration space of `repro dse` (the 214k-scenario
+/// space in full mode), shared with `repro job --dse-space` so durable
+/// jobs can run the headline warm-restart experiment over it.
+pub fn experiment_space(quick: bool) -> ScenarioSpace {
+    let mut options = parse(&[]).expect("defaults parse");
+    options.quick = quick;
+    build_space(&options)
+}
+
 fn build_space(options: &Options) -> ScenarioSpace {
     let (sym_points, budgets) =
         if options.quick { (48usize, vec![256.0]) } else { (512usize, vec![128.0, 256.0, 512.0]) };

@@ -30,6 +30,7 @@ pub mod calibrate_cmd;
 pub mod cli;
 pub mod dse_cmd;
 pub mod figures;
+pub mod job_cmd;
 pub mod load_cmd;
 pub mod serve_cmd;
 

@@ -193,7 +193,7 @@ pub fn load_space(quick: bool, backend: &dyn EvalBackend) -> ScenarioSpace {
 }
 
 /// Bitwise record-list equality (index, speedup, cores, area).
-fn records_identical(a: &[EvalRecord], b: &[EvalRecord]) -> bool {
+pub(crate) fn records_identical(a: &[EvalRecord], b: &[EvalRecord]) -> bool {
     a.len() == b.len()
         && a.iter().zip(b.iter()).all(|(x, y)| {
             x.index == y.index
@@ -505,8 +505,10 @@ enum QueryOutcome {
     BusyExhausted,
 }
 
-/// Run one query with bounded busy-retry. Returns the outcome plus how many
-/// busy rejections were absorbed.
+/// Run one query with bounded busy-retry via the shared client
+/// [`RetryPolicy`] (jittered exponential backoff, floored at the server's
+/// `estimated_cost_ms` hint). Returns the outcome plus how many busy
+/// rejections were absorbed.
 fn run_query(
     client: &mut Client,
     query: &Query,
@@ -514,21 +516,20 @@ fn run_query(
     spec: &SpaceSpec,
     chunk: usize,
 ) -> Result<(QueryOutcome, u64), String> {
-    let mut retries = 0u64;
-    loop {
-        let responses =
-            client.call(query.request(reference, spec, chunk)).map_err(|e| format!("call: {e}"))?;
-        match query.verify(responses, reference) {
-            Ok(true) => return Ok((QueryOutcome::Verified, retries)),
-            Ok(false) => return Ok((QueryOutcome::Mismatch, retries)),
-            Err(()) => {
-                retries += 1;
-                if retries as usize > BUSY_RETRIES {
-                    return Ok((QueryOutcome::BusyExhausted, retries));
-                }
-                std::thread::sleep(std::time::Duration::from_millis(1));
-            }
-        }
+    let policy = RetryPolicy::backoff_ms(1, 250).with_retries(BUSY_RETRIES);
+    let request = query.request(reference, spec, chunk);
+    let salt = reference.space.len() as u64 ^ ((chunk as u64) << 32);
+    let outcome =
+        client.call_with_retry(&request, &policy, salt).map_err(|e| format!("call: {e}"))?;
+    if outcome.exhausted {
+        return Ok((QueryOutcome::BusyExhausted, outcome.busy_retries));
+    }
+    match query.verify(outcome.responses, reference) {
+        Ok(true) => Ok((QueryOutcome::Verified, outcome.busy_retries)),
+        Ok(false) => Ok((QueryOutcome::Mismatch, outcome.busy_retries)),
+        // call_with_retry only hands back a busy answer when the budget is
+        // exhausted, which is handled above.
+        Err(()) => Ok((QueryOutcome::BusyExhausted, outcome.busy_retries)),
     }
 }
 

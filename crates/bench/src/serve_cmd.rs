@@ -8,9 +8,11 @@
 //! backend additionally exposes its synthetic calibration catalogue so
 //! clients can address applications by fingerprint id.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use mp_dse::fault::{FaultPlan, FaultyBackend};
 use mp_model::catalogue::CatalogueRegistry;
 use mp_serve::prelude::*;
 
@@ -29,6 +31,9 @@ pub const VALUE_FLAGS: &[&str] = &[
     "--executors",
     "--queue",
     "--cost-budget",
+    "--jobs-dir",
+    "--fail-nth",
+    "--fault-latency-ms",
 ];
 
 /// Options of one `serve` invocation.
@@ -51,6 +56,15 @@ pub struct Options {
     /// Whether the planner coalesces overlapping in-flight sweeps
     /// (`--no-coalesce` turns it off for uncoalesced baselines).
     coalesce: bool,
+    /// Durable-job store: checkpoint manifests and cache segment spills
+    /// live here and are restored on restart. `None` = jobs run
+    /// in-memory only.
+    jobs_dir: Option<PathBuf>,
+    /// Fault drill: panic the Nth evaluated batch (0-based) once.
+    fail_nth: Option<u64>,
+    /// Fault drill: per-batch injected latency, milliseconds (widens the
+    /// window the CI crash drill must land its `kill -9` in).
+    fault_latency_ms: u64,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -66,6 +80,9 @@ fn parse(args: &[String]) -> Result<Options, String> {
         queue_capacity: ServiceConfig::default().queue_capacity,
         cost_budget_ms: ServiceConfig::default().cost_budget_ms,
         coalesce: true,
+        jobs_dir: None,
+        fail_nth: None,
+        fault_latency_ms: 0,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -95,6 +112,19 @@ fn parse(args: &[String]) -> Result<Options, String> {
                             format!("{arg} needs a positive budget in milliseconds, got `{value}`")
                         })?;
                 }
+                "--jobs-dir" => options.jobs_dir = Some(PathBuf::from(value)),
+                "--fail-nth" => {
+                    options.fail_nth = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| format!("{arg} needs a batch ordinal, got `{value}`"))?,
+                    );
+                }
+                "--fault-latency-ms" => {
+                    options.fault_latency_ms = value
+                        .parse::<u64>()
+                        .map_err(|_| format!("{arg} needs milliseconds, got `{value}`"))?;
+                }
                 other => unreachable!("{other} is listed in VALUE_FLAGS but unhandled"),
             }
         } else {
@@ -111,7 +141,20 @@ fn parse(args: &[String]) -> Result<Options, String> {
 /// Build the service a parsed option set describes (shared with `--spawn`-
 /// free in-process uses).
 pub fn build_service(options: &Options) -> Result<SweepService, String> {
-    let backend = cli::backend_by_name(&options.backend)?;
+    let mut backend = cli::backend_by_name(&options.backend)?;
+    if options.fail_nth.is_some() || options.fault_latency_ms > 0 {
+        // Fault drill: wrap the backend in the deterministic injector. The
+        // armed faults are bit-transparent outside their schedule, so a
+        // drilled server's records stay identical to a plain one's.
+        let plan = FaultPlan::new();
+        if let Some(n) = options.fail_nth {
+            plan.fail_batch(n);
+        }
+        if options.fault_latency_ms > 0 {
+            plan.set_latency(std::time::Duration::from_millis(options.fault_latency_ms));
+        }
+        backend = Arc::new(FaultyBackend::new(backend, plan));
+    }
     let registry = if options.backend == "measured" {
         // The same deterministic calibrations the backend was built from,
         // exposed as the id-addressable catalogue.
@@ -144,7 +187,8 @@ pub fn run(args: &[String]) -> ExitCode {
             eprintln!(
                 "usage: repro serve [--addr HOST:PORT | --socket PATH] [--shards N] [--threads N] \
                  [--backend analytic|comm|sim|measured] [--batch N] [--no-cache] [--loops N] \
-                 [--executors N] [--queue N] [--cost-budget MS] [--no-coalesce]"
+                 [--executors N] [--queue N] [--cost-budget MS] [--no-coalesce] [--jobs-dir DIR] \
+                 [--fail-nth N] [--fault-latency-ms MS]"
             );
             return ExitCode::FAILURE;
         }
@@ -156,6 +200,18 @@ pub fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Durable jobs: the manager restores manifests and cache spills from
+    // --jobs-dir (if any), runs submitted jobs in the background and must
+    // outlive the serve loop — dropping it stops the runner.
+    let _jobs =
+        match JobManager::new(Arc::clone(&service), options.jobs_dir.clone(), JobConfig::default())
+        {
+            Ok(jobs) => jobs,
+            Err(e) => {
+                eprintln!("failed to initialise job store: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     let server = match Server::bind_with(
         &options.endpoint,
         Arc::clone(&service),
@@ -239,6 +295,21 @@ mod tests {
         assert!(parse(&["--cost-budget".to_string(), "0".to_string()]).is_err());
         assert!(parse(&["--cost-budget".to_string(), "soon".to_string()]).is_err());
         assert!(parse(&["--bogus".to_string()]).is_err());
+
+        let durable = parse(&[
+            "--jobs-dir".to_string(),
+            "/tmp/mp-jobs".to_string(),
+            "--fail-nth".to_string(),
+            "7".to_string(),
+            "--fault-latency-ms".to_string(),
+            "3".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(durable.jobs_dir, Some(PathBuf::from("/tmp/mp-jobs")));
+        assert_eq!(durable.fail_nth, Some(7));
+        assert_eq!(durable.fault_latency_ms, 3);
+        assert!(parse(&["--fail-nth".to_string(), "seven".to_string()]).is_err());
+        assert!(parse(&["--fault-latency-ms".to_string(), "-1".to_string()]).is_err());
         assert!(
             build_service(&parse(&["--backend".to_string(), "nope".to_string()]).unwrap()).is_err()
         );

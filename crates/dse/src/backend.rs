@@ -137,6 +137,44 @@ pub trait EvalBackend: Sync {
     }
 }
 
+/// Shared backends delegate: an `Arc<B>` (including `Arc<dyn EvalBackend>`)
+/// is itself a backend, forwarding every method — including the batch
+/// overrides — to its pointee, so wrappers like
+/// `fault::FaultyBackend` can compose over the type-erased handles the
+/// serve stack passes around without losing the inner backend's fast paths.
+impl<B: EvalBackend + Send + ?Sized> EvalBackend for std::sync::Arc<B> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn cache_salt(&self) -> String {
+        (**self).cache_salt()
+    }
+
+    fn evaluate(&self, scenario: &Scenario<'_>) -> Result<f64, DseError> {
+        (**self).evaluate(scenario)
+    }
+
+    fn evaluate_batch(
+        &self,
+        space: &ScenarioSpace,
+        range: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        (**self).evaluate_batch(space, range, out);
+    }
+
+    fn evaluate_batch_prepared(
+        &self,
+        space: &ScenarioSpace,
+        tables: &SpaceTables,
+        range: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        (**self).evaluate_batch_prepared(space, tables, range, out);
+    }
+}
+
 /// Walk `range` as maximal runs of consecutive designs sharing every other
 /// axis (the decode order is design-innermost), calling
 /// `f(first_index_of_run, offset_into_range, run_length)`.

@@ -33,7 +33,14 @@
 //!
 //! The cache serialises to JSON (hex-encoded keys and value bits) so a sweep
 //! can warm-start from a previous process — see [`EvalCache::save_json`] /
-//! [`EvalCache::load_json`].
+//! [`EvalCache::load_json`] — and to a length-prefixed, CRC-guarded binary
+//! **segment** format ([`EvalCache::save_segment`] /
+//! [`EvalCache::load_segment`]) sized for the checkpoint spills of durable
+//! sweep jobs: a 214k-entry segment is ~5 MB and reloads in milliseconds
+//! where the JSON path re-parses hex strings. Both loaders validate the
+//! whole document before inserting anything and report a typed
+//! [`CacheLoadError`]; a corrupt or torn file degrades to a cold cache,
+//! never a panic or a half-populated table.
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -648,34 +655,235 @@ impl EvalCache {
     /// cache (existing entries are kept; duplicates are overwritten).
     ///
     /// # Errors
-    /// Returns a message on a version mismatch (a cache persisted by a
-    /// different build lineage must not replay its results) or describing
-    /// the first malformed entry. The whole document is validated before
-    /// anything is inserted, so a partially corrupt file leaves the cache
-    /// untouched instead of half-loaded.
-    pub fn load_json(&self, json: &str) -> Result<usize, String> {
+    /// Returns [`CacheLoadError::VersionMismatch`] when the file was
+    /// persisted by a different build lineage (it must not replay its
+    /// results), or [`CacheLoadError::Malformed`] describing the first bad
+    /// entry. The whole document is validated before anything is inserted,
+    /// so a partially corrupt file leaves the cache untouched instead of
+    /// half-loaded.
+    pub fn load_json(&self, json: &str) -> Result<usize, CacheLoadError> {
         let (version, entries): (String, Vec<(String, String, String)>) =
-            serde_json::from_str(json).map_err(|e| e.to_string())?;
-        if version != Self::format_version() {
-            return Err(format!(
-                "cache version `{version}` does not match this build (`{}`)",
-                Self::format_version()
-            ));
-        }
+            serde_json::from_str(json).map_err(|e| CacheLoadError::Malformed(e.to_string()))?;
+        Self::check_version(&version)?;
         let mut parsed = Vec::with_capacity(entries.len());
         for (hi, lo, bits) in entries {
-            let hi = u64::from_str_radix(&hi, 16).map_err(|e| e.to_string())?;
-            let lo = u64::from_str_radix(&lo, 16).map_err(|e| e.to_string())?;
-            let bits = u64::from_str_radix(&bits, 16).map_err(|e| e.to_string())?;
-            parsed.push(((hi, lo), bits));
+            let field = |s: &str| {
+                u64::from_str_radix(s, 16)
+                    .map_err(|e| CacheLoadError::Malformed(format!("bad hex `{s}`: {e}")))
+            };
+            parsed.push(((field(&hi)?, field(&lo)?), field(&bits)?));
         }
-        let loaded = parsed.len();
-        self.reserve(loaded);
-        for (key, bits) in parsed {
+        self.insert_validated(&parsed);
+        Ok(parsed.len())
+    }
+
+    /// Serialise every entry in the binary **segment** format: the compact,
+    /// checksummed form the durable-job checkpoints spill every K windows
+    /// (24 bytes per entry instead of ~60 of JSON hex, no parse on reload).
+    ///
+    /// Layout (all integers little-endian):
+    ///
+    /// ```text
+    /// magic   8 bytes   b"MPSEGV1\0"
+    /// vlen    u32       length of the version string
+    /// version vlen      `EvalCache::format_version()` bytes
+    /// count   u64       entry count N
+    /// entries 24 × N    key_hi u64 | key_lo u64 | value_bits u64
+    /// crc     u32       CRC-32 (IEEE) of every preceding byte
+    /// ```
+    ///
+    /// Entries are sorted, so equal cache contents serialise to equal bytes.
+    pub fn save_segment(&self) -> Vec<u8> {
+        let mut entries: Vec<((u64, u64), u64)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            entries.extend(shard.table().entries());
+        }
+        entries.sort_unstable();
+        let version = Self::format_version();
+        let mut bytes =
+            Vec::with_capacity(SEGMENT_MAGIC.len() + 12 + version.len() + entries.len() * 24 + 4);
+        bytes.extend_from_slice(SEGMENT_MAGIC);
+        bytes.extend_from_slice(&(version.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(version.as_bytes());
+        bytes.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        for ((hi, lo), value) in entries {
+            bytes.extend_from_slice(&hi.to_le_bytes());
+            bytes.extend_from_slice(&lo.to_le_bytes());
+            bytes.extend_from_slice(&value.to_le_bytes());
+        }
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes
+    }
+
+    /// Load a segment previously produced by [`EvalCache::save_segment`]
+    /// (existing entries are kept; duplicates are overwritten).
+    ///
+    /// # Errors
+    /// A file truncated at **any** byte boundary — the torn write a crash
+    /// mid-spill leaves behind — is reported as [`CacheLoadError::Truncated`]
+    /// (the length prefix claims more than is present) or
+    /// [`CacheLoadError::Checksum`] (the CRC no longer covers what it
+    /// guards); flipped bytes fail the CRC; foreign files fail the magic;
+    /// stale files fail the version check. Nothing is inserted on any error.
+    pub fn load_segment(&self, bytes: &[u8]) -> Result<usize, CacheLoadError> {
+        let truncated =
+            |expected: usize| CacheLoadError::Truncated { expected, actual: bytes.len() };
+        let header = SEGMENT_MAGIC.len() + 4;
+        if bytes.len() < header {
+            return Err(truncated(header));
+        }
+        if &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+            return Err(CacheLoadError::Malformed("not a cache segment (bad magic)".to_string()));
+        }
+        let vlen = u32::from_le_bytes(
+            bytes[SEGMENT_MAGIC.len()..header].try_into().expect("4 bytes sliced"),
+        ) as usize;
+        // Guard the arithmetic below against absurd prefixes before using
+        // them as lengths.
+        if vlen > 1024 {
+            return Err(CacheLoadError::Malformed(format!("implausible version length {vlen}")));
+        }
+        if bytes.len() < header + vlen + 8 {
+            return Err(truncated(header + vlen + 8));
+        }
+        let version = std::str::from_utf8(&bytes[header..header + vlen])
+            .map_err(|_| CacheLoadError::Malformed("version string is not UTF-8".to_string()))?;
+        Self::check_version(version)?;
+        let count = u64::from_le_bytes(
+            bytes[header + vlen..header + vlen + 8].try_into().expect("8 bytes sliced"),
+        );
+        let body = header + vlen + 8;
+        let expected = body
+            .checked_add((count as usize).checked_mul(24).ok_or_else(|| {
+                CacheLoadError::Malformed(format!("implausible entry count {count}"))
+            })?)
+            .and_then(|n| n.checked_add(4))
+            .ok_or_else(|| CacheLoadError::Malformed(format!("implausible entry count {count}")))?;
+        if bytes.len() < expected {
+            return Err(truncated(expected));
+        }
+        if bytes.len() > expected {
+            return Err(CacheLoadError::Malformed(format!(
+                "{} trailing bytes after the checksum",
+                bytes.len() - expected
+            )));
+        }
+        let stored = u32::from_le_bytes(bytes[expected - 4..].try_into().expect("4 bytes sliced"));
+        let computed = crc32(&bytes[..expected - 4]);
+        if stored != computed {
+            return Err(CacheLoadError::Checksum { stored, computed });
+        }
+        let mut parsed = Vec::with_capacity(count as usize);
+        for chunk in bytes[body..expected - 4].chunks_exact(24) {
+            let word = |i: usize| {
+                u64::from_le_bytes(chunk[i * 8..(i + 1) * 8].try_into().expect("8 bytes sliced"))
+            };
+            parsed.push(((word(0), word(1)), word(2)));
+        }
+        self.insert_validated(&parsed);
+        Ok(parsed.len())
+    }
+
+    fn check_version(version: &str) -> Result<(), CacheLoadError> {
+        if version == Self::format_version() {
+            Ok(())
+        } else {
+            Err(CacheLoadError::VersionMismatch {
+                found: version.to_string(),
+                expected: Self::format_version(),
+            })
+        }
+    }
+
+    /// Bulk-insert fully validated entries (shared tail of both loaders).
+    fn insert_validated(&self, entries: &[((u64, u64), u64)]) {
+        self.reserve(entries.len());
+        for &(key, bits) in entries {
             self.shard(key).insert(key, bits);
         }
-        Ok(loaded)
     }
+}
+
+/// Magic prefix of the binary segment format ([`EvalCache::save_segment`]).
+const SEGMENT_MAGIC: &[u8; 8] = b"MPSEGV1\0";
+
+/// Why a persisted cache (JSON or binary segment) was refused. Every
+/// variant means "start cold", never "panic": loaders validate the whole
+/// file before touching the cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheLoadError {
+    /// The document or segment could not be parsed (bad JSON, bad magic,
+    /// non-hex fields, trailing bytes).
+    Malformed(String),
+    /// The file was persisted by a different build lineage and must not
+    /// replay its results.
+    VersionMismatch {
+        /// The version tag found in the file.
+        found: String,
+        /// This build's [`EvalCache::format_version`].
+        expected: String,
+    },
+    /// The segment is shorter than its own header and length prefix claim —
+    /// the torn write a crash mid-spill leaves behind.
+    Truncated {
+        /// Bytes the header claims the segment holds.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// The CRC-32 guard does not cover the bytes present.
+    Checksum {
+        /// The checksum stored in the file.
+        stored: u32,
+        /// The checksum of the bytes actually read.
+        computed: u32,
+    },
+}
+
+impl std::fmt::Display for CacheLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheLoadError::Malformed(reason) => write!(f, "malformed cache file: {reason}"),
+            CacheLoadError::VersionMismatch { found, expected } => {
+                write!(f, "cache version `{found}` does not match this build (`{expected}`)")
+            }
+            CacheLoadError::Truncated { expected, actual } => {
+                write!(f, "cache segment truncated: {actual} of {expected} bytes present")
+            }
+            CacheLoadError::Checksum { stored, computed } => write!(
+                f,
+                "cache segment checksum mismatch: stored {stored:08x}, computed {computed:08x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheLoadError {}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the guard under
+/// the binary cache segments and the durable-job checkpoint manifests.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0u32;
+    for &byte in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
 }
 
 #[cfg(test)]
@@ -774,8 +982,82 @@ mod tests {
         let stale = source.save_json().replace(&EvalCache::format_version(), "mp-dse-cache/0.0.0");
         let cache = EvalCache::new();
         let err = cache.load_json(&stale).unwrap_err();
-        assert!(err.contains("version"), "{err}");
+        assert!(matches!(err, CacheLoadError::VersionMismatch { .. }), "{err}");
+        assert!(err.to_string().contains("version"), "{err}");
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn segment_round_trip_preserves_bits_and_matches_json() {
+        let cache = EvalCache::new();
+        cache.insert((1, 2), 0.1 + 0.2);
+        cache.insert((u64::MAX, 7), f64::NAN);
+        cache.insert((3, 4), -0.0);
+        let segment = cache.save_segment();
+
+        let restored = EvalCache::new();
+        assert_eq!(restored.load_segment(&segment).unwrap(), 3);
+        assert_eq!(restored.get((1, 2)).unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(restored.get((u64::MAX, 7)).unwrap().to_bits(), f64::NAN.to_bits());
+        assert_eq!(restored.get((3, 4)).unwrap().to_bits(), (-0.0f64).to_bits());
+        // The two persistence formats describe the same contents.
+        assert_eq!(restored.save_json(), cache.save_json());
+        assert_eq!(restored.save_segment(), segment, "segment bytes are deterministic");
+    }
+
+    #[test]
+    fn segment_truncated_at_any_byte_loads_nothing() {
+        let cache = EvalCache::new();
+        for i in 0..50u64 {
+            cache.insert((i, i * 31), i as f64);
+        }
+        let segment = cache.save_segment();
+        for cut in 0..segment.len() {
+            let torn = EvalCache::new();
+            let err = torn.load_segment(&segment[..cut]);
+            assert!(err.is_err(), "truncation at byte {cut} of {} must fail", segment.len());
+            assert!(torn.is_empty(), "truncation at byte {cut} must not half-load");
+        }
+    }
+
+    #[test]
+    fn segment_corruption_and_foreign_files_are_typed_errors() {
+        let cache = EvalCache::new();
+        cache.insert((1, 2), 3.5);
+        let segment = cache.save_segment();
+
+        // A flipped payload byte (inside the last entry, before the CRC
+        // trailer) fails the CRC.
+        let mut flipped = segment.clone();
+        let cut = flipped.len() - 10;
+        flipped[cut] ^= 0x40;
+        let target = EvalCache::new();
+        assert!(matches!(
+            target.load_segment(&flipped).unwrap_err(),
+            CacheLoadError::Checksum { .. }
+        ));
+        assert!(target.is_empty());
+
+        // Trailing garbage is rejected, not silently ignored.
+        let mut padded = segment.clone();
+        padded.extend_from_slice(b"junk");
+        assert!(matches!(target.load_segment(&padded).unwrap_err(), CacheLoadError::Malformed(_)));
+
+        // A foreign file fails the magic check.
+        assert!(matches!(
+            target.load_segment(b"this is not a segment at all").unwrap_err(),
+            CacheLoadError::Malformed(_)
+        ));
+        // An empty file is a truncation, not a panic.
+        assert!(matches!(target.load_segment(b"").unwrap_err(), CacheLoadError::Truncated { .. }));
+        assert!(target.is_empty());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

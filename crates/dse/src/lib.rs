@@ -65,6 +65,8 @@ pub mod cache;
 pub mod curves;
 pub mod engine;
 pub mod export;
+#[cfg(feature = "fault")]
+pub mod fault;
 mod mem;
 pub mod merge;
 pub mod scenario;
@@ -78,7 +80,7 @@ pub mod prelude {
     pub use crate::backend::{
         AnalyticBackend, CommBackend, DseError, EvalBackend, MeasuredBackend, SimBackend,
     };
-    pub use crate::cache::{CacheStats, EvalCache};
+    pub use crate::cache::{CacheLoadError, CacheStats, EvalCache};
     pub use crate::curves::{figure_curves, Figure};
     pub use crate::engine::{
         Engine, EvalRecord, RangeCursor, SweepConfig, SweepHandle, SweepResult, SweepStats,

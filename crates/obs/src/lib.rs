@@ -89,6 +89,18 @@ pub fn histogram_ms(name: &str) -> std::sync::Arc<hist::Histogram> {
     registry().histogram_ms(name)
 }
 
+/// Log a warning: one `[mp-obs] warn(<component>): <message>` line on
+/// stderr plus an increment of the process-wide `warnings_total` counter
+/// and of `warnings_total_<component>`, so operational degradations (a
+/// corrupt cache spill skipped, a checkpoint manifest refused) are both
+/// human-visible and scrape-visible. Warnings mean the process degraded
+/// gracefully — code that would *fail* should return an error instead.
+pub fn warn(component: &str, message: &str) {
+    counter("warnings_total").inc();
+    counter(&format!("warnings_total_{component}")).inc();
+    eprintln!("[mp-obs] warn({component}): {message}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,6 +13,7 @@
 
 use std::io::{Read, Write};
 use std::ops::Range;
+use std::time::Duration;
 
 use mp_dse::analysis::CostAxis;
 use mp_dse::curves::Figure;
@@ -21,7 +22,7 @@ use mp_dse::scenario::ScenarioSpace;
 use mp_model::explore::Curve;
 
 use crate::protocol::{
-    decode_chunk_line, decode_line, encode_line, CatalogueEntry, LineDecoder, Request,
+    decode_chunk_line, decode_line, encode_line, CatalogueEntry, JobSnapshot, LineDecoder, Request,
     RequestEnvelope, Response, ResponseEnvelope, ServiceStats,
 };
 use crate::server::{Endpoint, Stream};
@@ -35,6 +36,10 @@ pub struct ClientError {
     /// Whether the server rejected the request with a retryable
     /// [`Response::Busy`] (admission control) rather than failing it.
     pub busy: bool,
+    /// The planner's cost estimate for the rejected query, milliseconds
+    /// (`0.0` when the server did not supply one, or the error is not a
+    /// busy rejection). Retry loops use it as a floor on their backoff.
+    pub estimated_cost_ms: f64,
 }
 
 impl ClientError {
@@ -59,7 +64,77 @@ impl From<std::io::Error> for ClientError {
 }
 
 fn err(message: impl Into<String>) -> ClientError {
-    ClientError { message: message.into(), busy: false }
+    ClientError { message: message.into(), busy: false, estimated_cost_ms: 0.0 }
+}
+
+/// A bounded, jittered exponential-backoff schedule for retrying busy
+/// rejections — shared by `repro load`'s query loop, the `repro job`
+/// commands and the server-side job runner, so every retry path in the
+/// stack backs off the same way.
+///
+/// The delay for attempt `n` (1-based) is `base · 2^(n-1)` capped at
+/// `cap`, floored at half the server's `estimated_cost_ms` hint when one
+/// was supplied (there is no point re-asking much sooner than the backlog
+/// can drain), then jittered ±50% by a deterministic xorshift mix of
+/// `(n, salt)` — deterministic so tests reproduce, salted so concurrent
+/// retriers do not stampede in lockstep.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum busy retries after the first attempt; exceeding it
+    /// surfaces the busy error to the caller.
+    pub retries: usize,
+    /// First-retry delay.
+    pub base: Duration,
+    /// Backoff ceiling (also caps the `estimated_cost_ms` floor).
+    pub cap: Duration,
+}
+
+impl RetryPolicy {
+    /// A policy with millisecond base/cap and the default retry budget.
+    pub fn backoff_ms(base_ms: u64, cap_ms: u64) -> RetryPolicy {
+        RetryPolicy {
+            retries: 200,
+            base: Duration::from_millis(base_ms),
+            cap: Duration::from_millis(cap_ms),
+        }
+    }
+
+    /// Same schedule, different retry budget.
+    pub fn with_retries(mut self, retries: usize) -> RetryPolicy {
+        self.retries = retries;
+        self
+    }
+
+    /// The sleep before retry `attempt` (1-based), see the type docs.
+    pub fn delay(&self, attempt: u32, salt: u64, estimated_cost_ms: f64) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt.saturating_sub(1)).unwrap_or(u32::MAX))
+            .min(self.cap);
+        let floor = Duration::from_secs_f64((estimated_cost_ms.max(0.0) / 1_000.0) * 0.5);
+        let nominal = exp.max(floor.min(self.cap));
+        // xorshift64* of (attempt, salt) → uniform jitter factor in
+        // [0.5, 1.5). No RNG dependency, fully reproducible.
+        let mut x = salt ^ (u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let unit = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        Duration::from_secs_f64(nominal.as_secs_f64() * (0.5 + unit))
+    }
+}
+
+/// What a retried call ended as: the final (non-busy, or budget-exhausted)
+/// responses plus how hard the client had to try.
+#[derive(Debug)]
+pub struct RetryOutcome {
+    /// The final call's responses.
+    pub responses: Vec<Response>,
+    /// Busy rejections absorbed before the final call.
+    pub busy_retries: u64,
+    /// `true` when the retry budget ran out and `responses` still holds a
+    /// busy rejection.
+    pub exhausted: bool,
 }
 
 /// No cap on response lines: the server is trusted and a sweep chunk line is
@@ -161,6 +236,36 @@ impl Client {
         self.stream.write_all(&wire)?;
         self.stream.flush()?;
         (first_id..self.next_id).map(|id| self.collect(id)).collect()
+    }
+
+    /// [`Client::call`], retrying busy rejections per `policy`. Any
+    /// non-busy outcome (success or hard error) returns immediately; a
+    /// busy streak longer than the policy's budget returns with
+    /// [`RetryOutcome::exhausted`] set so the caller decides whether
+    /// exhaustion is an error (the request itself is cloned per attempt —
+    /// busy rejections are terminal, so each retry is a fresh exchange).
+    pub fn call_with_retry(
+        &mut self,
+        request: &Request,
+        policy: &RetryPolicy,
+        salt: u64,
+    ) -> Result<RetryOutcome, ClientError> {
+        let mut busy_retries = 0u64;
+        loop {
+            let responses = self.call(request.clone())?;
+            let cost = responses.iter().find_map(|r| match r {
+                Response::Busy { estimated_cost_ms, .. } => Some(*estimated_cost_ms),
+                _ => None,
+            });
+            let Some(cost) = cost else {
+                return Ok(RetryOutcome { responses, busy_retries, exhausted: false });
+            };
+            if busy_retries as usize >= policy.retries {
+                return Ok(RetryOutcome { responses, busy_retries, exhausted: true });
+            }
+            busy_retries += 1;
+            std::thread::sleep(policy.delay(busy_retries as u32, salt, cost));
+        }
     }
 
     fn single(&mut self, request: Request) -> Result<Response, ClientError> {
@@ -316,6 +421,77 @@ impl Client {
         }
     }
 
+    /// Submit a durable sweep job over `range` of `space` (`None` = the
+    /// whole space); returns its initial snapshot. `chunk` sizes the
+    /// runner windows, `checkpoint_every` the checkpoint cadence in
+    /// completed windows (`0` = the server's defaults for both).
+    pub fn job_submit(
+        &mut self,
+        space: &ScenarioSpace,
+        range: Option<Range<usize>>,
+        chunk: usize,
+        checkpoint_every: usize,
+    ) -> Result<JobSnapshot, ClientError> {
+        let range = range.unwrap_or(0..space.len());
+        let request = Request::JobSubmit {
+            space: super::protocol::SpaceSpec::Explicit(space.clone()),
+            start: range.start,
+            end: range.end,
+            chunk,
+            checkpoint_every,
+        };
+        match self.single(request)? {
+            Response::Job(snapshot) => Ok(snapshot),
+            other => Err(unexpected("Job", &other)),
+        }
+    }
+
+    /// The current snapshot of job `id`.
+    pub fn job_status(&mut self, id: &str) -> Result<JobSnapshot, ClientError> {
+        match self.single(Request::JobStatus { id: id.to_string() })? {
+            Response::Job(snapshot) => Ok(snapshot),
+            other => Err(unexpected("Job", &other)),
+        }
+    }
+
+    /// Request cancellation of job `id` (graceful: the runner checkpoints
+    /// before parking it).
+    pub fn job_cancel(&mut self, id: &str) -> Result<JobSnapshot, ClientError> {
+        match self.single(Request::JobCancel { id: id.to_string() })? {
+            Response::Job(snapshot) => Ok(snapshot),
+            other => Err(unexpected("Job", &other)),
+        }
+    }
+
+    /// Re-queue a settled job; only incomplete windows are re-evaluated.
+    pub fn job_resume(&mut self, id: &str) -> Result<JobSnapshot, ClientError> {
+        match self.single(Request::JobResume { id: id.to_string() })? {
+            Response::Job(snapshot) => Ok(snapshot),
+            other => Err(unexpected("Job", &other)),
+        }
+    }
+
+    /// Poll job `id` until it settles (completed, cancelled, failed or
+    /// suspended) or `timeout` elapses; returns the last snapshot either
+    /// way, erring only on transport/protocol failures or timeout.
+    pub fn job_wait(&mut self, id: &str, timeout: Duration) -> Result<JobSnapshot, ClientError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let snapshot = self.job_status(id)?;
+            if snapshot.is_settled() {
+                return Ok(snapshot);
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(err(format!(
+                    "job {id} still `{}` after {:.1}s",
+                    snapshot.state,
+                    timeout.as_secs_f64()
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
     /// Ask the server to stop accepting connections and exit its serve loop.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         match self.single(Request::Shutdown)? {
@@ -379,7 +555,7 @@ fn busy_error(message: &str, estimated_cost_ms: f64) -> ClientError {
     } else {
         format!("server busy: {message}")
     };
-    ClientError { message, busy: true }
+    ClientError { message, busy: true, estimated_cost_ms }
 }
 
 fn unexpected(wanted: &str, got: &Response) -> ClientError {
@@ -394,6 +570,7 @@ fn unexpected(wanted: &str, got: &Response) -> ClientError {
         Response::Records { .. } => "Records",
         Response::Curves { .. } => "Curves",
         Response::Prepared { .. } => "Prepared",
+        Response::Job(_) => "Job",
         Response::Error { .. } => "Error",
         Response::Busy { .. } => "Busy",
     };

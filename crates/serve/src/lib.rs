@@ -60,6 +60,7 @@
 
 pub mod client;
 mod conn;
+pub mod jobs;
 pub mod planner;
 pub mod protocol;
 pub mod reactor;
@@ -68,12 +69,13 @@ pub mod service;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::client::{assemble_sweep, Client, ClientError};
+    pub use crate::client::{assemble_sweep, Client, ClientError, RetryOutcome, RetryPolicy};
+    pub use crate::jobs::{atomic_write, JobConfig, JobManager, Manifest, MANIFEST_VERSION};
     pub use crate::protocol::{
         decode_chunk_line, decode_line, encode_chunk_line, encode_line, from_wire, to_wire,
-        CatalogueEntry, LineDecoder, Request, RequestEnvelope, Response, ResponseEnvelope,
-        ServiceStats, ShardStats, SpaceSpec, WireRecord, DEFAULT_CHUNK, MAX_REQUEST_LINE,
-        PROTOCOL_VERSION,
+        CatalogueEntry, JobSnapshot, LineDecoder, Request, RequestEnvelope, Response,
+        ResponseEnvelope, ServiceStats, ShardStats, SpaceSpec, WireRecord, DEFAULT_CHUNK,
+        MAX_REQUEST_LINE, PROTOCOL_VERSION,
     };
     pub use crate::server::{Endpoint, Server, ServerConfig, Stream};
     pub use crate::service::{

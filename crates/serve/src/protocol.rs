@@ -39,8 +39,10 @@ use mp_model::explore::Curve;
 /// responses strictly in request order) and the [`Response::Busy`] admission
 /// signal; every `mp-serve/1` exchange is still valid. `mp-serve/3` adds the
 /// query planner: [`Response::Busy`] carries the estimated cost that was
-/// rejected and sweep statistics carry the `coalesced` marker.
-pub const PROTOCOL_VERSION: &str = "mp-serve/3";
+/// rejected and sweep statistics carry the `coalesced` marker. `mp-serve/4`
+/// adds durable sweep jobs: the `job_submit` / `job_status` / `job_cancel` /
+/// `job_resume` verbs and the [`Response::Job`] snapshot they answer with.
+pub const PROTOCOL_VERSION: &str = "mp-serve/4";
 
 /// Default scenario count per streamed sweep chunk.
 pub const DEFAULT_CHUNK: usize = 8192;
@@ -144,6 +146,42 @@ pub enum Request {
         /// The space to prepare.
         space: SpaceSpec,
     },
+    /// Submit a **durable job**: a sweep of `[start, end)` driven window by
+    /// window by a background runner instead of streamed on this
+    /// connection. The answer is an immediate [`Response::Job`] snapshot;
+    /// progress is polled with [`Request::JobStatus`]. On a server started
+    /// with a jobs directory, the job checkpoints every `checkpoint_every`
+    /// windows and survives a crash (see the `jobs` module docs).
+    JobSubmit {
+        /// The space to sweep.
+        space: SpaceSpec,
+        /// First flat scenario index (inclusive).
+        start: usize,
+        /// Last flat scenario index (exclusive).
+        end: usize,
+        /// Scenarios per runner window (`0` = [`DEFAULT_CHUNK`]). Windows
+        /// are the unit of checkpointing, retry and resume.
+        chunk: usize,
+        /// Checkpoint cadence in completed windows (`0` = server default).
+        checkpoint_every: usize,
+    },
+    /// A snapshot of one job's state and progress.
+    JobStatus {
+        /// The id from the submit-time [`Response::Job`].
+        id: String,
+    },
+    /// Graceful cancel: the runner stops after the window in flight,
+    /// checkpoints, and parks the job as `cancelled` (resumable).
+    JobCancel {
+        /// The id from the submit-time [`Response::Job`].
+        id: String,
+    },
+    /// Re-enqueue a `suspended` (restored from disk), `failed` or
+    /// `cancelled` job. Completed windows are **not** re-evaluated.
+    JobResume {
+        /// The id from the submit-time [`Response::Job`].
+        id: String,
+    },
 }
 
 impl Request {
@@ -162,6 +200,10 @@ impl Request {
             Request::Pareto { .. } => "pareto",
             Request::Curve { .. } => "curve",
             Request::Prepare { .. } => "prepare",
+            Request::JobSubmit { .. } => "job_submit",
+            Request::JobStatus { .. } => "job_status",
+            Request::JobCancel { .. } => "job_cancel",
+            Request::JobResume { .. } => "job_resume",
         }
     }
 }
@@ -231,6 +273,9 @@ pub enum Response {
         /// validated against).
         scenarios: usize,
     },
+    /// Answer to every job verb: the job's state snapshot after the verb
+    /// took effect.
+    Job(JobSnapshot),
     /// The request failed; no further responses follow.
     Error {
         /// Human-readable reason.
@@ -253,6 +298,50 @@ impl Response {
     /// Whether this response completes its request.
     pub fn is_terminal(&self) -> bool {
         !matches!(self, Response::SweepChunk { .. })
+    }
+}
+
+/// One durable job's state and progress in wire form — what every job verb
+/// answers with ([`Response::Job`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSnapshot {
+    /// The job's id (assign at submit, stable across restarts).
+    pub id: String,
+    /// Lifecycle state: `queued`, `running`, `suspended` (restored from
+    /// disk, awaiting resume), `cancelling`, `cancelled`, `completed` or
+    /// `failed`.
+    pub state: String,
+    /// Why the job parked as `failed` (empty otherwise).
+    pub reason: String,
+    /// The swept space's content fingerprint, 16 hex digits.
+    pub fingerprint: String,
+    /// First flat scenario index (inclusive).
+    pub start: usize,
+    /// Last flat scenario index (exclusive).
+    pub end: usize,
+    /// Scenarios per runner window.
+    pub window: usize,
+    /// Total windows in `[start, end)`.
+    pub windows_total: usize,
+    /// Windows evaluated and recorded complete.
+    pub windows_completed: usize,
+    /// Scenarios inside completed windows.
+    pub scenarios_completed: usize,
+    /// Window attempts that failed and were retried (or gave up) over the
+    /// job's lifetime.
+    pub retries: u64,
+    /// Checkpoints persisted over the job's lifetime.
+    pub checkpoints: u64,
+    /// Checkpoint cadence, completed windows per checkpoint.
+    pub checkpoint_every: usize,
+}
+
+impl JobSnapshot {
+    /// Whether the state is one the runner will make no further progress on
+    /// without an explicit `resume` (`completed`, `cancelled`, `failed` or
+    /// `suspended`).
+    pub fn is_settled(&self) -> bool {
+        matches!(self.state.as_str(), "completed" | "cancelled" | "failed" | "suspended")
     }
 }
 

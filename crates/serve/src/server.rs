@@ -227,7 +227,21 @@ impl Server {
                 (Listener::Tcp(listener), actual, None)
             }
             Endpoint::Unix(path) => {
-                let listener = UnixListener::bind(path)?;
+                let listener = match UnixListener::bind(path) {
+                    Ok(listener) => listener,
+                    Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+                        // A crashed (SIGKILLed) server leaves its socket file
+                        // behind. If nothing answers on it, the file is
+                        // stale — reclaim the endpoint instead of forcing
+                        // the operator to rm it before every restart.
+                        if UnixStream::connect(path).is_ok() {
+                            return Err(e);
+                        }
+                        std::fs::remove_file(path)?;
+                        UnixListener::bind(path)?
+                    }
+                    Err(e) => return Err(e),
+                };
                 (Listener::Unix(listener), Endpoint::Unix(path.clone()), Some(path.clone()))
             }
         };

@@ -33,6 +33,7 @@
 
 use std::collections::HashMap;
 use std::ops::Range;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -102,6 +103,10 @@ fn obs_requests(request: &Request) -> &'static Counter {
         Request::Pareto { .. } => verb_counter!("pareto"),
         Request::Curve { .. } => verb_counter!("curve"),
         Request::Prepare { .. } => verb_counter!("prepare"),
+        Request::JobSubmit { .. } => verb_counter!("job_submit"),
+        Request::JobStatus { .. } => verb_counter!("job_status"),
+        Request::JobCancel { .. } => verb_counter!("job_cancel"),
+        Request::JobResume { .. } => verb_counter!("job_resume"),
     }
 }
 
@@ -215,6 +220,17 @@ fn err(message: impl Into<String>) -> ServeError {
     ServeError { kind: ServeErrorKind::Invalid, message: message.into(), estimated_cost_ms: 0.0 }
 }
 
+/// Best-effort human-readable reason from a caught panic payload.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "backend panicked".to_string()
+    }
+}
+
 fn busy(message: impl Into<String>, estimated_cost_ms: f64) -> ServeError {
     ServeError { kind: ServeErrorKind::Busy, message: message.into(), estimated_cost_ms }
 }
@@ -224,7 +240,7 @@ struct ShardJob {
     handle: Arc<SweepHandle<'static>>,
     range: Range<usize>,
     config: SweepConfig,
-    reply: Sender<(usize, SweepResult)>,
+    reply: Sender<(usize, Result<SweepResult, String>)>,
     /// When the job entered the admission queue ([`mp_obs::monotonic_ns`]),
     /// for the queue-wait histogram.
     enqueued_ns: u64,
@@ -299,6 +315,11 @@ pub struct SweepService {
     coalesce: bool,
     queries: AtomicU64,
     started: Instant,
+    /// The durable-job manager, when one is attached
+    /// ([`crate::jobs::JobManager::new`]). Weak: the manager owns the
+    /// service (its runner sweeps through it), never the other way around,
+    /// so tearing down is cycle-free.
+    jobs: OnceLock<std::sync::Weak<crate::jobs::JobManager>>,
 }
 
 impl std::fmt::Debug for SweepService {
@@ -358,12 +379,33 @@ impl SweepService {
                                     index as u64,
                                 )
                             });
-                            let result = worker_engine.sweep_range(
-                                &job.handle,
-                                worker_backend.as_ref(),
-                                &job.config,
-                                job.range.clone(),
-                            );
+                            // Contain backend panics to the *sweep*, not the
+                            // shard: a panicking backend (a flaky model, an
+                            // injected fault) turns into an error reply and
+                            // the worker lives on to serve the next job —
+                            // without this, one bad batch would silently
+                            // retire the shard and every later query would
+                            // fail with "shard worker has exited".
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    worker_engine.sweep_range(
+                                        &job.handle,
+                                        worker_backend.as_ref(),
+                                        &job.config,
+                                        job.range.clone(),
+                                    )
+                                }))
+                                .map_err(|payload| {
+                                    let reason = panic_reason(payload.as_ref());
+                                    mp_obs::warn(
+                                        "serve",
+                                        &format!(
+                                            "shard {index} sweep {}..{} panicked: {reason}",
+                                            job.range.start, job.range.end
+                                        ),
+                                    );
+                                    reason
+                                });
                             // A dropped reply receiver just means the querying
                             // connection went away mid-sweep.
                             let _ = job.reply.send((job.range.start, result));
@@ -393,7 +435,71 @@ impl SweepService {
             coalesce: config.coalesce,
             queries: AtomicU64::new(0),
             started: Instant::now(),
+            jobs: OnceLock::new(),
         }
+    }
+
+    /// Attach a durable-job manager (called once by
+    /// [`crate::jobs::JobManager::new`]): the four `job_*` protocol verbs
+    /// dispatch to it. A service without one answers them with an error.
+    pub(crate) fn attach_jobs(&self, manager: std::sync::Weak<crate::jobs::JobManager>) {
+        let _ = self.jobs.set(manager);
+    }
+
+    /// The attached job manager, if one is alive.
+    pub fn jobs(&self) -> Option<Arc<crate::jobs::JobManager>> {
+        self.jobs.get().and_then(std::sync::Weak::upgrade)
+    }
+
+    /// Spill every shard's [`EvalCache`] to `dir` as binary segment files
+    /// (`cache-shard-<i>.seg`), each written atomically (tmp file + fsync +
+    /// rename). Returns the number of entries spilled. Part of a durable
+    /// job's checkpoint; also callable on its own for an orderly shutdown.
+    ///
+    /// [`EvalCache`]: mp_dse::cache::EvalCache
+    pub fn save_cache_segments(&self, dir: &Path) -> std::io::Result<usize> {
+        std::fs::create_dir_all(dir)?;
+        let mut entries = 0usize;
+        for (index, shard) in self.shards.iter().enumerate() {
+            let cache = shard.engine.cache();
+            entries += cache.len();
+            crate::jobs::atomic_write(
+                &dir.join(format!("cache-shard-{index}.seg")),
+                &cache.save_segment(),
+            )?;
+        }
+        Ok(entries)
+    }
+
+    /// Warm-start the shard caches from the segment files a previous
+    /// process spilled to `dir`. Segment `i` loads into shard `i % shards`,
+    /// so a restart with the same shard count reproduces the exact cache
+    /// placement; with a different count the entries still load but may sit
+    /// in a shard whose band never probes them (documented cost: a colder
+    /// warm start, never a wrong answer — values are keyed by scenario
+    /// fingerprint and salt, not by shard).
+    ///
+    /// Returns the number of entries restored. Corrupt, truncated or
+    /// version-stale segments are **skipped with a warning** — a damaged
+    /// spill degrades to a cold shard, it never aborts startup.
+    pub fn load_cache_segments(&self, dir: &Path) -> usize {
+        let mut restored = 0usize;
+        for index in 0.. {
+            let path = dir.join(format!("cache-shard-{index}.seg"));
+            let bytes = match std::fs::read(&path) {
+                Ok(bytes) => bytes,
+                Err(_) => break,
+            };
+            let shard = &self.shards[index % self.shards.len()];
+            match shard.engine.cache().load_segment(&bytes) {
+                Ok(loaded) => restored += loaded,
+                Err(e) => mp_obs::warn(
+                    "jobs",
+                    &format!("skipping cache segment {} (cold start): {e}", path.display()),
+                ),
+            }
+        }
+        restored
     }
 
     /// Attach a calibration catalogue (what [`SpaceSpec::Catalogue`] resolves
@@ -718,9 +824,22 @@ impl SweepService {
         }
         drop(reply);
 
+        // Drain *every* outstanding reply before ruling on errors: the
+        // workers credit the admission gauges as they reply, and the other
+        // shards' partial results (already inserted into their caches) are
+        // deterministic, so a retried query re-reads them warm.
         let mut partials: Vec<(usize, SweepResult)> = Vec::with_capacity(outstanding);
+        let mut failure: Option<String> = None;
         for _ in 0..outstanding {
-            partials.push(replies.recv().map_err(|_| err("shard worker dropped a sweep reply"))?);
+            let (start, result) =
+                replies.recv().map_err(|_| err("shard worker dropped a sweep reply"))?;
+            match result {
+                Ok(partial) => partials.push((start, partial)),
+                Err(reason) => failure = Some(reason),
+            }
+        }
+        if let Some(reason) = failure {
+            return Err(err(format!("sweep evaluation failed: {reason}")));
         }
 
         // Merge-Path recombination: the band runs are index-sorted and
@@ -971,6 +1090,34 @@ impl SweepService {
                 Ok((id, scenarios)) => emit(Response::Prepared { id, scenarios }),
                 Err(e) => emit(e.into_response()),
             },
+            Request::JobSubmit { space, start, end, chunk, checkpoint_every } => {
+                self.job_verb(emit, |jobs| {
+                    let space = self.resolve_space(space)?;
+                    jobs.submit(space, *start..*end, *chunk, *checkpoint_every)
+                })
+            }
+            Request::JobStatus { id } => self.job_verb(emit, |jobs| jobs.status(id)),
+            Request::JobCancel { id } => self.job_verb(emit, |jobs| jobs.cancel(id)),
+            Request::JobResume { id } => self.job_verb(emit, |jobs| jobs.resume(id)),
+        }
+    }
+
+    /// Shared dispatch of the four job verbs: resolve the attached manager,
+    /// run the verb, answer with the resulting snapshot or error.
+    fn job_verb(
+        &self,
+        emit: &mut dyn FnMut(Response) -> std::io::Result<()>,
+        verb: impl FnOnce(&crate::jobs::JobManager) -> Result<crate::protocol::JobSnapshot, ServeError>,
+    ) -> std::io::Result<()> {
+        let Some(jobs) = self.jobs() else {
+            return emit(
+                err("durable jobs are not enabled on this server (start it with a jobs manager)")
+                    .into_response(),
+            );
+        };
+        match verb(&jobs) {
+            Ok(snapshot) => emit(Response::Job(snapshot)),
+            Err(e) => emit(e.into_response()),
         }
     }
 

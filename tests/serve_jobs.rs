@@ -1,0 +1,285 @@
+//! Lifecycle tests of the durable-job layer: submit → run → complete with
+//! checkpoints on disk, failure-cap parking with an inspectable reason and
+//! resume-after-fault, graceful cancellation, and the protocol's `job_*`
+//! verb dispatch (with and without a manager attached).
+//!
+//! The crash/restart recovery drill lives in `tests/job_recovery.rs` — its
+//! `dse_scenarios_evaluated` delta assertion needs a test process of its
+//! own (the counter is process-global).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use merging_phases::dse::prelude::*;
+use mp_dse::fault::{FaultPlan, FaultyBackend};
+use mp_serve::prelude::*;
+
+fn space(points: usize) -> ScenarioSpace {
+    // Default budget, symmetric designs only: every scenario is valid, so
+    // a fully swept space means a fully warm cache.
+    ScenarioSpace::new()
+        .clear_designs()
+        .add_symmetric_grid((0..points).map(|i| 1.0 + i as f64 * 0.5))
+}
+
+fn service(shards: usize, backend: Arc<dyn EvalBackend + Send + Sync>) -> Arc<SweepService> {
+    Arc::new(SweepService::new(
+        backend,
+        &ServiceConfig {
+            shards,
+            threads_per_shard: 1,
+            batch_size: 256,
+            ..ServiceConfig::default()
+        },
+    ))
+}
+
+/// A per-test scratch directory, removed on drop.
+struct StoreDir(PathBuf);
+
+impl StoreDir {
+    fn new(tag: &str) -> StoreDir {
+        let dir = std::env::temp_dir().join(format!("mp-serve-jobs-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create store dir");
+        StoreDir(dir)
+    }
+}
+
+impl Drop for StoreDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn wait_for(
+    manager: &JobManager,
+    id: &str,
+    timeout: Duration,
+    good: impl Fn(&JobSnapshot) -> bool,
+) -> JobSnapshot {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let snapshot = manager.status(id).expect("job exists");
+        if good(&snapshot) {
+            return snapshot;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting on job {id}; last snapshot: {snapshot:?}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Read the manifest at `path` once it reports `state` — the runner flips
+/// the in-memory state first and persists the final checkpoint just after,
+/// so a disk read can trail a settled status by a moment.
+fn wait_manifest(path: &std::path::Path, state: &str) -> Manifest {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(bytes) = std::fs::read(path) {
+            let manifest = Manifest::from_bytes(&bytes).expect("manifest stays valid");
+            if manifest.state == state {
+                return manifest;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "manifest at {} never reached `{state}`: {manifest:?}",
+                path.display()
+            );
+        } else {
+            assert!(Instant::now() < deadline, "manifest at {} never appeared", path.display());
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Fast-backoff config so failure-path tests don't sleep for seconds.
+fn test_config(failure_cap: u32) -> JobConfig {
+    JobConfig { checkpoint_every: 2, failure_cap, retry: RetryPolicy::backoff_ms(1, 4) }
+}
+
+#[test]
+fn submitted_job_completes_checkpoints_and_warms_the_cache() {
+    let store = StoreDir::new("lifecycle");
+    let space = space(512);
+    let service = service(2, Arc::new(AnalyticBackend));
+    let manager =
+        JobManager::new(Arc::clone(&service), Some(store.0.clone()), test_config(5)).unwrap();
+
+    let submitted = manager.submit(space.clone(), 0..space.len(), 64, 2).unwrap();
+    assert_eq!(submitted.windows_total, 8);
+    assert_eq!(submitted.window, 64);
+    assert_eq!(submitted.checkpoint_every, 2);
+
+    let done =
+        wait_for(&manager, &submitted.id, Duration::from_secs(30), |s| s.state == "completed");
+    assert_eq!(done.windows_completed, done.windows_total);
+    assert_eq!(done.scenarios_completed, space.len());
+    assert!(done.checkpoints >= 2, "cadence-2 over 8 windows checkpoints repeatedly: {done:?}");
+
+    // Durable artifacts: a valid manifest and per-shard cache segments.
+    let manifest = wait_manifest(&store.0.join(format!("{}.manifest", done.id)), "completed");
+    assert_eq!(manifest.completed.len(), 8);
+    assert!(store.0.join("cache-shard-0.seg").exists());
+    assert!(store.0.join("cache-shard-1.seg").exists());
+
+    // The job's product: a warm cache answering the whole space, records
+    // bit-identical to a direct engine sweep.
+    let warm = service.sweep(&space, None).unwrap();
+    assert_eq!(warm.stats.cache_hits as usize, space.len());
+    let direct = Engine::new(1).sweep(&space, &AnalyticBackend, &SweepConfig::default());
+    for (a, b) in warm.records.iter().zip(direct.records.iter()) {
+        assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+    }
+}
+
+#[test]
+fn persistent_faults_park_the_job_failed_and_resume_completes_after_clearing() {
+    let space = space(256);
+    let plan = FaultPlan::new();
+    let faulty: Arc<dyn EvalBackend + Send + Sync> =
+        Arc::new(FaultyBackend::new(AnalyticBackend, Arc::clone(&plan)));
+    let service = service(2, faulty);
+    let manager = JobManager::new(Arc::clone(&service), None, test_config(3)).unwrap();
+
+    plan.fail_all();
+    let submitted = manager.submit(space.clone(), 0..space.len(), 64, 1).unwrap();
+    let failed =
+        wait_for(&manager, &submitted.id, Duration::from_secs(30), |s| s.state == "failed");
+    assert!(
+        failed.reason.contains("injected fault"),
+        "the failure cause must be inspectable via status: {failed:?}"
+    );
+    assert!(failed.retries >= 3, "every attempt of the capped run counts: {failed:?}");
+    assert_eq!(failed.windows_completed, 0);
+
+    // Cancelling a failed job is allowed (clearer state), resume un-parks.
+    plan.clear_fault();
+    let resumed = manager.resume(&submitted.id).unwrap();
+    // The snapshot can already show "running" if the runner wins the race.
+    assert!(
+        resumed.state == "queued" || resumed.state == "running",
+        "resume un-parks the job: {resumed:?}"
+    );
+    assert!(resumed.reason.is_empty(), "resume clears the parked reason");
+    let done =
+        wait_for(&manager, &submitted.id, Duration::from_secs(30), |s| s.state == "completed");
+    assert_eq!(done.windows_completed, done.windows_total);
+    let warm = service.sweep(&space, None).unwrap();
+    assert_eq!(warm.stats.cache_hits as usize, space.len());
+}
+
+#[test]
+fn one_shot_fault_is_retried_in_place_and_the_job_still_completes() {
+    let space = space(256);
+    let plan = FaultPlan::new();
+    let faulty: Arc<dyn EvalBackend + Send + Sync> =
+        Arc::new(FaultyBackend::new(AnalyticBackend, Arc::clone(&plan)));
+    let service = service(1, faulty);
+    let manager = JobManager::new(Arc::clone(&service), None, test_config(5)).unwrap();
+
+    // The second batch any thread evaluates panics once; the runner's
+    // retry re-sweeps that window and succeeds.
+    plan.fail_batch(1);
+    let submitted = manager.submit(space.clone(), 0..space.len(), 64, 1).unwrap();
+    let done =
+        wait_for(&manager, &submitted.id, Duration::from_secs(30), |s| s.state == "completed");
+    assert!(done.retries >= 1, "the injected failure must be visible as a retry: {done:?}");
+    assert_eq!(done.windows_completed, done.windows_total);
+}
+
+#[test]
+fn cancel_is_graceful_and_a_cancelled_job_resumes_to_completion() {
+    let store = StoreDir::new("cancel");
+    let space = space(2048);
+    let plan = FaultPlan::new();
+    plan.set_latency(Duration::from_millis(20));
+    let faulty: Arc<dyn EvalBackend + Send + Sync> =
+        Arc::new(FaultyBackend::new(AnalyticBackend, Arc::clone(&plan)));
+    let service = service(2, faulty);
+    let manager =
+        JobManager::new(Arc::clone(&service), Some(store.0.clone()), test_config(5)).unwrap();
+
+    let submitted = manager.submit(space.clone(), 0..space.len(), 128, 1).unwrap();
+    // Let it make some progress, then cancel mid-run.
+    wait_for(&manager, &submitted.id, Duration::from_secs(30), |s| s.windows_completed >= 2);
+    let cancelling = manager.cancel(&submitted.id).unwrap();
+    assert!(
+        cancelling.state == "cancelling" || cancelling.state == "cancelled",
+        "cancel transitions immediately: {cancelling:?}"
+    );
+    let parked =
+        wait_for(&manager, &submitted.id, Duration::from_secs(30), |s| s.state == "cancelled");
+    assert!(parked.windows_completed < parked.windows_total, "cancelled before the end");
+    assert!(parked.checkpoints >= 1, "graceful cancel checkpoints before parking");
+
+    // The manifest on disk agrees with the parked snapshot.
+    let manifest = wait_manifest(&store.0.join(format!("{}.manifest", parked.id)), "cancelled");
+    assert_eq!(manifest.completed.len(), parked.windows_completed);
+
+    // No faults to clear: speed the rest up and resume to completion.
+    plan.set_latency(Duration::ZERO);
+    manager.resume(&parked.id).unwrap();
+    let done = wait_for(&manager, &parked.id, Duration::from_secs(30), |s| s.state == "completed");
+    assert_eq!(done.windows_completed, done.windows_total);
+    // Cancelling a completed job is refused.
+    assert!(manager.cancel(&done.id).is_err());
+}
+
+#[test]
+fn job_verbs_dispatch_through_the_service_and_answer_without_a_manager() {
+    let space = space(128);
+
+    // Without a manager: every job verb answers a descriptive error.
+    let bare = service(1, Arc::new(AnalyticBackend));
+    match bare.handle(&Request::JobStatus { id: "j00001".to_string() }).as_slice() {
+        [Response::Error { message }] => {
+            assert!(message.contains("durable jobs are not enabled"), "got: {message}")
+        }
+        other => panic!("expected an error response, got {other:?}"),
+    }
+
+    // With one: submit/status/cancel/resume round-trip as Job snapshots.
+    let service = service(1, Arc::new(AnalyticBackend));
+    let _manager = JobManager::new(Arc::clone(&service), None, test_config(5)).unwrap();
+    let submitted = match service
+        .handle(&Request::JobSubmit {
+            space: SpaceSpec::Explicit(space.clone()),
+            start: 0,
+            end: space.len(),
+            chunk: 32,
+            checkpoint_every: 2,
+        })
+        .as_slice()
+    {
+        [Response::Job(snapshot)] => snapshot.clone(),
+        other => panic!("expected a job snapshot, got {other:?}"),
+    };
+    assert_eq!(submitted.window, 32);
+    match service.handle(&Request::JobStatus { id: submitted.id.clone() }).as_slice() {
+        [Response::Job(snapshot)] => assert_eq!(snapshot.id, submitted.id),
+        other => panic!("expected a job snapshot, got {other:?}"),
+    }
+    // Unknown ids are invalid, not busy.
+    match service.handle(&Request::JobStatus { id: "nope".to_string() }).as_slice() {
+        [Response::Error { message }] => assert!(message.contains("unknown job id")),
+        other => panic!("expected an error response, got {other:?}"),
+    }
+    // Submitting an empty range is refused up front.
+    match service
+        .handle(&Request::JobSubmit {
+            space: SpaceSpec::Explicit(space),
+            start: 5,
+            end: 5,
+            chunk: 0,
+            checkpoint_every: 0,
+        })
+        .as_slice()
+    {
+        [Response::Error { message }] => assert!(message.contains("invalid")),
+        other => panic!("expected an error response, got {other:?}"),
+    }
+}
