@@ -30,6 +30,18 @@
 //! unless coalescing actually happened (pair with `--no-coalesce`, which
 //! spawns the server with its planner's coalescing table disabled, to
 //! measure the uncoalesced baseline).
+//!
+//! `--skew` is the work-stealing scheduler's counterpart: the query mix
+//! concentrates on the *hot band* `0..n/shards` — the scenario prefix that
+//! static banding homes entirely on shard 0 — with only an occasional full
+//! sweep. Under static bands one shard does nearly all the work while the
+//! rest idle; with stealing enabled the idle shards' workers drain shard
+//! 0's queue. The report reads the `sched_units_stolen` delta from the
+//! server's metrics and (with stealing on) the run fails unless steals were
+//! actually observed. Pair with `--no-steal` for the pinned baseline the
+//! scheduler benchmark compares against, and `--fault-latency-ms` to give
+//! every evaluation a deterministic service time so the throughput contrast
+//! is visible even on small hosts.
 
 use std::io::BufRead;
 use std::ops::Range;
@@ -56,6 +68,7 @@ pub const VALUE_FLAGS: &[&str] = &[
     "--backend",
     "--chunk",
     "--depth",
+    "--fault-latency-ms",
 ];
 
 /// Deepest supported pipeline. Must stay safely below the server's
@@ -88,6 +101,18 @@ struct Options {
     /// `--no-coalesce` (with `--spawn`): start the server with its planner's
     /// coalescing disabled — the uncoalesced baseline for `--overlap` runs.
     coalesce: bool,
+    /// `--skew`: concentrate the query mix on the hot band `0..n/shards`
+    /// so static banding overloads shard 0 while the rest idle — the shape
+    /// the work-stealing scheduler exists for.
+    skew: bool,
+    /// `--no-steal` (with `--spawn`): start the server with work stealing
+    /// disabled — the pinned static-bands baseline for `--skew` runs.
+    steal: bool,
+    /// `--fault-latency-ms` (with `--spawn`): start the server with the
+    /// fault injector adding a fixed latency to every backend evaluation.
+    /// Values are bit-transparent; only service time changes — this is how
+    /// the skew benchmark makes compute overlap measurable on small hosts.
+    fault_latency_ms: u64,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -108,6 +133,9 @@ fn parse(args: &[String]) -> Result<Options, String> {
         prepare: true,
         overlap: false,
         coalesce: true,
+        skew: false,
+        steal: true,
+        fault_latency_ms: 0,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -131,6 +159,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 "--backend" => options.backend = value,
                 "--chunk" => options.chunk = cli::parse_count(arg, &value, 1, cli::MAX_COUNT)?,
                 "--depth" => options.depth = cli::parse_count(arg, &value, 1, MAX_DEPTH)?,
+                "--fault-latency-ms" => {
+                    options.fault_latency_ms = value
+                        .parse::<u64>()
+                        .map_err(|_| format!("{arg} needs a non-negative millisecond count"))?;
+                }
                 other => unreachable!("{other} is listed in VALUE_FLAGS but unhandled"),
             }
         } else {
@@ -143,6 +176,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 "--no-prepare" => options.prepare = false,
                 "--overlap" => options.overlap = true,
                 "--no-coalesce" => options.coalesce = false,
+                "--skew" => options.skew = true,
+                "--no-steal" => options.steal = false,
                 other => return Err(format!("unknown load option `{other}`")),
             }
         }
@@ -157,6 +192,16 @@ fn parse(args: &[String]) -> Result<Options, String> {
     if !options.coalesce && !options.spawn {
         return Err("--no-coalesce configures the *spawned* server's planner and needs --spawn \
              (an external server's coalescing is set by its own `repro serve --no-coalesce`)"
+            .to_string());
+    }
+    if !options.steal && !options.spawn {
+        return Err("--no-steal configures the *spawned* server's scheduler and needs --spawn \
+             (an external server's stealing is set by its own `repro serve --no-steal`)"
+            .to_string());
+    }
+    if options.fault_latency_ms > 0 && !options.spawn {
+        return Err("--fault-latency-ms arms the *spawned* server's fault injector and needs \
+             --spawn (arm an external server with its own `repro serve --fault-latency-ms`)"
             .to_string());
     }
     Ok(options)
@@ -231,10 +276,11 @@ fn check_metrics(metrics_json: &str, options: &Options) -> Vec<String> {
     if options.prepare {
         nonzero_counters.push("requests_total_prepare");
     }
-    if options.clients >= 2 && options.requests >= 3 && !options.overlap {
+    if options.clients >= 2 && options.requests >= 3 && !options.overlap && !options.skew {
         // The deterministic query mix covers top-k (even connections) and
         // Pareto (odd connections) from the third request on — except in
-        // overlap mode, whose workload is all duplicate full sweeps.
+        // overlap mode (all duplicate full sweeps) and skew mode (hot-band
+        // windows plus full sweeps), which never send the analysis verbs.
         nonzero_counters.push("requests_total_top_k");
         nonzero_counters.push("requests_total_pareto");
     }
@@ -245,14 +291,26 @@ fn check_metrics(metrics_json: &str, options: &Options) -> Vec<String> {
             None => problems.push(format!("counter `{name}` is missing")),
         }
     }
-    // The planner's series are registered unconditionally; coalescing and
-    // rejection counts depend on the workload shape, so presence (not
-    // activity) is what every load shape can assert.
+    // Every sweep is decomposed into scheduler work units, so the unit
+    // counter is live under any load shape.
+    match metrics_series(&value, "counters", "sched_units_total").and_then(|v| v.as_f64()) {
+        Some(count) if count > 0.0 => {}
+        Some(_) => {
+            problems.push("counter `sched_units_total` is zero under guaranteed load".into())
+        }
+        None => problems.push("counter `sched_units_total` is missing".into()),
+    }
+    // The planner's and scheduler's remaining series are registered
+    // unconditionally; coalescing, stealing and rejection counts depend on
+    // the workload shape, so presence (not activity) is what every load
+    // shape can assert.
     for name in [
         "busy_rejections",
         "planner_coalesced_requests",
         "planner_shared_scenarios",
         "planner_cost_rejections",
+        "sched_units_stolen",
+        "sched_rebands",
     ] {
         if metrics_series(&value, "counters", name).and_then(|v| v.as_f64()).is_none() {
             problems.push(format!("counter `{name}` is missing"));
@@ -268,9 +326,10 @@ fn check_metrics(metrics_json: &str, options: &Options) -> Vec<String> {
         "serve_queue_wait_ms",
         "serve_pipeline_depth",
         "dse_batch_ms",
-        // Every banded sweep times its Merge-Path recombination, so the load
-        // guarantees this histogram is live too.
+        // Every scheduled sweep times its Merge-Path recombination and its
+        // workers' busy spans, so the load guarantees these are live too.
         "planner_merge_ms",
+        "sched_shard_busy_ms",
     ] {
         let count = metrics_series(&value, "histograms", name)
             .and_then(|h| h.as_map()?.iter().find(|(key, _)| key == "count").map(|(_, v)| v))
@@ -304,6 +363,14 @@ fn planner_counters(control: &mut Client) -> Result<PlannerCounters, String> {
         coalesced_requests: counter("planner_coalesced_requests"),
         shared_scenarios: counter("planner_shared_scenarios"),
     })
+}
+
+/// Read one counter from the server's live metrics over the wire (absent
+/// series read as zero, so deltas stay well-defined on old servers).
+fn server_counter(control: &mut Client, name: &str) -> Result<f64, String> {
+    let (json, _) = control.metrics().map_err(|e| format!("metrics failed: {e}"))?;
+    let value = serde_json::parse(&json).map_err(|e| format!("metrics response: {e}"))?;
+    Ok(metrics_series(&value, "counters", name).and_then(|v| v.as_f64()).unwrap_or(0.0))
 }
 
 /// The pass's latency histogram: the shared mp-obs snapshot type over the
@@ -415,13 +482,32 @@ enum Query {
 impl Query {
     /// The query for one (connection, request) slot. Overlap mode sends the
     /// identical full sweep from every slot — maximum in-flight duplication,
-    /// the shape the planner's coalescing table exists for.
+    /// the shape the planner's coalescing table exists for. Skew mode
+    /// concentrates on the hot band instead — maximum shard imbalance, the
+    /// shape the work-stealing scheduler exists for.
     fn for_options(connection: usize, request: usize, n: usize, options: &Options) -> Query {
         if options.overlap {
             Query::Full
+        } else if options.skew {
+            Query::for_skewed_slot(connection, request, n, options.shards)
         } else {
             Query::for_slot(connection, request, n)
         }
+    }
+
+    /// The skewed mix: seven in eight queries are windows inside the hot
+    /// band `0..n/shards` (entirely shard 0's territory under static
+    /// banding), the eighth is a full sweep so every shard's cache still
+    /// warms and the fused merge keeps being exercised end to end.
+    /// Deterministic in (connection, request) like the mixed shape.
+    fn for_skewed_slot(connection: usize, request: usize, n: usize, shards: usize) -> Query {
+        if (connection + request) % 8 == 7 {
+            return Query::Full;
+        }
+        let hot = (n / shards.max(1)).max(1);
+        let start = (connection * 7919 + request * 104_729) % hot;
+        let end = (start + hot / 2 + 1).min(n);
+        Query::Window(start..end)
     }
 
     /// The same mixed workload shape the v1 generator used, deterministic in
@@ -694,6 +780,13 @@ fn spawn_server(options: &Options) -> Result<(std::process::Child, Endpoint), St
     if !options.coalesce {
         args.push("--no-coalesce".to_string());
     }
+    if !options.steal {
+        args.push("--no-steal".to_string());
+    }
+    if options.fault_latency_ms > 0 {
+        args.push("--fault-latency-ms".to_string());
+        args.push(options.fault_latency_ms.to_string());
+    }
     let mut child = std::process::Command::new(exe)
         .args(&args)
         .stdout(std::process::Stdio::piped())
@@ -740,8 +833,9 @@ pub fn run(args: &[String]) -> ExitCode {
             eprintln!(
                 "usage: repro load [--addr HOST:PORT | --socket PATH] [--clients N] [--requests N] \
                  [--backend analytic|comm|sim|measured] [--chunk N] [--shards N (with --spawn)] \
-                 [--pipelined] [--depth N] [--no-prepare] [--overlap] \
-                 [--no-coalesce (with --spawn)] [--quick] [--json] [--spawn] [--shutdown]"
+                 [--pipelined] [--depth N] [--no-prepare] [--overlap] [--skew] \
+                 [--no-coalesce | --no-steal | --fault-latency-ms MS (each with --spawn)] \
+                 [--quick] [--json] [--spawn] [--shutdown]"
             );
             return ExitCode::FAILURE;
         }
@@ -794,7 +888,8 @@ pub fn run(args: &[String]) -> ExitCode {
             } else {
                 eprintln!(
                     "load run failed its acceptance checks (parity, >90% warm hit rate, live \
-                     metrics, and — under --overlap — observed coalescing)"
+                     metrics, under --overlap observed coalescing, and under --skew observed \
+                     steals)"
                 );
                 ExitCode::FAILURE
             }
@@ -827,6 +922,7 @@ fn drive(
     }
     let mut control = control.expect("connected above");
     let version = control.ping().map_err(|e| format!("ping failed: {e}"))?;
+    let steals_before = server_counter(&mut control, "sched_units_stolen")?;
 
     // Local ground truth: one direct engine sweep of the same space.
     let space = load_space(options.quick, backend);
@@ -921,12 +1017,32 @@ fn drive(
         reports.iter().filter_map(|r| r.overlap.as_ref()).map(|o| o.coalesced_requests).sum();
     let coalesce_ok = !options.overlap || !options.coalesce || coalesced_total > 0;
 
+    // Skew acceptance: with stealing enabled on a spawned multi-shard
+    // server, the hot-band workload must actually provoke steals — zero
+    // steals means the scheduler degenerated to static bands and was not
+    // exercised. (External servers are exempt — their scheduler config is
+    // not ours to know — as are single-shard spawns, which have no victim
+    // deque to steal from.)
+    let steals_after = {
+        let value = serde_json::parse(&metrics_json).map_err(|e| format!("metrics: {e}"))?;
+        metrics_series(&value, "counters", "sched_units_stolen")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0)
+    };
+    let steals_observed = (steals_after - steals_before).max(0.0) as u64;
+    let steal_ok = !options.skew
+        || !options.steal
+        || !options.spawn
+        || options.shards < 2
+        || steals_observed > 0;
+
     let ok = parity_failures == 0
         && busy_exhausted == 0
         && warm_hit_rate > 0.9
         && nonzero_hits
         && metrics_ok
-        && coalesce_ok;
+        && coalesce_ok
+        && steal_ok;
 
     if options.shutdown || options.spawn {
         control.shutdown().map_err(|e| format!("shutdown failed: {e}"))?;
@@ -935,7 +1051,7 @@ fn drive(
     if options.json {
         let passes: Vec<String> = reports.iter().map(PassReport::json).collect();
         println!(
-            "{{\"experiment\":\"load\",\"endpoint\":\"{endpoint}\",\"protocol\":\"{version}\",\"backend\":\"{}\",\"clients\":{},\"requests_per_client\":{},\"pipelined\":{},\"depth\":{},\"prepared_spaces\":{},\"overlap_mode\":{},\"coalesce\":{},\"scenarios_per_sweep\":{},\"passes\":[{}],\"parity_failures\":{parity_failures},\"busy_exhausted\":{busy_exhausted},\"warm_hit_rate\":{warm_hit_rate},\"metrics_ok\":{metrics_ok},\"metrics_problems\":[{}],\"ok\":{ok}}}",
+            "{{\"experiment\":\"load\",\"endpoint\":\"{endpoint}\",\"protocol\":\"{version}\",\"backend\":\"{}\",\"clients\":{},\"requests_per_client\":{},\"pipelined\":{},\"depth\":{},\"prepared_spaces\":{},\"overlap_mode\":{},\"coalesce\":{},\"skew_mode\":{},\"steal\":{},\"fault_latency_ms\":{},\"steals_observed\":{steals_observed},\"scenarios_per_sweep\":{},\"passes\":[{}],\"parity_failures\":{parity_failures},\"busy_exhausted\":{busy_exhausted},\"warm_hit_rate\":{warm_hit_rate},\"metrics_ok\":{metrics_ok},\"metrics_problems\":[{}],\"ok\":{ok}}}",
             backend.name(),
             options.clients,
             options.requests,
@@ -944,6 +1060,9 @@ fn drive(
             options.prepare,
             options.overlap,
             options.coalesce,
+            options.skew,
+            options.steal,
+            options.fault_latency_ms,
             reference.space.len(),
             passes.join(","),
             metrics_problems
@@ -1005,6 +1124,14 @@ fn drive(
                 if options.coalesce { "enabled" } else { "disabled (baseline)" },
                 coalesced_total,
                 if coalesce_ok { "" } else { " — FAIL: duplicate sweeps never coalesced" },
+            );
+        }
+        if options.skew {
+            println!(
+                "  skew: hot-band workload, work stealing {} | {} units stolen{}",
+                if options.steal { "enabled" } else { "disabled (static-bands baseline)" },
+                steals_observed,
+                if steal_ok { "" } else { " — FAIL: the hot band never provoked a steal" },
             );
         }
         if metrics_ok {
@@ -1076,6 +1203,66 @@ mod tests {
         assert!(baseline.overlap && !baseline.coalesce && baseline.spawn);
         let orphan = parse(&["--no-coalesce".to_string()]).unwrap_err();
         assert!(orphan.contains("--spawn"), "{orphan}");
+
+        // Skew mode and the scheduler toggles.
+        assert!(!parse(&[]).unwrap().skew);
+        assert!(parse(&[]).unwrap().steal, "work stealing defaults on");
+        assert_eq!(parse(&[]).unwrap().fault_latency_ms, 0);
+        let skew = parse(&["--skew".to_string()]).unwrap();
+        assert!(skew.skew && skew.steal);
+        let pinned = parse(&[
+            "--skew".to_string(),
+            "--no-steal".to_string(),
+            "--spawn".to_string(),
+            "--fault-latency-ms".to_string(),
+            "2".to_string(),
+        ])
+        .unwrap();
+        assert!(pinned.skew && !pinned.steal && pinned.spawn);
+        assert_eq!(pinned.fault_latency_ms, 2);
+        let orphan_steal = parse(&["--no-steal".to_string()]).unwrap_err();
+        assert!(orphan_steal.contains("--spawn"), "{orphan_steal}");
+        let orphan_fault = parse(&["--fault-latency-ms".to_string(), "5".to_string()]).unwrap_err();
+        assert!(orphan_fault.contains("--spawn"), "{orphan_fault}");
+        assert!(parse(&["--fault-latency-ms".to_string(), "-1".to_string()]).is_err());
+    }
+
+    #[test]
+    fn skew_mode_concentrates_windows_in_the_hot_band() {
+        let skew = parse(&["--skew".to_string()]).unwrap();
+        let n = 4096;
+        let hot = n / skew.shards;
+        let mut windows = 0usize;
+        let mut fulls = 0usize;
+        for connection in 0..16 {
+            for request in 0..6 {
+                let a = Query::for_options(connection, request, n, &skew);
+                let b = Query::for_options(connection, request, n, &skew);
+                assert_eq!(format!("{a:?}"), format!("{b:?}"), "skew mix is deterministic");
+                match a {
+                    Query::Window(window) => {
+                        assert!(
+                            window.start < hot,
+                            "skewed windows start inside the hot band: {window:?}"
+                        );
+                        assert!(window.start < window.end && window.end <= n);
+                        windows += 1;
+                    }
+                    Query::Full => fulls += 1,
+                    other => panic!("skew mix sends only windows and full sweeps, got {other:?}"),
+                }
+            }
+        }
+        assert!(fulls > 0, "the occasional full sweep keeps every shard warm");
+        assert!(
+            windows > fulls * 4,
+            "the mix is dominated by hot-band windows ({windows} windows, {fulls} fulls)"
+        );
+
+        // Degenerate spaces never panic or escape bounds.
+        if let Query::Window(window) = Query::for_skewed_slot(3, 1, 1, 8) {
+            assert!(window.start == 0 && window.end == 1);
+        }
     }
 
     #[test]
@@ -1138,12 +1325,14 @@ mod tests {
                 "\"requests_total_top_k\":3,\"requests_total_pareto\":3,",
                 "\"cache_hits\":100,\"busy_rejections\":0,",
                 "\"planner_coalesced_requests\":0,\"planner_shared_scenarios\":0,",
-                "\"planner_cost_rejections\":0}},",
+                "\"planner_cost_rejections\":0,\"sched_units_total\":12,",
+                "\"sched_units_stolen\":0,\"sched_rebands\":0}},",
                 "\"gauges\":{{\"executor_queue_depth\":0,\"alloc_live_bytes\":10,",
                 "\"alloc_peak_bytes\":20}},",
                 "\"histograms\":{{\"serve_request_ms_sweep\":{h},",
                 "\"serve_queue_wait_ms\":{h},\"serve_pipeline_depth\":{h},",
-                "\"dse_batch_ms\":{h},\"planner_merge_ms\":{h}}}}}"
+                "\"dse_batch_ms\":{h},\"planner_merge_ms\":{h},",
+                "\"sched_shard_busy_ms\":{h}}}}}"
             ),
             h = hist
         );
@@ -1158,13 +1347,24 @@ mod tests {
         assert!(check_metrics(&no_planner, &options)
             .iter()
             .any(|p| p.contains("planner_coalesced_requests")));
-        // ...and overlap mode does not demand the mixed-workload verbs the
-        // all-duplicate-sweeps shape never sends.
+        // ...the scheduler's too, and its unit counter must actually move.
+        let no_sched = good.replace("\"sched_units_stolen\":0,", "");
+        assert!(check_metrics(&no_sched, &options)
+            .iter()
+            .any(|p| p.contains("sched_units_stolen")));
+        let idle_sched = good.replace("\"sched_units_total\":12,", "\"sched_units_total\":0,");
+        assert!(check_metrics(&idle_sched, &options)
+            .iter()
+            .any(|p| p.contains("sched_units_total")));
+        // ...and neither overlap nor skew mode demands the mixed-workload
+        // verbs their shapes never send.
         let overlap = parse(&["--overlap".to_string()]).unwrap();
+        let skew = parse(&["--skew".to_string()]).unwrap();
         let no_mix = good
             .replace("\"requests_total_top_k\":3,", "\"requests_total_top_k\":0,")
             .replace("\"requests_total_pareto\":3,", "\"requests_total_pareto\":0,");
         assert_eq!(check_metrics(&no_mix, &overlap), Vec::<String>::new());
+        assert_eq!(check_metrics(&no_mix, &skew), Vec::<String>::new());
         assert!(check_metrics(&no_mix, &options)
             .iter()
             .any(|p| p.contains("requests_total_top_k")));

@@ -56,6 +56,10 @@ pub struct Options {
     /// Whether the planner coalesces overlapping in-flight sweeps
     /// (`--no-coalesce` turns it off for uncoalesced baselines).
     coalesce: bool,
+    /// Whether idle workers steal queued work units from loaded shards
+    /// (`--no-steal` pins units to their home shards — the static-bands
+    /// baseline the skew benchmark compares against).
+    steal: bool,
     /// Durable-job store: checkpoint manifests and cache segment spills
     /// live here and are restored on restart. `None` = jobs run
     /// in-memory only.
@@ -80,6 +84,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         queue_capacity: ServiceConfig::default().queue_capacity,
         cost_budget_ms: ServiceConfig::default().cost_budget_ms,
         coalesce: true,
+        steal: true,
         jobs_dir: None,
         fail_nth: None,
         fault_latency_ms: 0,
@@ -131,6 +136,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
             match arg {
                 "--no-cache" => options.use_cache = false,
                 "--no-coalesce" => options.coalesce = false,
+                "--no-steal" => options.steal = false,
                 other => return Err(format!("unknown serve option `{other}`")),
             }
         }
@@ -174,6 +180,7 @@ pub fn build_service(options: &Options) -> Result<SweepService, String> {
         cost_budget_ms: options.cost_budget_ms,
         cost_per_scenario_ms: None,
         coalesce: options.coalesce,
+        steal: options.steal,
     };
     Ok(SweepService::new(backend, &config).with_registry(registry))
 }
@@ -187,8 +194,8 @@ pub fn run(args: &[String]) -> ExitCode {
             eprintln!(
                 "usage: repro serve [--addr HOST:PORT | --socket PATH] [--shards N] [--threads N] \
                  [--backend analytic|comm|sim|measured] [--batch N] [--no-cache] [--loops N] \
-                 [--executors N] [--queue N] [--cost-budget MS] [--no-coalesce] [--jobs-dir DIR] \
-                 [--fail-nth N] [--fault-latency-ms MS]"
+                 [--executors N] [--queue N] [--cost-budget MS] [--no-coalesce] [--no-steal] \
+                 [--jobs-dir DIR] [--fail-nth N] [--fault-latency-ms MS]"
             );
             return ExitCode::FAILURE;
         }
@@ -286,6 +293,8 @@ mod tests {
         .unwrap();
         assert_eq!((sized.event_loops, sized.executors, sized.queue_capacity), (2, 6, 32));
         assert!(sized.coalesce, "coalescing defaults on");
+        assert!(sized.steal, "work stealing defaults on");
+        assert!(!parse(&["--no-steal".to_string()]).unwrap().steal);
 
         let planned =
             parse(&["--cost-budget".to_string(), "1500".to_string(), "--no-coalesce".to_string()])

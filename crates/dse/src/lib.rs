@@ -71,6 +71,7 @@ mod mem;
 pub mod merge;
 pub mod scenario;
 pub mod tables;
+pub mod units;
 
 /// Commonly used items.
 pub mod prelude {

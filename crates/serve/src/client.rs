@@ -576,3 +576,113 @@ fn unexpected(wanted: &str, got: &Response) -> ClientError {
     };
     err(format!("expected {wanted} response, got {label}"))
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_delay_is_deterministic_and_jittered_within_half_to_three_halves() {
+        let policy = RetryPolicy::backoff_ms(10, 1_000);
+        for attempt in 1..=12u32 {
+            for salt in [0u64, 1, 42, u64::MAX] {
+                let a = policy.delay(attempt, salt, 0.0);
+                let b = policy.delay(attempt, salt, 0.0);
+                assert_eq!(a, b, "same (attempt, salt) must reproduce exactly");
+                // Nominal for this attempt: base * 2^(n-1) capped.
+                let nominal = Duration::from_millis(10)
+                    .saturating_mul(1u32.checked_shl(attempt - 1).unwrap_or(u32::MAX))
+                    .min(Duration::from_millis(1_000));
+                let ratio = a.as_secs_f64() / nominal.as_secs_f64();
+                assert!(
+                    (0.5..1.5).contains(&ratio),
+                    "attempt {attempt} salt {salt}: jitter factor {ratio} outside [0.5, 1.5)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retry_delay_doubles_then_saturates_at_the_cap() {
+        let policy = RetryPolicy::backoff_ms(10, 1_000);
+        // Compare jitter-free nominals by dividing the jitter back out:
+        // same (attempt, salt) → same factor, so fix the salt and recover
+        // the nominal from a second policy with a huge cap.
+        let uncapped = RetryPolicy::backoff_ms(10, u64::MAX / 4);
+        for attempt in 1..=7u32 {
+            // 10ms * 2^6 = 640ms < 1s: no cap engaged yet, identical.
+            let capped = policy.delay(attempt, 7, 0.0);
+            let free = uncapped.delay(attempt, 7, 0.0);
+            assert_eq!(capped, free, "attempt {attempt} below the cap");
+        }
+        // Far past the cap the schedule is flat: attempts 9 and 10 differ
+        // only in jitter, never exceeding cap * 1.5.
+        for attempt in [9u32, 10, 33, 64, 1_000] {
+            let d = policy.delay(attempt, 7, 0.0);
+            assert!(
+                d <= Duration::from_millis(1_500),
+                "attempt {attempt}: {d:?} exceeds the jittered cap"
+            );
+            assert!(d >= Duration::from_millis(500), "attempt {attempt}: cap floor holds");
+        }
+    }
+
+    #[test]
+    fn retry_delay_shift_saturation_keeps_high_attempts_finite() {
+        // 2^(n-1) overflows u32 from attempt 33 on; checked_shl saturates
+        // the multiplier to u32::MAX and saturating_mul pins the product,
+        // so the cap rules — no wrap back to tiny delays.
+        let policy = RetryPolicy::backoff_ms(1, 2_000);
+        let at_32 = policy.delay(32, 5, 0.0);
+        for attempt in [33u32, 40, 1_000, u32::MAX] {
+            let d = policy.delay(attempt, 5, 0.0);
+            assert!(
+                (Duration::from_millis(1_000)..=Duration::from_millis(3_000)).contains(&d),
+                "attempt {attempt}: saturated delay {d:?} stays at the jittered cap"
+            );
+        }
+        assert!(at_32 >= Duration::from_millis(1_000), "already capped at attempt 32");
+    }
+
+    #[test]
+    fn retry_delay_floors_at_half_the_estimated_cost_capped() {
+        let policy = RetryPolicy::backoff_ms(1, 1_000);
+        // A 10s backlog hint floors the first retry at cost/2 = 5s, which
+        // the cap then pins to 1s (jittered to at most 1.5s).
+        let hinted = policy.delay(1, 3, 10_000.0);
+        assert!(hinted >= Duration::from_millis(500), "floor engaged: {hinted:?}");
+        assert!(hinted <= Duration::from_millis(1_500), "cap bounds the floor: {hinted:?}");
+        // A modest hint floors early attempts without touching the cap:
+        // nominal = max(1ms * 2^0, 40ms / 2) = 20ms.
+        let modest = policy.delay(1, 3, 40.0);
+        assert!(
+            (Duration::from_millis(10)..Duration::from_millis(30)).contains(&modest),
+            "20ms nominal, jittered: {modest:?}"
+        );
+        // Negative and NaN-free zero hints degrade to the exponential term.
+        let plain = policy.delay(1, 3, 0.0);
+        let negative = policy.delay(1, 3, -7.0);
+        assert_eq!(plain, negative, "negative hints clamp to no floor");
+    }
+
+    #[test]
+    fn retry_jitter_seed_mixes_salt_and_attempt() {
+        let policy = RetryPolicy::backoff_ms(100, 100_000);
+        // Distinct salts de-correlate concurrent retriers on one attempt.
+        let salts: Vec<Duration> = (0..16).map(|s| policy.delay(3, s * 7_919, 0.0)).collect();
+        let distinct = salts.iter().collect::<std::collections::BTreeSet<_>>().len();
+        assert!(distinct >= 15, "salted jitter must not collide in lockstep: {distinct}/16");
+        // The `| 1` in the seed keeps the degenerate salt/attempt mix that
+        // would zero the xorshift state alive: salt chosen so
+        // salt ^ (attempt * GOLDEN) == 0 without it.
+        let attempt = 2u32;
+        let zeroing_salt = u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let d = policy.delay(attempt, zeroing_salt, 0.0);
+        let nominal = Duration::from_millis(200);
+        let ratio = d.as_secs_f64() / nominal.as_secs_f64();
+        assert!(
+            (0.5..1.5).contains(&ratio),
+            "zero-seed guard still jitters within bounds: {ratio}"
+        );
+    }
+}

@@ -436,6 +436,7 @@ impl JobManager {
         };
         let started = Instant::now();
         let mut restored = 0usize;
+        let mut collected: Vec<PathBuf> = Vec::new();
         for entry in entries.flatten() {
             let path = entry.path();
             if path.extension().and_then(|e| e.to_str()) != Some("manifest") {
@@ -494,7 +495,21 @@ impl JobManager {
             });
             self.jobs.lock().insert(manifest.id, job);
             restored += 1;
+            // A completed manifest is a GC the previous process crashed out
+            // of (completion normally collects it immediately): the job
+            // stays queryable in memory, the file goes.
+            if state == JobState::Completed {
+                collected.push(path);
+            }
         }
+        for path in collected {
+            if let Err(e) = std::fs::remove_file(&path) {
+                mp_obs::warn("jobs", &format!("manifest GC {} failed: {e}", path.display()));
+            }
+        }
+        // With every manifest collected there is nothing left to resume:
+        // prune the orphaned segments before warming from them.
+        Self::prune_orphan_segments(dir);
         let warmed = self.service.load_cache_segments(dir);
         if restored > 0 || warmed > 0 {
             mp_obs::warn(
@@ -743,7 +758,11 @@ impl JobManager {
             inner.state = JobState::Completed;
         }
         mp_obs::gauge("jobs_active").sub(1);
+        // Final durable status write first, then collect the artifacts: a
+        // crash between the two re-runs the GC on restore, never loses the
+        // completion record.
         manager.checkpoint(job);
+        manager.gc_terminal(job);
     }
 
     fn park_failed(&self, job: &Arc<Job>, reason: String) {
@@ -798,6 +817,44 @@ impl JobManager {
         let path = dir.join(format!("{}.manifest", job.id));
         if let Err(e) = atomic_write(&path, &job.manifest().to_bytes()) {
             mp_obs::warn("jobs", &format!("manifest write {} failed: {e}", path.display()));
+        }
+    }
+
+    /// Collect a completed job's durable artifacts *after* its final
+    /// checkpoint committed the terminal state: remove the manifest, then
+    /// — once the directory holds no manifest at all — the shared cache
+    /// segments (a segment is only a warm start for some manifest's
+    /// resume; with none left it is an orphan). Only `completed` jobs are
+    /// collected: `cancelled`/`failed` manifests are the durable resume
+    /// points `job_resume` honours across restarts.
+    fn gc_terminal(&self, job: &Arc<Job>) {
+        let Some(dir) = &self.dir else { return };
+        let manifest = dir.join(format!("{}.manifest", job.id));
+        if let Err(e) = std::fs::remove_file(&manifest) {
+            mp_obs::warn("jobs", &format!("manifest GC {} failed: {e}", manifest.display()));
+            return;
+        }
+        Self::prune_orphan_segments(dir);
+    }
+
+    /// Delete spilled cache segments — and stray `.tmp` leftovers of torn
+    /// [`atomic_write`]s — once no manifest remains to resume from. Keeps
+    /// everything while *any* manifest file exists, even an unreadable
+    /// one: a conservative reader cannot tell a damaged resume point from
+    /// a foreign file, and segments are cheap to keep by comparison.
+    fn prune_orphan_segments(dir: &Path) {
+        let Ok(entries) = std::fs::read_dir(dir) else { return };
+        let mut orphans = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            match path.extension().and_then(|e| e.to_str()) {
+                Some("manifest") => return,
+                Some("seg") | Some("tmp") => orphans.push(path),
+                _ => {}
+            }
+        }
+        for path in orphans {
+            let _ = std::fs::remove_file(&path);
         }
     }
 }

@@ -64,6 +64,7 @@ pub mod jobs;
 pub mod planner;
 pub mod protocol;
 pub mod reactor;
+mod sched;
 pub mod server;
 pub mod service;
 

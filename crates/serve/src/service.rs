@@ -1,17 +1,22 @@
-//! The resident sweep service: sharded engines behind admission queues.
+//! The resident sweep service: sharded engines behind a work-stealing
+//! scheduler.
 //!
 //! A [`SweepService`] owns `shards` long-lived [`Engine`]s, each with its own
-//! lock-free memoisation cache and worker pool, fed by one admission queue
-//! per shard. A sweep query is split along the space's flat index order into
-//! the shards' static **bands** (shard `i` always owns the `i`-th contiguous
-//! slice of a given space), so repeated or overlapping queries land every
-//! scenario on the shard that cached it — the warm-cache hit rate survives
-//! sharding. Partial results merge back in index order through the
-//! Merge-Path partitioned merge ([`mp_dse::merge`]), which makes a
-//! sharded service answer **bit-identical** to a direct [`Engine::sweep`]
-//! over the same space: every scenario's value is a deterministic function
-//! of the scenario and backend alone, independent of batch or shard
-//! boundaries.
+//! lock-free memoisation cache and worker pool. A sweep query is split along
+//! the space's flat index order into cost-sized **work units**
+//! ([`mp_dse::units`]) routed to each unit's **home shard** — the shard
+//! whose cache placement (`sched::Placement`) owns that slice of
+//! the space, initially the static `chunk_range` bands — so repeated or
+//! overlapping queries land every scenario on the shard that cached it.
+//! Any idle worker may **steal** queued units off another shard's deque
+//! (`sched`); a stolen unit still evaluates against its home
+//! shard's engine, so stealing moves CPU without moving cache placement,
+//! and persistent steal pressure re-bands placement adaptively. Unit
+//! results fuse back in index order through the Merge-Path partitioned
+//! merge ([`mp_dse::merge`]), which makes a sharded, stolen sweep answer
+//! **bit-identical** to a direct [`Engine::sweep`] over the same space:
+//! every scenario's value is a deterministic function of the scenario and
+//! backend alone, independent of batch, unit or shard boundaries.
 //!
 //! Between the callers and the shards sits the **query planner**
 //! ([`crate::planner`]): concurrent queries over the same prepared space
@@ -31,14 +36,14 @@
 //!
 //! [`SpaceTables`]: mp_dse::tables::SpaceTables
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::ops::Range;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::unbounded;
 use mp_obs::hist::Histogram;
 use mp_obs::metrics::{Counter, Gauge};
 use mp_obs::profile::{thread_lane, Profiler};
@@ -54,13 +59,13 @@ use mp_dse::merge::merge_runs;
 use mp_dse::scenario::ScenarioSpace;
 use mp_model::catalogue::CatalogueRegistry;
 use mp_model::explore::Curve;
-use mp_par::pool::chunk_range;
 
 use crate::planner::{BuildRole, BuildTable, Coalescer, CostModel, PlanKey, Role};
 use crate::protocol::{
     to_wire, CatalogueEntry, Request, Response, ServiceStats, ShardStats, SpaceSpec, DEFAULT_CHUNK,
     PROTOCOL_VERSION,
 };
+use crate::sched::{Placement, Scheduler, UnitDone, WorkUnit};
 
 /// Queries rejected by admission control with a retryable
 /// [`Response::Busy`].
@@ -76,9 +81,9 @@ fn obs_queue_depth() -> &'static Gauge {
     CELL.get_or_init(|| mp_obs::gauge("executor_queue_depth"))
 }
 
-/// Time a shard job spent in its admission queue before a worker picked it
-/// up, milliseconds.
-fn obs_queue_wait_ms() -> &'static Histogram {
+/// Time a work unit spent on its home shard's deque before a worker
+/// (home or thief) picked it up, milliseconds.
+pub(crate) fn obs_queue_wait_ms() -> &'static Histogram {
     static CELL: OnceLock<Arc<Histogram>> = OnceLock::new();
     CELL.get_or_init(|| mp_obs::histogram_ms("serve_queue_wait_ms"))
 }
@@ -148,6 +153,12 @@ pub struct ServiceConfig {
     /// coalesce onto one shared in-flight evaluation. On by default;
     /// disabled for uncoalesced baseline measurements.
     pub coalesce: bool,
+    /// Whether idle workers steal queued work units from other shards'
+    /// deques (and placement re-bands under persistent steal pressure).
+    /// On by default; disabled for static-band baseline measurements —
+    /// with stealing off every unit runs on its home shard's worker,
+    /// which is exactly the pre-scheduler banding.
+    pub steal: bool,
 }
 
 impl Default for ServiceConfig {
@@ -161,6 +172,7 @@ impl Default for ServiceConfig {
             cost_budget_ms: 30_000.0,
             cost_per_scenario_ms: None,
             coalesce: true,
+            steal: true,
         }
     }
 }
@@ -221,7 +233,7 @@ fn err(message: impl Into<String>) -> ServeError {
 }
 
 /// Best-effort human-readable reason from a caught panic payload.
-fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -235,33 +247,20 @@ fn busy(message: impl Into<String>, estimated_cost_ms: f64) -> ServeError {
     ServeError { kind: ServeErrorKind::Busy, message: message.into(), estimated_cost_ms }
 }
 
-/// One sweep assignment for a shard worker.
-struct ShardJob {
-    handle: Arc<SweepHandle<'static>>,
-    range: Range<usize>,
-    config: SweepConfig,
-    reply: Sender<(usize, Result<SweepResult, String>)>,
-    /// When the job entered the admission queue ([`mp_obs::monotonic_ns`]),
-    /// for the queue-wait histogram.
-    enqueued_ns: u64,
-    /// The estimated cost charged against the shard's admission budget at
-    /// submit time, microseconds. Stored on the job so the worker credits
-    /// back exactly what submission debited, whatever the model says later.
-    cost_us: u64,
-}
-
-/// One shard: a long-lived engine plus its admission queue.
+/// One shard: a long-lived engine plus its admission gauges. The worker
+/// threads live in the scheduler ([`crate::sched::Scheduler`]), which owns
+/// one deque per shard over these same engines.
 struct Shard {
     engine: Arc<Engine>,
-    queue: Sender<ShardJob>,
-    /// Sweeps queued or running on this shard — the admission-control gauge.
-    /// Incremented at enqueue, decremented by the worker after it replies.
-    depth: Arc<std::sync::atomic::AtomicUsize>,
-    /// Estimated evaluation cost of the shard's queued-or-running jobs,
-    /// microseconds — what the cost-based admission gate budgets. Debited
-    /// at enqueue, credited by the worker after it replies.
-    pending_cost_us: Arc<AtomicU64>,
-    worker: Option<std::thread::JoinHandle<()>>,
+    /// Sweeps queued or running whose units are homed on this shard — the
+    /// admission-control gauge. Debited once per query at dispatch,
+    /// credited by the submitting caller when the shard's last homed unit
+    /// of that query completes.
+    depth: std::sync::atomic::AtomicUsize,
+    /// Estimated evaluation cost of the shard's queued-or-running homed
+    /// units, microseconds — what the cost-based admission gate budgets.
+    /// Debited per unit at dispatch, credited per completed unit.
+    pending_cost_us: AtomicU64,
 }
 
 /// Maximum prepared sweep snapshots kept resident. The cache key (the query
@@ -295,10 +294,26 @@ impl PreparedCache {
     }
 }
 
+/// The placement cache: one [`Placement`] per prepared-space fingerprint,
+/// bounded like the prepared-handle cache. Placements outlive individual
+/// queries — that is what lets adaptive re-banding learn a skewed mix and
+/// keep routing repeat queries to the cache that warmed for them.
+#[derive(Default)]
+struct PlacementCache {
+    placements: HashMap<u64, Arc<Placement>>,
+    /// Keys in use order, least recently used first.
+    order: Vec<u64>,
+}
+
 /// The resident, sharded sweep service. See the module docs.
 pub struct SweepService {
     backend: Arc<dyn EvalBackend + Send + Sync>,
     shards: Vec<Shard>,
+    /// The work-stealing scheduler: one worker and one deque per shard
+    /// over the shards' engines. Its own `Drop` drains and joins the
+    /// workers, so the service needs no teardown of its own.
+    sched: Scheduler,
+    placements: Mutex<PlacementCache>,
     prepared: Mutex<PreparedCache>,
     /// In-flight table builds, so racing first queries over the same new
     /// space share one [`SpaceTables`] construction.
@@ -332,8 +347,8 @@ impl std::fmt::Debug for SweepService {
 }
 
 impl SweepService {
-    /// Start a service evaluating with `backend`: spawns one admission-queue
-    /// worker per shard, each owning an engine with
+    /// Start a service evaluating with `backend`: spawns the work-stealing
+    /// scheduler's one worker per shard, each shard owning an engine with
     /// [`ServiceConfig::threads_per_shard`] sweep workers.
     pub fn new(backend: Arc<dyn EvalBackend + Send + Sync>, config: &ServiceConfig) -> Self {
         assert!(config.shards > 0, "service needs at least one shard");
@@ -343,7 +358,7 @@ impl SweepService {
         assert!(config.cost_budget_ms > 0.0, "cost budget must be positive");
         // Register the core series now: a scrape must see `busy_rejections`
         // at zero on an idle server, not have the series appear at the first
-        // rejection. Same for the planner's series.
+        // rejection. Same for the planner's and the scheduler's series.
         obs_busy_rejections();
         obs_queue_depth();
         obs_queue_wait_ms();
@@ -351,76 +366,20 @@ impl SweepService {
         crate::planner::obs_shared_scenarios();
         crate::planner::obs_cost_rejections();
         crate::planner::obs_merge_ms();
-        let backend_for_shards = Arc::clone(&backend);
-        let shards = (0..config.shards)
-            .map(|index| {
-                let engine = Arc::new(Engine::new(config.threads_per_shard));
-                let (queue, jobs) = unbounded::<ShardJob>();
-                let depth = Arc::new(std::sync::atomic::AtomicUsize::new(0));
-                let pending_cost_us = Arc::new(AtomicU64::new(0));
-                let worker_engine = Arc::clone(&engine);
-                let worker_backend = Arc::clone(&backend_for_shards);
-                let worker_depth = Arc::clone(&depth);
-                let worker_pending = Arc::clone(&pending_cost_us);
-                let worker = std::thread::Builder::new()
-                    .name(format!("mp-serve-shard-{index}"))
-                    .spawn(move || {
-                        while let Ok(job) = jobs.recv() {
-                            let waited_ns = mp_obs::monotonic_ns().saturating_sub(job.enqueued_ns);
-                            obs_queue_wait_ms().record(waited_ns as f64 / 1e6);
-                            let profiler = Profiler::global();
-                            let _span = profiler.is_enabled().then(|| {
-                                profiler.span(
-                                    &format!(
-                                        "shard {index} sweep {}..{}",
-                                        job.range.start, job.range.end
-                                    ),
-                                    "serve",
-                                    index as u64,
-                                )
-                            });
-                            // Contain backend panics to the *sweep*, not the
-                            // shard: a panicking backend (a flaky model, an
-                            // injected fault) turns into an error reply and
-                            // the worker lives on to serve the next job —
-                            // without this, one bad batch would silently
-                            // retire the shard and every later query would
-                            // fail with "shard worker has exited".
-                            let result =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    worker_engine.sweep_range(
-                                        &job.handle,
-                                        worker_backend.as_ref(),
-                                        &job.config,
-                                        job.range.clone(),
-                                    )
-                                }))
-                                .map_err(|payload| {
-                                    let reason = panic_reason(payload.as_ref());
-                                    mp_obs::warn(
-                                        "serve",
-                                        &format!(
-                                            "shard {index} sweep {}..{} panicked: {reason}",
-                                            job.range.start, job.range.end
-                                        ),
-                                    );
-                                    reason
-                                });
-                            // A dropped reply receiver just means the querying
-                            // connection went away mid-sweep.
-                            let _ = job.reply.send((job.range.start, result));
-                            worker_depth.fetch_sub(1, Ordering::Release);
-                            worker_pending.fetch_sub(job.cost_us, Ordering::Release);
-                            obs_queue_depth().sub(1);
-                        }
-                    })
-                    .expect("failed to spawn shard worker");
-                Shard { engine, queue, depth, pending_cost_us, worker: Some(worker) }
+        let shards: Vec<Shard> = (0..config.shards)
+            .map(|_| Shard {
+                engine: Arc::new(Engine::new(config.threads_per_shard)),
+                depth: std::sync::atomic::AtomicUsize::new(0),
+                pending_cost_us: AtomicU64::new(0),
             })
             .collect();
+        let engines = shards.iter().map(|shard| Arc::clone(&shard.engine)).collect();
+        let sched = Scheduler::new(engines, Arc::clone(&backend), config.steal);
         SweepService {
             backend,
             shards,
+            sched,
+            placements: Mutex::new(PlacementCache::default()),
             prepared: Mutex::new(PreparedCache::default()),
             builds: BuildTable::default(),
             coalescer: Coalescer::default(),
@@ -671,22 +630,44 @@ impl SweepService {
         self.sweep_prepared(handle, range)
     }
 
-    /// The shards participating in `range` of an `n`-scenario space: each
-    /// shard's static band intersected with the query range, empty
-    /// intersections skipped. Admission, job submission and cache
-    /// reservation all walk this one decomposition, so the three can never
-    /// drift apart on what "participating" means.
-    fn band_slices<'a>(
-        &'a self,
-        n: usize,
-        range: &'a Range<usize>,
-    ) -> impl Iterator<Item = (usize, &'a Shard, Range<usize>)> + 'a {
-        let shards = self.shards.len();
-        self.shards.iter().enumerate().filter_map(move |(index, shard)| {
-            let band = chunk_range(index, shards, n);
-            let slice = band.start.max(range.start)..band.end.min(range.end);
-            (!slice.is_empty()).then_some((index, shard, slice))
-        })
+    /// The durable cache placement of `handle`'s space: fingerprint-keyed,
+    /// LRU-bounded like the prepared-handle cache. Fresh placements
+    /// reproduce the static bands; adaptive re-banding then mutates them
+    /// in place, which is why the same `Arc` must be handed to every query
+    /// over the space. A fingerprint collision (placement built for a
+    /// different-length space) falls back to a fresh uncached placement.
+    fn placement(&self, handle: &SweepHandle<'static>) -> Arc<Placement> {
+        let key = handle.fingerprint();
+        let mut placements = self.placements.lock();
+        if let Some(placement) = placements.placements.get(&key) {
+            if placement.len() == handle.len() {
+                let placement = Arc::clone(placement);
+                placements.order.retain(|&k| k != key);
+                placements.order.push(key);
+                return placement;
+            }
+            return Arc::new(Placement::new(handle.len(), self.shards.len()));
+        }
+        let placement = Arc::new(Placement::new(handle.len(), self.shards.len()));
+        placements.placements.insert(key, Arc::clone(&placement));
+        placements.order.push(key);
+        while placements.placements.len() > MAX_PREPARED {
+            let evict = placements.order.remove(0);
+            placements.placements.remove(&evict);
+        }
+        placement
+    }
+
+    /// Scenarios of `range` homed on each participating shard, shard-keyed
+    /// and deterministic. Admission, cache reservation and unit dispatch
+    /// all derive from the same [`Placement::bands`] decomposition, so the
+    /// three can never drift apart on what "participating" means.
+    fn homed_scenarios(placement: &Placement, range: &Range<usize>) -> BTreeMap<usize, usize> {
+        let mut homed: BTreeMap<usize, usize> = BTreeMap::new();
+        for (home, slice, _) in placement.bands(range) {
+            *homed.entry(home).or_default() += slice.len();
+        }
+        homed
     }
 
     /// The admission gate, checked once per *query* — the windows of an
@@ -711,7 +692,9 @@ impl SweepService {
     fn admit(&self, handle: &SweepHandle<'static>, range: &Range<usize>) -> Result<(), ServeError> {
         let per_scenario_ms = self.cost_model.cost_per_scenario_ms();
         let query_cost_ms = range.len() as f64 * per_scenario_ms;
-        for (index, shard, slice) in self.band_slices(handle.len(), range) {
+        let placement = self.placement(handle);
+        for (index, scenarios) in Self::homed_scenarios(&placement, range) {
+            let shard = &self.shards[index];
             let depth = shard.depth.load(Ordering::Acquire);
             if depth >= self.queue_capacity {
                 obs_busy_rejections().inc();
@@ -724,7 +707,7 @@ impl SweepService {
                 ));
             }
             let pending_ms = shard.pending_cost_us.load(Ordering::Acquire) as f64 / 1e3;
-            let slice_ms = slice.len() as f64 * per_scenario_ms;
+            let slice_ms = scenarios as f64 * per_scenario_ms;
             if pending_ms > 0.0 && pending_ms + slice_ms > self.cost_budget_ms {
                 crate::planner::obs_cost_rejections().inc();
                 obs_busy_rejections().inc();
@@ -745,7 +728,7 @@ impl SweepService {
     /// sweeps, streaming windows, analysis queries) funnels its admitted,
     /// validated ranges through here. When coalescing is on, concurrent
     /// calls with the same `(prepared-space fingerprint, range)` key share
-    /// one banded evaluation: the first becomes the leader and evaluates,
+    /// one scheduled evaluation: the first becomes the leader and evaluates,
     /// the rest block and receive the published result — records
     /// bit-identical, follower stats marked [`SweepStats::coalesced`] so
     /// the shared work is counted once by aggregators but still reported to
@@ -756,12 +739,12 @@ impl SweepService {
         range: Range<usize>,
     ) -> Result<SweepResult, ServeError> {
         if !self.coalesce || range.is_empty() {
-            return self.sweep_banded(handle, range);
+            return self.sweep_scheduled(handle, range);
         }
         let key = PlanKey { fingerprint: handle.fingerprint(), start: range.start, end: range.end };
         match self.coalescer.join(key) {
             Role::Leader => {
-                let result = self.sweep_banded(handle, range).map(Arc::new);
+                let result = self.sweep_scheduled(handle, range).map(Arc::new);
                 self.coalescer.publish(&key, &result);
                 // No follower joined: the published Arc is already dropped
                 // and the result is returned without a copy.
@@ -781,60 +764,111 @@ impl SweepService {
         }
     }
 
-    /// The banded sweep core: split `range` along the shards' static bands,
-    /// enqueue one job per participating shard, recombine the partial
-    /// results into index order with the Merge-Path partitioned merge. No
-    /// admission check — callers gate first.
-    fn sweep_banded(
+    /// The scheduled sweep core: decompose `range` into cost-sized work
+    /// units along the placement's cache bands, submit them to the
+    /// work-stealing scheduler, and fuse the completed units back into
+    /// index order with the Merge-Path partitioned merge — bit-identical
+    /// to evaluating the range in one piece, whichever worker ran each
+    /// unit. No admission check — callers gate first.
+    fn sweep_scheduled(
         &self,
         handle: &Arc<SweepHandle<'static>>,
         range: Range<usize>,
     ) -> Result<SweepResult, ServeError> {
         let started = Instant::now();
-        let n = handle.len();
         let per_scenario_ms = self.cost_model.cost_per_scenario_ms();
-        // Intersect the request with each shard's static band of the full
-        // space, so a scenario always lands on the same shard's cache no
-        // matter how the request is windowed.
+        let placement = self.placement(handle);
+        let span = mp_dse::units::unit_span(per_scenario_ms);
         let (reply, replies) = unbounded();
-        let mut outstanding = 0usize;
-        for (_, shard, slice) in self.band_slices(n, &range) {
-            let cost_us = (slice.len() as f64 * per_scenario_ms * 1e3) as u64;
-            shard.depth.fetch_add(1, Ordering::AcqRel);
-            shard.pending_cost_us.fetch_add(cost_us, Ordering::AcqRel);
-            obs_queue_depth().add(1);
-            if shard
-                .queue
-                .send(ShardJob {
-                    handle: Arc::clone(handle),
-                    range: slice,
-                    config: self.sweep_config,
-                    reply: reply.clone(),
-                    enqueued_ns: mp_obs::monotonic_ns(),
+
+        // Decompose along the placement's cache bands first — every unit
+        // gets exactly one home shard whose cache owns its scenarios — and
+        // then into cost-sized units within each band, so a scenario lands
+        // on the same shard's cache no matter how the request is windowed.
+        let mut units: Vec<WorkUnit> = Vec::new();
+        let mut homes: BTreeMap<usize, usize> = BTreeMap::new();
+        for (home, band, _) in placement.bands(&range) {
+            for unit_range in mp_dse::units::split_units(band, span) {
+                let cost_us = (unit_range.len() as f64 * per_scenario_ms * 1e3) as u64;
+                *homes.entry(home).or_insert(0) += 1;
+                let segments = placement.segments_of(&unit_range);
+                units.push(WorkUnit::new(
+                    Arc::clone(handle),
+                    unit_range,
+                    segments,
+                    home,
+                    self.sweep_config,
+                    Arc::clone(&placement),
+                    reply.clone(),
                     cost_us,
-                })
-                .is_err()
-            {
-                shard.depth.fetch_sub(1, Ordering::Release);
-                shard.pending_cost_us.fetch_sub(cost_us, Ordering::Release);
-                obs_queue_depth().sub(1);
-                return Err(err("shard worker has exited"));
+                ));
             }
-            outstanding += 1;
         }
         drop(reply);
 
-        // Drain *every* outstanding reply before ruling on errors: the
-        // workers credit the admission gauges as they reply, and the other
-        // shards' partial results (already inserted into their caches) are
-        // deterministic, so a retried query re-reads them warm.
+        // Debit the admission gauges before dispatch: one queue-depth slot
+        // per participating *home* shard (what `admit` gates on) plus each
+        // unit's pending cost against its home. Stolen units still debit
+        // the home — the admission budget models cache placement, not
+        // whichever worker happens to execute.
+        for &home in homes.keys() {
+            self.shards[home].depth.fetch_add(1, Ordering::AcqRel);
+            obs_queue_depth().add(1);
+        }
+        for unit in &units {
+            self.shards[unit.home].pending_cost_us.fetch_add(unit.cost_us, Ordering::AcqRel);
+        }
+        // Snapshot warm-cache state at dispatch: entries resident in the
+        // participating homes' caches, each home counted once per sweep —
+        // summing per unit (or per executing worker) would inflate it.
+        let warm_entries: usize = if self.sweep_config.use_cache {
+            homes.keys().map(|&home| self.shards[home].engine.cache().len()).sum()
+        } else {
+            0
+        };
+        let outstanding = units.len();
+        let mut remaining: BTreeMap<usize, usize> = homes.clone();
+        if let Err(units) = self.sched.submit(units) {
+            for unit in &units {
+                self.shards[unit.home].pending_cost_us.fetch_sub(unit.cost_us, Ordering::Release);
+            }
+            for &home in homes.keys() {
+                self.shards[home].depth.fetch_sub(1, Ordering::Release);
+                obs_queue_depth().sub(1);
+            }
+            return Err(err("the sweep scheduler has shut down"));
+        }
+
+        // Drain *every* outstanding reply before ruling on errors: unit
+        // results are already inserted into their home shards' caches and
+        // are deterministic, so a retried query re-reads them warm. The
+        // *caller* credits the admission gauges — a unit is done for
+        // backpressure purposes only once its result is collected, whether
+        // its home worker or a thief evaluated it.
         let mut partials: Vec<(usize, SweepResult)> = Vec::with_capacity(outstanding);
         let mut failure: Option<String> = None;
+        let mut threads_by_home: BTreeMap<usize, usize> = BTreeMap::new();
         for _ in 0..outstanding {
-            let (start, result) =
-                replies.recv().map_err(|_| err("shard worker dropped a sweep reply"))?;
-            match result {
-                Ok(partial) => partials.push((start, partial)),
+            let done: UnitDone =
+                replies.recv().map_err(|_| err("the scheduler dropped a sweep reply"))?;
+            self.shards[done.home].pending_cost_us.fetch_sub(done.cost_us, Ordering::Release);
+            if let Some(left) = remaining.get_mut(&done.home) {
+                *left -= 1;
+                if *left == 0 {
+                    remaining.remove(&done.home);
+                    self.shards[done.home].depth.fetch_sub(1, Ordering::Release);
+                    obs_queue_depth().sub(1);
+                }
+            }
+            match done.result {
+                Ok(partial) => {
+                    // Distinct evaluation lanes per home, not per unit: a
+                    // home's units run one at a time on some worker, so its
+                    // thread count is the max any of its units saw.
+                    let lanes = threads_by_home.entry(done.home).or_insert(0);
+                    *lanes = (*lanes).max(partial.stats.threads);
+                    partials.push((done.start, partial));
+                }
                 Err(reason) => failure = Some(reason),
             }
         }
@@ -842,9 +876,11 @@ impl SweepService {
             return Err(err(format!("sweep evaluation failed: {reason}")));
         }
 
-        // Merge-Path recombination: the band runs are index-sorted and
-        // disjoint, and the partitioned merge is bit-identical to a stable
-        // sequential merge whatever order the replies arrived in.
+        // Fusion merge: unit runs are index-sorted and disjoint, so after
+        // ordering them by start index the Merge-Path recombination is
+        // bit-identical to a stable sequential merge whatever order (and
+        // on whichever worker) the units ran.
+        partials.sort_unstable_by_key(|&(start, _)| start);
         let merge_started = Instant::now();
         let runs: Vec<&[EvalRecord]> =
             partials.iter().map(|(_, partial)| partial.records.as_slice()).collect();
@@ -856,8 +892,8 @@ impl SweepService {
             valid: 0,
             cache_hits: 0,
             cache_misses: 0,
-            warm_entries: 0,
-            threads: 0,
+            warm_entries,
+            threads: threads_by_home.values().sum(),
             coalesced: false,
             elapsed_seconds: 0.0,
         };
@@ -866,8 +902,6 @@ impl SweepService {
             stats.valid += partial.stats.valid;
             stats.cache_hits += partial.stats.cache_hits;
             stats.cache_misses += partial.stats.cache_misses;
-            stats.warm_entries += partial.stats.warm_entries;
-            stats.threads += partial.stats.threads;
         }
         stats.elapsed_seconds = started.elapsed().as_secs_f64();
         debug_assert_eq!(stats.scenarios, range.len());
@@ -906,8 +940,9 @@ impl SweepService {
         // so the window-by-window inserts never rehash (and transiently
         // double) a table mid-stream.
         if self.sweep_config.use_cache {
-            for (_, shard, slice) in self.band_slices(handle.len(), &range) {
-                shard.engine.cache().reserve(slice.len());
+            let placement = self.placement(&handle);
+            for (&home, &scenarios) in &Self::homed_scenarios(&placement, &range) {
+                self.shards[home].engine.cache().reserve(scenarios);
             }
         }
         let chunk = if chunk == 0 { DEFAULT_CHUNK } else { chunk };
@@ -1151,27 +1186,6 @@ impl SweepService {
     }
 }
 
-impl Drop for SweepService {
-    fn drop(&mut self) {
-        // Closing the admission queues lets the shard workers drain and exit.
-        for shard in &mut self.shards {
-            shard.queue = closed_sender();
-        }
-        for shard in &mut self.shards {
-            if let Some(worker) = shard.worker.take() {
-                let _ = worker.join();
-            }
-        }
-    }
-}
-
-/// A sender whose receiver is already gone, used to drop a shard's live queue
-/// in place (plain `drop(shard.queue)` is impossible on a borrowed field).
-fn closed_sender<T>() -> Sender<T> {
-    let (sender, _) = unbounded();
-    sender
-}
-
 /// Validate a sweep range against a space length.
 fn check_range(range: &Range<usize>, n: usize) -> Result<(), ServeError> {
     if range.start > range.end || range.end > n {
@@ -1263,6 +1277,32 @@ mod tests {
                 assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
             }
             assert_eq!(served.stats.scenarios, space.len());
+        }
+    }
+
+    #[test]
+    fn one_scenario_spaces_sweep_cleanly_at_any_shard_count() {
+        // The old `band_slices` silently yielded nothing for trailing
+        // shards when n < shards; a 1-scenario space must still evaluate
+        // its one scenario, warm one cache, and answer repeats from it.
+        let space = ScenarioSpace::new().clear_designs().add_symmetric_grid([2.0]);
+        assert_eq!(space.len(), 1);
+        let direct = Engine::new(1).sweep(&space, &AnalyticBackend, &SweepConfig::default());
+        for shards in [1usize, 4, 8] {
+            let service = service(shards);
+            let cold = service.sweep(&space, None).unwrap();
+            assert_eq!(cold.records.len(), 1, "{shards} shards");
+            assert_eq!(cold.records[0].speedup.to_bits(), direct.records[0].speedup.to_bits());
+            assert_eq!(cold.stats.scenarios, 1);
+            let warm = service.sweep(&space, None).unwrap();
+            assert_eq!(warm.stats.cache_hits, 1, "{shards} shards answer repeats warm");
+            assert_eq!(warm.stats.cache_misses, 0);
+            assert_eq!(warm.records[0].speedup.to_bits(), direct.records[0].speedup.to_bits());
+            // Streaming path, same degenerate shape.
+            let mut ticket = service.begin_sweep(&space, 0..1, 0).unwrap();
+            let window = service.next_window(&mut ticket).unwrap().expect("one window");
+            assert_eq!(window.len(), 1);
+            assert!(service.next_window(&mut ticket).unwrap().is_none());
         }
     }
 

@@ -96,6 +96,33 @@ fn wait_manifest(path: &std::path::Path, state: &str) -> Manifest {
     }
 }
 
+/// Wait for the jobs dir to settle clean: no manifests, cache segments or
+/// `.tmp` leftovers. The completion GC runs just after the final status
+/// checkpoint, so a settled status can precede the unlinks by a moment.
+fn wait_clean(dir: &std::path::Path) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let leftovers: Vec<String> = std::fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .map(|e| e.file_name().to_string_lossy().into_owned())
+                    .filter(|name| {
+                        name.ends_with(".manifest")
+                            || name.ends_with(".seg")
+                            || name.ends_with(".tmp")
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        if leftovers.is_empty() {
+            return;
+        }
+        assert!(Instant::now() < deadline, "jobs dir never came clean; leftovers: {leftovers:?}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
 /// Fast-backoff config so failure-path tests don't sleep for seconds.
 fn test_config(failure_cap: u32) -> JobConfig {
     JobConfig { checkpoint_every: 2, failure_cap, retry: RetryPolicy::backoff_ms(1, 4) }
@@ -120,11 +147,11 @@ fn submitted_job_completes_checkpoints_and_warms_the_cache() {
     assert_eq!(done.scenarios_completed, space.len());
     assert!(done.checkpoints >= 2, "cadence-2 over 8 windows checkpoints repeatedly: {done:?}");
 
-    // Durable artifacts: a valid manifest and per-shard cache segments.
-    let manifest = wait_manifest(&store.0.join(format!("{}.manifest", done.id)), "completed");
-    assert_eq!(manifest.completed.len(), 8);
-    assert!(store.0.join("cache-shard-0.seg").exists());
-    assert!(store.0.join("cache-shard-1.seg").exists());
+    // Completion garbage-collects the durable artifacts: the manifest and
+    // — with no other job left to resume — the spilled cache segments.
+    wait_clean(&store.0);
+    assert!(!store.0.join(format!("{}.manifest", done.id)).exists());
+    assert!(!store.0.join("cache-shard-0.seg").exists());
 
     // The job's product: a warm cache answering the whole space, records
     // bit-identical to a direct engine sweep.
@@ -227,6 +254,117 @@ fn cancel_is_graceful_and_a_cancelled_job_resumes_to_completion() {
     assert_eq!(done.windows_completed, done.windows_total);
     // Cancelling a completed job is refused.
     assert!(manager.cancel(&done.id).is_err());
+    // The cancelled manifest was a live resume point and survived; the
+    // eventual completion collects it along with the segments.
+    wait_clean(&store.0);
+}
+
+#[test]
+fn restart_after_completion_finds_a_clean_dir_and_sweeps_crash_leftovers() {
+    let store = StoreDir::new("gc-restart");
+    let space = space(256);
+    {
+        let service = service(2, Arc::new(AnalyticBackend));
+        let manager =
+            JobManager::new(Arc::clone(&service), Some(store.0.clone()), test_config(5)).unwrap();
+        let submitted = manager.submit(space.clone(), 0..space.len(), 64, 2).unwrap();
+        wait_for(&manager, &submitted.id, Duration::from_secs(30), |s| s.state == "completed");
+        wait_clean(&store.0);
+        manager.kill();
+    }
+
+    // Second process generation over the same dir: nothing to re-parse,
+    // nothing restored, dir still clean.
+    {
+        let service = service(2, Arc::new(AnalyticBackend));
+        let manager =
+            JobManager::new(Arc::clone(&service), Some(store.0.clone()), test_config(5)).unwrap();
+        assert!(manager.list().is_empty(), "a completed job leaves no manifest to restore");
+        wait_clean(&store.0);
+        manager.kill();
+    }
+
+    // Crash-equivalent leftovers: a *completed* manifest the previous
+    // process died before collecting, plus an orphaned cache segment and a
+    // torn tmp file. Fabricate the manifest by settling a real queued one.
+    {
+        let svc = service(2, Arc::new(AnalyticBackend));
+        let manager =
+            JobManager::new(Arc::clone(&svc), Some(store.0.clone()), test_config(5)).unwrap();
+        let submitted = manager.submit(space.clone(), 0..space.len(), 64, 2).unwrap();
+        wait_for(&manager, &submitted.id, Duration::from_secs(30), |s| s.state == "completed");
+        wait_clean(&store.0);
+        manager.kill();
+
+        let mut manifest = Manifest {
+            version: MANIFEST_VERSION.to_string(),
+            id: submitted.id.clone(),
+            fingerprint: String::new(),
+            start: 0,
+            end: space.len(),
+            window: 64,
+            checkpoint_every: 2,
+            state: "completed".to_string(),
+            reason: String::new(),
+            retries: 0,
+            checkpoints: 4,
+            completed: (0..4).collect(),
+            space: space.clone(),
+        };
+        // Round-trip a real queued manifest for the fingerprint the
+        // validator recomputes from the space.
+        let probe = JobManager::new(
+            service(2, Arc::new(AnalyticBackend)),
+            Some(store.0.clone()),
+            JobConfig { checkpoint_every: 1_000_000, ..test_config(5) },
+        )
+        .unwrap();
+        probe.kill();
+        manifest.fingerprint = {
+            let queued = probe.submit(space.clone(), 0..space.len(), 64, 1_000_000).unwrap();
+            let path = store.0.join(format!("{}.manifest", queued.id));
+            let parsed = wait_manifest(&path, "queued");
+            std::fs::remove_file(&path).unwrap();
+            parsed.fingerprint
+        };
+        drop(probe);
+        atomic_write(&store.0.join(format!("{}.manifest", manifest.id)), &manifest.to_bytes())
+            .unwrap();
+        std::fs::write(store.0.join("cache-shard-0.seg"), b"orphan").unwrap();
+        std::fs::write(store.0.join("j99999.manifest.tmp"), b"torn").unwrap();
+    }
+
+    // Restore sweeps all three leftovers but keeps the completion record
+    // queryable in memory.
+    let service = service(2, Arc::new(AnalyticBackend));
+    let manager =
+        JobManager::new(Arc::clone(&service), Some(store.0.clone()), test_config(5)).unwrap();
+    let restored = manager.list();
+    assert_eq!(restored.len(), 1, "the completed job restores in memory: {restored:?}");
+    assert_eq!(restored[0].state, "completed");
+    wait_clean(&store.0);
+}
+
+#[test]
+fn one_scenario_jobs_complete_at_shard_counts_beyond_the_space() {
+    for shards in [4, 8] {
+        let space = space(1);
+        assert_eq!(space.len(), 1);
+        let service = service(shards, Arc::new(AnalyticBackend));
+        let manager = JobManager::new(Arc::clone(&service), None, test_config(5)).unwrap();
+        let submitted = manager.submit(space.clone(), 0..1, 0, 1).unwrap();
+        assert_eq!(submitted.windows_total, 1, "one window at {shards} shards");
+        let done =
+            wait_for(&manager, &submitted.id, Duration::from_secs(30), |s| s.state == "completed");
+        assert_eq!(done.scenarios_completed, 1);
+        // The single scenario went through exactly one shard's cache; a
+        // repeat sweep answers warm and bit-identical to the direct engine.
+        let warm = service.sweep(&space, None).unwrap();
+        assert_eq!(warm.stats.cache_hits, 1, "warm repeat at {shards} shards");
+        assert_eq!(warm.records.len(), 1);
+        let direct = Engine::new(1).sweep(&space, &AnalyticBackend, &SweepConfig::default());
+        assert_eq!(warm.records[0].speedup.to_bits(), direct.records[0].speedup.to_bits());
+    }
 }
 
 #[test]

@@ -118,6 +118,51 @@ fn metrics_verb_round_trips_through_the_real_client() {
 }
 
 #[test]
+fn sweep_stats_stay_exact_under_the_stealing_scheduler() {
+    // Per-service result stats must stay exact whichever worker evaluated
+    // each unit: scenarios/hits counted once globally, `warm_entries` the
+    // participating homes' residency at dispatch (each home once), never a
+    // per-unit or per-thief multiple. Global counters are asserted by
+    // *presence* only — other tests in this binary drive them concurrently.
+    let space = space();
+    let n = space.len();
+    let service = service(4);
+
+    let cold = service.sweep(&space, None).unwrap();
+    assert_eq!(cold.stats.scenarios, n, "each scenario evaluated exactly once");
+    assert_eq!(cold.stats.cache_hits, 0);
+    assert_eq!(cold.stats.cache_misses as usize, n);
+    assert_eq!(cold.stats.warm_entries, 0, "nothing resident at cold dispatch");
+
+    let warm = service.sweep(&space, None).unwrap();
+    assert_eq!(warm.stats.scenarios, n);
+    assert_eq!(warm.stats.cache_hits as usize, n, "warm hits counted once, not per worker");
+    assert_eq!(warm.stats.cache_misses, 0, "a fully warm pass re-evaluates nothing");
+    assert_eq!(
+        warm.stats.warm_entries, n,
+        "residency summed over participating homes, each home once"
+    );
+    assert!(warm.stats.threads > 0, "evaluation lanes are reported");
+    assert!(
+        warm.stats.threads <= 4 * 2,
+        "lanes are bounded by shards x threads/shard, not inflated by steals: {}",
+        warm.stats.threads
+    );
+
+    // The scheduler's series are registered up front: a scrape shows them
+    // even before (or without) any steal happening.
+    let snapshot = mp_obs::registry().snapshot();
+    for counter in ["sched_units_total", "sched_units_stolen", "sched_rebands"] {
+        assert!(snapshot.counter(counter).is_some(), "{counter} always exported");
+    }
+    assert!(snapshot.histogram("sched_shard_busy_ms").is_some(), "busy histogram exported");
+    assert!(
+        snapshot.counter("sched_units_total").unwrap() >= 2,
+        "both sweeps decomposed into scheduled units"
+    );
+}
+
+#[test]
 fn every_request_traces_exactly_once_with_monotone_stages() {
     let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into()), Arc::new(service(2))).unwrap();
     let endpoint = server.endpoint().clone();

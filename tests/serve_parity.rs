@@ -249,6 +249,53 @@ fn overlapping_socket_clients_get_identical_answers_and_shared_stats_markers() {
 }
 
 #[test]
+fn skewed_query_mixes_stay_bit_identical_under_stealing() {
+    // The workload the work-stealing scheduler exists for: most clients
+    // hammer sub-ranges of one shard's band (the "hot quarter") while a
+    // few sweep the full space. Thieves drain the hot shard's deque, but
+    // every stolen unit still evaluates against its home shard's engine
+    // and fuses back in index order — so every answer, skewed or not,
+    // must stay bit-identical to the direct engine sweep.
+    let space = space();
+    let n = space.len();
+    let direct = Arc::new(direct_sweep(&space));
+    let service = Arc::new(service(4));
+    let hot_span = n / 4;
+
+    let barrier = std::sync::Barrier::new(8);
+    std::thread::scope(|scope| {
+        for client_index in 0..8usize {
+            let service = Arc::clone(&service);
+            let direct = Arc::clone(&direct);
+            let space = &space;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                for round in 0..6usize {
+                    // One query in eight is a full sweep; the rest are
+                    // varied windows inside the hot quarter, deliberately
+                    // misaligned so they neither coalesce nor line up with
+                    // placement segments.
+                    let range = if (client_index + round) % 8 == 0 {
+                        0..n
+                    } else {
+                        let start = (client_index * 11 + round * 29) % (hot_span / 2).max(1);
+                        start..start + hot_span / 2
+                    };
+                    let result = service.sweep(space, Some(range.clone())).unwrap();
+                    assert_eq!(result.stats.scenarios, range.len());
+                    assert_records_identical(
+                        &result.records,
+                        &direct.records[range],
+                        &format!("skewed client {client_index} round {round}"),
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
 fn curve_queries_match_the_figure_family_bitwise() {
     let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".into()), Arc::new(service(1))).unwrap();
     let endpoint = server.endpoint().clone();
