@@ -40,6 +40,7 @@ struct Options {
     quick: bool,
     json: bool,
     profile: bool,
+    force_scalar: bool,
     threads: Option<usize>,
     top_k: usize,
     trace: Option<PathBuf>,
@@ -52,6 +53,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         quick: false,
         json: false,
         profile: false,
+        force_scalar: false,
         threads: None,
         top_k: 10,
         trace: None,
@@ -82,6 +84,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 "--json" => options.json = true,
                 "--quick" => options.quick = true,
                 "--profile" => options.profile = true,
+                "--force-scalar" => options.force_scalar = true,
                 other => return Err(format!("unknown dse option `{other}`")),
             }
         }
@@ -225,10 +228,17 @@ pub fn run(args: &[String]) -> ExitCode {
         Ok(options) => options,
         Err(message) => {
             eprintln!("{message}");
-            eprintln!("usage: repro dse [--backend analytic|comm|sim|measured] [--out DIR] [--top K] [--threads N] [--trace PATH] [--quick] [--json] [--profile]");
+            eprintln!("usage: repro dse [--backend analytic|comm|sim|measured] [--out DIR] [--top K] [--threads N] [--trace PATH] [--quick] [--json] [--profile] [--force-scalar]");
             return ExitCode::FAILURE;
         }
     };
+
+    if options.force_scalar {
+        // Pin the scalar reference kernels for this process — the A/B
+        // baseline against the SIMD lane path (results are bit-identical by
+        // contract; only throughput differs).
+        mp_model::simd::set_forced_scalar(true);
+    }
 
     let backend = match crate::cli::backend_by_name(&options.backend) {
         Ok(backend) => backend,
@@ -329,7 +339,8 @@ pub fn run(args: &[String]) -> ExitCode {
     if options.json {
         let profile_fields = if options.profile {
             format!(
-                ",\"scenarios_per_second\":{},\"cached_scenarios_per_second\":{},\"allocations_first_pass\":{},\"allocations_cached_pass\":{},\"allocations_per_scenario\":{}",
+                ",\"simd_kernel\":\"{}\",\"scenarios_per_second\":{},\"cached_scenarios_per_second\":{},\"allocations_first_pass\":{},\"allocations_cached_pass\":{},\"allocations_per_scenario\":{}",
+                simd_kernel_label(),
                 scenarios_per_second,
                 cached_per_second,
                 allocs_first,
@@ -390,7 +401,7 @@ pub fn run(args: &[String]) -> ExitCode {
     );
     if options.profile {
         println!();
-        println!("  profile (throughput and heap traffic):");
+        println!("  profile (throughput and heap traffic, {} kernels):", simd_kernel_label());
         println!(
             "    first pass:  {scenarios_per_second:>12.0} scenarios/s, {allocs_first} heap allocations ({:.4} per scenario)",
             allocs_first as f64 / first.stats.scenarios.max(1) as f64,
@@ -434,6 +445,15 @@ pub fn run(args: &[String]) -> ExitCode {
     } else {
         eprintln!("cached re-sweep diverged from the first pass");
         ExitCode::FAILURE
+    }
+}
+
+/// Which evaluation kernel the sweep actually ran with, for profile output
+/// (`avx2` on hosts with the lanes, `scalar` when absent or forced off).
+fn simd_kernel_label() -> &'static str {
+    match mp_model::simd::level() {
+        mp_model::simd::SimdLevel::Avx2 => "avx2",
+        mp_model::simd::SimdLevel::Scalar => "scalar",
     }
 }
 

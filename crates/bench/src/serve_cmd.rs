@@ -181,6 +181,7 @@ pub fn build_service(options: &Options) -> Result<SweepService, String> {
         cost_per_scenario_ms: None,
         coalesce: options.coalesce,
         steal: options.steal,
+        force_scalar: false,
     };
     Ok(SweepService::new(backend, &config).with_registry(registry))
 }

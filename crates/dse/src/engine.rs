@@ -728,12 +728,19 @@ fn process_batch(
                 let keys = &mut scratch.keys[..];
                 let holes = &mut scratch.holes[..];
                 // Hash the shared axes once per design run; per scenario only
-                // the design itself is folded into the saved prefix.
+                // the design itself is folded into the saved prefix — four
+                // designs per step on the AVX2 lane folder, one at a time on
+                // the scalar reference (bit-equal either way: the fold is
+                // integer-exact).
                 for_each_run(space, range.clone(), |_, scenario, design, offset, run| {
                     let prefix = scenario.canonical_key_prefix(salt);
-                    for k in 0..run {
-                        keys[offset + k] = prefix.key_for(space.designs()[design + k]);
-                    }
+                    crate::cache::fill_design_keys(
+                        &prefix,
+                        space.designs(),
+                        tables,
+                        design,
+                        &mut keys[offset..offset + run],
+                    );
                 });
                 if cold_start {
                     // The cache was empty when the sweep started: every probe
@@ -746,19 +753,10 @@ fn process_batch(
                     cache.insert_batch(keys, speedups);
                     None
                 } else {
-                    // Warm the batch's cachelines with pipelined plain loads
-                    // before the dependent probe walk.
-                    cache.prefetch(keys);
-                    let mut missing = 0usize;
-                    for (offset, &key) in keys.iter().enumerate() {
-                        match cache.get(key) {
-                            Some(speedup) => speedups[offset] = speedup,
-                            None => {
-                                holes[offset] = true;
-                                missing += 1;
-                            }
-                        }
-                    }
+                    // Pipelined probe walk: each step prefetches the home
+                    // slot a fixed distance ahead, overlapping the batch's
+                    // cacheline fetches with the dependent probes.
+                    let missing = cache.get_batch(keys, speedups, holes);
                     hits.fetch_add((len - missing) as u64, Ordering::Relaxed);
                     obs_cache_hits().add((len - missing) as u64);
                     Some(missing)

@@ -38,6 +38,20 @@ pub struct DesignGeometry {
     pub small_cores: f64,
 }
 
+/// A maximal run of consecutive designs of one organisation. Lane kernels
+/// operate on homogeneous segments: symmetric and asymmetric designs use
+/// different key-suffix layouts and speedup formulas, so mixed runs split at
+/// every organisation boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct DesignSegment {
+    /// First design index of the segment.
+    pub start: usize,
+    /// Number of designs in the segment.
+    pub len: usize,
+    /// Whether the segment's designs are asymmetric.
+    pub asym: bool,
+}
+
 /// Structure-of-arrays precomputation shared by every batch of one sweep.
 #[derive(Debug)]
 pub struct SpaceTables {
@@ -55,6 +69,24 @@ pub struct SpaceTables {
     /// `[growth][budget][design]` growth samples at the design's thread
     /// count.
     growth: Vec<f64>,
+    /// `[budget][design]` fit masks for lane blends: all-ones bits where the
+    /// design fits the budget, zero where it does not.
+    fits_bits: Vec<u64>,
+    /// `[budget][design]` small-core counts as a flat column (SoA mirror of
+    /// [`DesignGeometry::small_cores`], loadable four lanes at a time).
+    small_cores: Vec<f64>,
+    /// Per-design small/symmetric core area `r` (the symmetric kernel's only
+    /// per-design model input).
+    design_r: Vec<f64>,
+    /// Per-design canonical key bits of `r` (`-0.0` folded to `0.0`, exactly
+    /// as [`mp_model::fingerprint::Fnv64::write_f64`] canonicalises), for the
+    /// lane key hasher.
+    key_r_bits: Vec<u64>,
+    /// Per-design canonical key bits of `rl` (asymmetric designs only;
+    /// zero-filled for symmetric ones, which never read it).
+    key_rl_bits: Vec<u64>,
+    /// Maximal homogeneous organisation runs over the design axis.
+    segments: Vec<DesignSegment>,
 }
 
 impl SpaceTables {
@@ -108,7 +140,43 @@ impl SpaceTables {
             }
         }
 
-        SpaceTables { designs: d, area, geometry, perf_small, perf_large, growth }
+        let fits_bits: Vec<u64> =
+            geometry.iter().map(|geo| if geo.fits { u64::MAX } else { 0 }).collect();
+        let small_cores: Vec<f64> = geometry.iter().map(|geo| geo.small_cores).collect();
+
+        let canonical_bits = |v: f64| if v == 0.0 { 0.0f64 } else { v }.to_bits();
+        let mut design_r = Vec::with_capacity(d);
+        let mut key_r_bits = Vec::with_capacity(d);
+        let mut key_rl_bits = Vec::with_capacity(d);
+        let mut segments: Vec<DesignSegment> = Vec::new();
+        for (i, spec) in designs.iter().enumerate() {
+            let (r, rl_bits, asym) = match *spec {
+                ChipSpec::Symmetric { r } => (r, 0, false),
+                ChipSpec::Asymmetric { r, rl } => (r, canonical_bits(rl), true),
+            };
+            design_r.push(r);
+            key_r_bits.push(canonical_bits(r));
+            key_rl_bits.push(rl_bits);
+            match segments.last_mut() {
+                Some(seg) if seg.asym == asym => seg.len += 1,
+                _ => segments.push(DesignSegment { start: i, len: 1, asym }),
+            }
+        }
+
+        SpaceTables {
+            designs: d,
+            area,
+            geometry,
+            perf_small,
+            perf_large,
+            growth,
+            fits_bits,
+            small_cores,
+            design_r,
+            key_r_bits,
+            key_rl_bits,
+            segments,
+        }
     }
 
     /// Number of designs each column run covers.
@@ -144,6 +212,41 @@ impl SpaceTables {
         let budgets = self.geometry.len() / self.designs.max(1);
         let start = (growth_index * budgets + budget_index) * self.designs;
         &self.growth[start..start + self.designs]
+    }
+
+    /// The fit-mask run of one budget-axis index: all-ones where the design
+    /// fits, zero where it does not (ready for a lane blend to `NaN`).
+    pub fn fits_bits(&self, budget_index: usize) -> &[u64] {
+        let start = budget_index * self.designs;
+        &self.fits_bits[start..start + self.designs]
+    }
+
+    /// The small-core-count run of one budget-axis index (SoA mirror of the
+    /// geometry column's `small_cores`).
+    pub fn small_cores(&self, budget_index: usize) -> &[f64] {
+        let start = budget_index * self.designs;
+        &self.small_cores[start..start + self.designs]
+    }
+
+    /// Per-design small/symmetric core areas `r`.
+    pub fn design_r(&self) -> &[f64] {
+        &self.design_r
+    }
+
+    /// Per-design canonical key bits of `r` (`-0.0` → `0.0`).
+    pub fn key_r_bits(&self) -> &[u64] {
+        &self.key_r_bits
+    }
+
+    /// Per-design canonical key bits of `rl` (meaningful on asymmetric
+    /// designs only).
+    pub fn key_rl_bits(&self) -> &[u64] {
+        &self.key_rl_bits
+    }
+
+    /// Maximal homogeneous organisation runs over the design axis.
+    pub fn segments(&self) -> &[DesignSegment] {
+        &self.segments
     }
 }
 

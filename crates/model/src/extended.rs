@@ -89,9 +89,16 @@ impl ExtendedModel {
         let n = design.budget().total_bce();
         let perf_r = self.perf.perf(r)?;
         let threads = design.threads();
-        let serial = self.effective_serial_fraction(threads) / perf_r;
-        let parallel = self.params.f * r / (perf_r * n);
-        check_finite("extended symmetric speedup", 1.0 / (serial + parallel))
+        // Single-divide form of `1 / (eff/perf_r + f·r/(perf_r·n))`
+        // (multiply through by `perf_r·n`): algebraically identical, one
+        // IEEE division instead of three. This is the evaluation hot path's
+        // arithmetic — [`PreparedModel`] and the SIMD lane kernels replicate
+        // this exact operation order, so any change here must be mirrored
+        // there (and the golden curves regenerated).
+        //
+        // [`PreparedModel`]: crate::prepared::PreparedModel
+        let eff = self.effective_serial_fraction(threads);
+        check_finite("extended symmetric speedup", (perf_r * n) / (eff * n + self.params.f * r))
     }
 
     /// Speedup of an asymmetric CMP (paper Eq. 5).
@@ -107,10 +114,14 @@ impl ExtendedModel {
         let perf_l = self.perf.perf(design.rl())?;
         let perf_r = self.perf.perf(design.r())?;
         let threads = design.threads();
-        let serial = self.effective_serial_fraction(threads) / perf_l;
+        // Single-divide form of `1 / (eff/perf_l + f/pt)` (multiply through
+        // by `perf_l·pt`); mirrored by `PreparedModel` and the lane kernels.
+        let eff = self.effective_serial_fraction(threads);
         let parallel_throughput = perf_r * design.small_cores() + perf_l;
-        let parallel = self.params.f / parallel_throughput;
-        check_finite("extended asymmetric speedup", 1.0 / (serial + parallel))
+        check_finite(
+            "extended asymmetric speedup",
+            (perf_l * parallel_throughput) / (eff * parallel_throughput + self.params.f * perf_l),
+        )
     }
 
     /// Speedup on `p` identical unit cores (the Figure 3 setting: the baseline
@@ -124,9 +135,9 @@ impl ExtendedModel {
         if !(p.is_finite() && p > 0.0) {
             return Err(ModelError::NonPositive { name: "p", value: p });
         }
-        let serial = self.effective_serial_fraction(p);
-        let parallel = self.params.f / p;
-        check_finite("extended unit-core speedup", 1.0 / (serial + parallel))
+        // Single-divide form of `1 / (eff + f/p)` (multiply through by `p`).
+        let eff = self.effective_serial_fraction(p);
+        check_finite("extended unit-core speedup", p / (eff * p + self.params.f))
     }
 }
 

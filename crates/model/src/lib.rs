@@ -78,6 +78,7 @@ pub mod params;
 pub mod perf;
 pub mod prepared;
 pub mod serial_time;
+pub mod simd;
 pub mod topology;
 
 /// Commonly used items, re-exported for convenience.

@@ -26,6 +26,31 @@ use crate::growth::GrowthFunction;
 use crate::params::AppParams;
 use crate::perf::PerfModel;
 
+/// The five design-independent scalars of a [`PreparedModel`], exported for
+/// lane kernels that re-run the speedup arithmetic outside this crate (e.g.
+/// mp-dse's SIMD `evaluate_batch_prepared`).
+///
+/// **Contract**: a kernel consuming these coefficients must replicate the
+/// exact operations and association order of
+/// [`PreparedModel::speedup_symmetric_from_parts`] /
+/// [`PreparedModel::speedup_asymmetric_from_parts`] — broadcast each
+/// coefficient across lanes and apply the same multiply/add/divide sequence —
+/// so its results stay bit-identical to the scalar reference. The parity
+/// proptests in `tests/sweep_parity.rs` enforce this.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupCoefficients {
+    /// Parallel fraction `f`.
+    pub f: f64,
+    /// Serial fraction `s = 1 - f`.
+    pub s: f64,
+    /// Constant fraction of the serial time.
+    pub fcon: f64,
+    /// Reduction fraction of the serial time.
+    pub fred: f64,
+    /// Reduction-overhead coefficient.
+    pub fored: f64,
+}
+
 /// Design-independent state of one `(application, growth, perf)` combination,
 /// borrowed from its owners. Build once per shared-axis run, evaluate many
 /// designs.
@@ -62,6 +87,18 @@ impl<'a> PreparedModel<'a> {
     /// The growth function the model was prepared over.
     pub fn growth(&self) -> &'a GrowthFunction {
         self.growth
+    }
+
+    /// The design-independent scalars, for lane kernels that broadcast them
+    /// across lanes. See [`SpeedupCoefficients`] for the parity contract.
+    pub fn coefficients(&self) -> SpeedupCoefficients {
+        SpeedupCoefficients {
+            f: self.f,
+            s: self.s,
+            fcon: self.fcon,
+            fred: self.fred,
+            fored: self.fored,
+        }
     }
 
     /// The performance model.
@@ -108,9 +145,11 @@ impl<'a> PreparedModel<'a> {
         perf_r: f64,
         growth_sample: f64,
     ) -> f64 {
-        let serial = self.effective_serial_fraction_from_sample(growth_sample) / perf_r;
-        let parallel = self.f * r / (perf_r * total_bce);
-        let speedup = 1.0 / (serial + parallel);
+        // Single-divide form of Eq. 4, replicating
+        // `ExtendedModel::speedup_symmetric` verbatim: numerator
+        // `perf_r · n`, denominator `eff·n + f·r`, one IEEE division.
+        let eff = self.effective_serial_fraction_from_sample(growth_sample);
+        let speedup = (perf_r * total_bce) / (eff * total_bce + self.f * r);
         if speedup.is_finite() {
             speedup
         } else {
@@ -130,10 +169,12 @@ impl<'a> PreparedModel<'a> {
         perf_l: f64,
         growth_sample: f64,
     ) -> f64 {
-        let serial = self.effective_serial_fraction_from_sample(growth_sample) / perf_l;
+        // Single-divide form of Eq. 5, replicating
+        // `ExtendedModel::speedup_asymmetric` verbatim.
+        let eff = self.effective_serial_fraction_from_sample(growth_sample);
         let parallel_throughput = perf_r * small_cores + perf_l;
-        let parallel = self.f / parallel_throughput;
-        let speedup = 1.0 / (serial + parallel);
+        let speedup =
+            (perf_l * parallel_throughput) / (eff * parallel_throughput + self.f * perf_l);
         if speedup.is_finite() {
             speedup
         } else {

@@ -93,36 +93,95 @@ const MIN_CALIBRATION_SCENARIOS: u64 = 4096;
 /// goes.
 const COST_CLAMP_MS: (f64, f64) = (1e-6, 100.0);
 
+/// Scenarios a calibration window must span before it closes and folds into
+/// the decayed estimate. One full-grid sweep (~200k scenarios) closes ~50
+/// windows, so the estimate re-converges well within one load pass after a
+/// regime change.
+const CALIBRATION_WINDOW_SCENARIOS: u64 = 4096;
+
+/// EWMA weight of the newest closed window. At ½, a stale regime's
+/// contribution halves per window — under 1% of the estimate after seven
+/// windows (~29k scenarios) of the new regime.
+const CALIBRATION_EWMA_ALPHA: f64 = 0.5;
+
+/// Rolling calibration state: the engine-counter totals at the last window
+/// close, plus the decayed per-scenario estimate.
+#[derive(Debug, Default)]
+struct CalibrationWindow {
+    /// `dse_scenarios_evaluated` at the last window close.
+    last_scenarios: u64,
+    /// `dse_batch_ms` histogram sum at the last window close.
+    last_sum_ms: f64,
+    /// Exponentially decayed per-scenario cost over closed windows, ms.
+    /// `None` until the first window closes (the seeded default applies).
+    ewma_ms: Option<f64>,
+}
+
+impl CalibrationWindow {
+    /// Fold the current engine totals in, closing a window if enough new
+    /// scenarios have arrived, and return the per-scenario estimate, ms.
+    ///
+    /// The first window to close spans the counters' whole history — the
+    /// lifetime mean, exactly the pre-windowed behaviour — and every later
+    /// window is a bounded delta, so a throughput regime change (a kernel
+    /// getting 2× faster, a cache warming up) decays out of the estimate
+    /// geometrically instead of being averaged against all of history
+    /// forever.
+    fn fold(&mut self, total_scenarios: u64, total_sum_ms: f64) -> f64 {
+        let new_scenarios = total_scenarios.saturating_sub(self.last_scenarios);
+        let window_ready = match self.ewma_ms {
+            // Trust no window until enough data exists for the first one —
+            // below this, one pathological batch would dominate.
+            None => total_scenarios >= MIN_CALIBRATION_SCENARIOS,
+            Some(_) => new_scenarios >= CALIBRATION_WINDOW_SCENARIOS,
+        };
+        if window_ready && new_scenarios > 0 {
+            let window_ms = ((total_sum_ms - self.last_sum_ms).max(0.0) / new_scenarios as f64)
+                .clamp(COST_CLAMP_MS.0, COST_CLAMP_MS.1);
+            self.ewma_ms = Some(match self.ewma_ms {
+                None => window_ms,
+                Some(prev) => prev + CALIBRATION_EWMA_ALPHA * (window_ms - prev),
+            });
+            self.last_scenarios = total_scenarios;
+            self.last_sum_ms = total_sum_ms;
+        }
+        self.ewma_ms.unwrap_or(DEFAULT_COST_PER_SCENARIO_MS)
+    }
+}
+
 /// The planner's per-backend evaluation cost model. See the module docs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug)]
 pub struct CostModel {
     /// Fixed per-scenario cost override (tests and benches); `None` reads
     /// the live engine calibration.
     override_ms: Option<f64>,
+    /// Windowed-delta calibration state (see [`CalibrationWindow`]).
+    window: Mutex<CalibrationWindow>,
 }
 
 impl CostModel {
     /// A model calibrating from the engine's global metrics, or pinned to
     /// `override_ms` when given.
     pub fn new(override_ms: Option<f64>) -> CostModel {
-        CostModel { override_ms }
+        CostModel { override_ms, window: Mutex::new(CalibrationWindow::default()) }
     }
 
     /// The current estimated cost of evaluating one scenario, milliseconds:
-    /// total engine batch time over total scenarios processed, seeded with
+    /// an exponentially decayed mean over bounded windows of the engine's
+    /// batch time and scenario counters, seeded with
     /// `DEFAULT_COST_PER_SCENARIO_MS` until enough data exists. This is a
     /// deliberately *mean* cost across the live warm/cold mix — admission
-    /// budgets queued work, and queued work arrives in the same mix.
+    /// budgets queued work, and queued work arrives in the same mix — but
+    /// windowing keeps it the mean of the *recent* mix: samples recorded
+    /// before a throughput regime change stop mis-sizing work within one
+    /// load pass.
     pub fn cost_per_scenario_ms(&self) -> f64 {
         if let Some(ms) = self.override_ms {
             return ms;
         }
         let scenarios = obs_dse_scenarios().value();
-        if scenarios < MIN_CALIBRATION_SCENARIOS {
-            return DEFAULT_COST_PER_SCENARIO_MS;
-        }
-        (obs_dse_batch_ms().snapshot().sum / scenarios as f64)
-            .clamp(COST_CLAMP_MS.0, COST_CLAMP_MS.1)
+        let sum_ms = obs_dse_batch_ms().snapshot().sum;
+        self.window.lock().expect("planner locks are never poisoned").fold(scenarios, sum_ms)
     }
 
     /// Estimated evaluation cost of a `scenarios`-sized query, milliseconds.
@@ -300,7 +359,50 @@ mod tests {
     fn calibrated_cost_stays_within_the_clamp() {
         let model = CostModel::new(None);
         let ms = model.cost_per_scenario_ms();
-        assert!(ms >= COST_CLAMP_MS.0 && ms <= COST_CLAMP_MS.1, "cost {ms} outside clamp");
+        assert!(
+            (ms >= COST_CLAMP_MS.0 && ms <= COST_CLAMP_MS.1) || ms == DEFAULT_COST_PER_SCENARIO_MS,
+            "cost {ms} outside clamp"
+        );
+    }
+
+    #[test]
+    fn calibration_seeds_then_reports_the_first_window_mean() {
+        let mut window = CalibrationWindow::default();
+        // Below the trust threshold: the seeded default, untouched state.
+        assert_eq!(window.fold(100, 100.0), DEFAULT_COST_PER_SCENARIO_MS);
+        assert_eq!(window.last_scenarios, 0);
+        // First window spans all history: the lifetime mean (1 ms/scenario).
+        assert_eq!(window.fold(8192, 8192.0), 1.0);
+        // A sub-window delta re-reports the standing estimate unchanged.
+        assert_eq!(window.fold(8192 + 100, 8192.0 + 100.0), 1.0);
+        assert_eq!(window.last_scenarios, 8192);
+    }
+
+    #[test]
+    fn calibration_converges_within_one_load_pass_after_a_regime_change() {
+        let mut window = CalibrationWindow::default();
+        // A long pre-change history at 1 ms/scenario…
+        let mut scenarios = 1_000_000u64;
+        let mut sum_ms = 1_000_000.0f64;
+        assert_eq!(window.fold(scenarios, sum_ms), 1.0);
+        // …then the kernels get 10× faster (0.1 ms/scenario). A lifetime
+        // mean would still answer ~0.93 after eight windows of new data;
+        // the decayed window must converge to within 5% of the new cost on
+        // ~32k scenarios — a small fraction of one full-grid load pass.
+        for _ in 0..8 {
+            scenarios += CALIBRATION_WINDOW_SCENARIOS;
+            sum_ms += CALIBRATION_WINDOW_SCENARIOS as f64 * 0.1;
+            window.fold(scenarios, sum_ms);
+        }
+        let ms = window.fold(scenarios, sum_ms);
+        assert!((ms - 0.1).abs() / 0.1 < 0.05, "stale estimate {ms} after regime change");
+        // Deterministic fixed point: steady-state windows pin the estimate.
+        for _ in 0..4 {
+            scenarios += CALIBRATION_WINDOW_SCENARIOS;
+            sum_ms += CALIBRATION_WINDOW_SCENARIOS as f64 * 0.1;
+        }
+        let settled = window.fold(scenarios, sum_ms);
+        assert!((settled - 0.1).abs() / 0.1 < 0.05, "estimate {settled} drifted");
     }
 
     #[test]

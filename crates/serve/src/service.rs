@@ -159,6 +159,14 @@ pub struct ServiceConfig {
     /// with stealing off every unit runs on its home shard's worker,
     /// which is exactly the pre-scheduler banding.
     pub steal: bool,
+    /// Force the scalar reference kernels even on hosts with SIMD lanes
+    /// (the in-process equivalent of `MP_SIMD_FORCE_SCALAR=1`): latched
+    /// process-wide via [`mp_model::simd::set_forced_scalar`] at service
+    /// construction, for scalar-vs-lane A/B baselines. Both paths are
+    /// bit-identical by contract, so flipping this changes throughput only,
+    /// never results. A `true` here latches on for the process; it is never
+    /// un-set by a later service constructed with `false`.
+    pub force_scalar: bool,
 }
 
 impl Default for ServiceConfig {
@@ -173,6 +181,7 @@ impl Default for ServiceConfig {
             cost_per_scenario_ms: None,
             coalesce: true,
             steal: true,
+            force_scalar: false,
         }
     }
 }
@@ -356,6 +365,9 @@ impl SweepService {
         assert!(config.batch_size > 0, "batch size must be positive");
         assert!(config.queue_capacity > 0, "admission queue capacity must be positive");
         assert!(config.cost_budget_ms > 0.0, "cost budget must be positive");
+        if config.force_scalar {
+            mp_model::simd::set_forced_scalar(true);
+        }
         // Register the core series now: a scrape must see `busy_rejections`
         // at zero on an idle server, not have the series appear at the first
         // rejection. Same for the planner's and the scheduler's series.

@@ -116,6 +116,63 @@ fn cache_probe_and_insert_allocate_nothing_after_reserve() {
 }
 
 #[test]
+fn lane_and_forced_scalar_paths_both_allocate_nothing() {
+    let _window = WINDOW.lock().unwrap();
+    let space = space();
+    let tables = SpaceTables::new(&space);
+    let n = space.len();
+    let mut lane_out = vec![f64::NAN; n];
+    let mut scalar_out = vec![f64::NAN; n];
+
+    // Warm-up arms the dispatch state (feature detection, env override) so
+    // the counting windows measure only the evaluation itself.
+    AnalyticBackend.evaluate_batch_prepared(&space, &tables, 0..n, &mut lane_out);
+
+    let before = allocations();
+    AnalyticBackend.evaluate_batch_prepared(&space, &tables, 0..n, &mut lane_out);
+    assert_eq!(allocations() - before, 0, "lane path must not allocate");
+
+    mp_model::simd::set_forced_scalar(true);
+    let before = allocations();
+    AnalyticBackend.evaluate_batch_prepared(&space, &tables, 0..n, &mut scalar_out);
+    let scalar_allocs = allocations() - before;
+    mp_model::simd::set_forced_scalar(false);
+    assert_eq!(scalar_allocs, 0, "forced-scalar path must not allocate");
+
+    // Same window, both kernels: the dispatch toggle changes throughput
+    // only, never bits.
+    for (i, (a, b)) in lane_out.iter().zip(&scalar_out).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "lane/scalar divergence at {i}");
+    }
+}
+
+#[test]
+fn batched_cache_probe_allocates_nothing_after_reserve() {
+    let _window = WINDOW.lock().unwrap();
+    let space = space();
+    let tables = SpaceTables::new(&space);
+    let n = space.len();
+    let mut out = vec![f64::NAN; n];
+    AnalyticBackend.evaluate_batch_prepared(&space, &tables, 0..n, &mut out);
+    let keys: Vec<(u64, u64)> =
+        (0..n).map(|i| space.scenario(i).canonical_key("analytic")).collect();
+    let mut speedups = vec![f64::NAN; n];
+    let mut holes = vec![false; n];
+
+    let cache = EvalCache::new();
+    cache.reserve(n);
+    cache.insert_batch(&keys, &out);
+    let before = allocations();
+    let missing = cache.get_batch(&keys, &mut speedups, &mut holes);
+    let after = allocations();
+    assert_eq!(after - before, 0, "batched probe must not allocate");
+    assert_eq!(missing, 0, "every inserted key must probe back");
+    for (got, want) in speedups.iter().zip(&out) {
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+}
+
+#[test]
 fn full_engine_sweep_allocations_do_not_scale_with_scenario_count() {
     let _window = WINDOW.lock().unwrap();
     // The engine may allocate during setup (records vector, tables, scratch)

@@ -158,8 +158,115 @@ fn unknown_apps_stay_nan_through_the_columnar_path() {
     parity_for(&backend, &with_unknown, "measured-unknown");
 }
 
+/// RAII pin of the scalar reference kernels (un-pins on drop, panics
+/// included, so a failing case cannot leak a forced state into later tests).
+struct ForceScalar;
+
+impl ForceScalar {
+    fn pin() -> ForceScalar {
+        mp_model::simd::set_forced_scalar(true);
+        ForceScalar
+    }
+}
+
+impl Drop for ForceScalar {
+    fn drop(&mut self) {
+        mp_model::simd::set_forced_scalar(false);
+    }
+}
+
+/// Sweep `space` at 1 and 4 threads, cache off.
+fn sweeps_at_both_widths(space: &ScenarioSpace, backend: &dyn EvalBackend) -> Vec<SweepResult> {
+    [1usize, 4]
+        .iter()
+        .map(|&threads| {
+            Engine::new(threads).sweep(
+                space,
+                backend,
+                &SweepConfig { batch_size: 64, use_cache: false },
+            )
+        })
+        .collect()
+}
+
+/// The scalar-vs-SIMD equivalence pin for one backend over one space: the
+/// forced-scalar sweep, the lane sweep (AVX2 where the host has it; the
+/// same scalar path where it does not, making the comparison trivially
+/// true there), and the per-scenario reference must agree bitwise.
+fn lane_scalar_reference_parity(space: &ScenarioSpace, backend: &dyn EvalBackend, label: &str) {
+    let scalar = {
+        let _pin = ForceScalar::pin();
+        sweeps_at_both_widths(space, backend)
+    };
+    let lanes = sweeps_at_both_widths(space, backend);
+    let reference = reference_sweep(space, backend);
+    for ((s, l), threads) in scalar.iter().zip(&lanes).zip([1usize, 4]) {
+        assert_bit_identical(
+            &format!("{label} lane-vs-scalar threads={threads}"),
+            &s.records,
+            &l.records,
+        );
+        assert_bit_identical(
+            &format!("{label} lane-vs-reference threads={threads}"),
+            &reference,
+            &l.records,
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary spaces — fitting, over-budget, and NaN-poisoned designs
+    /// alike — swept through the lane kernels and the forced-scalar
+    /// reference: every slot bitwise identical, NaN markers included. The
+    /// `Measured` growth carries a NaN sample, so designs landing on the
+    /// poisoned segment propagate NaN through the speedup arithmetic (not
+    /// just the unfit-design blend), at 1 and 4 threads.
+    #[test]
+    fn lane_kernels_match_forced_scalar_bitwise(
+        sym_rs in proptest::collection::vec(0.5f64..400.0, 1..8),
+        asym_larges in proptest::collection::vec(1.0f64..300.0, 1..4),
+        budget in 16.0f64..512.0,
+        sigma in 1.0f64..2.0,
+        poison in proptest::bool::ANY,
+    ) {
+        let mut growths = vec![
+            GrowthFunction::Constant,
+            GrowthFunction::Linear,
+            GrowthFunction::Superlinear(sigma),
+        ];
+        if poison {
+            growths.push(GrowthFunction::Measured(vec![
+                (1.0, 0.0),
+                (4.0, f64::NAN),
+                (16.0, 40.0),
+            ]));
+        }
+        let space = ScenarioSpace::new()
+            .with_apps(AppParams::table2_all())
+            .with_budgets(vec![budget])
+            .clear_designs()
+            .add_symmetric_grid(sym_rs.iter().copied())
+            .add_asymmetric_grid([1.0, 4.0], asym_larges.iter().copied())
+            .with_growths(growths)
+            .with_perfs(vec![PerfModel::Pollack, PerfModel::Power(0.75)]);
+        lane_scalar_reference_parity(&space, &AnalyticBackend, "analytic");
+
+        let measured = measured_backend();
+        let measured_space = space.clone().with_apps(vec![
+            measured.apps()[0].clone(),
+            AppParams::table2_kmeans().with_name("unknown-app"),
+        ]);
+        lane_scalar_reference_parity(&measured_space, &measured, "measured");
+
+        let sim_space = space
+            .with_growths(vec![GrowthFunction::Linear])
+            .with_perfs(vec![PerfModel::Pollack])
+            .with_reductions(mp_par::ReductionStrategy::all().to_vec());
+        let sim = SimBackend::new().with_total_ops(1e5);
+        lane_scalar_reference_parity(&sim_space, &sim, "sim");
+    }
 
     /// Hammer the lock-free cache from 8 threads with overlapping key ranges
     /// and assert nothing is lost or corrupted — including entries written
